@@ -1,0 +1,97 @@
+// Command smobench regenerates the tables and figures of the paper's
+// evaluation as text reports.
+//
+//	smobench -all            # everything, in paper order
+//	smobench -fig 7          # one figure (3, 4, 5, 6, 7, 8, 9, 10, 11)
+//	smobench -table 1        # Table I
+//	smobench -claims         # the quantitative §IV-V side claims
+//
+// EXPERIMENTS.md records this command's output next to the paper's
+// numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mintc/internal/experiments"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		fig    = flag.Int("fig", 0, "reproduce one figure (3-11)")
+		table  = flag.Int("table", 0, "reproduce one table (1)")
+		claims = flag.Bool("claims", false, "verify the quantitative side claims")
+		stats  = flag.Bool("stats", false, "iteration/pivot statistics over random circuits")
+		cache  = flag.Bool("cache", false, "GaAs cache-speed margin study (parametric)")
+		mcm    = flag.Bool("mcm", false, "GaAs chip-crossing / multichip-module study")
+		borrow = flag.Bool("borrowing", false, "time-borrowing study on Example 1")
+		check  = flag.Bool("checklist", false, "machine-checked reproduction checklist")
+		outDir = flag.String("o", "", "write all reports and graphical artifacts into this directory")
+		htmlTo = flag.String("html", "", "write the artifact bundle plus a browsable index.html into this directory")
+	)
+	flag.Parse()
+
+	var (
+		out string
+		err error
+	)
+	switch {
+	case *htmlTo != "":
+		idx, herr := experiments.WriteHTMLReport(*htmlTo)
+		if herr != nil {
+			fmt.Fprintf(os.Stderr, "smobench: %v\n", herr)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", idx)
+		return
+	case *outDir != "":
+		files, werr := experiments.WriteArtifacts(*outDir)
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "smobench: %v\n", werr)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+		return
+	case *all:
+		out, err = experiments.All()
+	case *stats:
+		out, err = experiments.Stats()
+	case *cache:
+		out, err = experiments.CacheStudy()
+	case *mcm:
+		out, err = experiments.MCMStudy()
+	case *borrow:
+		out, err = experiments.BorrowingStudy()
+	case *check:
+		out, err = experiments.ChecklistReport()
+	case *claims:
+		out, err = experiments.Claims()
+	case *table == 1:
+		out, err = experiments.TableI()
+	case *fig != 0:
+		figs := map[int]func() (string, error){
+			3: experiments.Fig3, 4: experiments.Fig4, 5: experiments.Fig5,
+			6: experiments.Fig6, 7: experiments.Fig7, 8: experiments.Fig8,
+			9: experiments.Fig9, 10: experiments.Fig10, 11: experiments.Fig11,
+		}
+		f, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "smobench: no figure %d (have 3-11)\n", *fig)
+			os.Exit(2)
+		}
+		out, err = f()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smobench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildOnce compiles the smobench binary into a temp dir so the tests
+// can exercise the real CLI surface (flag handling and exit codes).
+func buildOnce(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "smobench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestSmobenchFigures(t *testing.T) {
+	bin := buildOnce(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-fig", "4"}, "Theorem 1"},
+		{[]string{"-fig", "7"}, "Fig. 7"},
+		{[]string{"-fig", "11"}, "optimal Tc = 4.4 ns"},
+		{[]string{"-table", "1"}, "30,148"},
+		{[]string{"-claims"}, "GaAsMIPS"},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(bin, tc.args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", tc.args, err, out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%v: output missing %q", tc.args, tc.want)
+		}
+	}
+}
+
+func TestSmobenchBadArgs(t *testing.T) {
+	bin := buildOnce(t)
+	for _, args := range [][]string{{"-fig", "99"}, {}} {
+		if err := exec.Command(bin, args...).Run(); err == nil {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
+	}
+}
+
+func TestSmobenchStats(t *testing.T) {
+	bin := buildOnce(t)
+	out, err := exec.Command(bin, "-stats").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "disagreements (Theorem 1): 0") {
+		t.Errorf("stats output:\n%s", out)
+	}
+}

@@ -1,0 +1,367 @@
+// Command smoclk analyzes and optimizes the clocking of
+// latch-controlled synchronous circuits described in the .smo format.
+//
+// Design mode (default) finds the minimum cycle time and an optimal
+// clock schedule with Algorithm MLP:
+//
+//	smoclk -f circuit.smo
+//	smoclk -f circuit.smo -engine mcr        # min-cycle-ratio engine
+//	smoclk -f circuit.smo -baseline nrip     # NRIP / edge-triggered baselines
+//	smoclk -f circuit.smo -diagram -svg out.svg
+//
+// Analysis mode verifies a given schedule (checkTc):
+//
+//	smoclk -f circuit.smo -check schedule.smo
+//
+// Additional clock requirements map to the paper's "further
+// requirements" hook: -minwidth, -minsep, -skew; -tc pins the cycle
+// time. -dump prints the generated linear program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mintc"
+)
+
+func main() {
+	var (
+		file     = flag.String("f", "", "circuit description file (.smo); '-' for stdin")
+		check    = flag.String("check", "", "schedule file: verify instead of optimize")
+		engine   = flag.String("engine", "lp", "optimal engine: lp (Algorithm MLP) or mcr (min cycle ratio)")
+		baseline = flag.String("baseline", "", "run a baseline instead: nrip, ettf or agrawal")
+		diagram  = flag.Bool("diagram", false, "print an ASCII timing diagram")
+		svgOut   = flag.String("svg", "", "write an SVG timing diagram to this file")
+		dump     = flag.Bool("dump", false, "print the generated linear program")
+		simulate = flag.Bool("sim", false, "cross-check the schedule by cycle-accurate simulation")
+		minWidth = flag.Float64("minwidth", 0, "minimum phase width")
+		minSep   = flag.Float64("minsep", 0, "minimum separation between I/O phase pairs")
+		skew     = flag.Float64("skew", 0, "clock skew margin")
+		fixedTc  = flag.Float64("tc", 0, "pin the cycle time (design at fixed Tc)")
+		cycles   = flag.Int("cycles", 2, "cycles shown in diagrams")
+		lex      = flag.String("lex", "", "tie-break among optimal schedules: max-widths, min-widths, max-min-width, min-departures, compact")
+		param    = flag.Int("parametric", -1, "piecewise-linear Tc*(delay) sweep for this path index")
+		paramTo  = flag.Float64("pmax", 200, "upper end of the -parametric sweep")
+		gnl      = flag.Bool("gnl", false, "treat -f as a gate-level netlist (.gnl) and extract the timing model first")
+		model    = flag.String("model", "linear", "gate delay model for -gnl: unit, linear or elmore")
+		toploops = flag.Int("toploops", 0, "report the N most critical loops (cycle-ratio bounds)")
+		mcTrials = flag.Int("montecarlo", 0, "run N Monte-Carlo trials with per-cycle delay variation")
+		holdOpt  = flag.Bool("hold", false, "design with conservative hold constraints (elements with hold > 0)")
+		marginTc = flag.Float64("margin", 0, "at this cycle time, maximize the worst setup margin instead of minimizing Tc")
+		dotOut   = flag.String("dot", "", "write the circuit graph in Graphviz DOT format to this file")
+	)
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "smoclk: -f <circuit.smo> is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := config{
+		check: *check, engine: *engine, baseline: *baseline,
+		diagram: *diagram, svgOut: *svgOut, dump: *dump, simulate: *simulate,
+		cycles: *cycles, lex: *lex, parametric: *param, paramTo: *paramTo,
+		gnl: *gnl, model: *model, toploops: *toploops, dotOut: *dotOut, mcTrials: *mcTrials, marginTc: *marginTc,
+		opts: mintc.Options{MinPhaseWidth: *minWidth, MinSeparation: *minSep, Skew: *skew, FixedTc: *fixedTc, DesignForHold: *holdOpt},
+	}
+	if err := run(*file, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "smoclk: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the parsed command-line options.
+type config struct {
+	check, engine, baseline string
+	diagram                 bool
+	svgOut                  string
+	dump, simulate          bool
+	cycles                  int
+	lex                     string
+	parametric              int
+	paramTo                 float64
+	gnl                     bool
+	model                   string
+	toploops                int
+	mcTrials                int
+	marginTc                float64
+	dotOut                  string
+	opts                    mintc.Options
+}
+
+var secondaries = map[string]mintc.Secondary{
+	"max-widths":     mintc.MaxPhaseWidths,
+	"min-widths":     mintc.MinPhaseWidths,
+	"max-min-width":  mintc.MaxMinPhaseWidth,
+	"min-departures": mintc.MinDepartures,
+	"compact":        mintc.CompactSchedule,
+}
+
+func run(file string, cfg config) error {
+	check, engine, baseline := cfg.check, cfg.engine, cfg.baseline
+	diagram, svgOut, dump, simulate := cfg.diagram, cfg.svgOut, cfg.dump, cfg.simulate
+	opts, cycles := cfg.opts, cfg.cycles
+	c, err := loadCircuit(file, cfg)
+	if err != nil {
+		return err
+	}
+
+	if check != "" {
+		return runCheck(c, check, opts, simulate)
+	}
+
+	if cfg.parametric >= 0 {
+		return runParametric(c, cfg)
+	}
+
+	var sched *mintc.Schedule
+	var d []float64
+	switch {
+	case cfg.marginTc > 0:
+		r, err := mintc.MaxMarginSchedule(c, opts, cfg.marginTc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("margin-optimal schedule at Tc = %.6g: worst setup margin %.6g\n", cfg.marginTc, r.Margin)
+		fmt.Println(r.Schedule)
+		sched, d = r.Schedule, r.D
+	case cfg.lex != "":
+		sec, ok := secondaries[cfg.lex]
+		if !ok {
+			return fmt.Errorf("unknown -lex objective %q", cfg.lex)
+		}
+		r, err := mintc.MinTcLex(c, opts, sec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimal Tc with %s tie-break:\n", cfg.lex)
+		fmt.Print(r.Report())
+		sched, d = r.Schedule, r.D
+	case baseline == "nrip":
+		nr, err := mintc.MinTcNRIP(c, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("NRIP baseline: Tc = %.6g (edge-triggered start %.6g, borrowing gain %.6g)\n",
+			nr.Schedule.Tc, nr.EdgeTriggeredTc, nr.BorrowingGain)
+		fmt.Println(nr.Schedule)
+		sched = nr.Schedule
+	case baseline == "agrawal":
+		r, err := mintc.MinTcFrequencySearch(c, 0.5, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("frequency-search baseline (symmetric clock, duty 0.5): Tc = %.6g (%d probes)\n", r.Tc, r.Probes)
+		fmt.Println(r.Schedule)
+		sched = r.Schedule
+	case baseline == "ettf":
+		et, err := mintc.MinTcEdgeTriggered(c, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("edge-triggered baseline: Tc = %.6g (%d constraints, %d pivots)\n",
+			et.Schedule.Tc, et.NumConstraints, et.Pivots)
+		fmt.Println(et.Schedule)
+		sched = et.Schedule
+	case baseline != "":
+		return fmt.Errorf("unknown baseline %q (want nrip, ettf or agrawal)", baseline)
+	case engine == "mcr":
+		r, err := mintc.MinTcMCR(c, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimal Tc = %.6g (min-cycle-ratio engine, %d probes)\n", r.Tc, r.Probes)
+		if len(r.CriticalLoop) > 0 {
+			fmt.Printf("critical loop: %v (ratio %.6g)\n", r.CriticalLoop, r.CriticalRatio)
+			fmt.Print(r.Explain())
+		}
+		fmt.Println(r.Schedule)
+		sched, d = r.Schedule, r.D
+	case engine == "lp":
+		r, err := mintc.MinTc(c, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		if dump {
+			fmt.Println("\ngenerated linear program:")
+			fmt.Print(r.LP.String())
+		}
+		sched, d = r.Schedule, r.D
+	default:
+		return fmt.Errorf("unknown engine %q (want lp or mcr)", engine)
+	}
+
+	if d == nil {
+		// Baselines don't carry departures; derive them by analysis.
+		an, err := mintc.CheckTc(c, sched, opts)
+		if err != nil {
+			return err
+		}
+		d = an.D
+	}
+	if diagram {
+		fmt.Println()
+		fmt.Print(mintc.RenderDiagram(c, sched, d, mintc.RenderOptions{Cycles: cycles}))
+	}
+	if svgOut != "" {
+		if err := os.WriteFile(svgOut, []byte(mintc.RenderSVG(c, sched, d, mintc.RenderOptions{Cycles: cycles})), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", svgOut)
+	}
+	if cfg.toploops > 0 {
+		loops, err := mintc.TopLoops(c, opts, cfg.toploops, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ntop %d critical loops (cycle-ratio bounds on Tc):\n", len(loops))
+		for _, lp := range loops {
+			fmt.Printf("  ratio %8.4g  delay %8.4g / %d crossing(s)  %v\n",
+				lp.Ratio, lp.Delay, lp.Crossings, lp.Names)
+		}
+	}
+	if cfg.dotOut != "" {
+		f, err := os.Create(cfg.dotOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := mintc.WriteDOT(f, c, d); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.dotOut)
+	}
+	if cfg.mcTrials > 0 {
+		rng := rand.New(rand.NewSource(1))
+		mc, err := mintc.SimulateMonteCarlo(c, sched, mintc.MCConfig{Trials: cfg.mcTrials}, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("monte carlo: %d trials, %d failing, worst observed slack %.6g\n",
+			mc.Trials, mc.FailingTrials, mc.WorstSlack)
+	}
+	if simulate {
+		return runSim(c, sched)
+	}
+	return nil
+}
+
+// loadCircuit reads the circuit from an .smo file or, with -gnl, from
+// a gate-level netlist followed by timing-model extraction.
+func loadCircuit(file string, cfg config) (*mintc.Circuit, error) {
+	var r *os.File
+	if file == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if !cfg.gnl {
+		return mintc.ParseCircuit(r)
+	}
+	nl, err := mintc.ParseNetlist(r)
+	if err != nil {
+		return nil, err
+	}
+	var m mintc.DelayModel
+	switch cfg.model {
+	case "unit":
+		m = mintc.UnitDelay
+	case "linear", "":
+		m = mintc.LinearDelay
+	case "elmore":
+		m = mintc.ElmoreDelay
+	default:
+		return nil, fmt.Errorf("unknown delay model %q (want unit, linear or elmore)", cfg.model)
+	}
+	c, info, err := nl.Extract(m, mintc.IOPolicy{})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("extracted %d synchronizers, %d stages (max gate depth %d) using the %s model\n",
+		c.L(), info.Stages, info.MaxDepth, m.Name())
+	return c, nil
+}
+
+func runParametric(c *mintc.Circuit, cfg config) error {
+	if cfg.parametric >= len(c.Paths()) {
+		return fmt.Errorf("path index %d out of range (circuit has %d paths)", cfg.parametric, len(c.Paths()))
+	}
+	p := c.Paths()[cfg.parametric]
+	fmt.Printf("parametric sweep of path %d (%s -> %s) over [0, %g]:\n",
+		cfg.parametric, c.SyncName(p.From), c.SyncName(p.To), cfg.paramTo)
+	segs, err := mintc.ParametricDelay(c, cfg.opts, cfg.parametric, 0, cfg.paramTo)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		fmt.Printf("  delay in [%8.4g, %8.4g]: Tc* = %.6g + %.4g*(delay - %.6g)\n",
+			s.From, s.To, s.TcAtFrom, s.Slope, s.From)
+	}
+	if bps := mintc.Breakpoints(segs); len(bps) > 0 {
+		fmt.Printf("breakpoints: %v\n", bps)
+	}
+	return nil
+}
+
+func runCheck(c *mintc.Circuit, schedFile string, opts mintc.Options, simulate bool) error {
+	f, err := os.Open(schedFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sched, err := mintc.ParseSchedule(f, c.K())
+	if err != nil {
+		return err
+	}
+	an, err := mintc.CheckTc(c, sched, opts)
+	if err != nil {
+		return err
+	}
+	if an.Feasible {
+		fmt.Printf("PASS: schedule %v satisfies all timing constraints\n", sched)
+	} else {
+		fmt.Printf("FAIL: schedule %v violates timing constraints:\n", sched)
+		for _, v := range an.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	if an.D != nil {
+		fmt.Println("setup slacks:")
+		for i, s := range an.SetupSlack {
+			fmt.Printf("  %-12s %9.6g\n", c.SyncName(i), s)
+		}
+	}
+	if simulate {
+		if err := runSim(c, sched); err != nil {
+			return err
+		}
+	}
+	if !an.Feasible {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func runSim(c *mintc.Circuit, sched *mintc.Schedule) error {
+	tr, err := mintc.Simulate(c, sched, mintc.SimConfig{})
+	if err != nil {
+		return err
+	}
+	switch {
+	case len(tr.Violations) > 0:
+		fmt.Printf("simulation: %d violations (first: %s)\n", len(tr.Violations), tr.Violations[0])
+	case tr.ConvergedAt < 0:
+		fmt.Printf("simulation: no periodic steady state (drift %.6g per cycle)\n", tr.Drift())
+	default:
+		fmt.Printf("simulation: clean; steady state from cycle %d, departures %v\n", tr.ConvergedAt, tr.SteadyD)
+	}
+	return nil
+}

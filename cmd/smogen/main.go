@@ -1,0 +1,78 @@
+// Command smogen generates circuit workloads in the .smo (timing
+// model) or .gnl (gate level) formats, for feeding smoclk and for
+// building custom benchmarks:
+//
+//	smogen -kind ring -n 8 -phases 2 -delay 30           # latch ring
+//	smogen -kind pipeline -n 12 -phases 3 -delay 20      # pipeline
+//	smogen -kind random -seed 7 -n 20                    # random circuit
+//	smogen -kind example1 -d41 80                        # the paper's Fig. 5
+//	smogen -kind gaas                                    # the GaAs model
+//	smogen -kind glring -n 8 -depth 4                    # gate-level ring (.gnl)
+//
+// Output goes to stdout (redirect into a file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mintc"
+	"mintc/internal/circuits"
+	"mintc/internal/gen"
+	"mintc/internal/netex"
+	"mintc/internal/parse"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "random", "ring, pipeline, random, example1, example2, fig1, gaas, or glring")
+		n      = flag.Int("n", 8, "element count (ring/pipeline/random/glring)")
+		phases = flag.Int("phases", 2, "clock phases (ring/pipeline)")
+		d      = flag.Float64("delay", 30, "stage delay (ring/pipeline)")
+		setup  = flag.Float64("setup", 1, "latch setup time")
+		dq     = flag.Float64("dq", 2, "latch DQ delay")
+		seed   = flag.Int64("seed", 1, "random seed (random)")
+		d41    = flag.Float64("d41", 80, "Ld delay (example1)")
+		depth  = flag.Int("depth", 4, "gate depth per stage (glring)")
+	)
+	flag.Parse()
+	if err := generate(os.Stdout, *kind, *n, *phases, *d, *setup, *dq, *seed, *d41, *depth); err != nil {
+		fmt.Fprintf(os.Stderr, "smogen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func generate(w *os.File, kind string, n, phases int, d, setup, dq float64, seed int64, d41 float64, depth int) error {
+	var c *mintc.Circuit
+	switch kind {
+	case "ring":
+		r, err := gen.Ring(phases, n, setup, dq, func(int) float64 { return d })
+		if err != nil {
+			return err
+		}
+		c = r
+	case "pipeline":
+		c = gen.Pipeline(phases, n, setup, dq, func(int) float64 { return d })
+	case "random":
+		c = gen.Random(rand.New(rand.NewSource(seed)), gen.RandomConfig{MaxSyncs: n})
+	case "example1":
+		c = circuits.Example1(d41)
+	case "example2":
+		c = circuits.Example2()
+	case "fig1":
+		c = circuits.Fig1(circuits.DefaultFig1Delays(), 2, 3)
+	case "gaas":
+		c = circuits.GaAsMIPS()
+	case "glring":
+		nl, err := gen.GateLevelRing(n, depth, setup, dq, 0.3, 0.1, 0.02)
+		if err != nil {
+			return err
+		}
+		return netex.WriteNetlist(w, nl)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	return parse.WriteCircuit(w, c)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mintc"
+)
+
+func build(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "smogen")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestGenerateKinds(t *testing.T) {
+	bin := build(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-kind", "ring", "-n", "4"}, "latch R0"},
+		{[]string{"-kind", "pipeline", "-n", "3", "-phases", "3"}, "clock 3"},
+		{[]string{"-kind", "random", "-seed", "7"}, "clock"},
+		{[]string{"-kind", "example1", "-d41", "80"}, "label Ld"},
+		{[]string{"-kind", "example2"}, "clock 4"},
+		{[]string{"-kind", "fig1"}, "clock 4"},
+		{[]string{"-kind", "gaas"}, "RFprech"},
+		{[]string{"-kind", "glring", "-n", "4", "-depth", "2"}, "netlist glring-4x2"},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(bin, tc.args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", tc.args, err, out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%v: missing %q in:\n%s", tc.args, tc.want, out)
+		}
+	}
+}
+
+func TestGeneratedCircuitsReparse(t *testing.T) {
+	// smogen output must feed straight back into smoclk's parsers:
+	// build each .smo kind and reparse it here via the library.
+	bin := build(t)
+	for _, kind := range []string{"ring", "pipeline", "random", "example1", "gaas"} {
+		out, err := exec.Command(bin, "-kind", kind).Output()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		f := filepath.Join(t.TempDir(), kind+".smo")
+		if err := os.WriteFile(f, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Reparse through the generate->parse round trip inside the
+		// same process to keep the test hermetic.
+		if err := reparse(string(out)); err != nil {
+			t.Errorf("%s: reparse failed: %v", kind, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bin := build(t)
+	for _, args := range [][]string{
+		{"-kind", "bogus"},
+		{"-kind", "ring", "-n", "5", "-phases", "2"}, // not a multiple
+		{"-kind", "glring", "-n", "3"},
+	} {
+		if err := exec.Command(bin, args...).Run(); err == nil {
+			t.Errorf("args %v: expected failure", args)
+		}
+	}
+}
+
+// reparse round-trips generated text through the public parser and the
+// solver.
+func reparse(src string) error {
+	c, err := mintc.ParseCircuitString(src)
+	if err != nil {
+		return err
+	}
+	_, err = mintc.MinTc(c, mintc.Options{})
+	return err
+}

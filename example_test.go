@@ -1,0 +1,159 @@
+package mintc_test
+
+import (
+	"fmt"
+
+	"mintc"
+)
+
+// ExampleMinTc reproduces the headline computation of the paper's
+// Example 1 at Δ41 = 80 ns: the optimal cycle time of the two-phase
+// four-latch loop is 110 ns.
+func ExampleMinTc() {
+	c := mintc.NewCircuit(2)
+	l1 := c.AddLatch("L1", 0, 10, 10)
+	l2 := c.AddLatch("L2", 1, 10, 10)
+	l3 := c.AddLatch("L3", 0, 10, 10)
+	l4 := c.AddLatch("L4", 1, 10, 10)
+	c.AddPath(l1, l2, 20)
+	c.AddPath(l2, l3, 20)
+	c.AddPath(l3, l4, 60)
+	c.AddPath(l4, l1, 80)
+
+	res, err := mintc.MinTc(c, mintc.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Tc* = %g ns\n", res.Schedule.Tc)
+	// Output:
+	// Tc* = 110 ns
+}
+
+// ExampleCheckTc verifies a hand-written schedule against the same
+// circuit: the analysis problem.
+func ExampleCheckTc() {
+	c := mintc.PaperExample1(80)
+	sched := mintc.NewSchedule(2)
+	sched.Tc = 110
+	sched.S = []float64{0, 80}
+	sched.T = []float64{80, 30}
+
+	an, err := mintc.CheckTc(c, sched, mintc.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("feasible: %v\n", an.Feasible)
+	// Output:
+	// feasible: true
+}
+
+// ExampleParametricDelay recovers the paper's Fig. 7 curve — the
+// piecewise-linear dependence of the optimal cycle time on the L_d
+// block delay — analytically, in three LP solves.
+func ExampleParametricDelay() {
+	c := mintc.PaperExample1(0)
+	segs, err := mintc.ParametricDelay(c, mintc.Options{}, 3, 0, 150)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range segs {
+		fmt.Printf("delay in [%g, %g]: slope %g\n", s.From, s.To, s.Slope)
+	}
+	// Output:
+	// delay in [0, 20]: slope 0
+	// delay in [20, 100]: slope 0.5
+	// delay in [100, 150]: slope 1
+}
+
+// ExampleParseCircuitString shows the .smo circuit description
+// language.
+func ExampleParseCircuitString() {
+	c, err := mintc.ParseCircuitString(`
+clock 2
+latch A phase 1 setup 10 dq 10
+latch B phase 2 setup 10 dq 10
+path A -> B delay 35
+path B -> A delay 85
+`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := mintc.MinTc(c, mintc.Options{})
+	if err != nil {
+		panic(err)
+	}
+	// The loop crosses one cycle boundary (B->A), so Tc* equals the
+	// full loop delay: 10+35+10+85 = 140.
+	fmt.Printf("Tc* = %g\n", res.Schedule.Tc)
+	// Output:
+	// Tc* = 140
+}
+
+// ExampleMinTcMCR cross-checks the LP result with the independent
+// min-cycle-ratio engine (Theorem 1 in action).
+func ExampleMinTcMCR() {
+	c := mintc.PaperExample1(120)
+	lp, _ := mintc.MinTc(c, mintc.Options{})
+	ratio, _ := mintc.MinTcMCR(c, mintc.Options{})
+	fmt.Printf("LP: %g, MCR: %g\n", lp.Schedule.Tc, ratio.Tc)
+	// Output:
+	// LP: 140, MCR: 140
+}
+
+// ExampleMinTcLex breaks the tie among optimal schedules with the
+// paper's duty-cycle style selection.
+func ExampleMinTcLex() {
+	c := mintc.PaperExample1(80)
+	r, err := mintc.MinTcLex(c, mintc.Options{}, mintc.MaxMinPhaseWidth)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Tc* = %g (still optimal)\n", r.Schedule.Tc)
+	// Output:
+	// Tc* = 110 (still optimal)
+}
+
+// ExampleMaxMarginSchedule banks the slack of a relaxed clock where it
+// helps most: the worst setup margin is maximized at a fixed cycle
+// time above the optimum.
+func ExampleMaxMarginSchedule() {
+	c := mintc.PaperExample1(80) // Tc* = 110
+	r, err := mintc.MaxMarginSchedule(c, mintc.Options{}, 130)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("worst setup margin at Tc=130: %g ns\n", r.Margin)
+	// Output:
+	// worst setup margin at Tc=130: 30 ns
+}
+
+// ExampleTopLoops ranks the circuit's loops by their cycle-ratio bound
+// — the generalization of the critical path to latch-controlled
+// circuits.
+func ExampleTopLoops() {
+	c := mintc.PaperExample1(120)
+	loops, err := mintc.TopLoops(c, mintc.Options{}, 3, 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, lp := range loops {
+		fmt.Printf("loop %v: %g ns over %d crossings -> Tc >= %g\n",
+			lp.Names, lp.Delay, lp.Crossings, lp.Ratio)
+	}
+	// Output:
+	// loop [L1 L2 L3 L4]: 260 ns over 2 crossings -> Tc >= 130
+}
+
+// ExampleSimulate validates a schedule dynamically: the wavefront
+// settles into a periodic steady state matching the static analysis.
+func ExampleSimulate() {
+	c := mintc.PaperExample1(80)
+	res, _ := mintc.MinTc(c, mintc.Options{})
+	tr, err := mintc.Simulate(c, res.Schedule, mintc.SimConfig{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("violations: %d, steady from cycle %d\n", len(tr.Violations), tr.ConvergedAt)
+	// Output:
+	// violations: 0, steady from cycle 2
+}

@@ -1,0 +1,32 @@
+package mintc
+
+import "mintc/internal/circuits"
+
+// PaperExample1 builds the paper's first example (Fig. 5): a four-latch
+// two-phase loop whose L_d block delay Δ41 is the swept parameter of
+// Figs. 6 and 7.
+func PaperExample1(delta41 float64) *Circuit { return circuits.Example1(delta41) }
+
+// PaperExample1OptimalTc is the analytic optimal cycle time of Example
+// 1 as a function of Δ41: max(80, (140+Δ41)/2, 20+Δ41).
+func PaperExample1OptimalTc(delta41 float64) float64 { return circuits.Example1OptimalTc(delta41) }
+
+// PaperFig1 builds the 11-latch four-phase circuit of the paper's
+// Fig. 1 and appendix with representative delays.
+func PaperFig1() *Circuit {
+	return circuits.Fig1(circuits.DefaultFig1Delays(), 2, 3)
+}
+
+// PaperExample2 builds the reconstruction of the paper's second
+// example (Fig. 8): the four-phase circuit on which the NRIP heuristic
+// is about 35% above the optimum.
+func PaperExample2() *Circuit { return circuits.Example2() }
+
+// PaperGaAsMIPS builds the timing model of the paper's third example
+// (Fig. 10): the 250 MHz GaAs MIPS datapath with a three-phase clock,
+// 15 latches and 3 flip-flops, whose optimal cycle time is 4.4 ns.
+func PaperGaAsMIPS() *Circuit { return circuits.GaAsMIPS() }
+
+// PaperGaAsTargetTc is the GaAs design's target cycle time (4 ns,
+// 250 MHz).
+const PaperGaAsTargetTc = circuits.GaAsTargetTc

@@ -1,0 +1,80 @@
+// GaAs MIPS: reproduce the paper's third example end to end — the
+// 250 MHz GaAs MIPS datapath timing model (Fig. 10), its optimal
+// three-phase clock schedule (Fig. 11), the φ3-overlap observation and
+// Table I, then write the schedule as an SVG.
+//
+// Run with: go run ./examples/gaas_mips
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"mintc"
+)
+
+func main() {
+	c := mintc.PaperGaAsMIPS()
+
+	res, err := mintc.MinTc(c, mintc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GaAs MIPS datapath: %d synchronizers, %d paths, %d constraints\n",
+		c.L(), len(c.Paths()), res.NumConstraints)
+	fmt.Printf("optimal Tc = %.4g ns; design target %.4g ns (%.0f%% over)\n\n",
+		res.Schedule.Tc, mintc.PaperGaAsTargetTc,
+		(res.Schedule.Tc/mintc.PaperGaAsTargetTc-1)*100)
+
+	names := make([]string, c.K())
+	for p := range names {
+		names[p] = c.PhaseName(p)
+	}
+	fmt.Print(mintc.RenderClock(res.Schedule, names, mintc.RenderOptions{}))
+
+	// The paper's observation: phi3 (register-file precharge) is
+	// completely overlapped by phi1 — legal because no combinational
+	// path connects phi1 and phi3 latches.
+	sc := res.Schedule
+	s3 := math.Mod(sc.S[2], sc.Tc)
+	s1 := math.Mod(sc.S[0], sc.Tc)
+	fmt.Printf("\nphi3 [%.3g, %.3g) inside phi1 [%.3g, %.3g) (mod Tc): %v\n",
+		s3, s3+sc.T[2], s1, s1+sc.T[0],
+		s3 >= s1 && s3+sc.T[2] <= s1+sc.T[0])
+
+	// Critical segments: which block delays set the cycle time, and
+	// at what rate (the duals of the binding LP rows).
+	fmt.Println("\ncritical segments (dTc*/dDelay):")
+	for _, seg := range res.CriticalSegments(false) {
+		fmt.Printf("  %-28s %6.3f\n", seg.Row.Name, seg.Dual)
+	}
+
+	// Table I.
+	fmt.Println("\nTable I — transistor counts:")
+	for _, k := range []string{"Register File (RF)", "Arithmetic/Logic Unit (ALU)",
+		"Shifter", "Integer Multiply/Divide (IMD)", "Load Aligner", "Total"} {
+		fmt.Printf("  %-32s %s\n", k, c.Meta[k])
+	}
+
+	// Cross-check with the min-cycle-ratio engine and the simulator.
+	ratio, err := mintc.MinTcMCR(c, mintc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmin-cycle-ratio engine agrees: Tc = %.4g (critical loop %v)\n",
+		ratio.Tc, ratio.CriticalLoop)
+	tr, err := mintc.Simulate(c, res.Schedule, mintc.SimConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation: %d violations, steady state from cycle %d\n",
+		len(tr.Violations), tr.ConvergedAt)
+
+	const out = "gaas_schedule.svg"
+	if err := os.WriteFile(out, []byte(mintc.RenderSVG(c, res.Schedule, res.D, mintc.RenderOptions{})), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

@@ -1,0 +1,76 @@
+// Pipeline borrowing: the workload the paper's introduction motivates.
+//
+// A pipeline with unbalanced stages wastes time under edge-triggered
+// clocking: every stage gets the same period, so the slowest stage
+// sets the clock. Level-sensitive latches let a slow stage "borrow"
+// time from its faster neighbours (paper §II, Jouppi's term). This
+// example sweeps the imbalance of a two-phase pipeline loop and prints
+// the optimal (MLP), NRIP and edge-triggered cycle times — a Fig. 7
+// style comparison on a fresh circuit.
+//
+// Run with: go run ./examples/pipeline_borrowing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mintc"
+)
+
+// build returns a 4-latch two-phase loop carrying `total` ns of
+// combinational work split across its two cycles with the given
+// imbalance in [0,1): 0 = perfectly balanced stages.
+func build(total, imbalance float64) *mintc.Circuit {
+	c := mintc.NewCircuit(2)
+	l1 := c.AddLatch("L1", 0, 2, 2)
+	l2 := c.AddLatch("L2", 1, 2, 2)
+	l3 := c.AddLatch("L3", 0, 2, 2)
+	l4 := c.AddLatch("L4", 1, 2, 2)
+	half := total / 2
+	heavy := half * (1 + imbalance)
+	light := half * (1 - imbalance)
+	c.AddPath(l1, l2, heavy/2)
+	c.AddPath(l2, l3, heavy/2)
+	c.AddPath(l3, l4, light/2)
+	c.AddPath(l4, l1, light/2)
+	return c
+}
+
+func main() {
+	const total = 200.0
+	fmt.Println("two-phase pipeline loop, 200 ns total combinational work")
+	fmt.Println("imbalance   MLP(optimal)   NRIP     edge-trig   borrowing saves")
+	for _, imb := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+		c := build(total, imb)
+		opt, err := mintc.MinTc(c, mintc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nr, err := mintc.MinTcNRIP(c, mintc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		et, err := mintc.MinTcEdgeTriggered(c, mintc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %4.1f     %8.2f    %8.2f   %8.2f       %5.1f%%\n",
+			imb, opt.Schedule.Tc, nr.Schedule.Tc, et.Schedule.Tc,
+			(1-opt.Schedule.Tc/et.Schedule.Tc)*100)
+	}
+
+	fmt.Println("\nThe optimal cycle time stays near the loop average while the")
+	fmt.Println("edge-triggered clock degrades with imbalance: transparency lets the")
+	fmt.Println("heavy stages borrow from the light ones, exactly the effect the")
+	fmt.Println("paper's formulation captures and prior heuristics approximated.")
+
+	// Show one borrowed schedule in detail.
+	c := build(total, 0.6)
+	opt, err := mintc.MinTc(c, mintc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndetailed schedule at imbalance 0.6 (Tc = %.2f):\n", opt.Schedule.Tc)
+	fmt.Print(mintc.RenderDiagram(c, opt.Schedule, opt.D, mintc.RenderOptions{}))
+}

@@ -1,0 +1,3 @@
+module mintc
+
+go 1.22

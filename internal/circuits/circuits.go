@@ -1,0 +1,128 @@
+// Package circuits provides the example circuits used in the paper's
+// evaluation (§V and the appendix), as reusable constructors:
+//
+//   - Example1: the two-phase, four-latch loop of Fig. 5 (adapted by
+//     the paper from Dagenais & Rumin), with the L_d block delay Δ41 as
+//     a parameter;
+//   - Fig1: the 11-latch, four-phase circuit of Fig. 1 whose complete
+//     constraint set is written out in the paper's appendix;
+//   - Example2: the "more complicated example" of Fig. 8 (reconstructed;
+//     see DESIGN.md §2 on substitutions);
+//   - GaAsMIPS: a timing model of the 250 MHz GaAs MIPS datapath of
+//     Fig. 10 with the Table I block inventory.
+package circuits
+
+import (
+	"fmt"
+
+	"mintc/internal/core"
+)
+
+// Example1 builds the paper's first example (Fig. 5): a two-stage
+// system connected in a loop and controlled by a two-phase clock.
+// Latches L1, L3 are on φ1 and L2, L4 on φ2; all four latches have
+// setup and propagation delays of 10 ns. The combinational blocks are
+// La (L1→L2, 20 ns), Lb (L2→L3, 20 ns), Lc (L3→L4, 60 ns) and Ld
+// (L4→L1, delta41 ns, the swept parameter of Figs. 6 and 7).
+func Example1(delta41 float64) *core.Circuit {
+	c := core.NewCircuit(2)
+	l1 := c.AddLatch("L1", 0, 10, 10)
+	l2 := c.AddLatch("L2", 1, 10, 10)
+	l3 := c.AddLatch("L3", 0, 10, 10)
+	l4 := c.AddLatch("L4", 1, 10, 10)
+	c.AddPathFull(core.Path{From: l1, To: l2, Delay: 20, MinDelay: -1, Label: "La"})
+	c.AddPathFull(core.Path{From: l2, To: l3, Delay: 20, MinDelay: -1, Label: "Lb"})
+	c.AddPathFull(core.Path{From: l3, To: l4, Delay: 60, MinDelay: -1, Label: "Lc"})
+	c.AddPathFull(core.Path{From: l4, To: l1, Delay: delta41, MinDelay: -1, Label: "Ld"})
+	return c
+}
+
+// Example1OptimalTc returns the analytic optimal cycle time of Example
+// 1 as a function of Δ41 (the oracle behind the paper's Fig. 7):
+//
+//	Tc*(Δ41) = max(80, (140+Δ41)/2, 20+Δ41)
+//
+// The three segments are the single-stage bound of block Lc
+// (10+60+10 = 80 ns), the loop-average bound (total loop delay
+// 140+Δ41 shared between the loop's two clock cycles — the paper's
+// "borrowing" region with slope 1/2), and the single-arc bound of
+// block Ld (10+Δ41+10 matches slope 1). The paper's closing remark for
+// this example — "the optimal cycle time is the maximum of the average
+// delay around the loop and the difference between the delays for each
+// of the cycles making up the loop" — gives the same two nontrivial
+// segments.
+func Example1OptimalTc(delta41 float64) float64 {
+	tc := 80.0
+	if v := (140 + delta41) / 2; v > tc {
+		tc = v
+	}
+	if v := 20 + delta41; v > tc {
+		tc = v
+	}
+	return tc
+}
+
+// Fig1Delays parameterizes the combinational delays of the Fig. 1
+// circuit; the paper's appendix leaves them symbolic. Keys are the
+// paper's Δ subscripts, e.g. "14" for Δ14 (latch 1 → latch 4).
+type Fig1Delays map[string]float64
+
+// DefaultFig1Delays returns a representative delay assignment for the
+// Fig. 1 circuit (the paper gives the constraint structure only; these
+// values are used by tests and the Fig. 1 demo).
+func DefaultFig1Delays() Fig1Delays {
+	return Fig1Delays{
+		"14": 18, "34": 12, "42": 25, "52": 17, "83": 30,
+		"65": 22, "75": 16, "46": 28, "56": 14, "97": 26,
+		"10,7": 19, "68": 24, "78": 11, "69": 21, "79": 15,
+		"11,10": 27, "9,11": 13, "10,11": 23,
+	}
+}
+
+// Fig1 builds the 11-latch, four-phase circuit of the paper's Fig. 1
+// and appendix. Latches are numbered 1..11 as in the paper (indices
+// 0..10 here); their controlling phases are
+//
+//	φ1: latches 1, 2, 8    φ2: latches 6, 7, 11
+//	φ3: latches 4, 5, 10   φ4: latches 3, 9
+//
+// and the 18 combinational paths reproduce the appendix's propagation
+// constraints (with the appendix's garbled "S_44" term read as the
+// Δ34/S_43 path from latch 3, which is required for K_43 = 1 and the
+// listed phase-shift operator S_43). Every latch gets the given setup
+// and DQ delays.
+func Fig1(d Fig1Delays, setup, dq float64) *core.Circuit {
+	c := core.NewCircuit(4)
+	// 0-based phase of each 1-based latch number.
+	phase := []int{0 /*unused*/, 0, 0, 3, 2, 2, 1, 1, 0, 3, 2, 1}
+	idx := make([]int, 12)
+	for n := 1; n <= 11; n++ {
+		idx[n] = c.AddLatch(latchName(n), phase[n], setup, dq)
+	}
+	add := func(from, to int, key string) {
+		c.AddPathFull(core.Path{From: idx[from], To: idx[to], Delay: d[key], MinDelay: -1, Label: "D" + key})
+	}
+	add(1, 4, "14")
+	add(3, 4, "34")
+	add(4, 2, "42")
+	add(5, 2, "52")
+	add(8, 3, "83")
+	add(6, 5, "65")
+	add(7, 5, "75")
+	add(4, 6, "46")
+	add(5, 6, "56")
+	add(9, 7, "97")
+	add(10, 7, "10,7")
+	add(6, 8, "68")
+	add(7, 8, "78")
+	add(6, 9, "69")
+	add(7, 9, "79")
+	add(11, 10, "11,10")
+	add(9, 11, "9,11")
+	add(10, 11, "10,11")
+	return c
+}
+
+func latchName(n int) string {
+	return fmt.Sprintf("L%d", n)
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mintc/internal/graph"
+)
+
+// Violation describes one failed timing requirement found by CheckTc.
+type Violation struct {
+	Kind   string // "clock", "setup", "ff-setup", "hold", "unstable"
+	Sync   int    // synchronizer index, or -1
+	Detail string
+	Amount float64 // positive magnitude of the violation
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (by %.6g)", v.Kind, v.Detail, v.Amount)
+}
+
+// Analysis is the outcome of verifying a circuit against a fixed clock
+// schedule (the paper's "analysis problem").
+type Analysis struct {
+	// Feasible is true when every clock and latch constraint holds.
+	Feasible bool
+	// D, A, Q are the steady-state departure/arrival/output times (the
+	// least fixpoint of the propagation operator), valid when the
+	// schedule admits a periodic steady state.
+	D, A, Q []float64
+	// SetupSlack[i] is the margin of synchronizer i's setup check
+	// (negative = violated): T_{p_i} − ΔDC_i − D_i for latches,
+	// −ΔDC_i − A_i for flip-flops.
+	SetupSlack []float64
+	// HoldSlack[i] is the hold-check margin for synchronizers with a
+	// nonzero Hold (an extension beyond the paper); NaN when unchecked.
+	HoldSlack []float64
+	// Violations lists every failed requirement.
+	Violations []Violation
+	// PositiveLoop, when non-nil, names the synchronizers of a loop
+	// whose delays exceed its clock allocation, making a periodic
+	// steady state impossible at this schedule.
+	PositiveLoop []int
+}
+
+// CheckTc verifies a circuit against a concrete clock schedule: the
+// analysis problem of the paper's introduction ("determine if these
+// constraints are indeed satisfied for a given circuit and a given
+// clocking scheme"). The departure times are obtained as the least
+// fixpoint of the propagation constraints L2, computed exactly as a
+// longest-path problem on a constraint graph; cyclic dependencies are
+// handled natively (no unrolling).
+func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validatePhaseSkew(c); err != nil {
+		return nil, err
+	}
+	an := &Analysis{Feasible: true}
+
+	// Clock constraints C1–C4.
+	for _, cv := range sched.ValidateClock(c) {
+		an.Violations = append(an.Violations, Violation{Kind: "clock", Sync: -1, Detail: cv.Constraint, Amount: cv.Amount})
+		an.Feasible = false
+	}
+
+	// Least fixpoint of D_i = max(0, max_j (D_j + ΔDQ_j + Δ_ji + S)):
+	// longest paths from a super-source z (the 0 floor) in a graph
+	// whose nodes are synchronizers. Flip-flops are pinned to 0 by
+	// giving them no incoming edges.
+	l := c.L()
+	g := graph.New(l + 1)
+	z := l
+	for i := 0; i < l; i++ {
+		g.AddEdge(z, i, 0) // D_i >= 0 floor
+	}
+	// Edge weights carry the same skew margins as the LP's L2R rows so
+	// analysis and design agree exactly under Options.Skew/PhaseSkew.
+	margin := func(pj, pi int) float64 {
+		return opts.Skew + opts.sigma(pj) + opts.sigma(pi)
+	}
+	for _, p := range c.Paths() {
+		if c.Sync(p.To).Kind == FlipFlop {
+			continue // FF departure is independent of arrivals
+		}
+		pj, pi := c.Sync(p.From).Phase, c.Sync(p.To).Phase
+		w := c.Sync(p.From).DQ + p.Delay + margin(pj, pi) + sched.PhaseShift(pj, pi)
+		g.AddEdge(p.From, p.To, w)
+	}
+	res := g.LongestPathsFrom(z)
+	if res.PositiveCycle != nil {
+		an.Feasible = false
+		for _, v := range res.PositiveCycle {
+			if v != z {
+				an.PositiveLoop = append(an.PositiveLoop, v)
+			}
+		}
+		an.Violations = append(an.Violations, Violation{
+			Kind: "unstable", Sync: -1,
+			Detail: fmt.Sprintf("loop %v gains delay every cycle at this schedule (no periodic steady state)", loopNames(c, an.PositiveLoop)),
+			Amount: math.Inf(1),
+		})
+		return an, nil
+	}
+
+	d := make([]float64, l)
+	for i := 0; i < l; i++ {
+		d[i] = res.Dist[i]
+	}
+	an.D = d
+	an.A = Arrivals(c, sched, d, opts) // margin-adjusted, like the fixpoint
+	an.Q = Outputs(c, d)
+
+	// Setup checks (margins on the propagation side are already in the
+	// arrival values; L1 additionally tightens by the capture-side
+	// margins, mirroring BuildLP exactly).
+	an.SetupSlack = make([]float64, l)
+	for i, s := range c.Syncs() {
+		var slack float64
+		switch s.Kind {
+		case Latch:
+			slack = sched.T[s.Phase] - s.Setup - opts.Skew - opts.sigma(s.Phase) - d[i]
+		case FlipFlop:
+			if math.IsInf(an.A[i], -1) {
+				slack = math.Inf(1) // no fanin: nothing to set up
+			} else {
+				slack = -s.Setup - an.A[i]
+			}
+		}
+		an.SetupSlack[i] = slack
+		if slack < -Eps {
+			an.Feasible = false
+			kind := "setup"
+			if s.Kind == FlipFlop {
+				kind = "ff-setup"
+			}
+			an.Violations = append(an.Violations, Violation{
+				Kind: kind, Sync: i,
+				Detail: fmt.Sprintf("%s on %s", c.SyncName(i), c.PhaseName(s.Phase)),
+				Amount: -slack,
+			})
+		}
+	}
+
+	// Hold checks (extension; enabled per synchronizer by Hold > 0).
+	an.HoldSlack = holdSlacks(c, sched, opts)
+	for i, hs := range an.HoldSlack {
+		if !math.IsNaN(hs) && hs < -Eps {
+			an.Feasible = false
+			an.Violations = append(an.Violations, Violation{
+				Kind: "hold", Sync: i,
+				Detail: fmt.Sprintf("%s on %s", c.SyncName(i), c.PhaseName(c.Sync(i).Phase)),
+				Amount: -hs,
+			})
+		}
+	}
+	return an, nil
+}
+
+func loopNames(c *Circuit, loop []int) []string {
+	names := make([]string, len(loop))
+	for i, v := range loop {
+		names[i] = c.SyncName(v)
+	}
+	return names
+}
+
+// holdSlacks computes the hold-check margins using best-case (MinDelay)
+// propagation: the earliest next-cycle arrival a_i + Tc must come after
+// the closing edge plus the hold requirement. For a latch the closing
+// edge is T_{p_i}; for a flip-flop the capture happens at the phase
+// start (0 in local time). Entries are NaN for synchronizers with
+// Hold == 0 (check disabled) or no fanin.
+func holdSlacks(c *Circuit, sched *Schedule, opts Options) []float64 {
+	l := c.L()
+	out := make([]float64, l)
+	any := false
+	for i := range out {
+		out[i] = math.NaN()
+		if c.Sync(i).Hold > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return out
+	}
+	de := earliestDepartures(c, sched)
+	for i, s := range c.Syncs() {
+		if s.Hold == 0 || len(c.Fanin(i)) == 0 {
+			continue
+		}
+		ae := earliestArrivalOf(c, sched, de, i)
+		closing := 0.0
+		if s.Kind == Latch {
+			closing = sched.T[s.Phase]
+		}
+		out[i] = (ae + sched.Tc) - (closing + s.Hold + opts.Skew)
+	}
+	return out
+}
+
+// earliestDepartures computes the least fixpoint of the best-case
+// departure recursion d_i = max(0, min_j (d_j + ΔDQ_j + Δmin_ji + S)),
+// with flip-flops pinned at 0, by monotone iteration from below.
+func earliestDepartures(c *Circuit, sched *Schedule) []float64 {
+	l := c.L()
+	d := make([]float64, l)
+	limit := 2*l + 8
+	for it := 0; it < limit; it++ {
+		changed := false
+		for i := range d {
+			var nv float64
+			if c.Sync(i).Kind == FlipFlop || len(c.Fanin(i)) == 0 {
+				nv = 0
+			} else {
+				nv = earliestArrivalOf(c, sched, d, i)
+				if nv < 0 {
+					nv = 0
+				}
+			}
+			if math.Abs(nv-d[i]) > Eps {
+				d[i] = nv
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return d
+}
+
+// earliestArrivalOf is min over fanin of (d_j + ΔDQ_j + Δmin_ji + S).
+func earliestArrivalOf(c *Circuit, sched *Schedule, d []float64, i int) float64 {
+	a := math.Inf(1)
+	pi := c.Sync(i).Phase
+	for _, pidx := range c.Fanin(i) {
+		p := c.Paths()[pidx]
+		j := p.From
+		v := d[j] + c.Sync(j).DQ + p.MinDelay + sched.PhaseShift(c.Sync(j).Phase, pi)
+		if v < a {
+			a = v
+		}
+	}
+	return a
+}

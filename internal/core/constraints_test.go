@@ -1,0 +1,214 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mintc/internal/lp"
+)
+
+func countKind(rows []RowInfo, k RowKind) int {
+	n := 0
+	for _, r := range rows {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBuildLPRowCensusExample1Shape(t *testing.T) {
+	c := twoPhaseLoop()
+	p, vm, rows := BuildLP(c, Options{})
+	if p.NumConstraints() != len(rows) {
+		t.Fatalf("rows metadata out of sync: %d vs %d", p.NumConstraints(), len(rows))
+	}
+	// k=2, l=2, 2 paths, K has 2 pairs:
+	// C1: 2k=4, C2: k-1=1, C3: 2, L1: 2, L2R: 2 => 11 rows.
+	want := map[RowKind]int{
+		RowPeriodicity: 4,
+		RowPhaseOrder:  1,
+		RowNonOverlap:  2,
+		RowSetup:       2,
+		RowPropagation: 2,
+	}
+	for k, n := range want {
+		if got := countKind(rows, k); got != n {
+			t.Errorf("%v rows = %d, want %d", k, got, n)
+		}
+	}
+	if p.NumConstraints() != 11 {
+		t.Errorf("total rows = %d, want 11", p.NumConstraints())
+	}
+	// Variable census: Tc + 2s + 2T + 2D = 7.
+	if p.NumVars() != 7 {
+		t.Errorf("vars = %d, want 7", p.NumVars())
+	}
+	if vm.Tc != 0 || len(vm.S) != 2 || len(vm.D) != 2 {
+		t.Errorf("VarMap malformed: %+v", vm)
+	}
+}
+
+func TestBuildLPObjectiveIsTc(t *testing.T) {
+	c := twoPhaseLoop()
+	p, vm, _ := BuildLP(c, Options{})
+	s := p.String()
+	if !strings.HasPrefix(s, "minimize Tc") {
+		t.Errorf("objective not min Tc:\n%s", s)
+	}
+	if p.VarName(vm.Tc) != "Tc" {
+		t.Errorf("Tc var name = %q", p.VarName(vm.Tc))
+	}
+}
+
+func TestBuildLPFFRows(t *testing.T) {
+	c := NewCircuit(2)
+	a := c.AddLatch("A", 0, 1, 2)
+	f := c.AddFF("F", 1, 1, 2)
+	c.AddPath(a, f, 10)
+	c.AddPath(f, a, 10)
+	_, _, rows := BuildLP(c, Options{})
+	if countKind(rows, RowFFDeparture) != 1 {
+		t.Error("missing FF departure row")
+	}
+	if countKind(rows, RowFFSetup) != 1 {
+		t.Error("missing FF setup row (path into FF)")
+	}
+	if countKind(rows, RowPropagation) != 1 {
+		t.Error("path out of FF into latch must stay a propagation row")
+	}
+	if countKind(rows, RowSetup) != 1 {
+		t.Error("latch setup row missing")
+	}
+}
+
+func TestBuildLPMinWidthAndFixedTc(t *testing.T) {
+	c := twoPhaseLoop()
+	_, _, rows := BuildLP(c, Options{MinPhaseWidth: 5, FixedTc: 120})
+	if countKind(rows, RowMinWidth) != 2 {
+		t.Error("min-width rows missing")
+	}
+	if countKind(rows, RowFixedTc) != 1 {
+		t.Error("fixed-Tc row missing")
+	}
+}
+
+func TestMinSeparationIncreasesTc(t *testing.T) {
+	c := twoPhaseLoop()
+	base, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := MinTc(c, Options{MinSeparation: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.Schedule.Tc < base.Schedule.Tc {
+		t.Errorf("Tc with separation (%g) < base (%g)", sep.Schedule.Tc, base.Schedule.Tc)
+	}
+	// Gaps between phases must now be >= 7.
+	sc := sep.Schedule
+	if gap := sc.S[1] - sc.End(0); gap < 7-Eps {
+		t.Errorf("phi1->phi2 gap = %g, want >= 7", gap)
+	}
+}
+
+func TestSkewTightensTc(t *testing.T) {
+	c := twoPhaseLoop()
+	base, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := MinTc(c, Options{Skew: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew.Schedule.Tc <= base.Schedule.Tc {
+		t.Errorf("skewed Tc %g not above base %g", skew.Schedule.Tc, base.Schedule.Tc)
+	}
+}
+
+func TestMinPhaseWidthHonored(t *testing.T) {
+	c := twoPhaseLoop()
+	r, err := MinTc(c, Options{MinPhaseWidth: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range r.Schedule.T {
+		if w < 30-Eps {
+			t.Errorf("phase %d width %g < 30", i, w)
+		}
+	}
+}
+
+func TestFixedTcFeasibleAndInfeasible(t *testing.T) {
+	c := twoPhaseLoop()
+	// Optimum for this loop: Tc* from MinTc.
+	opt, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinTc(c, Options{FixedTc: opt.Schedule.Tc + 10}); err != nil {
+		t.Errorf("fixed Tc above optimum must be feasible: %v", err)
+	}
+	if _, err := MinTc(c, Options{FixedTc: opt.Schedule.Tc - 5}); err != ErrInfeasible {
+		t.Errorf("fixed Tc below optimum: err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestRowKindStrings(t *testing.T) {
+	kinds := []RowKind{RowPeriodicity, RowPhaseOrder, RowNonOverlap, RowSetup,
+		RowPropagation, RowFFDeparture, RowFFSetup, RowMinWidth, RowFixedTc}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad/duplicate string %q", int(k), s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestUpdateModeStrings(t *testing.T) {
+	if Jacobi.String() != "jacobi" || GaussSeidel.String() != "gauss-seidel" || EventDriven.String() != "event-driven" {
+		t.Error("UpdateMode strings wrong")
+	}
+}
+
+// TestBuildLPPropagationRowShape verifies the exact linear form of one
+// L2R row: D_i - D_j - s_{pj} + s_{pi} + C*Tc >= ΔDQj + Δji.
+func TestBuildLPPropagationRowShape(t *testing.T) {
+	c := NewCircuit(2)
+	a := c.AddLatch("A", 0, 1, 2) // DQ=2
+	b := c.AddLatch("B", 1, 1, 2)
+	c.AddPath(b, a, 10) // phi2 -> phi1 crosses cycle boundary (C=1)
+	p, vm, rows := BuildLP(c, Options{})
+	var row lp.Constraint
+	found := false
+	for i, ri := range rows {
+		if ri.Kind == RowPropagation {
+			row = p.Constraint(i)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no propagation row")
+	}
+	if row.Rel != lp.GE || row.RHS != 12 { // DQ(2) + delay(10)
+		t.Fatalf("row = %+v, want GE 12", row)
+	}
+	coef := map[int]float64{}
+	for _, term := range row.Terms {
+		coef[term.Var] += term.Coef
+	}
+	wantCoef := map[int]float64{
+		vm.D[a]: 1, vm.D[b]: -1,
+		vm.S[1]: -1, vm.S[0]: 1,
+		vm.Tc: 1, // C_{phi2,phi1} = 1
+	}
+	for v, w := range wantCoef {
+		if coef[v] != w {
+			t.Errorf("coef of %s = %g, want %g", p.VarName(v), coef[v], w)
+		}
+	}
+}

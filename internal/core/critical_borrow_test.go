@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBorrowingAccessors(t *testing.T) {
+	c := example1(80)
+	r, err := MinTcLex(c, Options{}, MinDepartures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := r.Borrowing()
+	if len(b) != 4 {
+		t.Fatalf("borrowing entries = %d", len(b))
+	}
+	var sum float64
+	for i, v := range b {
+		if v < 0 {
+			t.Errorf("negative borrowing at %d", i)
+		}
+		if v != r.D[i] {
+			t.Errorf("Borrowing[%d] = %g != D %g", i, v, r.D[i])
+		}
+		sum += v
+	}
+	if math.Abs(sum-r.TotalBorrowing()) > 1e-12 {
+		t.Errorf("TotalBorrowing %g != sum %g", r.TotalBorrowing(), sum)
+	}
+	// Mutating the returned slice must not affect the result.
+	b[0] += 100
+	if r.D[0] == b[0] {
+		t.Error("Borrowing aliases internal storage")
+	}
+}
+
+func TestFFNeverBorrows(t *testing.T) {
+	c := NewCircuit(1)
+	f := c.AddFF("F", 0, 1, 1)
+	l := c.AddLatch("L", 0, 1, 2)
+	c.AddPath(f, l, 5)
+	c.AddPath(l, f, 5)
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Borrowing()[f] != 0 {
+		t.Errorf("flip-flop borrowed %g", r.Borrowing()[f])
+	}
+}

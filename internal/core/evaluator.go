@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mintc/internal/graph"
+)
+
+// Evaluator pre-compiles a circuit's propagation structure for fast
+// repeated timing analysis under different clock schedules or delay
+// parameters — the capability the paper's related-work section singles
+// out in LEADOUT ("compilation of the timing constraints into a
+// fast-executing program which allows repeated analysis of a circuit
+// with different clocking or device parameters").
+//
+// The compilation step partitions the synchronizer graph into strongly
+// connected components once; each Check then propagates departures
+// through the component DAG in topological order, iterating only
+// within genuine loops, and reuses all scratch buffers. Delays may be
+// updated between checks with SetDelay without recompiling.
+type Evaluator struct {
+	c *Circuit
+	// comps lists SCCs in topological order (sources first); sccOf
+	// maps a synchronizer to its component.
+	comps [][]int
+	sccOf []int
+	// edgeConst[e] = ΔDQ_from + Delay for path e (updated by SetDelay).
+	edgeConst []float64
+	// inEdges[i] lists path indices ending at latch i (FF destinations
+	// excluded: their departures are pinned).
+	inEdges [][]int
+	// scratch
+	d     []float64
+	slack []float64
+}
+
+// QuickAnalysis is the result of Evaluator.Check: the essentials of a
+// full CheckTc at a fraction of the cost.
+type QuickAnalysis struct {
+	Feasible bool
+	// D is the least-fixpoint departure vector (aliased to evaluator
+	// scratch: copy it if it must survive the next Check).
+	D []float64
+	// WorstSlack is the minimum setup slack across synchronizers
+	// (negative when infeasible); -Inf when a loop cannot reach a
+	// periodic steady state.
+	WorstSlack float64
+	// Unstable reports a loop that gains delay every cycle.
+	Unstable bool
+}
+
+// NewEvaluator compiles the circuit. The circuit's structure (latches
+// and paths) must not change afterwards; delays may, via SetDelay.
+func NewEvaluator(c *Circuit) (*Evaluator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	l := c.L()
+	ev := &Evaluator{
+		c:         c,
+		edgeConst: make([]float64, len(c.Paths())),
+		inEdges:   make([][]int, l),
+		d:         make([]float64, l),
+		slack:     make([]float64, l),
+	}
+	g := graph.New(l)
+	for e, p := range c.Paths() {
+		ev.edgeConst[e] = c.Sync(p.From).DQ + p.Delay
+		if c.Sync(p.To).Kind == FlipFlop {
+			continue
+		}
+		ev.inEdges[p.To] = append(ev.inEdges[p.To], e)
+		g.AddEdge(p.From, p.To, 0)
+	}
+	comps, sccOf := g.SCC()
+	// Tarjan emits components in reverse topological order; flip so
+	// sources come first for forward propagation.
+	for i, j := 0, len(comps)-1; i < j; i, j = i+1, j-1 {
+		comps[i], comps[j] = comps[j], comps[i]
+	}
+	ev.comps = comps
+	ev.sccOf = sccOf
+	return ev, nil
+}
+
+// SetDelay updates the worst-case delay of path e without recompiling.
+func (ev *Evaluator) SetDelay(e int, d float64) {
+	if e < 0 || e >= len(ev.edgeConst) {
+		panic(fmt.Sprintf("core: Evaluator.SetDelay path %d out of range", e))
+	}
+	ev.edgeConst[e] = ev.c.Sync(ev.c.Paths()[e].From).DQ + d
+}
+
+// Check analyzes the compiled circuit against a schedule. It performs
+// the departure-fixpoint computation and the setup checks but skips
+// the clock-constraint validation and hold analysis of the full
+// CheckTc (call that when you need complete violation reporting).
+func (ev *Evaluator) Check(sched *Schedule) QuickAnalysis {
+	c := ev.c
+	l := c.L()
+	paths := c.Paths()
+	for i := 0; i < l; i++ {
+		ev.d[i] = 0
+	}
+
+	// Propagate through the SCC DAG.
+	for _, comp := range ev.comps {
+		if len(comp) == 1 && !hasSelfEdge(ev, comp[0]) {
+			i := comp[0]
+			ev.d[i] = ev.departure(sched, i)
+			continue
+		}
+		// Loop component: iterate to the least fixpoint; |comp|+1
+		// extra passes certify stability, any further growth means a
+		// positive loop.
+		limit := len(comp) + 2
+		converged := false
+		for it := 0; it < limit && !converged; it++ {
+			converged = true
+			for _, i := range comp {
+				nv := ev.departure(sched, i)
+				if nv > ev.d[i]+Eps {
+					ev.d[i] = nv
+					converged = false
+				}
+			}
+		}
+		if !converged {
+			// Distinguish slow convergence from genuine divergence by
+			// bounding: in a feasible system every departure is at
+			// most the widest phase (setup keeps D < T). Iterate a
+			// generous extra budget, then declare instability.
+			bound := sched.Tc * float64(l+1)
+			for it := 0; it < 4*l+16 && !converged; it++ {
+				converged = true
+				for _, i := range comp {
+					nv := ev.departure(sched, i)
+					if nv > ev.d[i]+Eps {
+						ev.d[i] = nv
+						converged = false
+						if nv > bound {
+							return QuickAnalysis{Feasible: false, D: ev.d, WorstSlack: math.Inf(-1), Unstable: true}
+						}
+					}
+				}
+			}
+			if !converged {
+				return QuickAnalysis{Feasible: false, D: ev.d, WorstSlack: math.Inf(-1), Unstable: true}
+			}
+		}
+	}
+
+	// Setup slacks.
+	worst := math.Inf(1)
+	feasible := true
+	for i, s := range c.Syncs() {
+		var slack float64
+		switch s.Kind {
+		case Latch:
+			slack = sched.T[s.Phase] - s.Setup - ev.d[i]
+		case FlipFlop:
+			slack = math.Inf(1)
+			for _, e := range c.Fanin(i) {
+				p := paths[e]
+				a := ev.d[p.From] + ev.edgeConst[e] + sched.PhaseShift(c.Sync(p.From).Phase, s.Phase)
+				if v := -s.Setup - a; v < slack {
+					slack = v
+				}
+			}
+		}
+		ev.slack[i] = slack
+		if slack < worst {
+			worst = slack
+		}
+		if slack < -Eps {
+			feasible = false
+		}
+	}
+	return QuickAnalysis{Feasible: feasible, D: ev.d, WorstSlack: worst}
+}
+
+// departure evaluates max(0, max over compiled fanin) for latch i
+// using current departures (FFs return 0).
+func (ev *Evaluator) departure(sched *Schedule, i int) float64 {
+	if ev.c.Sync(i).Kind == FlipFlop {
+		return 0
+	}
+	best := 0.0
+	pi := ev.c.Sync(i).Phase
+	paths := ev.c.Paths()
+	for _, e := range ev.inEdges[i] {
+		p := paths[e]
+		v := ev.d[p.From] + ev.edgeConst[e] + sched.PhaseShift(ev.c.Sync(p.From).Phase, pi)
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func hasSelfEdge(ev *Evaluator, i int) bool {
+	for _, e := range ev.inEdges[i] {
+		if ev.c.Paths()[e].From == i {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEvaluatorMatchesCheckTc(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	checked := 0
+	for iter := 0; iter < 80; iter++ {
+		c := randomCircuit(rng)
+		ev, err := NewEvaluator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := MinTc(c, Options{})
+		if err != nil {
+			continue
+		}
+		// Probe the optimal schedule and scaled versions around it.
+		for _, f := range []float64{1.0, 1.1, 0.93} {
+			sc := r.Schedule.Clone()
+			sc.Tc *= f
+			for i := range sc.S {
+				sc.S[i] *= f
+				sc.T[i] *= f
+			}
+			full, err := CheckTc(c, sc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			quick := ev.Check(sc)
+			// Clock-only violations are outside the evaluator's scope;
+			// compare only when the full analysis reached the latch
+			// checks (D != nil) and no pure clock violation dominates.
+			if full.PositiveLoop != nil {
+				if !quick.Unstable {
+					t.Fatalf("iter %d f=%g: evaluator missed instability", iter, f)
+				}
+				continue
+			}
+			if quick.Unstable {
+				t.Fatalf("iter %d f=%g: evaluator false instability", iter, f)
+			}
+			for i := range full.D {
+				if math.Abs(full.D[i]-quick.D[i]) > 1e-6 {
+					t.Fatalf("iter %d f=%g: D[%d] full %g vs quick %g", iter, f, i, full.D[i], quick.D[i])
+				}
+			}
+			// Setup feasibility must agree (quick skips clock rows).
+			setupOK := true
+			for _, v := range full.Violations {
+				if v.Kind == "setup" || v.Kind == "ff-setup" {
+					setupOK = false
+				}
+			}
+			if setupOK != quick.Feasible {
+				t.Fatalf("iter %d f=%g: setup feasibility full=%v quick=%v (worst %g)",
+					iter, f, setupOK, quick.Feasible, quick.WorstSlack)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d comparisons ran", checked)
+	}
+}
+
+func TestEvaluatorSetDelay(t *testing.T) {
+	c := example1(80)
+	ev, err := NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := ev.Check(r.Schedule); !q.Feasible {
+		t.Fatal("optimal schedule rejected")
+	}
+	// Growing Ld beyond the schedule's slack must flip feasibility.
+	ev.SetDelay(3, 200)
+	if q := ev.Check(r.Schedule); q.Feasible {
+		t.Fatal("gross delay increase still feasible")
+	}
+	// Restoring the delay restores feasibility.
+	ev.SetDelay(3, 80)
+	if q := ev.Check(r.Schedule); !q.Feasible {
+		t.Fatal("restore failed")
+	}
+}
+
+func TestEvaluatorWorstSlack(t *testing.T) {
+	c := example1(80)
+	ev, err := NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ev.Check(r.Schedule)
+	// At the optimum the worst setup slack is nonnegative (criticality
+	// may live in the loop constraints rather than a setup row).
+	if q.WorstSlack < -1e-6 {
+		t.Errorf("worst slack at optimum = %g, want >= 0", q.WorstSlack)
+	}
+	// Shrinking the whole schedule 5% must push some slack negative or
+	// destabilize a loop.
+	sc := r.Schedule.Clone()
+	sc.Tc *= 0.95
+	for i := range sc.S {
+		sc.S[i] *= 0.95
+		sc.T[i] *= 0.95
+	}
+	if q := ev.Check(sc); q.Feasible {
+		t.Errorf("5%% shrink still feasible: %+v", q)
+	}
+}
+
+func TestEvaluatorUnstableLoop(t *testing.T) {
+	c := NewCircuit(1)
+	a := c.AddLatch("A", 0, 1, 2)
+	c.AddPath(a, a, 50)
+	ev, err := NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSchedule(1)
+	sc.Tc, sc.T[0] = 10, 10
+	q := ev.Check(sc)
+	if !q.Unstable || q.Feasible {
+		t.Fatalf("instability missed: %+v", q)
+	}
+}
+
+func TestEvaluatorRejectsInvalidCircuit(t *testing.T) {
+	if _, err := NewEvaluator(NewCircuit(1)); err == nil {
+		t.Fatal("invalid circuit compiled")
+	}
+}
+
+func TestEvaluatorSetDelayPanics(t *testing.T) {
+	c := example1(80)
+	ev, err := NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ev.SetDelay(99, 1)
+}
+
+func BenchmarkEvaluatorVsCheckTc(b *testing.B) {
+	c := example1(80)
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("CheckTc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := CheckTc(c, r.Schedule, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Evaluator", func(b *testing.B) {
+		ev, err := NewEvaluator(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Check(r.Schedule)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package core
+
+import "fmt"
+
+// Reoptimize returns the optimal cycle time after changing one path's
+// worst-case delay, reusing the solved LP when possible: if the new
+// delay keeps the constraint's RHS inside the final basis's validity
+// interval (Solution.RHSRange), the new optimum follows from the dual
+// without another simplex run — the incremental analysis pattern of
+// interactive timing tools. Otherwise it falls back to a full MinTc.
+//
+// The circuit is left set to newDelay in either case (mirroring what a
+// design iteration does); resolved reports whether a full solve was
+// needed.
+func (r *Result) Reoptimize(pathIndex int, newDelay float64) (tc float64, resolved bool, err error) {
+	c := r.Circuit
+	if pathIndex < 0 || pathIndex >= len(c.Paths()) {
+		return 0, false, fmt.Errorf("core: path index %d out of range", pathIndex)
+	}
+	if newDelay < 0 {
+		return 0, false, fmt.Errorf("core: negative delay %g", newDelay)
+	}
+	row, sign, err := delayRow(r, pathIndex)
+	if err != nil {
+		return 0, false, err
+	}
+	oldDelay := c.Paths()[pathIndex].Delay
+	c.SetPathDelay(pathIndex, newDelay)
+
+	rhsOld := r.LP.Constraint(row).RHS
+	rhsNew := rhsOld + sign*(newDelay-oldDelay)
+	rng := r.LPSol.RHSRange[row]
+	if rhsNew >= rng[0]-1e-12 && rhsNew <= rng[1]+1e-12 {
+		// Same optimal basis: the objective moves at the dual rate.
+		return r.Schedule.Tc + r.LPSol.Dual[row]*(rhsNew-rhsOld), false, nil
+	}
+	full, err := MinTc(c, r.Options)
+	if err != nil {
+		return 0, true, err
+	}
+	return full.Schedule.Tc, true, nil
+}

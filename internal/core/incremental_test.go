@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReoptimizeMatchesFullSolve(t *testing.T) {
+	// Sweep Δ41 incrementally; every Reoptimize answer must equal a
+	// fresh solve, and small moves inside a segment must avoid the
+	// full resolve.
+	c := example1(50)
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap, expensive := 0, 0
+	for _, d := range []float64{52, 55, 60, 90, 101, 130, 10, 50} {
+		tc, resolved, err := r.Reoptimize(3, d)
+		if err != nil {
+			t.Fatalf("Δ41=%g: %v", d, err)
+		}
+		want := example1OptTc(d)
+		if math.Abs(tc-want) > 1e-6 {
+			t.Errorf("Δ41=%g: reoptimized Tc %g, want %g (resolved=%v)", d, tc, want, resolved)
+		}
+		if resolved {
+			expensive++
+		} else {
+			cheap++
+		}
+		// Note: r's LP snapshot stays at Δ41=50, so each call is
+		// evaluated against the same base — exactly the interactive
+		// what-if pattern.
+		c.SetPathDelay(3, 50)
+	}
+	if cheap == 0 {
+		t.Error("no incremental (dual-based) answers; ranging is vacuous")
+	}
+	if expensive == 0 {
+		t.Error("no full resolves; test range too narrow")
+	}
+}
+
+func TestReoptimizeLeavesNewDelay(t *testing.T) {
+	c := example1(50)
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Reoptimize(3, 77); err != nil {
+		t.Fatal(err)
+	}
+	if c.Paths()[3].Delay != 77 {
+		t.Errorf("delay = %g, want 77", c.Paths()[3].Delay)
+	}
+}
+
+func TestReoptimizeValidation(t *testing.T) {
+	c := example1(50)
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Reoptimize(99, 1); err == nil {
+		t.Error("bad path accepted")
+	}
+	if _, _, err := r.Reoptimize(0, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+}

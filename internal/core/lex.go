@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"mintc/internal/lp"
+)
+
+// Secondary selects a tie-breaking objective applied after the cycle
+// time has been minimized. The paper observes (§V, first bullet) that
+// the optimal solution is generally not unique — several clock
+// schedules share the optimal Tc — and that "additional requirements,
+// such as minimum duty cycle, may be applied to select one of these
+// different solutions". MinTcLex implements that selection as a
+// lexicographic second LP solve at the optimal cycle time.
+type Secondary int
+
+const (
+	// NoSecondary returns whatever vertex the first solve lands on
+	// (identical to MinTc).
+	NoSecondary Secondary = iota
+	// MaxPhaseWidths maximizes the total active time Σ T_i: latches
+	// stay transparent as long as the constraints allow.
+	MaxPhaseWidths
+	// MinPhaseWidths minimizes Σ T_i: the crispest pulses that still
+	// meet every setup constraint.
+	MinPhaseWidths
+	// MaxMinPhaseWidth maximizes the narrowest phase width — the
+	// paper's "minimum duty cycle" selection.
+	MaxMinPhaseWidth
+	// MinDepartures minimizes Σ D_i, producing the least-retardation
+	// solution (the componentwise-least fixpoint of the propagation
+	// constraints).
+	MinDepartures
+	// CompactSchedule minimizes Σ s_i + Σ T_i, packing the phases as
+	// early and as tight as possible.
+	CompactSchedule
+)
+
+// String names the secondary objective.
+func (s Secondary) String() string {
+	switch s {
+	case NoSecondary:
+		return "none"
+	case MaxPhaseWidths:
+		return "max-widths"
+	case MinPhaseWidths:
+		return "min-widths"
+	case MaxMinPhaseWidth:
+		return "max-min-width"
+	case MinDepartures:
+		return "min-departures"
+	case CompactSchedule:
+		return "compact"
+	}
+	return fmt.Sprintf("Secondary(%d)", int(s))
+}
+
+// MinTcLex solves the design problem lexicographically: first the
+// minimum cycle time (Algorithm MLP), then — with Tc pinned at the
+// optimum — the chosen secondary objective over the optimal family.
+// The returned Result carries the tie-broken schedule; its cycle time
+// equals MinTc's.
+func MinTcLex(c *Circuit, opts Options, sec Secondary) (*Result, error) {
+	first, err := MinTc(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sec == NoSecondary {
+		return first, nil
+	}
+
+	// Rebuild the constraint system with Tc fixed at the optimum
+	// (exactly: the first solve proved this value achievable).
+	opts2 := opts
+	opts2.FixedTc = first.Schedule.Tc
+	if opts2.FixedTc == 0 {
+		// A zero optimal cycle time admits only the zero schedule.
+		return first, nil
+	}
+	prob, vm, rows := BuildLP(c, opts2)
+	prob.ClearObjective()
+
+	switch sec {
+	case MaxPhaseWidths:
+		for _, v := range vm.T {
+			prob.SetObjCoef(v, -1)
+		}
+	case MinPhaseWidths:
+		for _, v := range vm.T {
+			prob.SetObjCoef(v, 1)
+		}
+	case MaxMinPhaseWidth:
+		auxMinW := prob.AddVar("minWidth", -1)
+		for i, v := range vm.T {
+			prob.AddConstraint(fmt.Sprintf("minW<=T.%s", c.PhaseName(i)),
+				[]lp.Term{{Var: auxMinW, Coef: 1}, {Var: v, Coef: -1}}, lp.LE, 0)
+			rows = append(rows, RowInfo{Kind: RowMinWidth, Phase: i, Sync: -1, Path: -1, Name: "lex.minW"})
+		}
+	case MinDepartures:
+		for _, v := range vm.D {
+			prob.SetObjCoef(v, 1)
+		}
+	case CompactSchedule:
+		for _, v := range vm.S {
+			prob.SetObjCoef(v, 1)
+		}
+		for _, v := range vm.T {
+			prob.SetObjCoef(v, 1)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown secondary objective %v", sec)
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: secondary solve failed: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: secondary solve status %v", sol.Status)
+	}
+
+	k := c.K()
+	sched := NewSchedule(k)
+	sched.Tc = sol.X[vm.Tc]
+	for i := 0; i < k; i++ {
+		sched.S[i] = sol.X[vm.S[i]]
+		sched.T[i] = sol.X[vm.T[i]]
+	}
+	d := make([]float64, c.L())
+	for i := range d {
+		d[i] = sol.X[vm.D[i]]
+	}
+	iters, relax, err := slideDepartures(c, sched, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schedule:         sched,
+		D:                d,
+		A:                Arrivals(c, sched, d, opts),
+		Q:                Outputs(c, d),
+		UpdateIterations: iters,
+		Relaxations:      relax,
+		NumConstraints:   prob.NumConstraints(),
+		Pivots:           first.Pivots + sol.Pivots,
+		LP:               prob,
+		LPSol:            sol,
+		Rows:             rows,
+		Vars:             vm,
+		Circuit:          c,
+		Options:          opts,
+	}
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinTcLexKeepsOptimalTc(t *testing.T) {
+	c := example1(80)
+	base, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range []Secondary{NoSecondary, MaxPhaseWidths, MinPhaseWidths, MaxMinPhaseWidth, MinDepartures, CompactSchedule} {
+		r, err := MinTcLex(c, Options{}, sec)
+		if err != nil {
+			t.Fatalf("%v: %v", sec, err)
+		}
+		if math.Abs(r.Schedule.Tc-base.Schedule.Tc) > 1e-6 {
+			t.Errorf("%v: Tc = %g, want %g", sec, r.Schedule.Tc, base.Schedule.Tc)
+		}
+		an, err := CheckTc(c, r.Schedule, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.Feasible {
+			t.Errorf("%v: tie-broken schedule infeasible: %v", sec, an.Violations)
+		}
+	}
+}
+
+func TestMinTcLexWidthObjectivesOrdered(t *testing.T) {
+	c := example1(80)
+	wide, err := MinTcLex(c, Options{}, MaxPhaseWidths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := MinTcLex(c, Options{}, MinPhaseWidths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumW := func(s *Schedule) float64 {
+		var x float64
+		for _, w := range s.T {
+			x += w
+		}
+		return x
+	}
+	if sumW(wide.Schedule) < sumW(narrow.Schedule)-1e-6 {
+		t.Errorf("max-widths total %g < min-widths total %g", sumW(wide.Schedule), sumW(narrow.Schedule))
+	}
+	// Narrow widths are still at least the setup times (L1 with D>=0).
+	for i, w := range narrow.Schedule.T {
+		if w < 10-1e-6 {
+			t.Errorf("min-width phase %d = %g below setup floor 10", i, w)
+		}
+	}
+}
+
+func TestMinTcLexMaxMinWidth(t *testing.T) {
+	// The duty-cycle selection must make the narrowest phase at least
+	// as wide as under any other tie-break.
+	c := example1(60)
+	r, err := MinTcLex(c, Options{}, MaxMinPhaseWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MinTcLex(c, Options{}, MinPhaseWidths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minW := func(s *Schedule) float64 {
+		m := math.MaxFloat64
+		for _, w := range s.T {
+			if w < m {
+				m = w
+			}
+		}
+		return m
+	}
+	if minW(r.Schedule) < minW(base.Schedule)-1e-6 {
+		t.Errorf("max-min-width %g below min-widths' narrowest %g", minW(r.Schedule), minW(base.Schedule))
+	}
+}
+
+func TestMinTcLexMinDeparturesIsLeastFixpoint(t *testing.T) {
+	c := example1(40)
+	r, err := MinTcLex(c, Options{}, MinDepartures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := CheckTc(c, r.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.D {
+		if math.Abs(r.D[i]-an.D[i]) > 1e-6 {
+			t.Errorf("D[%d] = %g, least fixpoint %g", i, r.D[i], an.D[i])
+		}
+	}
+}
+
+func TestMinTcLexCompactStartsEarly(t *testing.T) {
+	c := example1(80)
+	r, err := MinTcLex(c, Options{}, CompactSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schedule.S[0] > 1e-6 {
+		t.Errorf("compact schedule starts at %g, want 0", r.Schedule.S[0])
+	}
+}
+
+func TestMinTcLexRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for iter := 0; iter < 30; iter++ {
+		c := randomCircuit(rng)
+		base, err := MinTc(c, Options{})
+		if err != nil {
+			continue
+		}
+		for _, sec := range []Secondary{MaxPhaseWidths, MinDepartures} {
+			r, err := MinTcLex(c, Options{}, sec)
+			if err != nil {
+				t.Fatalf("iter %d %v: %v", iter, sec, err)
+			}
+			if math.Abs(r.Schedule.Tc-base.Schedule.Tc) > 1e-5*(1+base.Schedule.Tc) {
+				t.Fatalf("iter %d %v: Tc %g != %g", iter, sec, r.Schedule.Tc, base.Schedule.Tc)
+			}
+			if res := PropagationResidual(c, r.Schedule, r.D); res > 1e-5 {
+				t.Fatalf("iter %d %v: residual %g", iter, sec, res)
+			}
+		}
+	}
+}
+
+func TestSecondaryStrings(t *testing.T) {
+	secs := []Secondary{NoSecondary, MaxPhaseWidths, MinPhaseWidths, MaxMinPhaseWidth, MinDepartures, CompactSchedule}
+	seen := map[string]bool{}
+	for _, s := range secs {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Errorf("bad/dup string for %d: %q", int(s), str)
+		}
+		seen[str] = true
+	}
+}
+
+func TestMinTcLexUnknownSecondary(t *testing.T) {
+	if _, err := MinTcLex(example1(80), Options{}, Secondary(99)); err == nil {
+		t.Fatal("unknown secondary accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxMarginAtOptimum(t *testing.T) {
+	// At Tc* the margin is nonnegative but need not be zero: on
+	// Example 1 the binding constraint at the optimum is the loop
+	// ratio, so the setup rows retain genuine slack that the margin
+	// objective can spread.
+	c := example1(80) // Tc* = 110
+	r, err := MaxMarginSchedule(c, Options{}, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Margin < -1e-9 {
+		t.Errorf("margin at Tc* = %g, want >= 0", r.Margin)
+	}
+	// It must also be at least the worst slack of the plain MinTc
+	// schedule (the margin objective can only do better).
+	base, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := CheckTc(c, base.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := math.Inf(1)
+	for _, s := range an.SetupSlack {
+		if s < worst {
+			worst = s
+		}
+	}
+	if r.Margin < worst-1e-6 {
+		t.Errorf("optimized margin %g below plain schedule's worst slack %g", r.Margin, worst)
+	}
+}
+
+func TestMaxMarginGrowsWithTc(t *testing.T) {
+	c := example1(80)
+	prev := -1.0
+	for _, tc := range []float64{110, 120, 140, 200} {
+		r, err := MaxMarginSchedule(c, Options{}, tc)
+		if err != nil {
+			t.Fatalf("tc=%g: %v", tc, err)
+		}
+		if r.Margin < prev-1e-9 {
+			t.Errorf("margin not monotone: %g after %g", r.Margin, prev)
+		}
+		prev = r.Margin
+		// The schedule must pass the analysis with every setup slack
+		// at least the claimed margin.
+		an, err := CheckTc(c, r.Schedule, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.Feasible {
+			t.Fatalf("tc=%g: margin schedule infeasible: %v", tc, an.Violations)
+		}
+		for i, s := range an.SetupSlack {
+			if s < r.Margin-1e-6 {
+				t.Errorf("tc=%g: slack[%d]=%g below claimed margin %g", tc, i, s, r.Margin)
+			}
+		}
+	}
+}
+
+func TestMaxMarginBelowOptimumInfeasible(t *testing.T) {
+	c := example1(80)
+	if _, err := MaxMarginSchedule(c, Options{}, 100); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := MaxMarginSchedule(c, Options{}, 0); err == nil {
+		t.Error("zero Tc accepted")
+	}
+	if _, err := MaxMarginSchedule(NewCircuit(1), Options{}, 10); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestMaxMarginOptimality(t *testing.T) {
+	// No feasible schedule at the same Tc can beat the reported
+	// margin: probe by re-running MinTc with setup inflated by
+	// margin+epsilon — it must need a larger cycle time.
+	c := example1(80)
+	const tc = 130.0
+	r, err := MaxMarginSchedule(c, Options{}, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Margin <= 0 {
+		t.Fatalf("margin = %g, want positive at relaxed Tc", r.Margin)
+	}
+	inflated := NewCircuit(c.K())
+	for _, s := range c.Syncs() {
+		s.Setup += r.Margin + 0.01
+		if s.DQ < s.Setup {
+			s.DQ = s.Setup
+		}
+		inflated.AddSync(s)
+	}
+	for _, p := range c.Paths() {
+		inflated.AddPathFull(p)
+	}
+	opt, err := MinTc(inflated, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Schedule.Tc <= tc+1e-9 {
+		t.Errorf("margin not maximal: inflated setups still fit at Tc=%g (need %g)", tc, opt.Schedule.Tc)
+	}
+}
+
+func TestMaxMarginFFAndRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(246))
+	checked := 0
+	for iter := 0; iter < 40 && checked < 12; iter++ {
+		c := randomCircuit(rng)
+		base, err := MinTc(c, Options{})
+		if err != nil || base.Schedule.Tc <= 0 {
+			continue
+		}
+		r, err := MaxMarginSchedule(c, Options{}, base.Schedule.Tc*1.25)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if r.Margin < -1e-9 {
+			t.Fatalf("iter %d: negative margin %g at relaxed Tc", iter, r.Margin)
+		}
+		an, err := CheckTc(c, r.Schedule, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.Feasible {
+			t.Fatalf("iter %d: infeasible margin schedule: %v", iter, an.Violations)
+		}
+		checked++
+	}
+	if checked < 8 {
+		t.Fatalf("only %d circuits checked", checked)
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mintc/internal/lp"
+)
+
+// Result is the outcome of Algorithm MLP (optimal cycle time plus the
+// supporting signal-timing solution).
+type Result struct {
+	// Schedule is the optimal clock schedule found by the LP.
+	Schedule *Schedule
+	// D, A and Q are the per-synchronizer departure, arrival and
+	// output-departure times, each relative to the start of the
+	// element's own phase. A may be -Inf for elements with no fanin.
+	D, A, Q []float64
+	// UpdateIterations is the number of full passes of the departure
+	// update loop (paper steps 3–5; "usually two to three, sometimes
+	// zero").
+	UpdateIterations int
+	// Relaxations counts individual departure-time updates performed
+	// (meaningful for the event-driven mode).
+	Relaxations int
+	// NumConstraints is the LP row count (the paper reports 91 for the
+	// GaAs example).
+	NumConstraints int
+	// Pivots is the simplex pivot count.
+	Pivots int
+	// LP retains the solved linear program and its solution for
+	// critical-segment analysis.
+	LP      *lp.Problem
+	LPSol   *lp.Solution
+	Rows    []RowInfo
+	Vars    *VarMap
+	Circuit *Circuit
+	Options Options
+}
+
+// Errors returned by MinTc.
+var (
+	// ErrInfeasible indicates the constraint system has no feasible
+	// clock at any cycle time (e.g. structurally impossible flip-flop
+	// timing).
+	ErrInfeasible = errors.New("core: timing constraints are infeasible")
+	// ErrNoConvergence indicates the departure update iteration failed
+	// to reach a fixpoint (should not happen from an LP-optimal start;
+	// it guards against numerical pathologies).
+	ErrNoConvergence = errors.New("core: departure update iteration did not converge")
+)
+
+// MinTc runs Algorithm MLP: it solves the linear program P2 for the
+// minimum cycle time and optimal clock schedule, then slides the
+// departure times down to the greatest fixpoint of the propagation
+// operator so the returned solution satisfies the original nonlinear
+// constraints L2 of problem P1. By Theorem 1 the cycle time is optimal
+// for P1.
+func MinTc(c *Circuit, opts Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validatePhaseSkew(c); err != nil {
+		return nil, err
+	}
+	prob, vm, rows := BuildLP(c, opts)
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: LP solve failed: %w", err)
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil, ErrInfeasible
+	case lp.Unbounded:
+		// Minimizing a nonnegative variable cannot be unbounded.
+		return nil, fmt.Errorf("core: LP unexpectedly unbounded")
+	}
+
+	k := c.K()
+	sched := NewSchedule(k)
+	sched.Tc = sol.X[vm.Tc]
+	for i := 0; i < k; i++ {
+		sched.S[i] = sol.X[vm.S[i]]
+		sched.T[i] = sol.X[vm.T[i]]
+	}
+	d := make([]float64, c.L())
+	for i := range d {
+		d[i] = sol.X[vm.D[i]]
+	}
+
+	res := &Result{
+		Schedule:       sched,
+		NumConstraints: prob.NumConstraints(),
+		Pivots:         sol.Pivots,
+		LP:             prob,
+		LPSol:          sol,
+		Rows:           rows,
+		Vars:           vm,
+		Circuit:        c,
+		Options:        opts,
+	}
+
+	// Steps 3–5: iterate the propagation operator with the clock held
+	// fixed until the L2 equalities hold.
+	iters, relax, err := slideDepartures(c, sched, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.UpdateIterations = iters
+	res.Relaxations = relax
+	res.D = d
+	res.A = Arrivals(c, sched, d, opts)
+	res.Q = Outputs(c, d)
+	return res, nil
+}
+
+// maxUpdateIter returns the iteration cap for the departure update.
+func maxUpdateIter(c *Circuit, opts Options) int {
+	if opts.MaxUpdateIter > 0 {
+		return opts.MaxUpdateIter
+	}
+	// The decreasing iteration from an LP point converges in at most
+	// O(l) structural steps plus slack/step ratios; this cap is far
+	// above anything observed (the paper reports 2–3 iterations).
+	return 100*c.L() + 100
+}
+
+// slideDepartures implements steps 2–5 of Algorithm MLP on d in place,
+// returning the number of full iterations (Jacobi/Gauss–Seidel) or
+// rounds (event-driven) performed.
+func slideDepartures(c *Circuit, sched *Schedule, d []float64, opts Options) (iters, relaxations int, err error) {
+	limit := maxUpdateIter(c, opts)
+	switch opts.Update {
+	case GaussSeidel:
+		for m := 0; m < limit; m++ {
+			changed := false
+			for i := range d {
+				nv := departureOf(c, sched, d, i, opts)
+				if math.Abs(nv-d[i]) > Eps {
+					d[i] = nv
+					changed = true
+					relaxations++
+				}
+			}
+			if !changed {
+				return m, relaxations, nil
+			}
+			iters = m + 1
+		}
+	case EventDriven:
+		// Worklist algorithm: recompute a synchronizer only when one
+		// of its fanin departures changed.
+		fanout := make([][]int, c.L())
+		for _, p := range c.Paths() {
+			fanout[p.From] = append(fanout[p.From], p.To)
+		}
+		inList := make([]bool, c.L())
+		var queue []int
+		for i := range d {
+			queue = append(queue, i)
+			inList[i] = true
+		}
+		steps := limit * (c.L() + 1)
+		for len(queue) > 0 {
+			if steps--; steps < 0 {
+				return iters, relaxations, ErrNoConvergence
+			}
+			i := queue[0]
+			queue = queue[1:]
+			inList[i] = false
+			nv := departureOf(c, sched, d, i, opts)
+			if math.Abs(nv-d[i]) <= Eps {
+				continue
+			}
+			d[i] = nv
+			relaxations++
+			for _, t := range fanout[i] {
+				if !inList[t] {
+					inList[t] = true
+					queue = append(queue, t)
+				}
+			}
+		}
+		return relaxations, relaxations, nil
+	default: // Jacobi, as in the paper's listing
+		next := make([]float64, len(d))
+		for m := 0; m < limit; m++ {
+			changed := false
+			for i := range d {
+				next[i] = departureOf(c, sched, d, i, opts)
+				if math.Abs(next[i]-d[i]) > Eps {
+					changed = true
+					relaxations++
+				}
+			}
+			copy(d, next)
+			if !changed {
+				return m, relaxations, nil
+			}
+			iters = m + 1
+		}
+	}
+	return iters, relaxations, ErrNoConvergence
+}
+
+// departureOf evaluates the paper's propagation constraint L2 for one
+// synchronizer: D_i = max(0, max_j (D_j + ΔDQ_j + Δ_ji + S_{p_j p_i})),
+// with the option margins (Skew, PhaseSkew) applied per arc exactly as
+// in the LP rows and the CheckTc fixpoint. Flip-flops always depart at
+// their triggering edge (D = 0).
+func departureOf(c *Circuit, sched *Schedule, d []float64, i int, opts Options) float64 {
+	if c.Sync(i).Kind == FlipFlop {
+		return 0
+	}
+	a := arrivalOf(c, sched, d, i, opts)
+	if a < 0 || math.IsInf(a, -1) {
+		return 0
+	}
+	return a
+}
+
+// arrivalOf evaluates A_i = max_j (D_j + ΔDQ_j + Δ_ji + margins +
+// S_{p_j p_i}); -Inf when the synchronizer has no fanin (primary-input
+// latch).
+func arrivalOf(c *Circuit, sched *Schedule, d []float64, i int, opts Options) float64 {
+	a := math.Inf(-1)
+	pi := c.Sync(i).Phase
+	for _, pidx := range c.Fanin(i) {
+		p := c.Paths()[pidx]
+		j := p.From
+		pj := c.Sync(j).Phase
+		v := d[j] + c.Sync(j).DQ + p.Delay + opts.Skew + opts.sigma(pj) + opts.sigma(pi) +
+			sched.PhaseShift(pj, pi)
+		if v > a {
+			a = v
+		}
+	}
+	return a
+}
+
+// Arrivals computes the margin-adjusted arrival times A_i for all
+// synchronizers given departures d under schedule sched (pass the zero
+// Options for the paper's nominal operator).
+func Arrivals(c *Circuit, sched *Schedule, d []float64, opts Options) []float64 {
+	a := make([]float64, c.L())
+	for i := range a {
+		a[i] = arrivalOf(c, sched, d, i, opts)
+	}
+	return a
+}
+
+// Outputs computes Q_i = D_i + ΔDQ_i for all synchronizers.
+func Outputs(c *Circuit, d []float64) []float64 {
+	q := make([]float64, c.L())
+	for i := range q {
+		q[i] = d[i] + c.Sync(i).DQ
+	}
+	return q
+}
+
+// PropagationResidual returns the largest violation of the L2
+// equalities by (sched, d): max over i of |D_i − max(0, A_i)| (with
+// the flip-flop convention D_i = 0), under the paper's nominal
+// operator (no margins). A residual within Eps certifies a P1-feasible
+// point; results produced with margin options satisfy the *margined*
+// equalities instead (see PropagationResidualOpts).
+func PropagationResidual(c *Circuit, sched *Schedule, d []float64) float64 {
+	return PropagationResidualOpts(c, sched, d, Options{})
+}
+
+// PropagationResidualOpts is PropagationResidual under the given
+// margin options.
+func PropagationResidualOpts(c *Circuit, sched *Schedule, d []float64, opts Options) float64 {
+	worst := 0.0
+	for i := range d {
+		if r := math.Abs(d[i] - departureOf(c, sched, d, i, opts)); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NormalizePhases implements the preprocessing step of §III.A: "it is
+// possible to map any clocking discipline to our temporal framework by
+// a suitable preprocessing step ... relabeling and ordering the clock
+// phases according to (5)". Given a circuit and a schedule whose
+// phases are in arbitrary order, it returns an equivalent circuit and
+// schedule with phases relabeled so the start times are nondecreasing
+// (satisfying the phase-ordering constraint C2), plus the permutation
+// used: perm[new] = old.
+//
+// The input circuit and schedule are not modified.
+func NormalizePhases(c *Circuit, sched *Schedule) (*Circuit, *Schedule, []int, error) {
+	if sched == nil {
+		return nil, nil, nil, fmt.Errorf("core: NormalizePhases needs a schedule to order by")
+	}
+	k := c.K()
+	if sched.K() != k {
+		return nil, nil, nil, fmt.Errorf("core: schedule has %d phases, circuit has %d", sched.K(), k)
+	}
+	perm := make([]int, k) // perm[new] = old
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return sched.S[perm[a]] < sched.S[perm[b]]
+	})
+	oldToNew := make([]int, k)
+	for n, o := range perm {
+		oldToNew[o] = n
+	}
+
+	nc := NewCircuit(k)
+	nc.Meta = c.Meta
+	for n, o := range perm {
+		nc.SetPhaseName(n, c.PhaseName(o))
+	}
+	for _, s := range c.Syncs() {
+		s.Phase = oldToNew[s.Phase]
+		nc.AddSync(s)
+	}
+	for _, p := range c.Paths() {
+		nc.AddPathFull(p)
+	}
+
+	ns := NewSchedule(k)
+	ns.Tc = sched.Tc
+	for n, o := range perm {
+		ns.S[n] = sched.S[o]
+		ns.T[n] = sched.T[o]
+	}
+	return nc, ns, perm, nil
+}

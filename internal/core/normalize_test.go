@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scrambled builds Example 1 with its two phases swapped (phase labels
+// out of C2 order) and a matching schedule.
+func scrambledExample1() (*Circuit, *Schedule) {
+	c := NewCircuit(2)
+	// Swap the labels: the "first" phase is the late one.
+	l1 := c.AddLatch("L1", 1, 10, 10)
+	l2 := c.AddLatch("L2", 0, 10, 10)
+	l3 := c.AddLatch("L3", 1, 10, 10)
+	l4 := c.AddLatch("L4", 0, 10, 10)
+	c.AddPath(l1, l2, 20)
+	c.AddPath(l2, l3, 20)
+	c.AddPath(l3, l4, 60)
+	c.AddPath(l4, l1, 80)
+	sc := NewSchedule(2)
+	sc.Tc = 110
+	sc.S = []float64{80, 0} // phase 0 starts after phase 1: violates C2
+	sc.T = []float64{30, 80}
+	return c, sc
+}
+
+func TestNormalizePhasesOrdersStarts(t *testing.T) {
+	c, sc := scrambledExample1()
+	// The scrambled schedule violates C2 as labeled...
+	if v := sc.ValidateClock(c); len(v) == 0 {
+		t.Fatal("scrambled schedule unexpectedly valid")
+	}
+	nc, ns, perm, err := NormalizePhases(c, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but is a perfectly good clock after relabeling.
+	if v := ns.ValidateClock(nc); len(v) != 0 {
+		t.Fatalf("normalized schedule invalid: %v", v)
+	}
+	if perm[0] != 1 || perm[1] != 0 {
+		t.Errorf("perm = %v, want [1 0]", perm)
+	}
+	// Phase names follow the permutation.
+	if nc.PhaseName(0) != "phi2" || nc.PhaseName(1) != "phi1" {
+		t.Errorf("names = %q %q", nc.PhaseName(0), nc.PhaseName(1))
+	}
+	// And the analysis accepts it (it is Example 1 at its optimum).
+	an, err := CheckTc(nc, ns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Feasible {
+		t.Fatalf("normalized Example 1 at Tc*=110 rejected: %v", an.Violations)
+	}
+}
+
+func TestNormalizePhasesPreservesOptimum(t *testing.T) {
+	// MinTc on the relabeled circuit equals MinTc on a canonical one.
+	c, sc := scrambledExample1()
+	nc, _, _, err := NormalizePhases(c, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MinTc(nc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Schedule.Tc-110) > 1e-6 {
+		t.Errorf("normalized circuit Tc = %g, want 110", r.Schedule.Tc)
+	}
+}
+
+func TestNormalizePhasesIdentityWhenOrdered(t *testing.T) {
+	c := example1(80)
+	sc := SymmetricSchedule(2, 100, 0.5)
+	nc, ns, perm, err := NormalizePhases(c, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range perm {
+		if p != i {
+			t.Errorf("perm[%d] = %d, want identity", i, p)
+		}
+	}
+	if !ns.Equal(sc, 1e-12) {
+		t.Error("ordered schedule changed")
+	}
+	if nc.L() != c.L() || len(nc.Paths()) != len(c.Paths()) {
+		t.Error("circuit structure changed")
+	}
+}
+
+func TestNormalizePhasesInputsUntouched(t *testing.T) {
+	c, sc := scrambledExample1()
+	s0 := append([]float64(nil), sc.S...)
+	phases := make([]int, c.L())
+	for i := range phases {
+		phases[i] = c.Sync(i).Phase
+	}
+	if _, _, _, err := NormalizePhases(c, sc); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s0 {
+		if sc.S[i] != s0[i] {
+			t.Fatal("input schedule modified")
+		}
+	}
+	for i := range phases {
+		if c.Sync(i).Phase != phases[i] {
+			t.Fatal("input circuit modified")
+		}
+	}
+}
+
+func TestNormalizePhasesErrors(t *testing.T) {
+	c := example1(80)
+	if _, _, _, err := NormalizePhases(c, nil); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	if _, _, _, err := NormalizePhases(c, NewSchedule(3)); err == nil {
+		t.Error("phase-count mismatch accepted")
+	}
+}
+
+// TestNormalizePhasesOriginRotation checks the preprocessing on its
+// natural use case: a schedule specified relative to a different cycle
+// origin. Rotating the time origin preserves the physical clocking
+// (the phases' cyclic order is unchanged) but scrambles the start
+// order, breaking C2 as labeled; after NormalizePhases the schedule
+// must pass the full analysis again.
+//
+// Note that arbitrary label permutations are deliberately NOT an
+// equivalence in the SMO model: permutations that change the cyclic
+// order of the phases change the cycle-crossing structure (the C
+// matrix) and describe a genuinely different clocking discipline.
+func TestNormalizePhasesOriginRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7117))
+	checked := 0
+	for iter := 0; iter < 60 && checked < 20; iter++ {
+		c := randomCircuit(rng)
+		base, err := MinTc(c, Options{})
+		if err != nil || base.Schedule.Tc <= 0 {
+			continue
+		}
+		// Give the critical loop some slack so rotation-induced
+		// rounding can't flip feasibility.
+		sc := base.Schedule.Clone()
+		f := 1.02
+		sc.Tc *= f
+		for i := range sc.S {
+			sc.S[i] *= f
+			sc.T[i] *= f
+		}
+		// Rotate the time origin by a random fraction of the cycle.
+		delta := rng.Float64() * sc.Tc
+		rot := sc.Clone()
+		distinct := true
+		for i := range rot.S {
+			rot.S[i] = mod(sc.S[i]+delta, sc.Tc)
+		}
+		for i := range rot.S {
+			for j := i + 1; j < len(rot.S); j++ {
+				if abs(rot.S[i]-rot.S[j]) < 1e-9 {
+					distinct = false
+				}
+			}
+		}
+		if !distinct {
+			continue // ties make the relabeling ambiguous; skip
+		}
+		nc, ns, _, err := NormalizePhases(c, rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := CheckTc(nc, ns, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.Feasible {
+			t.Fatalf("iter %d: rotated+normalized schedule rejected: %v\norig %v\nrot %v",
+				iter, an.Violations, sc, ns)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d rotations checked", checked)
+	}
+}
+
+func mod(x, m float64) float64 {
+	r := math.Mod(x, m)
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DelaySegment is one linear piece of the dependence of the optimal
+// cycle time on a single combinational delay: for delays in
+// [From, To], Tc*(Δ) = TcAtFrom + Slope·(Δ − From).
+//
+// This realizes the parametric-programming analysis the paper's
+// conclusion proposes: the slope is the dual ("price") of the path's
+// propagation constraint, and breakpoints occur where the optimal
+// basis changes — e.g. Example 1's Fig. 7 curve has slopes 0, 1/2, 1
+// with breakpoints at Δ41 = 20 and 100.
+type DelaySegment struct {
+	From, To float64
+	Slope    float64
+	TcAtFrom float64
+}
+
+// TcAt evaluates the segment's cycle time at delay d (no range check).
+func (s DelaySegment) TcAt(d float64) float64 {
+	return s.TcAtFrom + s.Slope*(d-s.From)
+}
+
+// ParametricDelay computes the piecewise-linear function Tc*(Δ) for
+// the delay of path pathIndex swept over [from, to], by repeatedly
+// solving the LP and extending each segment to the end of its basis's
+// RHS validity range (classic one-parameter RHS parametrics). The
+// circuit is restored to its original delay before returning.
+//
+// The number of LP solves equals the number of segments plus the
+// degenerate steps, not the number of sample points — on Example 1 the
+// whole Fig. 7 curve costs three solves.
+func ParametricDelay(c *Circuit, opts Options, pathIndex int, from, to float64) ([]DelaySegment, error) {
+	if pathIndex < 0 || pathIndex >= len(c.Paths()) {
+		return nil, fmt.Errorf("core: path index %d out of range", pathIndex)
+	}
+	if !(from >= 0) || to < from {
+		return nil, fmt.Errorf("core: invalid delay range [%g, %g]", from, to)
+	}
+	orig := c.Paths()[pathIndex].Delay
+	defer c.SetPathDelay(pathIndex, orig)
+
+	const (
+		step        = 1e-6 // progress past a breakpoint
+		maxSegments = 1000
+	)
+	var segs []DelaySegment
+	cur := from
+	for len(segs) < maxSegments {
+		c.SetPathDelay(pathIndex, cur)
+		r, err := MinTc(c, opts)
+		if err != nil {
+			return segs, fmt.Errorf("core: parametric solve at Δ=%g: %w", cur, err)
+		}
+		row, sign, err := delayRow(r, pathIndex)
+		if err != nil {
+			return segs, err
+		}
+		// dTc/dΔ = dual(row) · dRHS/dΔ.
+		slope := r.LPSol.Dual[row] * sign
+		// Validity range of the current basis in terms of Δ. The row's
+		// RHS moves 1:1 (sign-adjusted) with Δ.
+		rhsNow := r.LP.Constraint(row).RHS
+		rng := r.LPSol.RHSRange[row]
+		var hiDelta float64
+		if sign > 0 {
+			hiDelta = cur + (rng[1] - rhsNow)
+		} else {
+			hiDelta = cur + (rhsNow - rng[0])
+		}
+		end := math.Min(hiDelta, to)
+		if end < cur {
+			end = cur
+		}
+		seg := DelaySegment{From: cur, To: end, Slope: slope, TcAtFrom: r.Schedule.Tc}
+		// Snap to the previous segment's end so breakpoints are exact
+		// (cur sits a hair past the true breakpoint).
+		if n := len(segs); n > 0 && cur-segs[n-1].To <= 2*step {
+			seg.TcAtFrom -= slope * (cur - segs[n-1].To)
+			seg.From = segs[n-1].To
+		}
+		segs = append(segs, seg)
+		if end >= to-1e-12 {
+			// Final segment reaches the sweep end.
+			segs[len(segs)-1].To = to
+			return mergeSegments(segs), nil
+		}
+		next := end + step
+		if next <= cur {
+			next = cur + step // degenerate basis: force progress
+		}
+		cur = next
+	}
+	return segs, fmt.Errorf("core: parametric sweep exceeded %d segments", maxSegments)
+}
+
+// delayRow locates the LP row whose RHS carries the path's delay and
+// returns its index together with dRHS/dΔ (+1 for latch-destination
+// L2R rows, -1 for flip-flop setup rows, whose RHS is negated).
+func delayRow(r *Result, pathIndex int) (int, float64, error) {
+	for i, info := range r.Rows {
+		if info.Path != pathIndex {
+			continue
+		}
+		switch info.Kind {
+		case RowPropagation:
+			return i, 1, nil
+		case RowFFSetup:
+			return i, -1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("core: no LP row carries path %d's delay", pathIndex)
+}
+
+// mergeSegments coalesces consecutive segments with equal slope
+// (degenerate breakpoints produce zero-length or same-slope pieces).
+func mergeSegments(segs []DelaySegment) []DelaySegment {
+	if len(segs) == 0 {
+		return segs
+	}
+	out := segs[:1]
+	for _, s := range segs[1:] {
+		last := &out[len(out)-1]
+		if math.Abs(last.Slope-s.Slope) < 1e-9 {
+			last.To = s.To
+			continue
+		}
+		if s.To <= s.From+1e-12 {
+			continue // zero-length transition piece
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Breakpoints returns the interior delay values where the slope
+// changes.
+func Breakpoints(segs []DelaySegment) []float64 {
+	var bps []float64
+	for i := 1; i < len(segs); i++ {
+		bps = append(bps, segs[i].From)
+	}
+	return bps
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParametricDelayExample1RecoversFig7(t *testing.T) {
+	// Sweeping Δ41 on Example 1 must recover the paper's Fig. 7 curve
+	// analytically: slopes 0, 1/2, 1 with breakpoints at 20 and 100.
+	c := example1(0)
+	segs, err := ParametricDelay(c, Options{}, 3 /* L4->L1 */, 0, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3: %+v", len(segs), segs)
+	}
+	wantSlopes := []float64{0, 0.5, 1}
+	for i, w := range wantSlopes {
+		if math.Abs(segs[i].Slope-w) > 1e-6 {
+			t.Errorf("segment %d slope = %g, want %g", i, segs[i].Slope, w)
+		}
+	}
+	bps := Breakpoints(segs)
+	if len(bps) != 2 || math.Abs(bps[0]-20) > 1e-3 || math.Abs(bps[1]-100) > 1e-3 {
+		t.Errorf("breakpoints = %v, want [20 100]", bps)
+	}
+	// The piecewise function must match the closed form everywhere.
+	for d := 0.0; d <= 150; d += 7.3 {
+		var tc float64
+		for _, s := range segs {
+			if d >= s.From-1e-9 && d <= s.To+1e-9 {
+				tc = s.TcAt(d)
+				break
+			}
+		}
+		if want := example1OptTc(d); math.Abs(tc-want) > 1e-5 {
+			t.Errorf("Δ=%g: parametric %g vs formula %g", d, tc, want)
+		}
+	}
+}
+
+func TestParametricDelayMatchesResolve(t *testing.T) {
+	// On the Fig.1 circuit, the parametric curve for an arbitrary path
+	// must agree with direct re-solves at sampled points.
+	c := example1(60)
+	for path := 0; path < 4; path++ {
+		segs, err := ParametricDelay(c, Options{}, path, 0, 120)
+		if err != nil {
+			t.Fatalf("path %d: %v", path, err)
+		}
+		for d := 0.0; d <= 120; d += 15 {
+			var tc float64
+			found := false
+			for _, s := range segs {
+				if d >= s.From-1e-9 && d <= s.To+1e-9 {
+					tc = s.TcAt(d)
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("path %d: Δ=%g not covered by segments %+v", path, d, segs)
+			}
+			orig := c.Paths()[path].Delay
+			c.SetPathDelay(path, d)
+			r, err := MinTc(c, Options{})
+			c.SetPathDelay(path, orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(tc-r.Schedule.Tc) > 1e-5 {
+				t.Errorf("path %d Δ=%g: parametric %g vs resolve %g", path, d, tc, r.Schedule.Tc)
+			}
+		}
+	}
+}
+
+func TestParametricDelayRestoresCircuit(t *testing.T) {
+	c := example1(80)
+	if _, err := ParametricDelay(c, Options{}, 3, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if c.Paths()[3].Delay != 80 {
+		t.Errorf("delay not restored: %g", c.Paths()[3].Delay)
+	}
+}
+
+func TestParametricDelayValidatesArgs(t *testing.T) {
+	c := example1(80)
+	if _, err := ParametricDelay(c, Options{}, 99, 0, 10); err == nil {
+		t.Error("bad path index accepted")
+	}
+	if _, err := ParametricDelay(c, Options{}, 0, 10, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := ParametricDelay(c, Options{}, 0, -3, 5); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestParametricDelayFFSetupRow(t *testing.T) {
+	// Path into a flip-flop: the delay lives in an FF-setup row with
+	// negated RHS; the sweep must still produce a nondecreasing curve
+	// matching direct solves.
+	c := NewCircuit(2)
+	l := c.AddLatch("L", 0, 1, 2)
+	f := c.AddFF("F", 1, 1, 1)
+	c.AddPath(l, f, 10)
+	c.AddPath(f, l, 10)
+	segs, err := ParametricDelay(c, Options{}, 0, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -math.MaxFloat64
+	for d := 0.0; d <= 60; d += 6 {
+		var tc float64
+		for _, s := range segs {
+			if d >= s.From-1e-9 && d <= s.To+1e-9 {
+				tc = s.TcAt(d)
+				break
+			}
+		}
+		if tc < prev-1e-9 {
+			t.Errorf("Tc not monotone at Δ=%g: %g < %g", d, tc, prev)
+		}
+		prev = tc
+		c.SetPathDelay(0, d)
+		r, err := MinTc(c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tc-r.Schedule.Tc) > 1e-5 {
+			t.Errorf("Δ=%g: parametric %g vs resolve %g", d, tc, r.Schedule.Tc)
+		}
+	}
+	_ = f
+}
+
+func TestSetPathDelayClampsMin(t *testing.T) {
+	c := NewCircuit(1)
+	a := c.AddLatch("A", 0, 1, 1)
+	p := c.AddPathFull(Path{From: a, To: a, Delay: 10, MinDelay: 8})
+	c.SetPathDelay(p, 5)
+	if got := c.Paths()[p]; got.Delay != 5 || got.MinDelay != 5 {
+		t.Errorf("path after SetPathDelay = %+v", got)
+	}
+}
+
+func TestSetPathDelayPanicsOutOfRange(t *testing.T) {
+	c := NewCircuit(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.SetPathDelay(0, 1)
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPhaseSkewValidation(t *testing.T) {
+	c := example1(80)
+	if _, err := MinTc(c, Options{PhaseSkew: []float64{1}}); err == nil {
+		t.Error("wrong-length PhaseSkew accepted")
+	}
+	if _, err := MinTc(c, Options{PhaseSkew: []float64{1, -2}}); err == nil {
+		t.Error("negative PhaseSkew accepted")
+	}
+	if _, err := CheckTc(c, SymmetricSchedule(2, 200, 0.5), Options{PhaseSkew: []float64{1}}); err == nil {
+		t.Error("CheckTc accepted wrong-length PhaseSkew")
+	}
+}
+
+func TestPhaseSkewTightensTc(t *testing.T) {
+	c := example1(80)
+	base, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := MinTc(c, Options{PhaseSkew: []float64{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.Schedule.Tc <= base.Schedule.Tc {
+		t.Errorf("phase skew did not tighten Tc: %g vs %g", skewed.Schedule.Tc, base.Schedule.Tc)
+	}
+	// Each of the four loop arcs crosses phases 1<->2, gaining 2+3 = 5;
+	// 4 arcs over 2 cycles: Tc grows by 10.
+	if math.Abs(skewed.Schedule.Tc-(base.Schedule.Tc+10)) > 1e-6 {
+		t.Errorf("Tc = %g, want %g", skewed.Schedule.Tc, base.Schedule.Tc+10)
+	}
+}
+
+func TestPhaseSkewZeroIsNoop(t *testing.T) {
+	c := example1(60)
+	base, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := MinTc(c, Options{PhaseSkew: []float64{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Schedule.Equal(zero.Schedule, 1e-12) {
+		t.Error("zero PhaseSkew changed the solution")
+	}
+}
+
+func TestPhaseSkewDesignAnalysisConsistency(t *testing.T) {
+	// The MinTc schedule under margins must pass CheckTc under the
+	// same margins, and fail when the margins grow.
+	rng := rand.New(rand.NewSource(321))
+	checked := 0
+	for iter := 0; iter < 40 && checked < 15; iter++ {
+		c := randomCircuit(rng)
+		sk := make([]float64, c.K())
+		for p := range sk {
+			sk[p] = rng.Float64() * 3
+		}
+		opts := Options{PhaseSkew: sk, Skew: rng.Float64()}
+		r, err := MinTc(c, opts)
+		if err != nil {
+			continue
+		}
+		an, err := CheckTc(c, r.Schedule, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.Feasible {
+			t.Fatalf("iter %d: margin-optimal schedule fails margin analysis: %v", iter, an.Violations)
+		}
+		// Doubling the margins at the same schedule must not improve
+		// any slack.
+		opts2 := opts
+		opts2.PhaseSkew = make([]float64, len(sk))
+		for p := range sk {
+			opts2.PhaseSkew[p] = 2*sk[p] + 1
+		}
+		an2, err := CheckTc(c, r.Schedule, opts2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an2.D != nil && an.D != nil {
+			for i := range an2.SetupSlack {
+				if an2.SetupSlack[i] > an.SetupSlack[i]+1e-6 {
+					t.Fatalf("iter %d: slack improved under larger margins at sync %d", iter, i)
+				}
+			}
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d circuits checked", checked)
+	}
+}
+
+// TestSkewSlideConvergesFast is the regression for a cross-validation
+// catch: a self-loop latch under a small global skew. The slide
+// operator must carry the same margins as the LP rows; iterating the
+// nominal operator instead drains the critical loop at only
+// skew-per-pass and blows the iteration cap.
+func TestSkewSlideConvergesFast(t *testing.T) {
+	c := NewCircuit(4)
+	c.AddLatch("L1", 2, 4.69, 9.18)
+	l2 := c.AddLatch("L2", 3, 1.41, 5.05)
+	c.AddPathFull(Path{From: l2, To: l2, Delay: 49.87, MinDelay: 14.8})
+	opts := Options{Skew: 0.166}
+	r, err := MinTc(c, opts)
+	if err != nil {
+		t.Fatalf("skewed self-loop did not converge: %v", err)
+	}
+	if r.UpdateIterations > 10 {
+		t.Errorf("slide took %d iterations; margins not applied?", r.UpdateIterations)
+	}
+	// The result is a fixpoint of the margined operator...
+	if res := PropagationResidualOpts(c, r.Schedule, r.D, opts); res > 1e-6 {
+		t.Errorf("margined residual %g", res)
+	}
+	// ...and the analysis under the same options accepts it.
+	an, err := CheckTc(c, r.Schedule, opts)
+	if err != nil || !an.Feasible {
+		t.Fatalf("margin analysis rejects the margin design: %v %v", err, an)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickConfig derives deterministic sub-tests from quick's fuzzed
+// seeds.
+var quickConfig = &quick.Config{MaxCount: 60}
+
+// TestQuickScalingInvariance: scaling every time parameter (delays,
+// setups, DQs) by λ > 0 scales the optimal cycle time by exactly λ —
+// the constraint system is positively homogeneous.
+func TestQuickScalingInvariance(t *testing.T) {
+	prop := func(seed int64, lambdaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		lambda := 0.25 + float64(lambdaRaw)/64 // in [0.25, 4.23]
+		base, err := MinTc(c, Options{})
+		if err != nil {
+			return true // infeasible stays infeasible under scaling
+		}
+		sc := NewCircuit(c.K())
+		for _, s := range c.Syncs() {
+			s.Setup *= lambda
+			s.DQ *= lambda
+			s.Hold *= lambda
+			sc.AddSync(s)
+		}
+		for _, p := range c.Paths() {
+			p.Delay *= lambda
+			p.MinDelay *= lambda
+			sc.AddPathFull(p)
+		}
+		scaled, err := MinTc(sc, Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(scaled.Schedule.Tc-lambda*base.Schedule.Tc) < 1e-6*(1+lambda*base.Schedule.Tc)
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDelayMonotonicity: increasing any single path delay never
+// decreases the optimal cycle time.
+func TestQuickDelayMonotonicity(t *testing.T) {
+	prop := func(seed int64, bump uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		base, err := MinTc(c, Options{})
+		if err != nil {
+			return true
+		}
+		idx := rng.Intn(len(c.Paths()))
+		c.SetPathDelay(idx, c.Paths()[idx].Delay+float64(bump))
+		bumped, err := MinTc(c, Options{})
+		if err != nil {
+			return false
+		}
+		return bumped.Schedule.Tc >= base.Schedule.Tc-1e-6
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAddPathMonotonicity: adding a combinational path (an extra
+// constraint) never decreases the optimal cycle time.
+func TestQuickAddPathMonotonicity(t *testing.T) {
+	prop := func(seed int64, d uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		base, err := MinTc(c, Options{})
+		if err != nil {
+			return true
+		}
+		c.AddPath(rng.Intn(c.L()), rng.Intn(c.L()), float64(d%50))
+		bumped, err := MinTc(c, Options{})
+		if err != nil {
+			// Adding a path can only tighten; with free Tc pure
+			// latch/FF circuits stay feasible, so a failure here is a
+			// real bug.
+			return false
+		}
+		return bumped.Schedule.Tc >= base.Schedule.Tc-1e-6
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMLPAlwaysP1Feasible: every MinTc result satisfies the
+// original nonlinear problem P1 — the computational content of
+// Theorem 1.
+func TestQuickMLPAlwaysP1Feasible(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		r, err := MinTc(c, Options{})
+		if err != nil {
+			return true
+		}
+		if PropagationResidual(c, r.Schedule, r.D) > 1e-6 {
+			return false
+		}
+		if len(r.Schedule.ValidateClock(c)) != 0 {
+			return false
+		}
+		an, err := CheckTc(c, r.Schedule, Options{})
+		return err == nil && an.Feasible
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCheckTcLeastFixpointMinimal: the analysis departures are
+// componentwise <= any other fixpoint (here: the MLP departures).
+func TestQuickCheckTcLeastFixpointMinimal(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		r, err := MinTc(c, Options{})
+		if err != nil {
+			return true
+		}
+		an, err := CheckTc(c, r.Schedule, Options{})
+		if err != nil || !an.Feasible {
+			return false
+		}
+		for i := range an.D {
+			if an.D[i] > r.D[i]+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRelaxedTcStillFeasible: any cycle time above the optimum
+// admits a feasible schedule (upward closure of feasibility in Tc).
+func TestQuickRelaxedTcStillFeasible(t *testing.T) {
+	prop := func(seed int64, extraRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		r, err := MinTc(c, Options{})
+		if err != nil {
+			return true
+		}
+		extra := 1 + float64(extraRaw)/32
+		fixed, err := MinTc(c, Options{FixedTc: r.Schedule.Tc*extra + 1})
+		if err != nil {
+			return false
+		}
+		an, err := CheckTc(c, fixed.Schedule, Options{})
+		return err == nil && an.Feasible
+	}
+	if err := quick.Check(prop, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPhaseShiftAntisymmetry: the phase-shift operator satisfies
+// S_ij + S_ji = -Tc for i != j (moving a reference forward and back
+// loses exactly one cycle) and S_ii = -Tc.
+func TestQuickPhaseShiftAntisymmetry(t *testing.T) {
+	prop := func(tcRaw, aRaw, bRaw uint16, kRaw uint8) bool {
+		k := 1 + int(kRaw%6)
+		tc := 1 + float64(tcRaw)/100
+		sc := NewSchedule(k)
+		sc.Tc = tc
+		for i := range sc.S {
+			sc.S[i] = float64(i) * tc / float64(k)
+		}
+		i := int(aRaw) % k
+		j := int(bRaw) % k
+		if i == j {
+			return math.Abs(sc.PhaseShift(i, i)+tc) < 1e-9
+		}
+		return math.Abs(sc.PhaseShift(i, j)+sc.PhaseShift(j, i)+tc) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

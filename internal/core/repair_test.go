@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRepairScheduleAlreadyFeasible(t *testing.T) {
+	c := example1(80)
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, alpha, err := RepairSchedule(c, r.Schedule, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != 1 || !sc.Equal(r.Schedule, 1e-12) {
+		t.Errorf("feasible schedule modified: alpha=%g", alpha)
+	}
+}
+
+func TestRepairScheduleStretchesToExactThreshold(t *testing.T) {
+	// A symmetric 50/50 two-phase clock for Example 1 needs more than
+	// the optimal 110 because its shape is wrong; repair must find the
+	// exact minimal stretch of the symmetric shape.
+	c := example1(80)
+	start := SymmetricSchedule(2, 80, 0.5) // far too fast
+	sc, alpha, err := RepairSchedule(c, start, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 1 {
+		t.Fatalf("alpha = %g, want > 1", alpha)
+	}
+	an, err := CheckTc(c, sc, Options{})
+	if err != nil || !an.Feasible {
+		t.Fatalf("repaired schedule infeasible: %v %v", err, an)
+	}
+	// Tightness: 1% less fails.
+	shrunk := sc.Clone()
+	f := 0.99
+	shrunk.Tc *= f
+	for i := range shrunk.S {
+		shrunk.S[i] *= f
+		shrunk.T[i] *= f
+	}
+	an, err = CheckTc(c, shrunk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Feasible {
+		t.Error("repair not tight")
+	}
+	// The symmetric shape can never beat the free-form optimum.
+	if sc.Tc < 110-1e-6 {
+		t.Errorf("repaired Tc %g below the optimum 110", sc.Tc)
+	}
+}
+
+func TestRepairScheduleValidation(t *testing.T) {
+	c := example1(80)
+	if _, _, err := RepairSchedule(c, NewSchedule(3), Options{}, 0); err == nil {
+		t.Error("phase mismatch accepted")
+	}
+	zero := NewSchedule(2)
+	if _, _, err := RepairSchedule(c, zero, Options{}, 0); err == nil {
+		t.Error("zero Tc accepted")
+	}
+	if _, _, err := RepairSchedule(NewCircuit(1), SymmetricSchedule(1, 1, 0.5), Options{}, 0); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestRepairScheduleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	repaired := 0
+	for iter := 0; iter < 40 && repaired < 12; iter++ {
+		c := randomCircuit(rng)
+		r, err := MinTc(c, Options{})
+		if err != nil || r.Schedule.Tc <= 0 {
+			continue
+		}
+		// Start from a random symmetric shape at half the optimum.
+		start := SymmetricSchedule(c.K(), r.Schedule.Tc/2, 0.3+0.5*rng.Float64())
+		sc, alpha, err := RepairSchedule(c, start, Options{}, 0)
+		if err != nil {
+			continue // some shapes are structurally unusable; fine
+		}
+		if alpha < 1 {
+			t.Fatalf("iter %d: alpha %g < 1", iter, alpha)
+		}
+		an, err := CheckTc(c, sc, Options{})
+		if err != nil || !an.Feasible {
+			t.Fatalf("iter %d: repaired schedule infeasible", iter)
+		}
+		if sc.Tc < r.Schedule.Tc-1e-6 {
+			t.Fatalf("iter %d: fixed-shape repair %g beat the free optimum %g", iter, sc.Tc, r.Schedule.Tc)
+		}
+		repaired++
+	}
+	if repaired < 8 {
+		t.Fatalf("only %d repairs checked", repaired)
+	}
+}
+
+func TestRepairScheduleMonotonicityAssumption(t *testing.T) {
+	// The bisection relies on feasibility being monotone in the
+	// uniform scale; spot-check on a dense alpha grid for one circuit.
+	c := example1(80)
+	start := SymmetricSchedule(2, 60, 0.5)
+	_, alphaStar, err := RepairSchedule(c, start, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 1.0; a < 3.5; a += 0.08 {
+		sc := start.Clone()
+		sc.Tc *= a
+		for i := range sc.S {
+			sc.S[i] *= a
+			sc.T[i] *= a
+		}
+		an, err := CheckTc(c, sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an.Feasible != (a >= alphaStar-1e-6) {
+			t.Fatalf("feasibility not monotone at alpha=%g (threshold %g)", a, alphaStar)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAnalysisReportPass(t *testing.T) {
+	c := example1(80)
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := CheckTc(c, r.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := an.Report(c)
+	for _, want := range []string{"PASS", "L1", "setup slack"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestAnalysisReportFail(t *testing.T) {
+	c := example1(80)
+	sc := SymmetricSchedule(2, 90, 0.5)
+	an, err := CheckTc(c, sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := an.Report(c)
+	if !strings.Contains(rep, "FAIL") {
+		t.Errorf("report missing FAIL:\n%s", rep)
+	}
+}
+
+func TestStabilityWindows(t *testing.T) {
+	// Two latches; give the path into B distinct min/max delays so the
+	// window is a proper interval.
+	c := NewCircuit(2)
+	a := c.AddLatch("A", 0, 1, 2)
+	b := c.AddLatch("B", 1, 1, 2)
+	c.AddPathFull(Path{From: a, To: b, Delay: 20, MinDelay: 5})
+	c.AddPathFull(Path{From: b, To: a, Delay: 10, MinDelay: 10})
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relax 20% so early/late separate cleanly from the binding point.
+	sc := r.Schedule.Clone()
+	f := 1.2
+	sc.Tc *= f
+	for i := range sc.S {
+		sc.S[i] *= f
+		sc.T[i] *= f
+	}
+	ws, err := StabilityWindows(c, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := CheckTc(c, sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window of B starts at its late arrival.
+	if math.Abs(ws[b].Valid-an.A[b]) > 1e-9 {
+		t.Errorf("window start %g != arrival %g", ws[b].Valid, an.A[b])
+	}
+	// The early next wave is 15 ns earlier than the late current wave
+	// (min 5 vs max 20), so the window width is Tc - 15.
+	if want := sc.Tc - 15; math.Abs(ws[b].Width()-want) > 1e-9 {
+		t.Errorf("window width = %g, want %g", ws[b].Width(), want)
+	}
+	// The window must cover the closing edge minus setup (that is what
+	// feasibility means).
+	closing := sc.T[c.Sync(b).Phase]
+	if ws[b].Valid > closing-c.Sync(b).Setup+Eps {
+		t.Errorf("window starts after setup deadline")
+	}
+	if ws[b].Expire < closing-Eps {
+		t.Errorf("window expires before closing edge")
+	}
+}
+
+func TestStabilityWindowsNoFanin(t *testing.T) {
+	c := NewCircuit(1)
+	c.AddLatch("in", 0, 1, 2)
+	c.AddLatch("out", 0, 1, 2)
+	c.AddPath(0, 1, 5)
+	r, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := StabilityWindows(c, r.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ws[0].Valid, -1) || !math.IsInf(ws[0].Expire, 1) {
+		t.Errorf("no-fanin window = %+v, want unbounded", ws[0])
+	}
+}
+
+func TestStabilityWindowsUnstableSchedule(t *testing.T) {
+	c := NewCircuit(1)
+	a := c.AddLatch("A", 0, 1, 2)
+	c.AddPath(a, a, 50)
+	sc := NewSchedule(1)
+	sc.Tc, sc.T[0] = 10, 10
+	if _, err := StabilityWindows(c, sc); err == nil {
+		t.Fatal("unstable schedule produced windows")
+	}
+}

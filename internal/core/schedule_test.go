@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPhaseShiftOperator(t *testing.T) {
+	// Appendix oracle (converted to 0-based): with a 4-phase clock,
+	// S_13 = s1 - s3, S_21 = s2 - s1 - Tc, S_43 = s4 - s3 - Tc, etc.
+	sc := NewSchedule(4)
+	sc.Tc = 100
+	sc.S = []float64{0, 10, 30, 60}
+	cases := []struct {
+		i, j int // 1-based paper indices
+		want float64
+	}{
+		{1, 3, 0 - 30},        // S13 = s1 - s3
+		{1, 4, 0 - 60},        // S14
+		{2, 1, 10 - 0 - 100},  // S21 crosses a cycle boundary
+		{2, 3, 10 - 30},       // S23
+		{2, 4, 10 - 60},       // S24
+		{3, 1, 30 - 0 - 100},  // S31
+		{3, 2, 30 - 10 - 100}, // S32
+		{4, 2, 60 - 10 - 100}, // S42
+		{4, 3, 60 - 30 - 100}, // S43
+		{2, 2, -100},          // same phase: one full cycle back
+	}
+	for _, tc := range cases {
+		got := sc.PhaseShift(tc.i-1, tc.j-1)
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("S_%d%d = %g, want %g", tc.i, tc.j, got, tc.want)
+		}
+	}
+}
+
+func TestSymmetricSchedule(t *testing.T) {
+	sc := SymmetricSchedule(4, 100, 0.5)
+	if sc.Tc != 100 || sc.K() != 4 {
+		t.Fatalf("bad schedule %v", sc)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(sc.S[i]-float64(i)*25) > 1e-12 || math.Abs(sc.T[i]-12.5) > 1e-12 {
+			t.Errorf("phase %d: s=%g T=%g", i, sc.S[i], sc.T[i])
+		}
+	}
+}
+
+func TestValidateClockAccepts(t *testing.T) {
+	c := twoPhaseLoop()
+	sc := SymmetricSchedule(2, 100, 0.9)
+	if v := sc.ValidateClock(c); len(v) != 0 {
+		t.Fatalf("valid clock rejected: %v", v)
+	}
+}
+
+func TestValidateClockOverlapViolation(t *testing.T) {
+	c := twoPhaseLoop()
+	sc := NewSchedule(2)
+	sc.Tc = 100
+	sc.S = []float64{0, 40}
+	sc.T = []float64{60, 50} // phi1 ends at 60 > s2 = 40: C3 violated
+	v := sc.ValidateClock(c)
+	if len(v) == 0 {
+		t.Fatal("overlapping phases accepted")
+	}
+	found := false
+	for _, viol := range v {
+		if strings.Contains(viol.Constraint, "C3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no C3 violation reported: %v", v)
+	}
+}
+
+func TestValidateClockOverlapAllowedWithoutKPair(t *testing.T) {
+	// Paper §V example 3: phases may overlap when K_ij = K_ji = 0.
+	// Build a circuit with no paths between phi1 and phi2 latches.
+	c := NewCircuit(2)
+	a := c.AddLatch("A", 0, 1, 1)
+	c.AddPath(a, a, 5) // only a phi1->phi1 self-loop
+	c.AddLatch("B", 1, 1, 1)
+	sc := NewSchedule(2)
+	sc.Tc = 100
+	sc.S = []float64{0, 10}
+	sc.T = []float64{50, 20} // phi2 completely inside phi1
+	if v := sc.ValidateClock(c); len(v) != 0 {
+		t.Fatalf("overlap without I/O pair rejected: %v", v)
+	}
+}
+
+func TestValidateClockPeriodicityAndOrdering(t *testing.T) {
+	c := twoPhaseLoop()
+	sc := NewSchedule(2)
+	sc.Tc = 50
+	sc.S = []float64{60, 10} // s1 > Tc (C1) and s1 > s2 (C2)
+	sc.T = []float64{10, 10}
+	v := sc.ValidateClock(c)
+	var c1, c2 bool
+	for _, viol := range v {
+		if strings.Contains(viol.Constraint, "C1") {
+			c1 = true
+		}
+		if strings.Contains(viol.Constraint, "C2") {
+			c2 = true
+		}
+	}
+	if !c1 || !c2 {
+		t.Errorf("missing C1/C2 violations: %v", v)
+	}
+}
+
+func TestValidateClockNegativeValues(t *testing.T) {
+	c := twoPhaseLoop()
+	sc := NewSchedule(2)
+	sc.Tc = -5
+	v := sc.ValidateClock(c)
+	if len(v) == 0 {
+		t.Fatal("negative Tc accepted")
+	}
+}
+
+func TestValidateClockPhaseCountMismatch(t *testing.T) {
+	c := twoPhaseLoop()
+	sc := NewSchedule(3)
+	if v := sc.ValidateClock(c); len(v) == 0 {
+		t.Fatal("phase-count mismatch accepted")
+	}
+}
+
+func TestScheduleCloneIndependence(t *testing.T) {
+	sc := SymmetricSchedule(2, 100, 0.5)
+	cp := sc.Clone()
+	cp.S[0] = 99
+	cp.Tc = 1
+	if sc.S[0] == 99 || sc.Tc == 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestScheduleEqual(t *testing.T) {
+	a := SymmetricSchedule(2, 100, 0.5)
+	b := a.Clone()
+	if !a.Equal(b, 1e-9) {
+		t.Fatal("identical schedules not equal")
+	}
+	b.T[1] += 0.5
+	if a.Equal(b, 1e-9) {
+		t.Fatal("different schedules equal")
+	}
+	if !a.Equal(b, 1.0) {
+		t.Fatal("tolerance not respected")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	sc := SymmetricSchedule(2, 100, 0.5)
+	s := sc.String()
+	for _, want := range []string{"Tc=100", "phi1:[0,25)", "phi2:[50,75)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEnd(t *testing.T) {
+	sc := NewSchedule(1)
+	sc.S[0], sc.T[0] = 10, 15
+	if sc.End(0) != 25 {
+		t.Errorf("End = %g, want 25", sc.End(0))
+	}
+}

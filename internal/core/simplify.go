@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Simplify returns an equivalent circuit with redundant paths removed,
+// in the spirit of the paper's model-reduction remark ("by lumping
+// latches corresponding to vector signals with similar timing ... the
+// number l can be reasonably small even for large circuits"):
+//
+//   - parallel paths between the same ordered pair of synchronizers
+//     collapse into one path carrying the maximum Delay and minimum
+//     MinDelay (the only values the long- and short-path analyses can
+//     ever see);
+//   - the label of the surviving path is taken from the slowest
+//     member.
+//
+// The reduction is exact: MinTc, CheckTc and the hold analysis produce
+// identical results on the simplified circuit. The second return value
+// reports how many paths were eliminated.
+func Simplify(c *Circuit) (*Circuit, int) {
+	out := NewCircuit(c.K())
+	out.Meta = c.Meta
+	for p := 0; p < c.K(); p++ {
+		out.SetPhaseName(p, c.PhaseName(p))
+	}
+	for _, s := range c.Syncs() {
+		out.AddSync(s)
+	}
+	type key struct{ from, to int }
+	best := map[key]Path{}
+	var order []key
+	for _, p := range c.Paths() {
+		k := key{p.From, p.To}
+		cur, seen := best[k]
+		if !seen {
+			best[k] = p
+			order = append(order, k)
+			continue
+		}
+		merged := cur
+		if p.Delay > cur.Delay {
+			merged.Delay = p.Delay
+			merged.Label = p.Label
+		}
+		if p.MinDelay < cur.MinDelay {
+			merged.MinDelay = p.MinDelay
+		}
+		best[k] = merged
+	}
+	for _, k := range order {
+		out.AddPathFull(best[k])
+	}
+	return out, len(c.Paths()) - len(order)
+}
+
+// LumpEquivalent merges synchronizers that are timing-equivalent: same
+// kind, phase, setup, DQ and hold, and identical fanin and fanout path
+// structure (same counterpart synchronizers with the same delays after
+// Simplify). This models the paper's bus lumping: the 32 bit latches
+// of a data bus collapse into one synchronizer. Returns the lumped
+// circuit and a mapping old→new synchronizer indices.
+func LumpEquivalent(c *Circuit) (*Circuit, []int) {
+	s, _ := Simplify(c)
+	l := s.L()
+
+	// Signature: element parameters plus sorted fanin/fanout edges
+	// expressed by (peer, delay, minDelay). Requiring identical peers
+	// keeps the merge simple and exact, which is precisely the bus
+	// case the paper describes.
+	sig := make([]string, l)
+	for i := 0; i < l; i++ {
+		sy := s.Sync(i)
+		var edges []edge
+		for _, pi := range s.Fanin(i) {
+			p := s.Paths()[pi]
+			edges = append(edges, edge{peer: p.From, d: p.Delay, dmin: p.MinDelay, incoming: true})
+		}
+		for _, p := range s.Paths() {
+			if p.From == i {
+				edges = append(edges, edge{peer: p.To, d: p.Delay, dmin: p.MinDelay})
+			}
+		}
+		sortEdges(edges)
+		sig[i] = signature(sy, edges, i)
+	}
+
+	group := map[string]int{}
+	mapping := make([]int, l)
+	out := NewCircuit(s.K())
+	out.Meta = s.Meta
+	for p := 0; p < s.K(); p++ {
+		out.SetPhaseName(p, s.PhaseName(p))
+	}
+	for i := 0; i < l; i++ {
+		if g, ok := group[sig[i]]; ok {
+			mapping[i] = g
+			continue
+		}
+		g := out.AddSync(s.Sync(i))
+		group[sig[i]] = g
+		mapping[i] = g
+	}
+	// Re-add paths through the mapping, deduplicating with Simplify's
+	// rule.
+	tmp := NewCircuit(s.K())
+	for p := 0; p < s.K(); p++ {
+		tmp.SetPhaseName(p, s.PhaseName(p))
+	}
+	for i := 0; i < out.L(); i++ {
+		tmp.AddSync(out.Sync(i))
+	}
+	for _, p := range s.Paths() {
+		q := p
+		q.From = mapping[p.From]
+		q.To = mapping[p.To]
+		tmp.AddPathFull(q)
+	}
+	lumped, _ := Simplify(tmp)
+	lumped.Meta = s.Meta
+	return lumped, mapping
+}
+
+func sortEdges(edges []edge) {
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edgeLess(edges[j], edges[j-1]); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+}
+
+// edge is the fanin/fanout record used by LumpEquivalent's structural
+// signatures.
+type edge struct {
+	peer     int
+	d, dmin  float64
+	incoming bool
+}
+
+func edgeLess(a, b edge) bool {
+	if a.incoming != b.incoming {
+		return a.incoming
+	}
+	if a.peer != b.peer {
+		return a.peer < b.peer
+	}
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.dmin < b.dmin
+}
+
+func signature(sy Synchronizer, edges []edge, self int) string {
+	// A compact, exact structural signature. Peers referring to the
+	// synchronizer itself are normalized so parallel buses of
+	// self-looping elements can merge.
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d,%d,%v,%v,%v", sy.Kind, sy.Phase, sy.Setup, sy.DQ, sy.Hold)
+	for _, e := range edges {
+		peer := e.peer
+		if peer == self {
+			peer = -1
+		}
+		dir := 'o'
+		if e.incoming {
+			dir = 'i'
+		}
+		fmt.Fprintf(&b, "|%c%d,%v,%v", dir, peer, e.d, e.dmin)
+	}
+	return b.String()
+}

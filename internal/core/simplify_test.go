@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyMergesParallelPaths(t *testing.T) {
+	c := NewCircuit(2)
+	a := c.AddLatch("A", 0, 1, 2)
+	b := c.AddLatch("B", 1, 1, 2)
+	c.AddPathFull(Path{From: a, To: b, Delay: 20, MinDelay: 10, Label: "slow"})
+	c.AddPathFull(Path{From: a, To: b, Delay: 15, MinDelay: 3, Label: "fast"})
+	c.AddPath(b, a, 10)
+	s, removed := Simplify(c)
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if len(s.Paths()) != 2 {
+		t.Fatalf("paths = %d, want 2", len(s.Paths()))
+	}
+	merged := s.Paths()[0]
+	if merged.Delay != 20 || merged.MinDelay != 3 || merged.Label != "slow" {
+		t.Errorf("merged path = %+v, want max delay 20, min 3, slow label", merged)
+	}
+}
+
+func TestSimplifyExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 40; iter++ {
+		c := randomCircuit(rng)
+		// Duplicate some paths to create redundancy.
+		for _, p := range c.Paths() {
+			if rng.Float64() < 0.4 {
+				q := p
+				q.Delay *= rng.Float64() // strictly dominated
+				q.MinDelay = q.Delay
+				c.AddPathFull(q)
+			}
+		}
+		s, _ := Simplify(c)
+		r1, err1 := MinTc(c, Options{})
+		r2, err2 := MinTc(s, Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("iter %d: feasibility changed", iter)
+		}
+		if err1 != nil {
+			continue
+		}
+		if math.Abs(r1.Schedule.Tc-r2.Schedule.Tc) > 1e-9*(1+r1.Schedule.Tc) {
+			t.Fatalf("iter %d: Tc changed %g -> %g", iter, r1.Schedule.Tc, r2.Schedule.Tc)
+		}
+	}
+}
+
+// busCircuit builds a "32-bit bus" as 32 identical parallel latches
+// between two shared endpoints — the lumping scenario of §IV.
+func busCircuit(width int) *Circuit {
+	c := NewCircuit(2)
+	src := c.AddLatch("src", 0, 1, 2)
+	dst := c.AddLatch("dst", 0, 1, 2)
+	for i := 0; i < width; i++ {
+		bit := c.AddLatch("", 1, 1, 2)
+		c.AddPath(src, bit, 12)
+		c.AddPath(bit, dst, 9)
+	}
+	c.AddPath(dst, src, 5)
+	return c
+}
+
+func TestLumpEquivalentCollapsesBus(t *testing.T) {
+	c := busCircuit(32)
+	lumped, mapping := LumpEquivalent(c)
+	if lumped.L() != 3 {
+		t.Fatalf("lumped l = %d, want 3 (src, dst, one bus latch)", lumped.L())
+	}
+	if len(mapping) != c.L() {
+		t.Fatalf("mapping length %d", len(mapping))
+	}
+	// All bus bits map to the same synchronizer.
+	first := mapping[2]
+	for i := 2; i < c.L(); i++ {
+		if mapping[i] != first {
+			t.Errorf("bit %d mapped to %d, want %d", i, mapping[i], first)
+		}
+	}
+	// Timing is preserved.
+	r1, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MinTc(lumped, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Schedule.Tc-r2.Schedule.Tc) > 1e-9 {
+		t.Errorf("lumping changed Tc: %g vs %g", r1.Schedule.Tc, r2.Schedule.Tc)
+	}
+	// And the model shrank dramatically, as the paper promises.
+	if lumped.L() >= c.L()/4 {
+		t.Errorf("lumping ineffective: %d -> %d", c.L(), lumped.L())
+	}
+}
+
+func TestLumpEquivalentKeepsDistinctElements(t *testing.T) {
+	// Different setups must not merge.
+	c := NewCircuit(1)
+	a := c.AddLatch("a", 0, 1, 2)
+	b := c.AddLatch("b", 0, 2, 3)
+	x := c.AddLatch("x", 0, 1, 2)
+	c.AddPath(a, x, 5)
+	c.AddPath(b, x, 5)
+	lumped, _ := LumpEquivalent(c)
+	if lumped.L() != 3 {
+		t.Errorf("distinct elements merged: l = %d", lumped.L())
+	}
+}
+
+func TestLumpEquivalentRandomTcInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for iter := 0; iter < 30; iter++ {
+		c := randomCircuit(rng)
+		lumped, _ := LumpEquivalent(c)
+		r1, err1 := MinTc(c, Options{})
+		r2, err2 := MinTc(lumped, Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("iter %d: feasibility changed by lumping", iter)
+		}
+		if err1 != nil {
+			continue
+		}
+		if math.Abs(r1.Schedule.Tc-r2.Schedule.Tc) > 1e-9*(1+r1.Schedule.Tc) {
+			t.Fatalf("iter %d: Tc %g -> %g", iter, r1.Schedule.Tc, r2.Schedule.Tc)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepDelays solves the design problem at each of the given delay
+// values for one path, in parallel: every worker gets its own clone of
+// the circuit (circuits are mutable and not safe for shared mutation).
+// Results are returned in input order; a value whose solve fails
+// carries the error at its index.
+//
+// This is the bulk counterpart of ParametricDelay: parametrics gives
+// the exact piecewise-linear curve from a handful of solves, while
+// SweepDelays brute-forces arbitrary value lists (including points
+// where options like DesignForHold make the parametric shortcut
+// unavailable).
+func SweepDelays(c *Circuit, opts Options, pathIndex int, values []float64) ([]float64, []error) {
+	tcs := make([]float64, len(values))
+	errs := make([]error, len(values))
+	if pathIndex < 0 || pathIndex >= len(c.Paths()) {
+		err := fmt.Errorf("core: path index %d out of range", pathIndex)
+		for i := range errs {
+			errs[i] = err
+		}
+		return tcs, errs
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(values) {
+		workers = len(values)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := c.Clone()
+			for i := range next {
+				local.SetPathDelay(pathIndex, values[i])
+				r, err := MinTc(local, opts)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				tcs[i] = r.Schedule.Tc
+			}
+		}()
+	}
+	for i := range values {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return tcs, errs
+}

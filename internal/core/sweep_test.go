@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweepDelaysMatchesSerial(t *testing.T) {
+	c := example1(0)
+	var values []float64
+	for d := 0.0; d <= 150; d += 3 {
+		values = append(values, d)
+	}
+	tcs, errs := SweepDelays(c, Options{}, 3, values)
+	for i, d := range values {
+		if errs[i] != nil {
+			t.Fatalf("Δ41=%g: %v", d, errs[i])
+		}
+		if want := example1OptTc(d); math.Abs(tcs[i]-want) > 1e-6 {
+			t.Errorf("Δ41=%g: parallel %g vs formula %g", d, tcs[i], want)
+		}
+	}
+	// The source circuit is untouched.
+	if c.Paths()[3].Delay != 0 {
+		t.Errorf("sweep mutated the input circuit: %g", c.Paths()[3].Delay)
+	}
+}
+
+func TestSweepDelaysBadPath(t *testing.T) {
+	c := example1(0)
+	_, errs := SweepDelays(c, Options{}, 99, []float64{1, 2})
+	for _, err := range errs {
+		if err == nil {
+			t.Fatal("bad path accepted")
+		}
+	}
+}
+
+func TestSweepDelaysEmpty(t *testing.T) {
+	c := example1(0)
+	tcs, errs := SweepDelays(c, Options{}, 0, nil)
+	if len(tcs) != 0 || len(errs) != 0 {
+		t.Fatal("nonempty result for empty sweep")
+	}
+}
+
+func TestCircuitClone(t *testing.T) {
+	c := example1(80)
+	c.Meta = map[string]string{"k": "v"}
+	c.SetPhaseName(0, "alpha")
+	cp := c.Clone()
+	if cp.K() != c.K() || cp.L() != c.L() || len(cp.Paths()) != len(c.Paths()) {
+		t.Fatal("clone structure differs")
+	}
+	if cp.PhaseName(0) != "alpha" || cp.Meta["k"] != "v" {
+		t.Fatal("clone lost names/meta")
+	}
+	// Independence.
+	cp.SetPathDelay(0, 999)
+	cp.Meta["k"] = "other"
+	if c.Paths()[0].Delay == 999 || c.Meta["k"] == "other" {
+		t.Fatal("clone shares storage")
+	}
+	r1, err := MinTc(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := c.Clone()
+	r2, err := MinTc(c2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Schedule.Equal(r2.Schedule, 1e-12) {
+		t.Fatal("clone solves differently")
+	}
+}

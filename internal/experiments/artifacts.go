@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/render"
+)
+
+// WriteArtifacts regenerates every experiment and writes the results
+// into dir: one .txt report per figure/table plus graphical artifacts
+// (SVG timing diagrams for Figs. 6 and 11, DOT circuit graphs for the
+// example circuits). It returns the list of files written.
+func WriteArtifacts(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	put := func(name, content string) error {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			return err
+		}
+		written = append(written, p)
+		return nil
+	}
+
+	reports := []struct {
+		name string
+		f    func() (string, error)
+	}{
+		{"fig03.txt", Fig3}, {"fig04.txt", Fig4}, {"fig05.txt", Fig5},
+		{"fig06.txt", Fig6}, {"fig07.txt", Fig7}, {"fig08.txt", Fig8},
+		{"fig09.txt", Fig9}, {"fig10.txt", Fig10}, {"fig11.txt", Fig11},
+		{"table1.txt", TableI}, {"claims.txt", Claims},
+		{"cache_study.txt", CacheStudy}, {"mcm_study.txt", MCMStudy},
+		{"borrowing_study.txt", BorrowingStudy}, {"checklist.txt", ChecklistReport},
+	}
+	for _, r := range reports {
+		s, err := r.f()
+		if err != nil {
+			return written, fmt.Errorf("%s: %w", r.name, err)
+		}
+		if err := put(r.name, s); err != nil {
+			return written, err
+		}
+	}
+
+	// Graphical artifacts.
+	type figure struct {
+		base string
+		c    *core.Circuit
+	}
+	figures := []figure{
+		{"example1_d41_120", circuits.Example1(120)},
+		{"example2", circuits.Example2()},
+		{"gaas_mips", circuits.GaAsMIPS()},
+	}
+	for _, fg := range figures {
+		r, err := core.MinTc(fg.c, core.Options{})
+		if err != nil {
+			return written, err
+		}
+		if err := put(fg.base+".svg", render.SVG(fg.c, r.Schedule, r.D, render.Options{})); err != nil {
+			return written, err
+		}
+		dot, err := dotString(fg.c, r.D)
+		if err != nil {
+			return written, err
+		}
+		if err := put(fg.base+".dot", dot); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+func dotString(c *core.Circuit, d []float64) (string, error) {
+	var b strings.Builder
+	if err := render.WriteDOT(&b, c, d); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/render"
+)
+
+// BorrowingStudy quantifies time borrowing — the mechanism behind the
+// paper's Fig. 7 segments — across the Δ41 sweep of Example 1: the
+// total departure retardation Σ D_i of the least-retardation optimal
+// solution is the work the transparent latches carry across phase
+// boundaries. The three regimes complement the Tc curve exactly:
+// in the flat region every extra nanosecond of Δ41 is absorbed purely
+// by borrowing (dΣD/dΔ41 = 1, Tc constant); in the borrowing region
+// the cost is split between retardation and cycle time; past Δ41 = 100
+// the borrowable slack is saturated and Tc absorbs everything
+// (ΣD constant, dTc/dΔ41 = 1).
+func BorrowingStudy() (string, error) {
+	var b strings.Builder
+	b.WriteString("Borrowing study (Example 1): total departure retardation vs Δ41\n\n")
+	b.WriteString("  Δ41      Tc*   ΣD (min-retardation)\n")
+	var xs, ys []float64
+	for d41 := 0.0; d41 <= 140+1e-9; d41 += 10 {
+		c := circuits.Example1(d41)
+		// Least-retardation tie-break isolates the *necessary*
+		// borrowing from the non-unique optimal family.
+		r, err := core.MinTcLex(c, core.Options{}, core.MinDepartures)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%5g  %7.1f  %9.1f\n", d41, r.Schedule.Tc, r.TotalBorrowing())
+		xs = append(xs, d41)
+		ys = append(ys, r.TotalBorrowing())
+	}
+	b.WriteString("\n")
+	b.WriteString(render.Chart("necessary borrowing vs Δ41", []render.Series{
+		{Label: "ΣD", X: xs, Y: ys, Marker: 'o'},
+	}, 56, 12))
+	b.WriteString("\nEdge-triggered clocking forces ΣD = 0 everywhere, which is why its\n")
+	b.WriteString("curve in Fig. 7 sits strictly above the optimum whenever ΣD > 0 here.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+)
+
+func mustRun(t *testing.T, f func() (string, error), name string) string {
+	t.Helper()
+	s, err := f()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if s == "" {
+		t.Fatalf("%s: empty report", name)
+	}
+	return s
+}
+
+func TestFig3ReportsValidClocks(t *testing.T) {
+	s := mustRun(t, Fig3, "Fig3")
+	if strings.Contains(s, "VIOLATED") {
+		t.Errorf("Fig3 clock violations:\n%s", s)
+	}
+	for _, want := range []string{"k = 2", "k = 3", "k = 4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig3 missing %q", want)
+		}
+	}
+}
+
+func TestFig4TheoremToy(t *testing.T) {
+	s := mustRun(t, Fig4, "Fig4")
+	for _, want := range []string{"z = 1", "(2, 1)", "satisfied"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig4 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig5DescribesCircuit(t *testing.T) {
+	s := mustRun(t, Fig5, "Fig5")
+	for _, want := range []string{"La", "Lb", "Lc", "Ld", "Δ41"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig5 missing %q", want)
+		}
+	}
+}
+
+func TestFig6PaperCycleTimes(t *testing.T) {
+	s := mustRun(t, Fig6, "Fig6")
+	for _, want := range []string{"paper Tc = 110, ours = 110", "paper Tc = 120, ours = 120", "paper Tc = 140, ours = 140"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig6 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig7SweepShape(t *testing.T) {
+	rows, err := Fig7Sweep(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.MLP-r.Analytic) > 1e-6 {
+			t.Errorf("Δ41=%g: MLP %g != analytic %g", r.Delta41, r.MLP, r.Analytic)
+		}
+		if r.NRIP < r.MLP-1e-6 || r.ETTF < r.NRIP-1e-6 {
+			t.Errorf("Δ41=%g: ordering broken MLP=%g NRIP=%g ETTF=%g", r.Delta41, r.MLP, r.NRIP, r.ETTF)
+		}
+		// The fixed-shape frequency search upper-bounds the optimum
+		// (it is not comparable with NRIP/ETTF in general).
+		if r.Agrawal < r.MLP-1e-4 {
+			t.Errorf("Δ41=%g: frequency search %g beat the optimum %g", r.Delta41, r.Agrawal, r.MLP)
+		}
+	}
+	// Crossover structure: flat then rising.
+	if rows[0].MLP != 80 || rows[2].MLP != 80 {
+		t.Error("flat segment missing")
+	}
+	if rows[14].MLP != 160 {
+		t.Errorf("end of sweep MLP = %g, want 160", rows[14].MLP)
+	}
+	if _, err := Fig7(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8AndFig9Example2(t *testing.T) {
+	mustRun(t, Fig8, "Fig8")
+	s := mustRun(t, Fig9, "Fig9")
+	if !strings.Contains(s, "% above optimal") {
+		t.Errorf("Fig9 missing gap line:\n%s", s)
+	}
+	// Extract and verify the gap is in the reported band.
+	idx := strings.Index(s, "NRIP is ")
+	if idx < 0 {
+		t.Fatal("no NRIP gap sentence")
+	}
+	var gap float64
+	if _, err := fmt.Sscanf(s[idx:], "NRIP is %f%%", &gap); err != nil {
+		t.Fatalf("cannot parse gap: %v", err)
+	}
+	if gap < 30 || gap > 40 {
+		t.Errorf("gap = %g%%, want ~35%%", gap)
+	}
+}
+
+func TestFig10GaAsDescription(t *testing.T) {
+	s := mustRun(t, Fig10, "Fig10")
+	for _, want := range []string{"15 latches + 3 flip-flops", "K13 = 0, K31 = 0", "precharge"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig10 missing %q", want)
+		}
+	}
+}
+
+func TestFig11GaAsSchedule(t *testing.T) {
+	s := mustRun(t, Fig11, "Fig11")
+	for _, want := range []string{"optimal Tc = 4.4 ns", "constraints: 91", "phi3 completely overlapped by phi1 (mod Tc): true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig11 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableI(t *testing.T) {
+	s := mustRun(t, TableI, "TableI")
+	for _, want := range []string{"16,085", "3419", "1848", "6874", "1922", "30,148"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestClaims(t *testing.T) {
+	s := mustRun(t, Claims, "Claims")
+	if strings.Contains(s, "false") {
+		t.Errorf("Claims reports a failed LP==MCR check:\n%s", s)
+	}
+	if !strings.Contains(s, "GaAsMIPS") {
+		t.Error("Claims missing GaAs row")
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	s, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) < 3000 {
+		t.Errorf("All() output suspiciously small: %d bytes", len(s))
+	}
+}
+
+func TestIterationStats(t *testing.T) {
+	res, err := IterationStats(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disagreements != 0 {
+		t.Fatalf("%d LP-vs-MCR disagreements", res.Disagreements)
+	}
+	// The paper's claim: the update usually needs 0-3 iterations.
+	within3 := 0
+	total := 0
+	for k, n := range res.IterHist {
+		total += n
+		if k <= 3 {
+			within3 += n
+		}
+	}
+	if total == 0 {
+		t.Fatal("no circuits measured")
+	}
+	if frac := float64(within3) / float64(total); frac < 0.8 {
+		t.Errorf("only %.0f%% of circuits within 3 iterations", frac*100)
+	}
+	// Pivot ratios stay within the paper's n..3n band at the median.
+	if len(res.PivotRatios) == 0 {
+		t.Fatal("no pivot ratios")
+	}
+	var sum float64
+	for _, r := range res.PivotRatios {
+		sum += r
+	}
+	if mean := sum / float64(len(res.PivotRatios)); mean > 3 {
+		t.Errorf("mean pivots/rows = %.2f, above the 3n rule of thumb", mean)
+	}
+	if _, err := Stats(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6NonUniquenessDemo(t *testing.T) {
+	s := mustRun(t, Fig6, "Fig6")
+	if !strings.Contains(s, "same optimal Tc: true; schedules differ: true") {
+		t.Errorf("non-uniqueness demo missing or wrong:\n%s", s)
+	}
+}
+
+func TestCacheStudy(t *testing.T) {
+	s, err := CacheStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"I-cache", "D-cache", "margin"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("cache study missing %q:\n%s", want, s)
+		}
+	}
+	// The caches must have strictly positive margin in the calibrated
+	// model (the IMD loop limits the cycle, not the caches).
+	if strings.Contains(s, "margin -") {
+		t.Errorf("negative cache margin:\n%s", s)
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	files, err := WriteArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 15 {
+		t.Fatalf("only %d artifacts written", len(files))
+	}
+	want := []string{"fig07.txt", "fig11.txt", "table1.txt", "gaas_mips.svg", "example2.dot"}
+	have := map[string]bool{}
+	for _, f := range files {
+		have[filepath.Base(f)] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("missing artifact %s", w)
+		}
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "gaas_mips.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Error("svg artifact malformed")
+	}
+	dot, err := os.ReadFile(filepath.Join(dir, "example2.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(dot), "digraph") {
+		t.Error("dot artifact malformed")
+	}
+}
+
+func TestWriteHTMLReport(t *testing.T) {
+	dir := t.TempDir()
+	idx, err := WriteHTMLReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"<!DOCTYPE html>", "Fig. 11", "Table I", "<svg", "reproduction report"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("index.html missing %q", want)
+		}
+	}
+}
+
+func TestMCMStudy(t *testing.T) {
+	s, err := MCMStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "per-crossing penalty") || !strings.Contains(s, "knee") {
+		t.Errorf("MCM study malformed:\n%s", s)
+	}
+	// The zero-penalty row is the MCM baseline at 4.4; the final row
+	// must be strictly worse (the crossing penalty eventually binds).
+	if !strings.Contains(s, "+31.8%") {
+		t.Errorf("expected end-of-sweep degradation in:\n%s", s)
+	}
+}
+
+func TestGaAsChipCrossingMonotone(t *testing.T) {
+	prev := 0.0
+	for p := 0.0; p <= 1.5; p += 0.25 {
+		c := circuits.GaAsWithChipCrossings(p)
+		r, err := core.MinTc(c, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Schedule.Tc < prev-1e-9 {
+			t.Fatalf("Tc decreased with larger crossing penalty at %g", p)
+		}
+		prev = r.Schedule.Tc
+	}
+}
+
+func TestBorrowingStudyRegimes(t *testing.T) {
+	s, err := BorrowingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat region absorbs Δ41 purely by borrowing; saturation at 80.
+	for _, want := range []string{"    0     80.0       20.0", "   20     80.0       40.0", "  140    160.0       80.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("borrowing table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestChecklistAllPass(t *testing.T) {
+	claims, err := Checklist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 15 {
+		t.Fatalf("only %d claims", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("claim %s failed: %s (%s)", c.ID, c.Description, c.Detail)
+		}
+	}
+	s, err := ChecklistReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "claims pass") || strings.Contains(s, "FAIL") {
+		t.Errorf("report malformed:\n%s", s)
+	}
+}

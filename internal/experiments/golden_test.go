@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenCases lists the reports whose output is fully deterministic
+// (Fig. 11 embeds a wall-clock measurement and is excluded).
+var goldenCases = []struct {
+	name string
+	f    func() (string, error)
+}{
+	{"fig03", Fig3},
+	{"fig04", Fig4},
+	{"fig05", Fig5},
+	{"fig06", Fig6},
+	{"fig07", Fig7},
+	{"fig08", Fig8},
+	{"fig09", Fig9},
+	{"fig10", Fig10},
+	{"table1", TableI},
+	{"claims", Claims},
+	{"cache", CacheStudy},
+	{"mcm", MCMStudy},
+	{"borrowing", BorrowingStudy},
+	{"checklist", ChecklistReport},
+}
+
+// TestGoldenReports pins every deterministic report byte-for-byte; any
+// change to solver behavior, rendering or numbers shows up as a diff.
+// Refresh intentionally with: go test ./internal/experiments -update
+func TestGoldenReports(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.f()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden file; run with -update if intentional.\n--- got ---\n%.2000s\n--- want ---\n%.2000s",
+					tc.name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/render"
+)
+
+// MCMStudy quantifies the paper's multichip-module decision ("to
+// reduce the effects of chip crossings the CPU and the primary caches
+// are integrated into a single multichip module"): the cache-access
+// paths get a per-crossing delay penalty — 0 for the MCM, growing for
+// board-level packaging — and the optimal cycle time is re-derived at
+// each point. The knee of the curve shows how much crossing budget the
+// design tolerates before the caches take over the critical loop.
+func MCMStudy() (string, error) {
+	var b strings.Builder
+	b.WriteString("MCM chip-crossing study (derived from the paper's packaging discussion)\n\n")
+	b.WriteString("per-crossing penalty (ns)   optimal Tc (ns)   vs MCM\n")
+	var xs, ys []float64
+	for penalty := 0.0; penalty <= 1.2+1e-9; penalty += 0.1 {
+		c := circuits.GaAsWithChipCrossings(penalty)
+		r, err := core.MinTc(c, core.Options{})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%21.2f   %15.4g   %+5.1f%%\n", penalty, r.Schedule.Tc, (r.Schedule.Tc/4.4-1)*100)
+		xs = append(xs, penalty)
+		ys = append(ys, r.Schedule.Tc)
+	}
+	b.WriteString("\n")
+	b.WriteString(render.Chart("Tc vs chip-crossing penalty", []render.Series{
+		{Label: "Tc*", X: xs, Y: ys, Marker: 'o'},
+	}, 56, 12))
+	b.WriteString("\nAt zero penalty (the MCM) the IMD execution loop limits Tc at 4.4 ns;\n")
+	b.WriteString("beyond the knee the memory loops through the cache chips dominate,\n")
+	b.WriteString("which is exactly the effect the single-module integration avoids.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"fmt"
+
+	"mintc/internal/core"
+	"mintc/internal/delay"
+	"mintc/internal/netex"
+)
+
+// GateLevelRing builds a gate-level netlist of a two-phase latch ring:
+// n latches (n even) with a chain of depth inverting gates between
+// consecutive latches. Under the unit-delay model every stage has
+// delay depth, so the extracted circuit's optimal cycle time has the
+// closed form of a uniform ring: Tc* = 2·(DQ + depth) once the loop
+// bound dominates the single-arc bound (DQ + depth + setup).
+//
+// It exercises the netex extraction front end at scale: n·depth gates,
+// n elements, n stages.
+func GateLevelRing(n, depth int, setup, dq, intrinsic, drive, inCap float64) (*netex.Netlist, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("gen: ring size %d must be even and >= 2", n)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("gen: gate depth %d must be >= 1", depth)
+	}
+	nl := &netex.Netlist{Name: fmt.Sprintf("glring-%dx%d", n, depth), K: 2}
+	for i := 0; i < n; i++ {
+		nl.Elements = append(nl.Elements, netex.Element{
+			Name: fmt.Sprintf("L%d", i), Kind: core.Latch, Phase: i % 2,
+			Setup: setup, DQ: dq,
+			D: fmt.Sprintf("d%d", i), Q: fmt.Sprintf("q%d", i),
+		})
+	}
+	for i := 0; i < n; i++ {
+		prev := fmt.Sprintf("q%d", i)
+		for g := 0; g < depth; g++ {
+			out := fmt.Sprintf("d%d", (i+1)%n)
+			if g != depth-1 {
+				out = fmt.Sprintf("s%d_%d", i, g)
+			}
+			nl.Gates = append(nl.Gates, delay.Gate{
+				Name:      fmt.Sprintf("g%d_%d", i, g),
+				Inputs:    []string{prev},
+				Output:    out,
+				Intrinsic: intrinsic, Drive: drive, InCap: inCap,
+			})
+			prev = out
+		}
+	}
+	return nl, nil
+}
+
+// GateLevelRingOptimalTcUnit returns the analytic optimal cycle time
+// of GateLevelRing under the unit-delay model.
+func GateLevelRingOptimalTcUnit(depth int, setup, dq float64) float64 {
+	loop := 2 * (dq + float64(depth))
+	arc := dq + float64(depth) + setup
+	if arc > loop {
+		return arc
+	}
+	return loop
+}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"mintc/internal/core"
+	"mintc/internal/delay"
+	"mintc/internal/netex"
+)
+
+func TestGateLevelRingExtractsToKnownOptimum(t *testing.T) {
+	for _, tc := range []struct{ n, depth int }{{4, 3}, {8, 5}, {16, 2}} {
+		nl, err := GateLevelRing(tc.n, tc.depth, 1, 2, 0.3, 0.1, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, info, err := nl.Extract(delay.Unit{}, netex.IOPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.L() != tc.n || info.Stages != tc.n {
+			t.Fatalf("n=%d depth=%d: extracted l=%d stages=%d", tc.n, tc.depth, c.L(), info.Stages)
+		}
+		if info.MaxDepth != tc.depth {
+			t.Errorf("max depth = %d, want %d", info.MaxDepth, tc.depth)
+		}
+		r, err := core.MinTc(c, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := GateLevelRingOptimalTcUnit(tc.depth, 1, 2)
+		if math.Abs(r.Schedule.Tc-want) > 1e-6 {
+			t.Errorf("n=%d depth=%d: Tc = %g, want %g", tc.n, tc.depth, r.Schedule.Tc, want)
+		}
+	}
+}
+
+func TestGateLevelRingValidation(t *testing.T) {
+	if _, err := GateLevelRing(3, 2, 1, 2, 0.1, 0.1, 0.01); err == nil {
+		t.Error("odd ring accepted")
+	}
+	if _, err := GateLevelRing(4, 0, 1, 2, 0.1, 0.1, 0.01); err == nil {
+		t.Error("zero depth accepted")
+	}
+}
+
+func TestGateLevelRingRicherModelsSlower(t *testing.T) {
+	nl, err := GateLevelRing(6, 4, 0.1, 0.2, 0.3, 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(m delay.Model) float64 {
+		c, _, err := nl.Extract(m, netex.IOPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.MinTc(c, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Schedule.Tc
+	}
+	lin := solve(delay.Linear{})
+	elm := solve(delay.Elmore{})
+	if lin <= 0 || elm <= 0 {
+		t.Fatal("degenerate Tc")
+	}
+	// Linear counts whole fanout pins; Elmore weights by capacitance
+	// (0.05 per pin here), so the Elmore delays are smaller.
+	if elm >= lin {
+		t.Errorf("elmore Tc %g not below linear %g with small caps", elm, lin)
+	}
+}
+
+func BenchmarkGateLevelExtraction(b *testing.B) {
+	for _, sz := range []struct{ n, depth int }{{8, 4}, {32, 8}, {64, 16}} {
+		nl, err := GateLevelRing(sz.n, sz.depth, 0.1, 0.2, 0.3, 0.1, 0.02)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(nl.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := nl.Extract(delay.Elmore{}, netex.IOPolicy{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

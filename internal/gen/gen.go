@@ -1,0 +1,150 @@
+// Package gen builds synthetic circuit workloads for benchmarks and
+// property tests: multi-phase pipelines, latch rings, random circuits
+// of controllable size and connectivity, and datapath-like topologies
+// whose combinational delays come from gate-level netlists via the
+// delay package. All generators are deterministic given their inputs
+// (randomized ones take an explicit *rand.Rand).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mintc/internal/core"
+	"mintc/internal/delay"
+)
+
+// Pipeline builds an n-stage feedforward pipeline whose latches cycle
+// through the k clock phases in order. stageDelay(i) gives the
+// combinational delay of stage i (from latch i to latch i+1).
+func Pipeline(k, stages int, setup, dq float64, stageDelay func(i int) float64) *core.Circuit {
+	c := core.NewCircuit(k)
+	prev := -1
+	for i := 0; i <= stages; i++ {
+		cur := c.AddLatch(fmt.Sprintf("P%d", i), i%k, setup, dq)
+		if prev >= 0 {
+			c.AddPathFull(core.Path{From: prev, To: cur, Delay: stageDelay(i - 1), MinDelay: -1, Label: fmt.Sprintf("S%d", i-1)})
+		}
+		prev = cur
+	}
+	return c
+}
+
+// Ring builds a closed loop of n latches cycling through the k phases
+// (n must be a multiple of k so the loop's phase sequence is legal).
+// Like the paper's Example 1 (a ring with n=4, k=2), its optimal cycle
+// time is governed by the loop's total delay spread over the cycles
+// the loop spans.
+func Ring(k, n int, setup, dq float64, stageDelay func(i int) float64) (*core.Circuit, error) {
+	if n%k != 0 {
+		return nil, fmt.Errorf("gen: ring length %d not a multiple of phase count %d", n, k)
+	}
+	c := core.NewCircuit(k)
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = c.AddLatch(fmt.Sprintf("R%d", i), i%k, setup, dq)
+	}
+	for i := 0; i < n; i++ {
+		c.AddPathFull(core.Path{From: ids[i], To: ids[(i+1)%n], Delay: stageDelay(i), MinDelay: -1, Label: fmt.Sprintf("S%d", i)})
+	}
+	return c, nil
+}
+
+// RandomConfig bounds the Random generator.
+type RandomConfig struct {
+	MaxPhases  int     // >=1 (default 4)
+	MaxSyncs   int     // >=2 (default 10)
+	MaxDelay   float64 // per-path (default 50)
+	FFFraction float64 // probability a synchronizer is a flip-flop (default 0.25)
+	EdgeFactor float64 // expected edges per synchronizer (default 2)
+}
+
+func (cfg RandomConfig) withDefaults() RandomConfig {
+	if cfg.MaxPhases < 1 {
+		cfg.MaxPhases = 4
+	}
+	if cfg.MaxSyncs < 2 {
+		cfg.MaxSyncs = 10
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 50
+	}
+	if cfg.FFFraction == 0 {
+		cfg.FFFraction = 0.25
+	}
+	if cfg.EdgeFactor <= 0 {
+		cfg.EdgeFactor = 2
+	}
+	return cfg
+}
+
+// Random builds a random circuit: a mixture of latches and flip-flops
+// on a random multi-phase clock with random connectivity. This is the
+// generator behind the repository's Theorem-1 cross-validation tests.
+func Random(rng *rand.Rand, cfg RandomConfig) *core.Circuit {
+	cfg = cfg.withDefaults()
+	k := 1 + rng.Intn(cfg.MaxPhases)
+	c := core.NewCircuit(k)
+	l := 2 + rng.Intn(cfg.MaxSyncs-1)
+	for i := 0; i < l; i++ {
+		setup := 1 + rng.Float64()*4
+		dq := setup + rng.Float64()*5
+		if rng.Float64() < cfg.FFFraction {
+			c.AddFF("", rng.Intn(k), setup, rng.Float64()*3)
+		} else {
+			c.AddLatch("", rng.Intn(k), setup, dq)
+		}
+	}
+	ne := 1 + rng.Intn(int(cfg.EdgeFactor*float64(l)))
+	for e := 0; e < ne; e++ {
+		d := rng.Float64() * cfg.MaxDelay
+		c.AddPathFull(core.Path{From: rng.Intn(l), To: rng.Intn(l), Delay: d, MinDelay: d * rng.Float64()})
+	}
+	return c
+}
+
+// Datapath builds a width-scaled two-phase datapath whose block delays
+// are computed from gate-level netlists with the given delay model: an
+// operand loop (register → ALU tree → register) plus a bypass, the
+// canonical shape that benefits from latch-based time borrowing.
+// width is the number of ALU-tree leaves (e.g. 32 for a 32-bit adder
+// reduction).
+func Datapath(width int, m delay.Model) (*core.Circuit, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("gen: datapath width %d too small", width)
+	}
+	const (
+		intrinsic = 0.08
+		drive     = 0.05
+		inCap     = 0.02
+		setup     = 0.12
+		dq        = 0.18
+	)
+	aluTree := delay.Tree("alu", width, intrinsic, drive, inCap)
+	aluD, err := aluTree.WorstDelay(m)
+	if err != nil {
+		return nil, err
+	}
+	muxChain := delay.Chain("opmux", 3, intrinsic, drive, inCap)
+	muxD, err := muxChain.WorstDelay(m)
+	if err != nil {
+		return nil, err
+	}
+	wbChain := delay.Chain("wb", 2, intrinsic, drive, inCap)
+	wbD, err := wbChain.WorstDelay(m)
+	if err != nil {
+		return nil, err
+	}
+
+	c := core.NewCircuit(2)
+	op := c.AddLatch("Op", 0, setup, dq)
+	res := c.AddLatch("Res", 1, setup, dq)
+	wb := c.AddLatch("WB", 0, setup, dq)
+	byp := c.AddLatch("Byp", 1, setup, dq)
+	c.AddPathFull(core.Path{From: op, To: res, Delay: aluD, MinDelay: -1, Label: fmt.Sprintf("ALU%d", width)})
+	c.AddPathFull(core.Path{From: res, To: wb, Delay: wbD, MinDelay: -1, Label: "WB"})
+	c.AddPathFull(core.Path{From: wb, To: byp, Delay: muxD, MinDelay: -1, Label: "BypMux"})
+	c.AddPathFull(core.Path{From: byp, To: op, Delay: muxD, MinDelay: -1, Label: "OpMux"})
+	c.AddPathFull(core.Path{From: res, To: byp, Delay: muxD, MinDelay: -1, Label: "FastByp"})
+	return c, nil
+}

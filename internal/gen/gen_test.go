@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mintc/internal/core"
+	"mintc/internal/delay"
+	"mintc/internal/mcr"
+)
+
+func TestPipelineStructure(t *testing.T) {
+	c := Pipeline(2, 4, 1, 2, func(i int) float64 { return float64(10 * (i + 1)) })
+	if c.L() != 5 || len(c.Paths()) != 4 {
+		t.Fatalf("l=%d paths=%d, want 5/4", c.L(), len(c.Paths()))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Phases alternate.
+	for i := 0; i < c.L(); i++ {
+		if c.Sync(i).Phase != i%2 {
+			t.Errorf("latch %d phase = %d", i, c.Sync(i).Phase)
+		}
+	}
+}
+
+func TestPipelineSolvable(t *testing.T) {
+	c := Pipeline(3, 9, 1, 2, func(i int) float64 { return 20 })
+	r, err := core.MinTc(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A finite feedforward pipeline lets departures drift down the
+	// chain, so its optimum lies between the single-arc bound
+	// (DQ+delay+setup = 23) and the sustained per-cycle bound
+	// (k stages per cycle = 3*22 = 66).
+	if r.Schedule.Tc < 23-1e-6 || r.Schedule.Tc > 66+1e-6 {
+		t.Errorf("pipeline Tc = %g, want within [23, 66]", r.Schedule.Tc)
+	}
+	an, err := core.CheckTc(c, r.Schedule, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Feasible {
+		t.Fatalf("pipeline optimum fails analysis: %v", an.Violations)
+	}
+	// A longer pipeline only adds constraints: its optimum cannot drop.
+	c2 := Pipeline(3, 18, 1, 2, func(i int) float64 { return 20 })
+	r2, err := core.MinTc(c2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Schedule.Tc < r.Schedule.Tc-1e-6 {
+		t.Errorf("longer pipeline Tc %g below shorter %g", r2.Schedule.Tc, r.Schedule.Tc)
+	}
+}
+
+func TestRingMatchesLoopAverage(t *testing.T) {
+	// A balanced 4-latch 2-phase ring spans 2 cycles; with uniform
+	// stage delay 30 and DQ 2 the loop bound is (4*32)/2 = 64; the
+	// single-arc bound is 2+30+1 = 33. Expect 64.
+	c, err := Ring(2, 4, 1, 2, func(i int) float64 { return 30 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.MinTc(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Schedule.Tc-64) > 1e-6 {
+		t.Errorf("ring Tc = %g, want 64", r.Schedule.Tc)
+	}
+}
+
+func TestRingRejectsBadLength(t *testing.T) {
+	if _, err := Ring(3, 4, 1, 2, func(int) float64 { return 1 }); err == nil {
+		t.Fatal("ring with n % k != 0 accepted")
+	}
+}
+
+func TestRandomCircuitsAreValidAndSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	solved := 0
+	for i := 0; i < 100; i++ {
+		c := Random(rng, RandomConfig{})
+		if err := c.Validate(); err != nil {
+			t.Fatalf("iter %d: generated invalid circuit: %v", i, err)
+		}
+		if _, err := core.MinTc(c, core.Options{}); err == nil {
+			solved++
+		}
+	}
+	if solved < 80 {
+		t.Errorf("only %d/100 random circuits solvable; generator too degenerate", solved)
+	}
+}
+
+func TestRandomDeterministicForSeed(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(7)), RandomConfig{})
+	b := Random(rand.New(rand.NewSource(7)), RandomConfig{})
+	if a.L() != b.L() || len(a.Paths()) != len(b.Paths()) || a.K() != b.K() {
+		t.Fatal("same seed produced different circuits")
+	}
+	for i := range a.Paths() {
+		if a.Paths()[i] != b.Paths()[i] {
+			t.Fatal("paths differ for same seed")
+		}
+	}
+}
+
+func TestRandomAgainstBothEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for i := 0; i < 40; i++ {
+		c := Random(rng, RandomConfig{MaxSyncs: 6})
+		lpRes, err1 := core.MinTc(c, core.Options{})
+		mcrRes, err2 := mcr.Solve(c, core.Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("iter %d: engine disagreement: %v vs %v", i, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if math.Abs(lpRes.Schedule.Tc-mcrRes.Tc) > 1e-5*(1+mcrRes.Tc) {
+			t.Fatalf("iter %d: LP %g vs MCR %g", i, lpRes.Schedule.Tc, mcrRes.Tc)
+		}
+	}
+}
+
+func TestDatapathDelayModelsOrdering(t *testing.T) {
+	// Wider ALU trees are slower; richer models cost more than unit.
+	d8, err := Datapath(8, delay.Linear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d64, err := Datapath(64, delay.Linear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := core.MinTc(d8, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := core.MinTc(d64, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r64.Schedule.Tc <= r8.Schedule.Tc {
+		t.Errorf("64-bit datapath Tc %g not above 8-bit %g", r64.Schedule.Tc, r8.Schedule.Tc)
+	}
+}
+
+func TestDatapathRejectsTinyWidth(t *testing.T) {
+	if _, err := Datapath(1, delay.Unit{}); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+}
+
+func TestDatapathValid(t *testing.T) {
+	c, err := Datapath(32, delay.Elmore{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.L() != 4 || len(c.Paths()) != 5 {
+		t.Errorf("datapath structure: l=%d paths=%d", c.L(), len(c.Paths()))
+	}
+}

@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"math/rand"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/delay"
+)
+
+// Benchmark is one named workload of the repository's benchmark suite.
+type Benchmark struct {
+	Name    string
+	Circuit *core.Circuit
+	// OptimalTc is the analytically known optimal cycle time, used as
+	// a test oracle; zero when unknown (randomized members).
+	OptimalTc float64
+}
+
+// Suite returns the benchmark circuits used by the scaling studies and
+// cross-engine validation: the paper's four example circuits plus
+// synthetic pipelines, rings, netlist-backed datapaths and seeded
+// random circuits of growing size.
+func Suite() []Benchmark {
+	var out []Benchmark
+
+	out = append(out,
+		Benchmark{Name: "example1-80", Circuit: circuits.Example1(80), OptimalTc: circuits.Example1OptimalTc(80)},
+		Benchmark{Name: "example1-120", Circuit: circuits.Example1(120), OptimalTc: circuits.Example1OptimalTc(120)},
+		Benchmark{Name: "fig1", Circuit: circuits.Fig1(circuits.DefaultFig1Delays(), 2, 3)},
+		Benchmark{Name: "example2", Circuit: circuits.Example2(), OptimalTc: circuits.Example2OptimalTc},
+		Benchmark{Name: "gaas-mips", Circuit: circuits.GaAsMIPS(), OptimalTc: 4.4},
+	)
+
+	// Uniform two-phase ring: n/2 boundary crossings around the loop,
+	// so Tc* = n·(DQ+d)/(n/2) = 2·(DQ+d) once it beats the single-arc
+	// bound DQ+d+setup.
+	const ringDQ, ringSetup, ringDelay = 2.0, 1.0, 30.0
+	for _, n := range []int{8, 32, 128} {
+		r, err := Ring(2, n, ringSetup, ringDQ, func(int) float64 { return ringDelay })
+		if err != nil {
+			panic(err) // n is a multiple of 2 by construction
+		}
+		out = append(out, Benchmark{
+			Name:      ringName(n),
+			Circuit:   r,
+			OptimalTc: 2 * (ringDQ + ringDelay),
+		})
+	}
+
+	// Feedforward pipelines (no loops: optimum set by stage bounds and
+	// finite-chain drift; no closed form claimed).
+	out = append(out,
+		Benchmark{Name: "pipe-3x12", Circuit: Pipeline(3, 12, 1, 2, func(i int) float64 { return float64(15 + 3*(i%4)) })},
+		Benchmark{Name: "pipe-4x24", Circuit: Pipeline(4, 24, 1, 2, func(i int) float64 { return float64(10 + 2*(i%6)) })},
+	)
+
+	// Netlist-backed datapaths under two delay models.
+	if dp, err := Datapath(32, delay.Linear{}); err == nil {
+		out = append(out, Benchmark{Name: "datapath32-linear", Circuit: dp})
+	}
+	if dp, err := Datapath(32, delay.Elmore{}); err == nil {
+		out = append(out, Benchmark{Name: "datapath32-elmore", Circuit: dp})
+	}
+
+	// Seeded random circuits of growing size.
+	for _, sz := range []struct {
+		name string
+		seed int64
+		l    int
+	}{
+		{"rand-small", 101, 8},
+		{"rand-medium", 202, 32},
+		{"rand-large", 303, 96},
+	} {
+		rng := rand.New(rand.NewSource(sz.seed))
+		c := randomOfSize(rng, sz.l)
+		out = append(out, Benchmark{Name: sz.name, Circuit: c})
+	}
+	return out
+}
+
+func ringName(n int) string {
+	switch n {
+	case 8:
+		return "ring-2x8"
+	case 32:
+		return "ring-2x32"
+	default:
+		return "ring-2x128"
+	}
+}
+
+// randomOfSize builds a random circuit with exactly l synchronizers
+// (Random draws its own size; the suite wants controlled growth).
+func randomOfSize(rng *rand.Rand, l int) *core.Circuit {
+	k := 2 + rng.Intn(3)
+	c := core.NewCircuit(k)
+	for i := 0; i < l; i++ {
+		setup := 1 + rng.Float64()*3
+		dq := setup + rng.Float64()*4
+		if rng.Float64() < 0.2 {
+			c.AddFF("", rng.Intn(k), setup, rng.Float64()*2)
+		} else {
+			c.AddLatch("", rng.Intn(k), setup, dq)
+		}
+	}
+	for e := 0; e < 2*l; e++ {
+		c.AddPath(rng.Intn(l), rng.Intn(l), 1+rng.Float64()*40)
+	}
+	return c
+}

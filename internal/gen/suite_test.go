@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"mintc/internal/core"
+	"mintc/internal/mcr"
+)
+
+func TestSuiteMembersValidAndSolvable(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 10 {
+		t.Fatalf("suite has only %d members", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		if b.Name == "" || names[b.Name] {
+			t.Errorf("bad/duplicate name %q", b.Name)
+		}
+		names[b.Name] = true
+		if err := b.Circuit.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", b.Name, err)
+			continue
+		}
+		r, err := core.MinTc(b.Circuit, core.Options{})
+		if err != nil {
+			t.Errorf("%s: MinTc failed: %v", b.Name, err)
+			continue
+		}
+		if b.OptimalTc > 0 && math.Abs(r.Schedule.Tc-b.OptimalTc) > 1e-6*(1+b.OptimalTc) {
+			t.Errorf("%s: Tc = %g, oracle %g", b.Name, r.Schedule.Tc, b.OptimalTc)
+		}
+	}
+}
+
+func TestSuiteEnginesAgree(t *testing.T) {
+	for _, b := range Suite() {
+		lpRes, err := core.MinTc(b.Circuit, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		mcrRes, err := mcr.Solve(b.Circuit, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: mcr: %v", b.Name, err)
+		}
+		if math.Abs(lpRes.Schedule.Tc-mcrRes.Tc) > 1e-5*(1+mcrRes.Tc) {
+			t.Errorf("%s: LP %g vs MCR %g", b.Name, lpRes.Schedule.Tc, mcrRes.Tc)
+		}
+	}
+}
+
+func TestSuiteSchedulesPassAnalysis(t *testing.T) {
+	for _, b := range Suite() {
+		r, err := core.MinTc(b.Circuit, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := core.CheckTc(b.Circuit, r.Schedule, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.Feasible {
+			t.Errorf("%s: optimal schedule fails analysis: %v", b.Name, an.Violations)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, b := Suite(), Suite()
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Circuit.L() != b[i].Circuit.L() ||
+			len(a[i].Circuit.Paths()) != len(b[i].Circuit.Paths()) {
+			t.Fatalf("suite member %d differs across calls", i)
+		}
+	}
+}

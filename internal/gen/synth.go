@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"mintc/internal/core"
+	"mintc/internal/delay"
+	"mintc/internal/netex"
+)
+
+// Synthesize is the inverse of netex extraction: it realizes a timing
+// model as a gate-level netlist whose extracted worst-case delays
+// reproduce the model's path delays exactly. Each combinational path
+// becomes a buffer chain of roughly ceil(delay/targetStage) gates with
+// the path delay distributed evenly over their intrinsic delays, so
+// extraction under any of the delay models (the chains have zero
+// drive/load terms) returns the original Δ matrix bit for bit — and
+// therefore the original optimal cycle time.
+//
+// Together with netex.Extract this closes the loop the paper's input
+// assumption opens: timing model → structural netlist → timing model
+// is the identity on worst-case delays. (Best-case MinDelay values are
+// not representable by a single chain and come back equal to the
+// worst case; hold-sensitive flows should keep the original model.)
+func Synthesize(c *core.Circuit, targetStage float64) (*netex.Netlist, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if targetStage <= 0 {
+		return nil, fmt.Errorf("gen: target stage delay %g must be positive", targetStage)
+	}
+	nl := &netex.Netlist{Name: "synth", K: c.K()}
+	for i, s := range c.Syncs() {
+		nl.Elements = append(nl.Elements, netex.Element{
+			Name: c.SyncName(i), Kind: s.Kind, Phase: s.Phase,
+			Setup: s.Setup, DQ: s.DQ, Hold: s.Hold,
+			D: fmt.Sprintf("d%d", i), Q: fmt.Sprintf("q%d", i),
+		})
+	}
+	// One fanout-free chain per path; since several paths may share a
+	// destination, each chain ends in its own "tap" gate driving a
+	// dedicated net, and a final zero-delay join gate ORs the taps into
+	// the destination's D net. To stay single-driver, the join gate is
+	// created once per destination.
+	joinIn := make([][]string, c.L())
+	for pi, p := range c.Paths() {
+		n := int(math.Max(1, math.Round(p.Delay/targetStage)))
+		per := p.Delay / float64(n)
+		prev := fmt.Sprintf("q%d", p.From)
+		for g := 0; g < n; g++ {
+			out := fmt.Sprintf("p%d_%d", pi, g)
+			nl.Gates = append(nl.Gates, delay.Gate{
+				Name:      fmt.Sprintf("c%d_%d", pi, g),
+				Inputs:    []string{prev},
+				Output:    out,
+				Intrinsic: per,
+			})
+			prev = out
+		}
+		joinIn[p.To] = append(joinIn[p.To], prev)
+	}
+	for i, ins := range joinIn {
+		if len(ins) == 0 {
+			// No fanin: drive the D net from a dedicated primary input
+			// so the netlist is electrically complete.
+			in := fmt.Sprintf("pi%d", i)
+			nl.Inputs = append(nl.Inputs, in)
+			nl.Gates = append(nl.Gates, delay.Gate{
+				Name: fmt.Sprintf("tie%d", i), Inputs: []string{in},
+				Output: fmt.Sprintf("d%d", i), Intrinsic: 0,
+			})
+			continue
+		}
+		nl.Gates = append(nl.Gates, delay.Gate{
+			Name: fmt.Sprintf("join%d", i), Inputs: ins,
+			Output: fmt.Sprintf("d%d", i), Intrinsic: 0,
+		})
+	}
+	return nl, nil
+}

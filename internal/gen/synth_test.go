@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/delay"
+	"mintc/internal/netex"
+)
+
+// roundTrip synthesizes and re-extracts a circuit, returning both
+// optima. Extraction uses the Elmore model, under which the synthetic
+// chains (zero drive, zero load) reproduce intrinsic sums exactly.
+func roundTrip(t *testing.T, c *core.Circuit, stage float64) (orig, back float64) {
+	t.Helper()
+	r1, err := core.MinTc(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Synthesize(c, stage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := nl.Extract(delay.Elmore{}, netex.IOPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.MinTc(c2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r1.Schedule.Tc, r2.Schedule.Tc
+}
+
+func TestSynthesizeRoundTripExample1(t *testing.T) {
+	for _, d41 := range []float64{0, 60, 120} {
+		orig, back := roundTrip(t, circuits.Example1(d41), 5)
+		if math.Abs(orig-back) > 1e-9 {
+			t.Errorf("Δ41=%g: round trip changed Tc: %g -> %g", d41, orig, back)
+		}
+	}
+}
+
+func TestSynthesizeRoundTripGaAs(t *testing.T) {
+	orig, back := roundTrip(t, circuits.GaAsMIPS(), 0.3)
+	if math.Abs(orig-back) > 1e-9 {
+		t.Errorf("GaAs round trip changed Tc: %g -> %g", orig, back)
+	}
+	if math.Abs(back-4.4) > 1e-9 {
+		t.Errorf("synthesized GaAs Tc = %g, want 4.4", back)
+	}
+}
+
+func TestSynthesizeDelaysExact(t *testing.T) {
+	c := circuits.Example1(80)
+	nl, err := Synthesize(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, info, err := nl.Extract(delay.Elmore{}, netex.IOPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stages != 4 {
+		t.Fatalf("stages = %d, want 4", info.Stages)
+	}
+	// Match extracted delays against the original path table by
+	// (from, to) names.
+	want := map[[2]string]float64{}
+	for _, p := range c.Paths() {
+		want[[2]string{c.SyncName(p.From), c.SyncName(p.To)}] = p.Delay
+	}
+	for _, p := range c2.Paths() {
+		key := [2]string{c2.SyncName(p.From), c2.SyncName(p.To)}
+		if w, ok := want[key]; !ok || math.Abs(p.Delay-w) > 1e-9 {
+			t.Errorf("extracted %v delay %g, want %g", key, p.Delay, w)
+		}
+	}
+}
+
+func TestSynthesizeChainSizing(t *testing.T) {
+	c := core.NewCircuit(1)
+	a := c.AddLatch("A", 0, 1, 1)
+	c.AddPath(a, a, 100)
+	nl, err := Synthesize(c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100/10 = 10 chain gates + 1 join gate.
+	if len(nl.Gates) != 11 {
+		t.Errorf("gates = %d, want 11", len(nl.Gates))
+	}
+}
+
+func TestSynthesizePrimaryInputTieOff(t *testing.T) {
+	// A latch with no fanin must still get a driven D net.
+	c := core.NewCircuit(1)
+	c.AddLatch("in", 0, 1, 1)
+	c.AddLatch("out", 0, 1, 1)
+	c.AddPath(0, 1, 5)
+	nl, err := Synthesize(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Inputs) != 1 {
+		t.Fatalf("inputs = %v, want one tie-off", nl.Inputs)
+	}
+	if _, _, err := nl.Extract(delay.Elmore{}, netex.IOPolicy{}); err != nil {
+		t.Fatalf("tie-off netlist does not extract: %v", err)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	c := circuits.Example1(80)
+	if _, err := Synthesize(c, 0); err == nil {
+		t.Error("zero stage delay accepted")
+	}
+	if _, err := Synthesize(core.NewCircuit(1), 1); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package graph
+
+import "sort"
+
+// Cycle is a simple directed cycle described by its node sequence; the
+// edge list is the edges actually traversed (important for multigraphs,
+// where two nodes may be joined by parallel edges of different weight).
+type Cycle struct {
+	Nodes  []int
+	Edges  []Edge
+	Weight float64
+}
+
+// SimpleCycles enumerates all simple cycles of the graph using
+// Johnson's algorithm, extended to handle parallel edges and self-loops.
+// It is intended for the small circuit graphs that arise in the paper's
+// examples and for validating the min-cycle-ratio engines; max caps the
+// number of cycles returned (0 means no limit).
+func (g *Graph) SimpleCycles(max int) []Cycle {
+	var cycles []Cycle
+
+	// Self-loops first; Johnson's core below only handles cycles of
+	// length >= 2.
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.out[u] {
+			if e.To == u {
+				cycles = append(cycles, Cycle{Nodes: []int{u}, Edges: []Edge{e}, Weight: e.Weight})
+				if max > 0 && len(cycles) >= max {
+					return cycles
+				}
+			}
+		}
+	}
+
+	blocked := make([]bool, g.n)
+	blockMap := make([]map[int]bool, g.n)
+	var stack []Edge // edges of current path
+	var pathNodes []int
+
+	var unblock func(u int)
+	unblock = func(u int) {
+		blocked[u] = false
+		for w := range blockMap[u] {
+			delete(blockMap[u], w)
+			if blocked[w] {
+				unblock(w)
+			}
+		}
+	}
+
+	var start int
+	var circuit func(v int, allowed []bool) bool
+	circuit = func(v int, allowed []bool) bool {
+		found := false
+		blocked[v] = true
+		pathNodes = append(pathNodes, v)
+		for _, e := range g.out[v] {
+			w := e.To
+			if w == v || !allowed[w] {
+				continue
+			}
+			if w == start {
+				// Complete a cycle.
+				es := make([]Edge, len(stack)+1)
+				copy(es, stack)
+				es[len(stack)] = e
+				ns := make([]int, len(pathNodes))
+				copy(ns, pathNodes)
+				var wsum float64
+				for _, ce := range es {
+					wsum += ce.Weight
+				}
+				cycles = append(cycles, Cycle{Nodes: ns, Edges: es, Weight: wsum})
+				found = true
+				if max > 0 && len(cycles) >= max {
+					pathNodes = pathNodes[:len(pathNodes)-1]
+					return true
+				}
+				continue
+			}
+			if !blocked[w] {
+				stack = append(stack, e)
+				if circuit(w, allowed) {
+					found = true
+				}
+				stack = stack[:len(stack)-1]
+				if max > 0 && len(cycles) >= max {
+					pathNodes = pathNodes[:len(pathNodes)-1]
+					return found
+				}
+			}
+		}
+		if found {
+			unblock(v)
+		} else {
+			for _, e := range g.out[v] {
+				w := e.To
+				if w == v || !allowed[w] {
+					continue
+				}
+				if blockMap[w] == nil {
+					blockMap[w] = make(map[int]bool)
+				}
+				blockMap[w][v] = true
+			}
+		}
+		pathNodes = pathNodes[:len(pathNodes)-1]
+		return found
+	}
+
+	for s := 0; s < g.n; s++ {
+		if max > 0 && len(cycles) >= max {
+			break
+		}
+		// Restrict to nodes >= s so each cycle is found exactly once,
+		// rooted at its smallest node.
+		allowed := make([]bool, g.n)
+		for v := s; v < g.n; v++ {
+			allowed[v] = true
+			blocked[v] = false
+			blockMap[v] = nil
+		}
+		start = s
+		stack = stack[:0]
+		pathNodes = pathNodes[:0]
+		circuit(s, allowed)
+	}
+
+	// Canonical order: by length then lexicographic node sequence, so
+	// output is deterministic for tests.
+	sort.Slice(cycles, func(i, j int) bool {
+		a, b := cycles[i].Nodes, cycles[j].Nodes
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return cycles[i].Weight < cycles[j].Weight
+	})
+	return cycles
+}

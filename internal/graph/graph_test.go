@@ -1,0 +1,453 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestNewAndAddNode(t *testing.T) {
+	g := New(3)
+	if g.N() != 3 {
+		t.Fatalf("N() = %d, want 3", g.N())
+	}
+	id := g.AddNode()
+	if id != 3 || g.N() != 4 {
+		t.Fatalf("AddNode() = %d, N() = %d; want 3, 4", id, g.N())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	g.AddEdge(0, 5, 1)
+}
+
+func TestEdgesAndNumEdges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 1, 3) // parallel edge
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if len(g.Edges()) != 3 {
+		t.Fatalf("len(Edges) = %d, want 3", len(g.Edges()))
+	}
+	if len(g.Out(0)) != 2 {
+		t.Fatalf("len(Out(0)) = %d, want 2", len(g.Out(0)))
+	}
+}
+
+func TestTopoSortDAG(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(0, 2, 0)
+	g.AddEdge(1, 3, 0)
+	g.AddEdge(2, 3, 0)
+	g.AddEdge(3, 4, 0)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("TopoSort reported cycle on a DAG")
+	}
+	pos := make([]int, 5)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %d->%d violates topological order", e.From, e.To)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 0, 0)
+	if _, ok := g.TopoSort(); ok {
+		t.Fatal("TopoSort did not detect cycle")
+	}
+	if !g.HasCycle() {
+		t.Fatal("HasCycle = false, want true")
+	}
+}
+
+func TestHasCycleSelfLoop(t *testing.T) {
+	g := New(1)
+	g.AddEdge(0, 0, 1)
+	if !g.HasCycle() {
+		t.Fatal("self-loop not detected as cycle")
+	}
+}
+
+func TestSCCBasic(t *testing.T) {
+	// Two SCCs: {0,1,2} and {3}, plus isolated {4}.
+	g := New(5)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 0, 0)
+	g.AddEdge(2, 3, 0)
+	comps, comp := g.SCC()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3: %v", len(comps), comps)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("nodes 0,1,2 not in same component: %v", comp)
+	}
+	if comp[3] == comp[0] || comp[4] == comp[0] || comp[3] == comp[4] {
+		t.Errorf("components wrong: %v", comp)
+	}
+	// Reverse topological order: {3} must be emitted before {0,1,2}.
+	if comp[3] >= comp[0] {
+		t.Errorf("SCC order not reverse-topological: comp[3]=%d comp[0]=%d", comp[3], comp[0])
+	}
+}
+
+func TestSCCAllSingletons(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 3, 0)
+	comps, _ := g.SCC()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+}
+
+// naiveSCC checks mutual reachability directly.
+func naiveSCC(g *Graph) []int {
+	n := g.N()
+	reach := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		reach[i] = g.Reachable(i)
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if comp[i] != -1 {
+			continue
+		}
+		comp[i] = next
+		for j := i + 1; j < n; j++ {
+			if comp[j] == -1 && reach[i][j] && reach[j][i] {
+				comp[j] = next
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+func TestSCCRandomAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(12)
+		g := New(n)
+		for e := rng.Intn(3 * n); e > 0; e-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), 0)
+		}
+		_, comp := g.SCC()
+		want := naiveSCC(g)
+		// Compare as partitions: same component iff same naive component.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if (comp[i] == comp[j]) != (want[i] == want[j]) {
+					t.Fatalf("iter %d: partition mismatch at (%d,%d)\ncomp=%v\nwant=%v", iter, i, j, comp, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLongestPathsFromSimple(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 1)
+	res := g.LongestPathsFrom(0)
+	if res.PositiveCycle != nil {
+		t.Fatalf("unexpected positive cycle: %v", res.PositiveCycle)
+	}
+	want := []float64{0, 6, 2, 7}
+	for i, w := range want {
+		if math.Abs(res.Dist[i]-w) > 1e-12 {
+			t.Errorf("Dist[%d] = %g, want %g", i, res.Dist[i], w)
+		}
+	}
+}
+
+func TestLongestPathsUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	res := g.LongestPathsFrom(0)
+	if !math.IsInf(res.Dist[2], -1) {
+		t.Errorf("Dist[2] = %g, want -Inf", res.Dist[2])
+	}
+}
+
+func TestLongestPathsPositiveCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 1, 1) // cycle 1->2->1 with weight 2 > 0
+	res := g.LongestPathsFrom(0)
+	if res.PositiveCycle == nil {
+		t.Fatal("positive cycle not detected")
+	}
+	set := map[int]bool{}
+	for _, v := range res.PositiveCycle {
+		set[v] = true
+	}
+	if !set[1] || !set[2] {
+		t.Errorf("cycle %v does not contain nodes 1,2", res.PositiveCycle)
+	}
+}
+
+func TestLongestPathsZeroCycleOK(t *testing.T) {
+	// A zero-weight cycle must NOT be reported as positive.
+	g := New(3)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 1, -2)
+	res := g.LongestPathsFrom(0)
+	if res.PositiveCycle != nil {
+		t.Fatalf("zero cycle misreported as positive: %v", res.PositiveCycle)
+	}
+	if math.Abs(res.Dist[1]-3) > 1e-9 || math.Abs(res.Dist[2]-5) > 1e-9 {
+		t.Errorf("dists = %v, want [0 3 5]", res.Dist)
+	}
+}
+
+func TestLongestPathsNegativeSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 1, -1)
+	res := g.LongestPathsFrom(0)
+	if res.PositiveCycle != nil {
+		t.Fatal("negative self-loop misreported")
+	}
+	if res.Dist[1] != 1 {
+		t.Errorf("Dist[1] = %g, want 1", res.Dist[1])
+	}
+}
+
+func TestLongestPathsPositiveSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 1, 0.5)
+	res := g.LongestPathsFrom(0)
+	if res.PositiveCycle == nil {
+		t.Fatal("positive self-loop not detected")
+	}
+}
+
+func TestLongestPathDAGMatchesBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		n := 2 + rng.Intn(10)
+		g := New(n)
+		// Random DAG: edges only from lower to higher index.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(u, v, rng.Float64()*10-3)
+				}
+			}
+		}
+		want := g.LongestPathsFrom(0)
+		got := g.LongestPathDAG(0)
+		for i := range got {
+			if math.IsInf(got[i], -1) != math.IsInf(want.Dist[i], -1) {
+				t.Fatalf("reachability mismatch at %d", i)
+			}
+			if !math.IsInf(got[i], -1) && math.Abs(got[i]-want.Dist[i]) > 1e-9 {
+				t.Fatalf("dist mismatch at %d: %g vs %g", i, got[i], want.Dist[i])
+			}
+		}
+	}
+}
+
+func TestLongestPathDAGPanicsOnCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cyclic input")
+		}
+	}()
+	g.LongestPathDAG(0)
+}
+
+func TestTranspose(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	tg := g.Transpose()
+	es := tg.Edges()
+	sort.Slice(es, func(i, j int) bool { return es[i].From < es[j].From })
+	want := []Edge{{From: 1, To: 0, Weight: 2}, {From: 2, To: 1, Weight: 3}}
+	if !reflect.DeepEqual(es, want) {
+		t.Errorf("Transpose edges = %v, want %v", es, want)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	r := g.Reachable(0)
+	want := []bool{true, true, true, false}
+	if !reflect.DeepEqual(r, want) {
+		t.Errorf("Reachable = %v, want %v", r, want)
+	}
+}
+
+func TestSimpleCyclesTriangleAndSelfLoop(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(1, 1, 5)
+	cycles := g.SimpleCycles(0)
+	if len(cycles) != 2 {
+		t.Fatalf("got %d cycles, want 2: %+v", len(cycles), cycles)
+	}
+	if len(cycles[0].Nodes) != 1 || cycles[0].Weight != 5 {
+		t.Errorf("self-loop cycle wrong: %+v", cycles[0])
+	}
+	if len(cycles[1].Nodes) != 3 || cycles[1].Weight != 3 {
+		t.Errorf("triangle cycle wrong: %+v", cycles[1])
+	}
+}
+
+func TestSimpleCyclesParallelEdges(t *testing.T) {
+	// Two parallel edges 0->1 and one edge back: two distinct cycles.
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 0, 1)
+	cycles := g.SimpleCycles(0)
+	if len(cycles) != 2 {
+		t.Fatalf("got %d cycles, want 2 (parallel edges)", len(cycles))
+	}
+	weights := []float64{cycles[0].Weight, cycles[1].Weight}
+	sort.Float64s(weights)
+	if weights[0] != 2 || weights[1] != 3 {
+		t.Errorf("cycle weights = %v, want [2 3]", weights)
+	}
+}
+
+func TestSimpleCyclesK4Count(t *testing.T) {
+	// Complete digraph on 4 nodes has 20 simple cycles:
+	// C(4,2)=6 of length 2, 4*2=8 of length 3, 3*2=6 of length 4.
+	g := New(4)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+	}
+	cycles := g.SimpleCycles(0)
+	if len(cycles) != 20 {
+		t.Fatalf("K4 cycles = %d, want 20", len(cycles))
+	}
+}
+
+func TestSimpleCyclesMaxCap(t *testing.T) {
+	g := New(4)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+	}
+	cycles := g.SimpleCycles(5)
+	if len(cycles) != 5 {
+		t.Fatalf("capped cycles = %d, want 5", len(cycles))
+	}
+}
+
+func TestSimpleCyclesAcyclic(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	if cycles := g.SimpleCycles(0); len(cycles) != 0 {
+		t.Fatalf("acyclic graph produced cycles: %+v", cycles)
+	}
+}
+
+func TestSimpleCyclesWeightsMatchEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(5)
+		g := New(n)
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), float64(rng.Intn(10)))
+		}
+		for _, c := range g.SimpleCycles(0) {
+			var sum float64
+			for _, e := range c.Edges {
+				sum += e.Weight
+			}
+			if math.Abs(sum-c.Weight) > 1e-12 {
+				t.Fatalf("cycle weight %g != edge sum %g", c.Weight, sum)
+			}
+			// Edges must be connected and closed.
+			for i, e := range c.Edges {
+				next := c.Edges[(i+1)%len(c.Edges)]
+				if e.To != next.From {
+					t.Fatalf("cycle edges not connected: %+v", c)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(1000)
+	for e := 0; e < 4000; e++ {
+		g.AddEdge(rng.Intn(1000), rng.Intn(1000), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SCC()
+	}
+}
+
+func BenchmarkLongestPathsFrom(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := New(500)
+	for e := 0; e < 2000; e++ {
+		u, v := rng.Intn(500), rng.Intn(500)
+		g.AddEdge(u, v, -rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.LongestPathsFrom(0)
+	}
+}

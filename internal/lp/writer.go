@@ -1,0 +1,137 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteLPFormat renders the problem in the classic CPLEX LP text
+// format, so generated programs can be inspected with (or solved by)
+// external LP tooling:
+//
+//	Minimize
+//	 obj: Tc
+//	Subject To
+//	 c1: T.phi1 - Tc <= 0
+//	 ...
+//	Bounds
+//	 0 <= Tc
+//	End
+//
+// Variable names are sanitized to the format's identifier rules
+// (alphanumerics plus a few punctuation characters; a leading letter).
+func (p *Problem) WriteLPFormat(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := make([]string, len(p.names))
+	used := map[string]bool{}
+	for i, n := range p.names {
+		names[i] = uniqueName(sanitize(n, i), used)
+	}
+
+	fmt.Fprintln(bw, "Minimize")
+	bw.WriteString(" obj:")
+	any := false
+	for j, c := range p.obj {
+		if c == 0 {
+			continue
+		}
+		writeLPTerm(bw, c, names[j], !any)
+		any = true
+	}
+	if !any {
+		bw.WriteString(" 0 " + names[0])
+	}
+	fmt.Fprintln(bw)
+
+	fmt.Fprintln(bw, "Subject To")
+	for i, r := range p.rows {
+		fmt.Fprintf(bw, " c%d:", i+1)
+		coef := map[int]float64{}
+		var order []int
+		for _, t := range r.Terms {
+			if _, seen := coef[t.Var]; !seen {
+				order = append(order, t.Var)
+			}
+			coef[t.Var] += t.Coef
+		}
+		first := true
+		for _, v := range order {
+			if coef[v] == 0 {
+				continue
+			}
+			writeLPTerm(bw, coef[v], names[v], first)
+			first = false
+		}
+		if first {
+			bw.WriteString(" 0 " + names[0])
+		}
+		switch r.Rel {
+		case LE:
+			fmt.Fprintf(bw, " <= %g\n", r.RHS)
+		case GE:
+			fmt.Fprintf(bw, " >= %g\n", r.RHS)
+		case EQ:
+			fmt.Fprintf(bw, " = %g\n", r.RHS)
+		}
+	}
+
+	fmt.Fprintln(bw, "Bounds")
+	for _, n := range names {
+		fmt.Fprintf(bw, " 0 <= %s\n", n)
+	}
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+func writeLPTerm(bw *bufio.Writer, c float64, name string, first bool) {
+	switch {
+	case c == 1:
+		if first {
+			fmt.Fprintf(bw, " %s", name)
+		} else {
+			fmt.Fprintf(bw, " + %s", name)
+		}
+	case c == -1:
+		fmt.Fprintf(bw, " - %s", name)
+	case c < 0:
+		fmt.Fprintf(bw, " - %g %s", -c, name)
+	default:
+		if first {
+			fmt.Fprintf(bw, " %g %s", c, name)
+		} else {
+			fmt.Fprintf(bw, " + %g %s", c, name)
+		}
+	}
+}
+
+// sanitize maps arbitrary variable names to LP-format identifiers.
+func sanitize(n string, idx int) string {
+	if n == "" {
+		return fmt.Sprintf("x%d", idx)
+	}
+	var b strings.Builder
+	for i, r := range n {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.':
+			if i == 0 && r >= '0' && r <= '9' {
+				b.WriteByte('x')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func uniqueName(n string, used map[string]bool) string {
+	cand := n
+	for i := 2; used[cand]; i++ {
+		cand = fmt.Sprintf("%s_%d", n, i)
+	}
+	used[cand] = true
+	return cand
+}

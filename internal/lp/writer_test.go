@@ -1,0 +1,95 @@
+package lp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteLPFormatBasic(t *testing.T) {
+	var p Problem
+	x := p.AddVar("Tc", 1)
+	y := p.AddVar("s.phi1", 0)
+	p.AddConstraint("r1", []Term{{x, 1}, {y, -1}}, GE, 2)
+	p.AddConstraint("r2", []Term{{y, 2}}, LE, 10)
+	p.AddConstraint("r3", []Term{{x, 1}}, EQ, 5)
+	var buf bytes.Buffer
+	if err := p.WriteLPFormat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Minimize", " obj: Tc", "Subject To",
+		"c1: Tc - s.phi1 >= 2", "c2: 2 s.phi1 <= 10", "c3: Tc = 5",
+		"Bounds", "0 <= Tc", "End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPFormatSanitizesNames(t *testing.T) {
+	var p Problem
+	a := p.AddVar("D.L4->L1", 1)
+	b := p.AddVar("9lives", 0)
+	c := p.AddVar("", 0)
+	p.AddConstraint("r", []Term{{a, 1}, {b, 1}, {c, 1}}, GE, 1)
+	var buf bytes.Buffer
+	if err := p.WriteLPFormat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, ">L1") {
+		t.Errorf("unsanitized name in output:\n%s", out)
+	}
+	if !strings.Contains(out, "D.L4__L1") {
+		t.Errorf("sanitized arrow name missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x9lives") {
+		t.Errorf("leading-digit fix missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x2") {
+		t.Errorf("empty-name fallback missing:\n%s", out)
+	}
+}
+
+func TestWriteLPFormatNameCollisions(t *testing.T) {
+	var p Problem
+	a := p.AddVar("x y", 1) // sanitizes to x_y
+	b := p.AddVar("x_y", 1) // collides
+	p.AddConstraint("r", []Term{{a, 1}, {b, 1}}, GE, 1)
+	var buf bytes.Buffer
+	if err := p.WriteLPFormat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x_y_2") {
+		t.Errorf("collision not resolved:\n%s", out)
+	}
+}
+
+func TestWriteLPFormatAccumulatesRepeats(t *testing.T) {
+	var p Problem
+	x := p.AddVar("x", 0)
+	p.AddConstraint("r", []Term{{x, 1}, {x, 1}}, LE, 4)
+	var buf bytes.Buffer
+	if err := p.WriteLPFormat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 x <= 4") {
+		t.Errorf("repeated terms not accumulated:\n%s", buf.String())
+	}
+}
+
+func TestWriteLPFormatEmptyObjective(t *testing.T) {
+	var p Problem
+	p.AddVar("x", 0)
+	var buf bytes.Buffer
+	if err := p.WriteLPFormat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "obj: 0 x") {
+		t.Errorf("empty objective not handled:\n%s", buf.String())
+	}
+}

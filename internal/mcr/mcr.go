@@ -1,0 +1,404 @@
+// Package mcr solves the SMO optimal-cycle-time problem by a maximum
+// cycle ratio computation instead of linear programming.
+//
+// The paper's conclusion observes that the constraint matrix of P2 has
+// only 0/±1 entries and anticipates algorithms "potentially more
+// efficient than the simplex algorithm". This package realizes that
+// idea: after the change of variables
+//
+//	e_p = s_p + T_p   (end of phase p's active interval)
+//	u_i = s_{p_i} + D_i  (departure of synchronizer i in cycle time)
+//
+// every constraint of P2 — clock constraints C1–C4 and latch
+// constraints L1, L2R, L3 — becomes a difference constraint
+// x_a − x_b ≥ A + B·Tc with B ∈ {0, −1}. For a fixed Tc the system is
+// feasible iff the constraint graph has no positive-weight cycle
+// (Bellman–Ford), and the minimum feasible Tc is the maximum ratio
+// A_cycle / (−B_cycle) over cycles with B_cycle < 0. Cycles with
+// B_cycle = 0 and A_cycle > 0 witness structural infeasibility at any
+// cycle time.
+//
+// Two engines are provided: Solve (Lawler-style witness-cycle jumping,
+// exact up to floating point, usually a handful of Bellman–Ford runs)
+// and SolveBinary (plain bisection, used for cross-checking).
+package mcr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"mintc/internal/core"
+)
+
+// node ids inside the constraint graph.
+type builder struct {
+	c     *core.Circuit
+	opts  core.Options
+	n     int
+	edges []edge
+	// node index helpers
+	z     int
+	s     []int
+	e     []int
+	u     []int
+	names []string
+	// pathEdge[p] is the index of the constraint edge carrying path
+	// p's worst-case delay (for incremental delay updates).
+	pathEdge []int
+}
+
+// edge encodes the difference constraint x[to] >= x[from] + a + b*Tc.
+type edge struct {
+	from, to int
+	a, b     float64
+}
+
+// Result is the outcome of a min-cycle-ratio solve.
+type Result struct {
+	// Tc is the minimum feasible cycle time.
+	Tc float64
+	// Schedule is a concrete optimal clock schedule (the least
+	// schedule in the difference-constraint lattice).
+	Schedule *core.Schedule
+	// D holds the departure times extracted with the schedule.
+	D []float64
+	// CriticalLoop names the constraint-graph nodes of the cycle whose
+	// ratio determines Tc (empty when Tc is forced to 0 by no
+	// ratio-bearing cycle).
+	CriticalLoop []string
+	// CriticalRatio is A/(−B) of that cycle (== Tc when it binds).
+	CriticalRatio float64
+	// Probes counts Bellman–Ford feasibility probes.
+	Probes int
+
+	// criticalA/criticalB hold the witness cycle's accumulated
+	// constant and Tc coefficient (for Explain).
+	criticalA, criticalB float64
+}
+
+// ErrInfeasible mirrors core.ErrInfeasible for structurally impossible
+// constraint systems (a cycle needs positive time but crosses no cycle
+// boundary).
+var ErrInfeasible = errors.New("mcr: timing constraints are infeasible at any cycle time")
+
+const eps = 1e-9
+
+// newBuilder assembles the difference-constraint graph for circuit c.
+func newBuilder(c *core.Circuit, opts core.Options) *builder {
+	k, l := c.K(), c.L()
+	b := &builder{c: c, opts: opts}
+	alloc := func(name string) int {
+		id := b.n
+		b.n++
+		b.names = append(b.names, name)
+		return id
+	}
+	b.z = alloc("origin")
+	b.s = make([]int, k)
+	b.e = make([]int, k)
+	for p := 0; p < k; p++ {
+		b.s[p] = alloc("s." + c.PhaseName(p))
+		b.e[p] = alloc("e." + c.PhaseName(p))
+	}
+	b.u = make([]int, l)
+	for i := 0; i < l; i++ {
+		b.u[i] = alloc("u." + c.SyncName(i))
+	}
+	add := func(from, to int, a, bTc float64) {
+		b.edges = append(b.edges, edge{from: from, to: to, a: a, b: bTc})
+	}
+
+	for p := 0; p < k; p++ {
+		// C4/C1: s_p >= 0; s_p <= Tc; T_p >= 0 (e >= s); T_p <= Tc
+		// (s >= e − Tc).
+		add(b.z, b.s[p], 0, 0)
+		add(b.s[p], b.z, 0, -1) // z >= s_p − Tc
+		add(b.s[p], b.e[p], maxf(0, opts.MinPhaseWidth), 0)
+		add(b.e[p], b.s[p], 0, -1)
+	}
+	// C2 ordering.
+	for p := 0; p+1 < k; p++ {
+		add(b.s[p], b.s[p+1], 0, 0)
+	}
+	// C3 nonoverlap per K pair: s_i >= e_j − C_ji·Tc (+ separation).
+	km := c.KMatrix()
+	cm := c.CMatrix()
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if km[i][j] == 0 {
+				continue
+			}
+			add(b.e[j], b.s[i], opts.MinSeparation+sigma(opts, i)+sigma(opts, j), -float64(cm[j][i]))
+		}
+	}
+	for i, sy := range c.Syncs() {
+		p := sy.Phase
+		// L3: u_i >= s_p.
+		add(b.s[p], b.u[i], 0, 0)
+		switch sy.Kind {
+		case core.Latch:
+			// L1: e_p >= u_i + ΔDC (+skew margins).
+			add(b.u[i], b.e[p], sy.Setup+opts.Skew+sigma(opts, p), 0)
+		case core.FlipFlop:
+			// D_i = 0: u_i == s_p (the >= half is L3 above).
+			add(b.u[i], b.s[p], 0, 0)
+		}
+	}
+	b.pathEdge = make([]int, len(c.Paths()))
+	for pidx, path := range c.Paths() {
+		j, i := path.From, path.To
+		pj, pi := c.Sync(j).Phase, c.Sync(i).Phase
+		cji := 0.0
+		if pj >= pi {
+			cji = 1
+		}
+		w := c.Sync(j).DQ + path.Delay + opts.Skew + sigma(opts, pj) + sigma(opts, pi)
+		b.pathEdge[pidx] = len(b.edges)
+		switch c.Sync(i).Kind {
+		case core.Latch:
+			// L2R: u_i >= u_j + w − C·Tc.
+			add(b.u[j], b.u[i], w, -cji)
+		case core.FlipFlop:
+			// FF setup: s_{p_i} >= u_j + w + ΔDC_i − C·Tc.
+			add(b.u[j], b.s[pi], w+c.Sync(i).Setup, -cji)
+		}
+		// Conservative hold rows, mirroring core.BuildLP exactly:
+		// s_pj − [e_pi (latch) | s_pi (FF)] >= K − (1−C)·Tc.
+		if opts.DesignForHold && c.Sync(i).Hold > 0 {
+			kconst := c.Sync(i).Hold - c.Sync(j).DQ - path.MinDelay +
+				opts.Skew + sigma(opts, pj) + sigma(opts, pi)
+			from := b.e[pi]
+			if c.Sync(i).Kind == core.FlipFlop {
+				from = b.s[pi]
+			}
+			add(from, b.s[pj], kconst, -(1 - cji))
+		}
+	}
+	return b
+}
+
+// sigma mirrors core's per-phase skew accessor.
+func sigma(o core.Options, p int) float64 {
+	if p < 0 || p >= len(o.PhaseSkew) {
+		return 0
+	}
+	return o.PhaseSkew[p]
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// probe runs Bellman–Ford longest paths from the origin with edge
+// weights a + b·tc. It returns the node potentials when feasible, or
+// the edges of a positive-weight cycle when not.
+func (b *builder) probe(tc float64) (dist []float64, witness []edge) {
+	dist = make([]float64, b.n)
+	pred := make([]int, b.n) // index into b.edges, or -1
+	for i := range dist {
+		dist[i] = math.Inf(-1)
+		pred[i] = -1
+	}
+	dist[b.z] = 0
+	relax := func() int {
+		changed := -1
+		for ei, e := range b.edges {
+			if math.IsInf(dist[e.from], -1) {
+				continue
+			}
+			w := e.a + e.b*tc
+			if d := dist[e.from] + w; d > dist[e.to]+eps {
+				dist[e.to] = d
+				pred[e.to] = ei
+				changed = e.to
+			}
+		}
+		return changed
+	}
+	for i := 0; i < b.n-1; i++ {
+		if relax() == -1 {
+			return dist, nil
+		}
+	}
+	v := relax()
+	if v == -1 {
+		return dist, nil
+	}
+	// Walk back n steps to land on the cycle, then extract it.
+	for i := 0; i < b.n; i++ {
+		v = b.edges[pred[v]].from
+	}
+	seen := make(map[int]int)
+	var path []edge
+	cur := v
+	for {
+		if at, ok := seen[cur]; ok {
+			// path[at:] runs backwards along the cycle.
+			cyc := append([]edge(nil), path[at:]...)
+			return nil, cyc
+		}
+		seen[cur] = len(path)
+		ei := pred[cur]
+		if ei < 0 {
+			// Shouldn't happen: cycle nodes always have predecessors.
+			return nil, path
+		}
+		path = append(path, b.edges[ei])
+		cur = b.edges[ei].from
+	}
+}
+
+// Solve computes the optimal cycle time by Lawler-style witness
+// jumping: start at a lower bound, and while the system is infeasible,
+// jump to the ratio of the witness cycle. Each jump strictly increases
+// the candidate through the finite set of simple-cycle ratios, so the
+// loop terminates with the exact maximum cycle ratio.
+func Solve(c *core.Circuit, opts core.Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return solveWith(newBuilder(c, opts), opts)
+}
+
+// solveWith runs the witness-jumping loop on an already-built
+// constraint graph (shared by Solve and Solver.Solve).
+func solveWith(b *builder, opts core.Options) (*Result, error) {
+	res := &Result{}
+	tc := 0.0
+	if opts.FixedTc > 0 {
+		tc = opts.FixedTc
+	}
+	var lastWitness []edge
+	for iter := 0; ; iter++ {
+		if iter > len(b.edges)*b.n+64 {
+			return nil, fmt.Errorf("mcr: witness iteration failed to converge (tc=%g)", tc)
+		}
+		res.Probes++
+		dist, witness := b.probe(tc)
+		if witness == nil {
+			b.extract(res, tc, dist, lastWitness)
+			if opts.FixedTc > 0 && tc > opts.FixedTc+eps {
+				return nil, fmt.Errorf("mcr: requested Tc %g below minimum %g", opts.FixedTc, tc)
+			}
+			return res, nil
+		}
+		var sumA, sumB float64
+		for _, e := range witness {
+			sumA += e.a
+			sumB += e.b
+		}
+		if sumB >= -eps {
+			// Cycle needs positive slack but crosses no boundary.
+			return nil, ErrInfeasible
+		}
+		ratio := sumA / (-sumB)
+		if ratio <= tc+eps {
+			// Numerical guard: force progress.
+			ratio = tc + eps*10
+		}
+		tc = ratio
+		lastWitness = witness
+	}
+}
+
+// SolveBinary computes the optimal cycle time by bisection to the given
+// absolute tolerance (used as an independent cross-check of Solve).
+func SolveBinary(c *core.Circuit, opts core.Options, tol float64) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	b := newBuilder(c, opts)
+	res := &Result{}
+	// Upper bound: any Tc beyond the sum of all positive constants is
+	// feasible unless the system is structurally infeasible.
+	hi := 1.0
+	for _, e := range b.edges {
+		if e.a > 0 {
+			hi += e.a
+		}
+	}
+	res.Probes++
+	if _, witness := b.probe(hi); witness != nil {
+		return nil, ErrInfeasible
+	}
+	res.Probes++
+	if dist, witness := b.probe(0); witness == nil {
+		b.extract(res, 0, dist, nil)
+		return res, nil
+	}
+	lo := 0.0
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		res.Probes++
+		if _, witness := b.probe(mid); witness == nil {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	dist, witness := b.probe(hi)
+	res.Probes++
+	if witness != nil {
+		return nil, fmt.Errorf("mcr: bisection landed on infeasible point")
+	}
+	b.extract(res, hi, dist, nil)
+	return res, nil
+}
+
+// extract converts origin-based potentials into a Schedule and
+// departure vector.
+func (b *builder) extract(res *Result, tc float64, dist []float64, witness []edge) {
+	c := b.c
+	res.Tc = tc
+	sched := core.NewSchedule(c.K())
+	sched.Tc = tc
+	for p := 0; p < c.K(); p++ {
+		sched.S[p] = dist[b.s[p]]
+		sched.T[p] = dist[b.e[p]] - dist[b.s[p]]
+	}
+	res.Schedule = sched
+	res.D = make([]float64, c.L())
+	for i := 0; i < c.L(); i++ {
+		res.D[i] = dist[b.u[i]] - dist[b.s[c.Sync(i).Phase]]
+	}
+	if witness != nil {
+		var sumA, sumB float64
+		for _, e := range witness {
+			res.CriticalLoop = append(res.CriticalLoop, b.names[e.to])
+			sumA += e.a
+			sumB += e.b
+		}
+		if sumB < -eps {
+			res.CriticalRatio = sumA / (-sumB)
+		}
+		res.criticalA = sumA
+		res.criticalB = sumB
+	}
+}
+
+// Explain renders the optimality certificate carried by the critical
+// cycle: the loop of constraints whose accumulated fixed delay must
+// fit in the accumulated number of cycle boundaries, proving
+// Tc >= delay/crossings. Returns "" when no ratio-bearing cycle binds
+// (Tc* = 0 or Tc was fixed above the minimum).
+func (r *Result) Explain() string {
+	if len(r.CriticalLoop) == 0 || r.criticalB >= -eps {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical constraint loop (%d nodes): %s\n",
+		len(r.CriticalLoop), strings.Join(r.CriticalLoop, " -> "))
+	crossings := -r.criticalB
+	fmt.Fprintf(&b, "accumulated delay %.6g over %.6g cycle boundary crossing(s)\n", r.criticalA, crossings)
+	fmt.Fprintf(&b, "=> Tc >= %.6g / %.6g = %.6g, which the schedule achieves exactly\n",
+		r.criticalA, crossings, r.CriticalRatio)
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package mcr
+
+import (
+	"fmt"
+
+	"mintc/internal/core"
+)
+
+// Solver is a reusable min-cycle-ratio engine for design iterations:
+// the constraint graph is built once and worst-case path delays may be
+// updated in place between solves — the design-side analogue of
+// core.Evaluator. The circuit's structure (synchronizers, paths, and
+// every option other than the delays) is fixed at construction;
+// MinDelay-dependent hold rows keep their construction-time values.
+type Solver struct {
+	b    *builder
+	opts core.Options
+	// baseA[p] is the affine constant of path p's edge minus the
+	// worst-case delay, so SetDelay is a single write.
+	baseA []float64
+}
+
+// NewSolver compiles the circuit once for repeated solves.
+func NewSolver(c *core.Circuit, opts core.Options) (*Solver, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b := newBuilder(c, opts)
+	s := &Solver{b: b, opts: opts, baseA: make([]float64, len(c.Paths()))}
+	for p, ei := range b.pathEdge {
+		s.baseA[p] = b.edges[ei].a - c.Paths()[p].Delay
+	}
+	return s, nil
+}
+
+// SetDelay updates path p's worst-case delay for subsequent solves
+// (the underlying circuit is not modified).
+func (s *Solver) SetDelay(p int, d float64) {
+	if p < 0 || p >= len(s.baseA) {
+		panic(fmt.Sprintf("mcr: Solver.SetDelay path %d out of range", p))
+	}
+	s.b.edges[s.b.pathEdge[p]].a = s.baseA[p] + d
+}
+
+// Solve computes the optimal cycle time for the current delays.
+func (s *Solver) Solve() (*Result, error) {
+	return solveWith(s.b, s.opts)
+}

@@ -1,0 +1,105 @@
+package mcr
+
+import (
+	"sort"
+
+	"mintc/internal/core"
+	"mintc/internal/graph"
+)
+
+// Loop is one structural loop of the circuit with its cycle-ratio
+// bound on the cycle time.
+type Loop struct {
+	// Syncs lists the synchronizers around the loop in order.
+	Syncs []int
+	// Names are the display names of Syncs.
+	Names []string
+	// Delay is the accumulated fixed delay around the loop (ΔDQ + Δ
+	// per arc, plus setup contributions on flip-flop captures).
+	Delay float64
+	// Crossings is the number of clock-cycle boundaries the loop
+	// spans.
+	Crossings int
+	// Ratio is Delay / Crossings: the loop's lower bound on Tc.
+	Ratio float64
+}
+
+// TopLoops enumerates the circuit's simple synchronizer loops and
+// returns the n with the highest cycle-ratio bound, most critical
+// first — the multi-loop generalization of the single critical cycle
+// reported by Solve, and the quantified version of the paper's
+// observation that criticality spreads over several segments. The
+// enumeration is exponential in the worst case, so maxCycles caps the
+// number of loops examined (0 means 10000); circuits of the paper's
+// scale are far below the cap.
+func TopLoops(c *core.Circuit, opts core.Options, n, maxCycles int) ([]Loop, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = 5
+	}
+	if maxCycles <= 0 {
+		maxCycles = 10000
+	}
+	// Build the synchronizer graph with per-arc (delay, crossing)
+	// attributes. We reuse graph.SimpleCycles by encoding the arc
+	// attributes in parallel slices indexed by insertion order.
+	g := graph.New(c.L())
+	type arc struct {
+		delay    float64
+		crossing int
+	}
+	var arcs []arc
+	for _, p := range c.Paths() {
+		j, i := p.From, p.To
+		w := c.Sync(j).DQ + p.Delay + opts.Skew +
+			sigma(opts, c.Sync(j).Phase) + sigma(opts, c.Sync(i).Phase)
+		if c.Sync(i).Kind == core.FlipFlop {
+			// FF capture folds the setup into the arc (arrival must
+			// precede the edge by the setup).
+			w += c.Sync(i).Setup
+		}
+		cross := 0
+		if c.Sync(j).Phase >= c.Sync(i).Phase {
+			cross = 1
+		}
+		// graph edge weight carries the arc index so cycles can be
+		// mapped back to attributes exactly even with parallel edges.
+		g.AddEdge(j, i, float64(len(arcs)))
+		arcs = append(arcs, arc{delay: w, crossing: cross})
+	}
+
+	var loops []Loop
+	for _, cyc := range g.SimpleCycles(maxCycles) {
+		var loop Loop
+		for _, e := range cyc.Edges {
+			a := arcs[int(e.Weight)]
+			loop.Delay += a.delay
+			loop.Crossings += a.crossing
+		}
+		loop.Syncs = append(loop.Syncs, cyc.Nodes...)
+		for _, s := range cyc.Nodes {
+			loop.Names = append(loop.Names, c.SyncName(s))
+		}
+		if loop.Crossings > 0 {
+			loop.Ratio = loop.Delay / float64(loop.Crossings)
+		} else {
+			// A loop with no boundary crossing constrains Tc only if
+			// its delay is positive — and then no Tc works. Rank it
+			// above everything.
+			loop.Ratio = loop.Delay * 1e18
+		}
+		loops = append(loops, loop)
+	}
+	sort.Slice(loops, func(a, b int) bool {
+		if loops[a].Ratio != loops[b].Ratio {
+			return loops[a].Ratio > loops[b].Ratio
+		}
+		return len(loops[a].Syncs) < len(loops[b].Syncs)
+	})
+	if len(loops) > n {
+		loops = loops[:n]
+	}
+	return loops, nil
+}

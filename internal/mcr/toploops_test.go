@@ -1,0 +1,107 @@
+package mcr
+
+import (
+	"math"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+)
+
+func TestTopLoopsExample1(t *testing.T) {
+	c := circuits.Example1(80)
+	loops, err := TopLoops(c, core.Options{}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1 (the single ring)", len(loops))
+	}
+	top := loops[0]
+	// Ring: 4 latch delays (40) + 20+20+60+80 = 220 over 2 crossings.
+	if math.Abs(top.Delay-220) > 1e-9 || top.Crossings != 2 {
+		t.Errorf("loop delay/crossings = %g/%d, want 220/2", top.Delay, top.Crossings)
+	}
+	if math.Abs(top.Ratio-110) > 1e-9 {
+		t.Errorf("ratio = %g, want 110 (== Tc* here)", top.Ratio)
+	}
+	if len(top.Names) != 4 {
+		t.Errorf("names = %v", top.Names)
+	}
+}
+
+func TestTopLoopsAreLowerBounds(t *testing.T) {
+	// Every loop ratio lower-bounds Tc*; at Δ41 = 0 the stage bound
+	// (80) dominates the loop ratio (70), so the bound is strict.
+	c := circuits.Example1(0)
+	loops, err := TopLoops(c, core.Options{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.MinTc(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loops[0].Ratio > r.Schedule.Tc+1e-9 {
+		t.Errorf("loop ratio %g exceeds Tc* %g", loops[0].Ratio, r.Schedule.Tc)
+	}
+	if math.Abs(loops[0].Ratio-70) > 1e-9 {
+		t.Errorf("ratio = %g, want 70", loops[0].Ratio)
+	}
+}
+
+func TestTopLoopsGaAsIMD(t *testing.T) {
+	c := circuits.GaAsMIPS()
+	loops, err := TopLoops(c, core.Options{}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) == 0 {
+		t.Fatal("no loops in GaAs model")
+	}
+	top := loops[0]
+	if math.Abs(top.Ratio-4.4) > 1e-9 {
+		t.Errorf("top loop ratio = %g, want 4.4 (the IMD loop)", top.Ratio)
+	}
+	foundIMD := false
+	for _, n := range top.Names {
+		if n == "IMDout" {
+			foundIMD = true
+		}
+	}
+	if !foundIMD {
+		t.Errorf("top loop %v does not pass through IMDout", top.Names)
+	}
+	// Ranking: the second loop is no more critical than the first.
+	if len(loops) > 1 && loops[1].Ratio > top.Ratio+1e-12 {
+		t.Error("loops not sorted by ratio")
+	}
+}
+
+func TestTopLoopsFFSetupFolded(t *testing.T) {
+	// FF self-loop: CQ(1) + delay(10) + setup(2) = 13 over 1 crossing.
+	c := core.NewCircuit(1)
+	f := c.AddFF("F", 0, 2, 1)
+	c.AddPath(f, f, 10)
+	loops, err := TopLoops(c, core.Options{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loops[0].Ratio-13) > 1e-9 {
+		t.Errorf("FF loop ratio = %g, want 13", loops[0].Ratio)
+	}
+}
+
+func TestTopLoopsCapAndValidation(t *testing.T) {
+	if _, err := TopLoops(core.NewCircuit(1), core.Options{}, 3, 0); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+	c := circuits.GaAsMIPS()
+	loops, err := TopLoops(c, core.Options{}, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) > 2 {
+		t.Errorf("n cap ignored: %d", len(loops))
+	}
+}

@@ -1,0 +1,50 @@
+package netex
+
+import (
+	"strings"
+	"testing"
+
+	"mintc/internal/delay"
+)
+
+// FuzzNetlistParser checks that arbitrary .gnl input never panics the
+// parser, and that accepted netlists either extract cleanly or fail
+// extraction with a proper error (never a crash).
+func FuzzNetlistParser(f *testing.F) {
+	seeds := []string{
+		"",
+		"clock 2\nlatch L phase 1 setup 1 dq 2 d a q b\ngate g in b out a intrinsic 1\n",
+		"netlist x\nclock 1\nff F phase 1 setup 0 cq 0 d a q b\ngate g in b out a\n",
+		"clock 1\ninput a\noutput b\ngate g in a out b intrinsic 0.5 drive 0.1 incap 0.02\n",
+		"clock 4\nwirecap n 0.5\n# comment\n",
+		"clock 1\nlatch L phase 1 setup 1 dq 2 d a q a\n",
+		"clock 1\nlatch L phase 1 setup 1 dq 2 d a q b hold 3\ngate g in b out a\n",
+		"clock 99999999\n",
+		"gate g in out\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseNetlistString(src)
+		if err != nil {
+			return
+		}
+		// Extraction must never panic; errors are acceptable.
+		c, _, err := n.Extract(delay.Linear{}, IOPolicy{})
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("extraction produced an invalid circuit: %v\ninput: %q", err, src)
+		}
+		// Write-back must re-parse.
+		var buf strings.Builder
+		if err := WriteNetlist(&buf, n); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		if _, err := ParseNetlistString(buf.String()); err != nil {
+			t.Fatalf("round trip re-parse failed: %v\n%s", err, buf.String())
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package netex
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mintc/internal/core"
+	"mintc/internal/delay"
+)
+
+// ParseNetlist reads the .gnl gate-level netlist format:
+//
+//	netlist alu
+//	clock 2
+//	input  a
+//	output y
+//	latch  L1 phase 1 setup 0.1 dq 0.2 d n3 q n1
+//	ff     F1 phase 2 setup 0.1 cq 0.2 d n4 q n2
+//	gate   g1 in n1 n2 out n3 intrinsic 0.3 drive 0.1 incap 0.02
+//	wirecap n3 0.05
+//
+// Lines are directives; '#' starts a comment. Attribute order within a
+// line is free after the fixed head tokens.
+func ParseNetlist(r io.Reader) (*Netlist, error) {
+	n := &Netlist{WireCap: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	sawClock := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		toks := strings.Fields(line)
+		if len(toks) == 0 {
+			continue
+		}
+		switch strings.ToLower(toks[0]) {
+		case "netlist":
+			if len(toks) != 2 {
+				return nil, perr(lineNo, "usage: netlist <name>")
+			}
+			n.Name = toks[1]
+		case "clock":
+			if len(toks) != 2 {
+				return nil, perr(lineNo, "usage: clock <k>")
+			}
+			k, err := strconv.Atoi(toks[1])
+			if err != nil || k < 1 || k > 4096 {
+				return nil, perr(lineNo, "invalid phase count %q (want 1..4096)", toks[1])
+			}
+			n.K = k
+			sawClock = true
+		case "input":
+			if len(toks) < 2 {
+				return nil, perr(lineNo, "usage: input <net>...")
+			}
+			n.Inputs = append(n.Inputs, toks[1:]...)
+		case "output":
+			if len(toks) < 2 {
+				return nil, perr(lineNo, "usage: output <net>...")
+			}
+			n.Outputs = append(n.Outputs, toks[1:]...)
+		case "latch", "ff":
+			e, err := parseElement(toks, lineNo, n.K)
+			if err != nil {
+				return nil, err
+			}
+			n.Elements = append(n.Elements, e)
+		case "gate":
+			g, err := parseGate(toks, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			n.Gates = append(n.Gates, g)
+		case "wirecap":
+			if len(toks) != 3 {
+				return nil, perr(lineNo, "usage: wirecap <net> <cap>")
+			}
+			f, err := strconv.ParseFloat(toks[2], 64)
+			if err != nil {
+				return nil, perr(lineNo, "bad capacitance %q", toks[2])
+			}
+			n.WireCap[toks[1]] = f
+		default:
+			return nil, perr(lineNo, "unknown directive %q", toks[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawClock {
+		return nil, perr(lineNo, "no clock directive")
+	}
+	return n, nil
+}
+
+// ParseNetlistString parses a netlist from a string.
+func ParseNetlistString(s string) (*Netlist, error) {
+	return ParseNetlist(strings.NewReader(s))
+}
+
+func perr(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func parseElement(toks []string, line, k int) (Element, error) {
+	var e Element
+	kind := strings.ToLower(toks[0])
+	if kind == "ff" {
+		e.Kind = core.FlipFlop
+	}
+	if len(toks) < 2 {
+		return e, perr(line, "usage: %s <name> phase <i> setup <t> %s <t> d <net> q <net> [hold <t>]", kind, dqKey(kind))
+	}
+	e.Name = toks[1]
+	e.Phase = -1
+	for i := 2; i+1 < len(toks); i += 2 {
+		key, val := strings.ToLower(toks[i]), toks[i+1]
+		switch key {
+		case "phase":
+			p, err := strconv.Atoi(val)
+			if err != nil || p < 1 || (k > 0 && p > k) {
+				return e, perr(line, "phase %q outside 1..%d", val, k)
+			}
+			e.Phase = p - 1
+		case "setup", "dq", "cq", "hold":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return e, perr(line, "bad %s %q", key, val)
+			}
+			switch key {
+			case "setup":
+				e.Setup = f
+			case "hold":
+				e.Hold = f
+			default:
+				if key != dqKey(kind) {
+					return e, perr(line, "use %q for a %s", dqKey(kind), kind)
+				}
+				e.DQ = f
+			}
+		case "d":
+			e.D = val
+		case "q":
+			e.Q = val
+		default:
+			return e, perr(line, "unknown attribute %q", key)
+		}
+	}
+	if len(toks)%2 != 0 {
+		return e, perr(line, "dangling token %q", toks[len(toks)-1])
+	}
+	if e.Phase < 0 {
+		return e, perr(line, "element %q missing phase", e.Name)
+	}
+	if e.D == "" || e.Q == "" {
+		return e, perr(line, "element %q missing d/q nets", e.Name)
+	}
+	return e, nil
+}
+
+func dqKey(kind string) string {
+	if kind == "ff" {
+		return "cq"
+	}
+	return "dq"
+}
+
+func parseGate(toks []string, line int) (delay.Gate, error) {
+	var g delay.Gate
+	if len(toks) < 2 {
+		return g, perr(line, "usage: gate <name> in <nets>... out <net> [intrinsic <t>] [drive <r>] [incap <c>]")
+	}
+	g.Name = toks[1]
+	i := 2
+	for i < len(toks) {
+		key := strings.ToLower(toks[i])
+		switch key {
+		case "in":
+			i++
+			for i < len(toks) && !isGateKeyword(toks[i]) {
+				g.Inputs = append(g.Inputs, toks[i])
+				i++
+			}
+		case "out":
+			if i+1 >= len(toks) {
+				return g, perr(line, "missing net after out")
+			}
+			g.Output = toks[i+1]
+			i += 2
+		case "intrinsic", "drive", "incap":
+			if i+1 >= len(toks) {
+				return g, perr(line, "missing value after %q", key)
+			}
+			f, err := strconv.ParseFloat(toks[i+1], 64)
+			if err != nil {
+				return g, perr(line, "bad %s %q", key, toks[i+1])
+			}
+			switch key {
+			case "intrinsic":
+				g.Intrinsic = f
+			case "drive":
+				g.Drive = f
+			default:
+				g.InCap = f
+			}
+			i += 2
+		default:
+			return g, perr(line, "unknown gate attribute %q", toks[i])
+		}
+	}
+	if len(g.Inputs) == 0 || g.Output == "" {
+		return g, perr(line, "gate %q needs in and out nets", g.Name)
+	}
+	return g, nil
+}
+
+func isGateKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "in", "out", "intrinsic", "drive", "incap":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package netex
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"mintc/internal/core"
+)
+
+// WriteNetlist renders a netlist in the .gnl format accepted by
+// ParseNetlist (round-trip safe for netlists whose names contain no
+// whitespace or '#').
+func WriteNetlist(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	if n.Name != "" {
+		fmt.Fprintf(bw, "netlist %s\n", n.Name)
+	}
+	fmt.Fprintf(bw, "clock %d\n", n.K)
+	for _, in := range n.Inputs {
+		fmt.Fprintf(bw, "input %s\n", in)
+	}
+	for _, out := range n.Outputs {
+		fmt.Fprintf(bw, "output %s\n", out)
+	}
+	for _, e := range n.Elements {
+		kind, dq := "latch", "dq"
+		if e.Kind == core.FlipFlop {
+			kind, dq = "ff", "cq"
+		}
+		fmt.Fprintf(bw, "%s %s phase %d setup %g %s %g d %s q %s", kind, e.Name, e.Phase+1, e.Setup, dq, e.DQ, e.D, e.Q)
+		if e.Hold > 0 {
+			fmt.Fprintf(bw, " hold %g", e.Hold)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, g := range n.Gates {
+		fmt.Fprintf(bw, "gate %s in", g.Name)
+		for _, in := range g.Inputs {
+			fmt.Fprintf(bw, " %s", in)
+		}
+		fmt.Fprintf(bw, " out %s", g.Output)
+		if g.Intrinsic != 0 {
+			fmt.Fprintf(bw, " intrinsic %g", g.Intrinsic)
+		}
+		if g.Drive != 0 {
+			fmt.Fprintf(bw, " drive %g", g.Drive)
+		}
+		if g.InCap != 0 {
+			fmt.Fprintf(bw, " incap %g", g.InCap)
+		}
+		fmt.Fprintln(bw)
+	}
+	nets := make([]string, 0, len(n.WireCap))
+	for net := range n.WireCap {
+		nets = append(nets, net)
+	}
+	sort.Strings(nets)
+	for _, net := range nets {
+		fmt.Fprintf(bw, "wirecap %s %g\n", net, n.WireCap[net])
+	}
+	return bw.Flush()
+}

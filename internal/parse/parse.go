@@ -1,0 +1,459 @@
+// Package parse implements the .smo circuit-description language: a
+// small line-oriented format for the circuits and clock schedules
+// consumed by the timing tools (the paper's §V mentions "a simple
+// parser" in its MLP implementation; this is ours).
+//
+// Circuit files look like:
+//
+//	# Example 1 of the paper (Fig. 5)
+//	clock 2
+//	latch L1 phase 1 setup 10 dq 10
+//	latch L2 phase 2 setup 10 dq 10
+//	ff    PC phase 1 setup 0.15 cq 0.25
+//	path  L1 -> L2 delay 20 label La
+//	path  L2 -> L1 delay 80 min 40
+//	phasename 1 precharge
+//	meta "Register File" "16,085"
+//
+// Schedule files (for checkTc-style analysis) look like:
+//
+//	schedule tc 110
+//	phase 1 start 0  width 55
+//	phase 2 start 55 width 55
+//
+// Phases are 1-based in files, matching the paper's notation; the
+// in-memory model is 0-based.
+package parse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mintc/internal/core"
+)
+
+// maxPhases bounds the clock directive: real multiphase clocks have a
+// handful of phases, and an unbounded count would let a malformed file
+// demand gigabytes of phase bookkeeping.
+const maxPhases = 4096
+
+// Error is a parse error with position information.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Circuit parses a circuit description.
+func Circuit(r io.Reader) (*core.Circuit, error) {
+	var (
+		c      *core.Circuit
+		byName = map[string]int{}
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		toks, err := tokenize(sc.Text(), lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		switch strings.ToLower(toks[0]) {
+		case "clock":
+			if c != nil {
+				return nil, errf(lineNo, "duplicate clock directive")
+			}
+			if len(toks) != 2 {
+				return nil, errf(lineNo, "usage: clock <k>")
+			}
+			k, err := strconv.Atoi(toks[1])
+			if err != nil || k < 1 || k > maxPhases {
+				return nil, errf(lineNo, "invalid phase count %q (want 1..%d)", toks[1], maxPhases)
+			}
+			c = core.NewCircuit(k)
+		case "latch", "ff":
+			if c == nil {
+				return nil, errf(lineNo, "%s before clock directive", toks[0])
+			}
+			sync, err := parseSync(toks, lineNo, c.K())
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := byName[sync.Name]; dup {
+				return nil, errf(lineNo, "duplicate synchronizer %q", sync.Name)
+			}
+			byName[sync.Name] = c.AddSync(sync)
+		case "path":
+			if c == nil {
+				return nil, errf(lineNo, "path before clock directive")
+			}
+			p, err := parsePath(toks, lineNo, byName)
+			if err != nil {
+				return nil, err
+			}
+			c.AddPathFull(p)
+		case "phasename":
+			if c == nil {
+				return nil, errf(lineNo, "phasename before clock directive")
+			}
+			if len(toks) != 3 {
+				return nil, errf(lineNo, "usage: phasename <i> <name>")
+			}
+			p, err := phaseIndex(toks[1], c.K())
+			if err != nil {
+				return nil, errf(lineNo, "%v", err)
+			}
+			c.SetPhaseName(p, toks[2])
+		case "meta":
+			if c == nil {
+				return nil, errf(lineNo, "meta before clock directive")
+			}
+			if len(toks) != 3 {
+				return nil, errf(lineNo, "usage: meta <key> <value>")
+			}
+			if c.Meta == nil {
+				c.Meta = map[string]string{}
+			}
+			c.Meta[toks[1]] = toks[2]
+		default:
+			return nil, errf(lineNo, "unknown directive %q", toks[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, errf(lineNo, "no clock directive found")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CircuitString parses a circuit from a string.
+func CircuitString(s string) (*core.Circuit, error) {
+	return Circuit(strings.NewReader(s))
+}
+
+func parseSync(toks []string, line, k int) (core.Synchronizer, error) {
+	var s core.Synchronizer
+	kind := strings.ToLower(toks[0])
+	if kind == "ff" {
+		s.Kind = core.FlipFlop
+	}
+	if len(toks) < 2 {
+		return s, errf(line, "usage: %s <name> phase <i> setup <t> %s <t> [hold <t>]", kind, dqKeyword(s.Kind))
+	}
+	s.Name = toks[1]
+	s.Phase = -1
+	i := 2
+	for i < len(toks) {
+		if i+1 >= len(toks) {
+			return s, errf(line, "missing value after %q", toks[i])
+		}
+		key, val := strings.ToLower(toks[i]), toks[i+1]
+		i += 2
+		switch key {
+		case "phase":
+			p, err := phaseIndex(val, k)
+			if err != nil {
+				return s, errf(line, "%v", err)
+			}
+			s.Phase = p
+		case "setup":
+			f, err := parseFloat(val)
+			if err != nil {
+				return s, errf(line, "bad setup %q", val)
+			}
+			s.Setup = f
+		case "dq", "cq":
+			if key != dqKeyword(s.Kind) {
+				return s, errf(line, "use %q for a %s", dqKeyword(s.Kind), toks[0])
+			}
+			f, err := parseFloat(val)
+			if err != nil {
+				return s, errf(line, "bad %s %q", key, val)
+			}
+			s.DQ = f
+		case "hold":
+			f, err := parseFloat(val)
+			if err != nil {
+				return s, errf(line, "bad hold %q", val)
+			}
+			s.Hold = f
+		default:
+			return s, errf(line, "unknown attribute %q", key)
+		}
+	}
+	if s.Phase < 0 {
+		return s, errf(line, "synchronizer %q missing phase", s.Name)
+	}
+	return s, nil
+}
+
+func dqKeyword(k core.ElementKind) string {
+	if k == core.FlipFlop {
+		return "cq"
+	}
+	return "dq"
+}
+
+func parsePath(toks []string, line int, byName map[string]int) (core.Path, error) {
+	p := core.Path{MinDelay: -1}
+	// path <from> -> <to> delay <d> [min <d>] [label <s>]
+	if len(toks) < 6 || toks[2] != "->" {
+		return p, errf(line, "usage: path <from> -> <to> delay <d> [min <d>] [label <s>]")
+	}
+	from, ok := byName[toks[1]]
+	if !ok {
+		return p, errf(line, "unknown synchronizer %q", toks[1])
+	}
+	to, ok := byName[toks[3]]
+	if !ok {
+		return p, errf(line, "unknown synchronizer %q", toks[3])
+	}
+	p.From, p.To = from, to
+	i := 4
+	sawDelay := false
+	for i < len(toks) {
+		if i+1 >= len(toks) {
+			return p, errf(line, "missing value after %q", toks[i])
+		}
+		key, val := strings.ToLower(toks[i]), toks[i+1]
+		i += 2
+		switch key {
+		case "delay":
+			f, err := parseFloat(val)
+			if err != nil {
+				return p, errf(line, "bad delay %q", val)
+			}
+			p.Delay = f
+			sawDelay = true
+		case "min":
+			f, err := parseFloat(val)
+			if err != nil {
+				return p, errf(line, "bad min delay %q", val)
+			}
+			p.MinDelay = f
+		case "label":
+			p.Label = val
+		default:
+			return p, errf(line, "unknown attribute %q", key)
+		}
+	}
+	if !sawDelay {
+		return p, errf(line, "path missing delay")
+	}
+	return p, nil
+}
+
+// Schedule parses a clock-schedule description for a k-phase clock.
+func Schedule(r io.Reader, k int) (*core.Schedule, error) {
+	sched := core.NewSchedule(k)
+	seenTc := false
+	seen := make([]bool, k)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		toks, err := tokenize(sc.Text(), lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		switch strings.ToLower(toks[0]) {
+		case "schedule":
+			if len(toks) != 3 || strings.ToLower(toks[1]) != "tc" {
+				return nil, errf(lineNo, "usage: schedule tc <t>")
+			}
+			f, err := parseFloat(toks[2])
+			if err != nil {
+				return nil, errf(lineNo, "bad Tc %q", toks[2])
+			}
+			sched.Tc = f
+			seenTc = true
+		case "phase":
+			// phase <i> start <s> width <w>
+			if len(toks) != 6 || strings.ToLower(toks[2]) != "start" || strings.ToLower(toks[4]) != "width" {
+				return nil, errf(lineNo, "usage: phase <i> start <s> width <w>")
+			}
+			p, err := phaseIndex(toks[1], k)
+			if err != nil {
+				return nil, errf(lineNo, "%v", err)
+			}
+			s, err1 := parseFloat(toks[3])
+			w, err2 := parseFloat(toks[5])
+			if err1 != nil || err2 != nil {
+				return nil, errf(lineNo, "bad start/width")
+			}
+			sched.S[p], sched.T[p] = s, w
+			seen[p] = true
+		default:
+			return nil, errf(lineNo, "unknown directive %q", toks[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenTc {
+		return nil, errf(lineNo, "schedule missing Tc")
+	}
+	for p, ok := range seen {
+		if !ok {
+			return nil, errf(lineNo, "schedule missing phase %d", p+1)
+		}
+	}
+	return sched, nil
+}
+
+// ScheduleString parses a schedule from a string.
+func ScheduleString(s string, k int) (*core.Schedule, error) {
+	return Schedule(strings.NewReader(s), k)
+}
+
+func phaseIndex(tok string, k int) (int, error) {
+	p, err := strconv.Atoi(tok)
+	if err != nil || p < 1 || p > k {
+		return 0, fmt.Errorf("phase %q outside 1..%d", tok, k)
+	}
+	return p - 1, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+// tokenize splits a line into tokens, honoring double-quoted strings
+// and '#' comments.
+func tokenize(line string, lineNo int) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		ch := line[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			i++
+		case ch == '#':
+			return toks, nil
+		case ch == '"':
+			// Quoted string with backslash escapes for '\' and '"'.
+			var sb strings.Builder
+			j := i + 1
+			closed := false
+			for j < len(line) {
+				switch line[j] {
+				case '\\':
+					if j+1 >= len(line) {
+						return nil, errf(lineNo, "dangling escape in string")
+					}
+					sb.WriteByte(line[j+1])
+					j += 2
+				case '"':
+					closed = true
+				default:
+					sb.WriteByte(line[j])
+					j++
+				}
+				if closed {
+					break
+				}
+			}
+			if !closed {
+				return nil, errf(lineNo, "unterminated string")
+			}
+			toks = append(toks, sb.String())
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) && !strings.ContainsRune(" \t\r#", rune(line[j])) {
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// WriteCircuit renders a circuit back into the .smo format, suitable
+// for re-parsing (round-trip property used by the tools and tests).
+func WriteCircuit(w io.Writer, c *core.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "clock %d\n", c.K())
+	for p := 0; p < c.K(); p++ {
+		if c.PhaseName(p) != fmt.Sprintf("phi%d", p+1) {
+			fmt.Fprintf(bw, "phasename %d %s\n", p+1, quoteIfNeeded(c.PhaseName(p)))
+		}
+	}
+	for i, s := range c.Syncs() {
+		kind, dq := "latch", "dq"
+		if s.Kind == core.FlipFlop {
+			kind, dq = "ff", "cq"
+		}
+		fmt.Fprintf(bw, "%s %s phase %d setup %g %s %g", kind, quoteIfNeeded(c.SyncName(i)), s.Phase+1, s.Setup, dq, s.DQ)
+		if s.Hold > 0 {
+			fmt.Fprintf(bw, " hold %g", s.Hold)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, p := range c.Paths() {
+		fmt.Fprintf(bw, "path %s -> %s delay %g", quoteIfNeeded(c.SyncName(p.From)), quoteIfNeeded(c.SyncName(p.To)), p.Delay)
+		if p.MinDelay != p.Delay {
+			fmt.Fprintf(bw, " min %g", p.MinDelay)
+		}
+		if p.Label != "" {
+			fmt.Fprintf(bw, " label %s", quoteIfNeeded(p.Label))
+		}
+		fmt.Fprintln(bw)
+	}
+	metaKeys := make([]string, 0, len(c.Meta))
+	for k := range c.Meta {
+		metaKeys = append(metaKeys, k)
+	}
+	sort.Strings(metaKeys)
+	for _, k := range metaKeys {
+		fmt.Fprintf(bw, "meta %s %s\n", quoteIfNeeded(k), quoteIfNeeded(c.Meta[k]))
+	}
+	return bw.Flush()
+}
+
+// WriteSchedule renders a schedule in the .smo schedule format.
+func WriteSchedule(w io.Writer, sc *core.Schedule) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "schedule tc %g\n", sc.Tc)
+	for p := range sc.S {
+		fmt.Fprintf(bw, "phase %d start %g width %g\n", p+1, sc.S[p], sc.T[p])
+	}
+	return bw.Flush()
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\"#\\") {
+		s = strings.ReplaceAll(s, `\`, `\\`)
+		s = strings.ReplaceAll(s, `"`, `\"`)
+		return `"` + s + `"`
+	}
+	return s
+}

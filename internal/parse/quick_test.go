@@ -1,0 +1,83 @@
+package parse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mintc/internal/core"
+	"mintc/internal/gen"
+)
+
+// TestQuickCircuitRoundTrip: write-then-parse of random circuits
+// preserves structure, parameters, and the optimal cycle time.
+func TestQuickCircuitRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := gen.Random(rng, gen.RandomConfig{})
+		// Give deterministic names (Random leaves them empty, and the
+		// writer falls back to positional names anyway).
+		var buf bytes.Buffer
+		if err := WriteCircuit(&buf, c); err != nil {
+			return false
+		}
+		back, err := CircuitString(buf.String())
+		if err != nil {
+			return false
+		}
+		if back.K() != c.K() || back.L() != c.L() || len(back.Paths()) != len(c.Paths()) {
+			return false
+		}
+		for i := 0; i < c.L(); i++ {
+			a, b := c.Sync(i), back.Sync(i)
+			if a.Phase != b.Phase || a.Kind != b.Kind ||
+				math.Abs(a.Setup-b.Setup) > 1e-12 || math.Abs(a.DQ-b.DQ) > 1e-12 {
+				return false
+			}
+		}
+		for i := range c.Paths() {
+			a, b := c.Paths()[i], back.Paths()[i]
+			if a.From != b.From || a.To != b.To ||
+				math.Abs(a.Delay-b.Delay) > 1e-12 || math.Abs(a.MinDelay-b.MinDelay) > 1e-12 {
+				return false
+			}
+		}
+		r1, err1 := core.MinTc(c, core.Options{})
+		r2, err2 := core.MinTc(back, core.Options{})
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return math.Abs(r1.Schedule.Tc-r2.Schedule.Tc) < 1e-9*(1+r1.Schedule.Tc)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScheduleRoundTrip: write-then-parse of random schedules is
+// the identity up to formatting precision.
+func TestQuickScheduleRoundTrip(t *testing.T) {
+	prop := func(tcRaw uint16, kRaw, dutyRaw uint8) bool {
+		k := 1 + int(kRaw%6)
+		tc := 1 + float64(tcRaw)/7
+		duty := 0.1 + 0.8*float64(dutyRaw)/255
+		sc := core.SymmetricSchedule(k, tc, duty)
+		var buf bytes.Buffer
+		if err := WriteSchedule(&buf, sc); err != nil {
+			return false
+		}
+		back, err := ScheduleString(buf.String(), k)
+		if err != nil {
+			return false
+		}
+		return sc.Equal(back, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one curve of an ASCII chart.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	Marker byte
+}
+
+// Chart plots one or more series as an ASCII scatter/line chart —
+// used for the Fig. 7 reproduction (Tc versus Δ41 for MLP and the
+// baselines). Rows are y values from top (max) to bottom (min);
+// coincident points show the marker of the later series.
+func Chart(title string, series []Series, width, height int) string {
+	if width <= 10 {
+		width = 60
+	}
+	if height <= 4 {
+		height = 18
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		maxX = minX + 1
+	}
+	if math.IsInf(minY, 1) || maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := int((maxY - s.Y[i]) / (maxY - minY) * float64(height-1))
+			grid[row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r, row := range grid {
+		yTop := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.4g |%s\n", yTop, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	var legend []string
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", m, s.Label))
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}

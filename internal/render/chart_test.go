@@ -1,0 +1,77 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasicLayout(t *testing.T) {
+	s := Chart("demo", []Series{
+		{Label: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}, Marker: 'a'},
+		{Label: "b", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}, Marker: 'b'},
+	}, 30, 10)
+	if !strings.HasPrefix(s, "demo\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "a=a") || !strings.Contains(s, "b=b") {
+		t.Error("missing legend")
+	}
+	lines := strings.Split(s, "\n")
+	// Rows: title + 10 grid + axis + xlabels + legend.
+	if len(lines) < 13 {
+		t.Fatalf("only %d lines:\n%s", len(lines), s)
+	}
+	// The rising series 'a' must appear in the top row at the right
+	// and bottom row at the left.
+	top, bottom := lines[1], lines[10]
+	if !strings.Contains(top, "a") && !strings.Contains(top, "b") {
+		t.Errorf("top row empty: %q", top)
+	}
+	if !strings.Contains(bottom, "a") && !strings.Contains(bottom, "b") {
+		t.Errorf("bottom row empty: %q", bottom)
+	}
+}
+
+func TestChartDefaultMarkerAndSizes(t *testing.T) {
+	s := Chart("", []Series{{Label: "x", X: []float64{0, 1}, Y: []float64{3, 4}}}, 0, 0)
+	if !strings.Contains(s, "*") {
+		t.Error("default marker missing")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point: must not divide by zero.
+	s := Chart("p", []Series{{Label: "x", X: []float64{5}, Y: []float64{7}}}, 20, 6)
+	if !strings.Contains(s, "*") {
+		t.Errorf("point not plotted:\n%s", s)
+	}
+	// Empty series: still renders a frame.
+	s = Chart("e", []Series{{Label: "none"}}, 20, 6)
+	if !strings.Contains(s, "+") {
+		t.Error("no axis for empty chart")
+	}
+}
+
+func TestChartMonotoneMapping(t *testing.T) {
+	// Higher y must land on an earlier (higher) row.
+	s := Chart("", []Series{
+		{Label: "lo", X: []float64{0}, Y: []float64{0}, Marker: '%'},
+		{Label: "hi", X: []float64{1}, Y: []float64{10}, Marker: '#'},
+	}, 20, 8)
+	lines := strings.Split(s, "\n")
+	hiRow, loRow := -1, -1
+	for i, l := range lines {
+		if i >= 8 {
+			break // grid rows only; skip axis and legend
+		}
+		if strings.Contains(l, "#") && hiRow < 0 {
+			hiRow = i
+		}
+		if strings.Contains(l, "%") {
+			loRow = i
+		}
+	}
+	if hiRow >= loRow {
+		t.Errorf("H row %d not above L row %d:\n%s", hiRow, loRow, s)
+	}
+}

@@ -1,0 +1,66 @@
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mintc/internal/core"
+)
+
+// WriteDOT renders the circuit's synchronizer graph in Graphviz DOT
+// format: one node per latch/flip-flop (clustered by clock phase) and
+// one edge per combinational path labeled with its delay. When a
+// departure vector d is supplied (e.g. from MinTc or CheckTc), nodes
+// are annotated with their departure times; pass nil to omit.
+func WriteDOT(w io.Writer, c *core.Circuit, d []float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph circuit {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [shape=box, fontname=\"monospace\"];")
+
+	for p := 0; p < c.K(); p++ {
+		fmt.Fprintf(bw, "  subgraph cluster_phase%d {\n", p+1)
+		fmt.Fprintf(bw, "    label=%q;\n", c.PhaseName(p))
+		fmt.Fprintln(bw, "    style=dashed;")
+		for i := 0; i < c.L(); i++ {
+			if c.Sync(i).Phase != p {
+				continue
+			}
+			// DOT uses the two-character sequence \n inside quoted
+			// labels as a line break; assemble it literally.
+			label := dotEscape(c.SyncName(i))
+			if c.Sync(i).Kind == core.FlipFlop {
+				label += `\n(FF)`
+			}
+			if d != nil && i < len(d) {
+				label += fmt.Sprintf(`\nD=%.4g`, d[i])
+			}
+			shape := "box"
+			if c.Sync(i).Kind == core.FlipFlop {
+				shape = "box3d"
+			}
+			fmt.Fprintf(bw, "    n%d [label=\"%s\", shape=%s];\n", i, label, shape)
+		}
+		fmt.Fprintln(bw, "  }")
+	}
+	for _, p := range c.Paths() {
+		label := fmt.Sprintf("%.4g", p.Delay)
+		if p.Label != "" {
+			label = fmt.Sprintf("%s: %.4g", dotEscape(p.Label), p.Delay)
+		}
+		if p.MinDelay != p.Delay {
+			label += fmt.Sprintf(" (min %.4g)", p.MinDelay)
+		}
+		fmt.Fprintf(bw, "  n%d -> n%d [label=\"%s\"];\n", p.From, p.To, label)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// dotEscape makes a string safe inside a DOT double-quoted literal.
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

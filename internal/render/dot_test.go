@@ -1,0 +1,73 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+)
+
+func TestWriteDOTStructure(t *testing.T) {
+	c := circuits.Example1(80)
+	r, err := core.MinTc(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, c, r.D); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph circuit", "subgraph cluster_phase1", "subgraph cluster_phase2",
+		`label="phi1"`, `"L1`, "n0 -> n1", "La: 20", `D=`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("unterminated graph")
+	}
+}
+
+func TestWriteDOTWithoutDepartures(t *testing.T) {
+	c := circuits.Example1(80)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "D=") {
+		t.Error("departure annotations present without d")
+	}
+}
+
+func TestWriteDOTFFShapeAndMinDelay(t *testing.T) {
+	c := core.NewCircuit(1)
+	f := c.AddFF("F", 0, 1, 1)
+	l := c.AddLatch("L", 0, 1, 2)
+	c.AddPathFull(core.Path{From: f, To: l, Delay: 9, MinDelay: 3})
+	c.AddPath(l, f, 4)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "box3d") {
+		t.Error("FF shape missing")
+	}
+	if !strings.Contains(out, "(min 3)") {
+		t.Error("min delay annotation missing")
+	}
+	if !strings.Contains(out, `\n(FF)`) {
+		t.Error("FF label line missing")
+	}
+}
+
+func TestDotEscape(t *testing.T) {
+	if got := dotEscape(`a"b\c`); got != `a\"b\\c` {
+		t.Errorf("dotEscape = %q", got)
+	}
+}

@@ -1,0 +1,276 @@
+// Package render draws clock schedules and latch timing "strips" in
+// the style of the paper's figures: Fig. 3 (clock waveforms), Fig. 6 /
+// Fig. 9 (two cycles of a schedule plus per-block propagation strips
+// with shaded latch delays and gaps for signals waiting on an enabling
+// edge), and Fig. 11 (a multi-phase schedule). ASCII output targets
+// terminals; SVG output produces self-contained files.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mintc/internal/core"
+)
+
+// Options controls diagram geometry.
+type Options struct {
+	// Cycles is the number of clock cycles drawn (default 2, like the
+	// paper's Fig. 6).
+	Cycles int
+	// Width is the number of character columns the drawn cycles span
+	// (ASCII only; default 72).
+	Width int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cycles <= 0 {
+		o.Cycles = 2
+	}
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	return o
+}
+
+// ClockASCII renders the clock waveforms of a schedule over n cycles:
+//
+//	phi1 ######............######............
+//	phi2 ........######............######....
+//
+// '#' marks the active interval. Active intervals that extend past Tc
+// wrap into the following cycle, exactly as the periodic clock does.
+func ClockASCII(sched *core.Schedule, names []string, opts Options) string {
+	opts = opts.withDefaults()
+	var b strings.Builder
+	total := float64(opts.Cycles) * sched.Tc
+	fmt.Fprintf(&b, "Tc = %.6g  (%d cycles, 1 col = %.4g)\n", sched.Tc, opts.Cycles, total/float64(opts.Width))
+	for p := range sched.S {
+		name := fmt.Sprintf("phi%d", p+1)
+		if names != nil && p < len(names) {
+			name = names[p]
+		}
+		fmt.Fprintf(&b, "%-10s %s\n", name, waveRow(sched, p, opts, total))
+	}
+	b.WriteString(ruler(sched, opts, total))
+	return b.String()
+}
+
+func waveRow(sched *core.Schedule, p int, opts Options, total float64) string {
+	row := make([]byte, opts.Width)
+	for i := range row {
+		row[i] = '.'
+	}
+	// Paint each periodic occurrence of the active interval.
+	for cyc := -1; cyc <= opts.Cycles; cyc++ {
+		start := sched.S[p] + float64(cyc)*sched.Tc
+		paint(row, start, start+sched.T[p], total, '#')
+	}
+	return string(row)
+}
+
+// paint fills row cells covering [from,to) within [0,total).
+func paint(row []byte, from, to, total float64, ch byte) {
+	if to <= 0 || from >= total || to <= from {
+		return
+	}
+	w := len(row)
+	lo := int(math.Floor(from / total * float64(w)))
+	hi := int(math.Ceil(to / total * float64(w)))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > w {
+		hi = w
+	}
+	for i := lo; i < hi; i++ {
+		row[i] = ch
+	}
+}
+
+func ruler(sched *core.Schedule, opts Options, total float64) string {
+	row := make([]byte, opts.Width)
+	for i := range row {
+		row[i] = ' '
+	}
+	var labels []string
+	for cyc := 0; cyc <= opts.Cycles; cyc++ {
+		t := float64(cyc) * sched.Tc
+		pos := int(t / total * float64(opts.Width))
+		if pos >= opts.Width {
+			pos = opts.Width - 1
+		}
+		row[pos] = '|'
+		labels = append(labels, fmt.Sprintf("%.6g", t))
+	}
+	return fmt.Sprintf("%-10s %s\n%-10s %s\n", "", string(row), "t:", strings.Join(labels, "  "))
+}
+
+// StripsASCII renders the paper's Fig. 6-style strips: one row per
+// combinational path, showing the source latch's delay ('=' for ΔDQ),
+// the block propagation ('-' with the block label embedded) and the
+// arrival ('>'). A departure that had to wait for the enabling edge
+// shows the wait as a leading gap on the destination's next strip.
+func StripsASCII(c *core.Circuit, sched *core.Schedule, d []float64, opts Options) string {
+	opts = opts.withDefaults()
+	total := float64(opts.Cycles) * sched.Tc
+	var b strings.Builder
+	for pi, p := range c.Paths() {
+		row := make([]byte, opts.Width)
+		for i := range row {
+			row[i] = '.'
+		}
+		src := p.From
+		dep := sched.S[c.Sync(src).Phase] + d[src] // absolute departure
+		dq := c.Sync(src).DQ
+		// Draw this path's activity in every cycle shown.
+		for cyc := -1; cyc <= opts.Cycles; cyc++ {
+			t0 := dep + float64(cyc)*sched.Tc
+			paint(row, t0, t0+dq, total, '=')
+			paint(row, t0+dq, t0+dq+p.Delay, total, '-')
+			mark(row, t0+dq+p.Delay, total, '>')
+		}
+		label := p.Label
+		if label == "" {
+			label = fmt.Sprintf("%s->%s", c.SyncName(p.From), c.SyncName(p.To))
+		}
+		fmt.Fprintf(&b, "%-10s %s  %s(%.6g) D%s=%.6g\n",
+			truncate(label, 10), string(row), label, p.Delay, c.SyncName(src), d[src])
+		_ = pi
+	}
+	return b.String()
+}
+
+func mark(row []byte, t, total float64, ch byte) {
+	if t < 0 || t >= total {
+		return
+	}
+	pos := int(t / total * float64(len(row)))
+	if pos >= len(row) {
+		pos = len(row) - 1
+	}
+	row[pos] = ch
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// Diagram renders the full Fig. 6-style figure: clock waveforms above
+// the propagation strips, plus a departure-time table.
+func Diagram(c *core.Circuit, sched *core.Schedule, d []float64, opts Options) string {
+	names := make([]string, c.K())
+	for p := range names {
+		names[p] = c.PhaseName(p)
+	}
+	var b strings.Builder
+	b.WriteString(ClockASCII(sched, names, opts))
+	b.WriteString(StripsASCII(c, sched, d, opts))
+	b.WriteString("departures (local to own phase): ")
+	for i := range d {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%.6g", c.SyncName(i), d[i])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// SVG renders the schedule and strips as a self-contained SVG document.
+func SVG(c *core.Circuit, sched *core.Schedule, d []float64, opts Options) string {
+	opts = opts.withDefaults()
+	const (
+		pxPerRow = 26
+		leftPad  = 110
+		rightPad = 20
+		topPad   = 30
+		waveHigh = 16
+		stripH   = 10
+	)
+	plotW := 640.0
+	total := float64(opts.Cycles) * sched.Tc
+	x := func(t float64) float64 { return leftPad + t/total*plotW }
+
+	rows := c.K() + len(c.Paths())
+	height := topPad + rows*pxPerRow + 40
+	width := int(leftPad + plotW + rightPad)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18">Tc = %.6g (%d cycles)</text>`+"\n", leftPad, sched.Tc, opts.Cycles)
+
+	// Cycle boundary gridlines.
+	for cyc := 0; cyc <= opts.Cycles; cyc++ {
+		gx := x(float64(cyc) * sched.Tc)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc"/>`+"\n",
+			gx, topPad, gx, topPad+rows*pxPerRow)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#666">%.6g</text>`+"\n",
+			gx+2, topPad+rows*pxPerRow+14, float64(cyc)*sched.Tc)
+	}
+
+	y := topPad
+	// Clock waveforms.
+	for p := 0; p < c.K(); p++ {
+		fmt.Fprintf(&b, `<text x="6" y="%d">%s</text>`+"\n", y+waveHigh-3, c.PhaseName(p))
+		base := float64(y + waveHigh)
+		// Baseline.
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			leftPad, base, leftPad+plotW, base)
+		for cyc := -1; cyc <= opts.Cycles; cyc++ {
+			s := sched.S[p] + float64(cyc)*sched.Tc
+			e := s + sched.T[p]
+			cs, ce := math.Max(s, 0), math.Min(e, total)
+			if ce <= cs {
+				continue
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#4a90d9" stroke="black"/>`+"\n",
+				x(cs), y, x(ce)-x(cs), waveHigh)
+		}
+		y += pxPerRow
+	}
+	// Strips.
+	for _, p := range c.Paths() {
+		src := p.From
+		dep := sched.S[c.Sync(src).Phase] + d[src]
+		dq := c.Sync(src).DQ
+		label := p.Label
+		if label == "" {
+			label = fmt.Sprintf("%s->%s", c.SyncName(p.From), c.SyncName(p.To))
+		}
+		fmt.Fprintf(&b, `<text x="6" y="%d">%s</text>`+"\n", y+stripH, escape(label))
+		for cyc := -1; cyc <= opts.Cycles; cyc++ {
+			t0 := dep + float64(cyc)*sched.Tc
+			segs := []struct {
+				from, to float64
+				color    string
+			}{
+				{t0, t0 + dq, "#888"},                   // latch delay (shaded, as in Fig. 6)
+				{t0 + dq, t0 + dq + p.Delay, "#e8b84b"}, // combinational block
+			}
+			for _, sg := range segs {
+				cs, ce := math.Max(sg.from, 0), math.Min(sg.to, total)
+				if ce <= cs {
+					continue
+				}
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="black"/>`+"\n",
+					x(cs), y+2, x(ce)-x(cs), stripH, sg.color)
+			}
+		}
+		y += pxPerRow
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,136 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+)
+
+func solved(t *testing.T, d41 float64) (*core.Circuit, *core.Result) {
+	t.Helper()
+	c := circuits.Example1(d41)
+	r, err := core.MinTc(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, r
+}
+
+func TestClockASCIIStructure(t *testing.T) {
+	sc := core.SymmetricSchedule(2, 100, 0.5)
+	out := ClockASCII(sc, []string{"phi1", "phi2"}, Options{Cycles: 2, Width: 40})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "Tc = 100") {
+		t.Errorf("header missing Tc: %q", lines[0])
+	}
+	// phi1 active [0,25) of each 100: columns 0..4 of each 20-col cycle.
+	w1 := lines[1]
+	if !strings.HasPrefix(w1, "phi1") {
+		t.Fatalf("line 1 = %q", w1)
+	}
+	wave := strings.Fields(w1)[1]
+	if wave[0] != '#' || wave[10] != '.' {
+		t.Errorf("phi1 wave wrong: %q", wave)
+	}
+	// Periodicity: second cycle has the same pattern.
+	if wave[0] != wave[20] || wave[10] != wave[30] {
+		t.Errorf("wave not periodic: %q", wave)
+	}
+}
+
+func TestClockASCIIWrapsAcrossCycle(t *testing.T) {
+	// Phase starting at 0.9*Tc with width 0.2*Tc wraps into the next
+	// cycle: the first columns must be active too.
+	sc := core.NewSchedule(1)
+	sc.Tc = 100
+	sc.S = []float64{90}
+	sc.T = []float64{20}
+	out := ClockASCII(sc, nil, Options{Cycles: 1, Width: 20})
+	wave := strings.Fields(strings.Split(out, "\n")[1])[1]
+	if wave[0] != '#' {
+		t.Errorf("wrapped interval not drawn at cycle start: %q", wave)
+	}
+	if wave[19] != '#' {
+		t.Errorf("interval start not drawn: %q", wave)
+	}
+	if wave[10] != '.' {
+		t.Errorf("middle should be low: %q", wave)
+	}
+}
+
+func TestStripsASCIIShowsBlocks(t *testing.T) {
+	c, r := solved(t, 80)
+	out := StripsASCII(c, r.Schedule, r.D, Options{})
+	for _, want := range []string{"La", "Lb", "Lc", "Ld"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("strips missing block %s:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "=") || !strings.Contains(out, "-") {
+		t.Error("strips missing latch-delay or propagation glyphs")
+	}
+}
+
+func TestDiagramCombines(t *testing.T) {
+	c, r := solved(t, 120)
+	out := Diagram(c, r.Schedule, r.D, Options{})
+	for _, want := range []string{"Tc = 140", "phi1", "phi2", "departures", "L4="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q", want)
+		}
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	c, r := solved(t, 80)
+	svg := SVG(c, r.Schedule, r.D, Options{})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<rect") < 4 {
+		t.Error("expected phase and strip rects")
+	}
+	// Labels must be escaped: default path label contains "->".
+	c2 := core.NewCircuit(1)
+	a := c2.AddLatch("A", 0, 1, 2)
+	c2.AddPath(a, a, 5)
+	r2, err := core.MinTc(c2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg2 := SVG(c2, r2.Schedule, r2.D, Options{})
+	if strings.Contains(svg2, "A->A") {
+		t.Error("unescaped '>' in SVG label")
+	}
+	if !strings.Contains(svg2, "A-&gt;A") {
+		t.Error("escaped label missing")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Cycles != 2 || o.Width != 72 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestGaAsDiagramRenders(t *testing.T) {
+	c := circuits.GaAsMIPS()
+	r, err := core.MinTc(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Diagram(c, r.Schedule, r.D, Options{Width: 80})
+	if !strings.Contains(out, "Tc = 4.4") {
+		t.Errorf("GaAs diagram missing Tc:\n%.200s", out)
+	}
+	svg := SVG(c, r.Schedule, r.D, Options{})
+	if len(svg) < 1000 {
+		t.Error("GaAs SVG suspiciously small")
+	}
+}

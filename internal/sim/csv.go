@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"mintc/internal/core"
+)
+
+// WriteCSV exports the trace's per-cycle local departure times as CSV
+// (one row per cycle, one column per synchronizer), suitable for
+// external plotting of convergence or drift behavior. Arrival columns
+// are appended when withArrivals is set; -Inf arrivals (no fanin)
+// render as empty cells.
+func (tr *Trace) WriteCSV(w io.Writer, c *core.Circuit, withArrivals bool) error {
+	bw := bufio.NewWriter(w)
+	// Header.
+	fmt.Fprint(bw, "cycle")
+	for i := 0; i < c.L(); i++ {
+		fmt.Fprintf(bw, ",D.%s", csvField(c.SyncName(i)))
+	}
+	if withArrivals {
+		for i := 0; i < c.L(); i++ {
+			fmt.Fprintf(bw, ",A.%s", csvField(c.SyncName(i)))
+		}
+	}
+	fmt.Fprintln(bw)
+	for n := range tr.LocalD {
+		fmt.Fprintf(bw, "%d", n)
+		for _, v := range tr.LocalD[n] {
+			fmt.Fprintf(bw, ",%g", v)
+		}
+		if withArrivals {
+			for _, v := range tr.Arrival[n] {
+				if math.IsInf(v, -1) {
+					bw.WriteString(",")
+				} else {
+					fmt.Fprintf(bw, ",%g", v)
+				}
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// csvField strips the characters that would break an unquoted CSV
+// cell (synchronizer names are identifiers in practice).
+func csvField(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ',', '"', '\n', '\r':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

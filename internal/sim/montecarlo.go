@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mintc/internal/core"
+)
+
+// MCConfig tunes a Monte-Carlo simulation run.
+type MCConfig struct {
+	// Cycles per trial (default 32).
+	Cycles int
+	// Trials is the number of independent randomized runs (default 50).
+	Trials int
+	// WarmupCycles suppresses violation counting while the wavefront
+	// settles (default 2).
+	WarmupCycles int
+}
+
+// MCResult summarizes a Monte-Carlo run.
+type MCResult struct {
+	Trials int
+	// FailingTrials counts trials with at least one setup violation.
+	FailingTrials int
+	// TotalViolations across all trials (post-warmup).
+	TotalViolations int
+	// WorstSlack is the minimum setup slack observed anywhere.
+	WorstSlack float64
+}
+
+// RunMonteCarlo simulates the circuit with per-cycle random delay
+// variation: in every cycle each combinational path independently
+// draws its delay uniformly from [MinDelay, Delay]. Because the
+// static model (core.CheckTc) verifies the worst case — every path
+// simultaneously at its maximum — a schedule that passes the static
+// analysis can never fail under sampled delays (departures are
+// monotone in the delays). The Monte-Carlo run therefore serves two
+// purposes: a randomized soundness check of that monotonicity
+// argument, and a way to observe the actual slack distribution under
+// realistic (non-worst-case) conditions.
+func RunMonteCarlo(c *core.Circuit, sched *core.Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if sched.K() != c.K() {
+		return nil, fmt.Errorf("sim: schedule has %d phases, circuit has %d", sched.K(), c.K())
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sim: RunMonteCarlo needs an explicit *rand.Rand")
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 32
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 50
+	}
+	if cfg.WarmupCycles <= 0 {
+		cfg.WarmupCycles = 2
+	}
+
+	l := c.L()
+	paths := c.Paths()
+	order := phaseOrder(c)
+	res := &MCResult{Trials: cfg.Trials, WorstSlack: math.Inf(1)}
+
+	prev := make([]float64, l) // absolute departures, previous cycle
+	cur := make([]float64, l)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		failed := false
+		for i := 0; i < l; i++ {
+			prev[i] = sched.S[c.Sync(i).Phase] - sched.Tc // cycle -1 cold start
+		}
+		for n := 0; n < cfg.Cycles; n++ {
+			for _, i := range order {
+				open := sched.S[c.Sync(i).Phase] + float64(n)*sched.Tc
+				arr := math.Inf(-1)
+				for _, pidx := range c.Fanin(i) {
+					p := paths[pidx]
+					j := p.From
+					var depJ float64
+					if c.Sync(j).Phase >= c.Sync(i).Phase {
+						depJ = prev[j]
+					} else {
+						depJ = cur[j]
+					}
+					d := p.MinDelay + rng.Float64()*(p.Delay-p.MinDelay)
+					if v := depJ + c.Sync(j).DQ + d; v > arr {
+						arr = v
+					}
+				}
+				s := c.Sync(i)
+				switch s.Kind {
+				case core.Latch:
+					cur[i] = math.Max(open, arr)
+					if n >= cfg.WarmupCycles {
+						slack := open + sched.T[s.Phase] - s.Setup - cur[i]
+						if slack < res.WorstSlack {
+							res.WorstSlack = slack
+						}
+						if slack < -core.Eps {
+							res.TotalViolations++
+							failed = true
+						}
+					}
+				case core.FlipFlop:
+					cur[i] = open
+					if n >= cfg.WarmupCycles && !math.IsInf(arr, -1) {
+						slack := open - s.Setup - arr
+						if slack < res.WorstSlack {
+							res.WorstSlack = slack
+						}
+						if slack < -core.Eps {
+							res.TotalViolations++
+							failed = true
+						}
+					}
+				}
+			}
+			prev, cur = cur, prev
+		}
+		if failed {
+			res.FailingTrials++
+		}
+	}
+	return res, nil
+}
+
+// phaseOrder returns synchronizer indices sorted by phase so
+// same-cycle dependencies (strictly increasing phase) resolve in one
+// pass.
+func phaseOrder(c *core.Circuit) []int {
+	order := make([]int, c.L())
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by phase keeps it simple and stable.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && c.Sync(order[j]).Phase < c.Sync(order[j-1]).Phase; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}

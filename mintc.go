@@ -1,0 +1,391 @@
+// Package mintc determines optimal clock schedules for latch-controlled
+// synchronous digital circuits, implementing Sakallah, Mudge and
+// Olukotun, "Analysis and Design of Latch-Controlled Synchronous
+// Digital Circuits" (DAC 1990 / IEEE TCAD 1992) — the SMO timing model
+// behind checkTc/minTc-style tools.
+//
+// The package answers the paper's two problems:
+//
+//   - the design problem ("minTc"): given a circuit, find the minimum
+//     cycle time and a clock schedule achieving it — Algorithm MLP,
+//     which solves the relaxed linear program P2 and then slides the
+//     departure times to satisfy the exact nonlinear constraints
+//     (Theorem 1 guarantees optimality);
+//   - the analysis problem ("checkTc"): given a circuit and a concrete
+//     clock schedule, verify every setup, propagation and clock
+//     constraint, reporting slacks and violations.
+//
+// # Quick start
+//
+//	c := mintc.NewCircuit(2)                       // two-phase clock
+//	a := c.AddLatch("A", 0, 10, 10)                // phase φ1, setup 10, ΔDQ 10
+//	b := c.AddLatch("B", 1, 10, 10)                // phase φ2
+//	c.AddPath(a, b, 20)                            // combinational block, 20 ns
+//	c.AddPath(b, a, 60)
+//	res, err := mintc.MinTc(c, mintc.Options{})
+//	// res.Schedule.Tc is the optimal cycle time;
+//	// res.Schedule.S/T position each phase; res.D hold departures.
+//
+// Circuits can also be read from .smo files (see ParseCircuit), drawn
+// as timing diagrams (RenderDiagram, RenderSVG), cross-checked with an
+// independent min-cycle-ratio engine (MinTcMCR), compared against the
+// edge-triggered and NRIP baselines of the paper's evaluation
+// (MinTcEdgeTriggered, MinTcNRIP), and validated dynamically by
+// cycle-accurate simulation (Simulate).
+package mintc
+
+import (
+	"io"
+	"math/rand"
+
+	"mintc/internal/agrawal"
+	"mintc/internal/core"
+	"mintc/internal/delay"
+	"mintc/internal/ettf"
+	"mintc/internal/mcr"
+	"mintc/internal/netex"
+	"mintc/internal/nrip"
+	"mintc/internal/parse"
+	"mintc/internal/render"
+	"mintc/internal/sim"
+)
+
+// Core model types, re-exported from the implementation packages. See
+// the internal/core documentation for field-level details; the types
+// are aliases, so values flow freely between the façade and any code
+// written against it.
+type (
+	// Circuit is a synchronous circuit: a k-phase clock, a set of
+	// latches/flip-flops, and the combinational paths between them.
+	Circuit = core.Circuit
+	// Synchronizer is one clocked storage element.
+	Synchronizer = core.Synchronizer
+	// Path is a combinational connection between two synchronizers.
+	Path = core.Path
+	// Schedule is a concrete clock assignment (Tc, phase starts and
+	// widths).
+	Schedule = core.Schedule
+	// Options tunes constraint generation (minimum phase width,
+	// minimum separation, clock skew, fixed Tc) and the MLP update
+	// strategy.
+	Options = core.Options
+	// Result is the outcome of MinTc: optimal schedule, departure
+	// times, LP statistics and critical segments.
+	Result = core.Result
+	// Analysis is the outcome of CheckTc: feasibility, slacks and
+	// violations.
+	Analysis = core.Analysis
+	// Violation is one failed timing requirement found by CheckTc.
+	Violation = core.Violation
+	// ElementKind distinguishes latches from flip-flops.
+	ElementKind = core.ElementKind
+	// UpdateMode selects the MLP departure-update strategy.
+	UpdateMode = core.UpdateMode
+)
+
+// Element kinds.
+const (
+	Latch    = core.Latch
+	FlipFlop = core.FlipFlop
+)
+
+// MLP update strategies (paper: Jacobi, with Gauss–Seidel and
+// event-driven refinements).
+const (
+	Jacobi      = core.Jacobi
+	GaussSeidel = core.GaussSeidel
+	EventDriven = core.EventDriven
+)
+
+// ErrInfeasible is returned when no cycle time satisfies the timing
+// constraints (only possible with a FixedTc option or structurally
+// impossible flip-flop timing).
+var ErrInfeasible = core.ErrInfeasible
+
+// NewCircuit returns a circuit clocked by k phases named phi1..phik.
+func NewCircuit(k int) *Circuit { return core.NewCircuit(k) }
+
+// NewSchedule allocates a zero schedule for k phases.
+func NewSchedule(k int) *Schedule { return core.NewSchedule(k) }
+
+// SymmetricSchedule returns the canonical evenly spaced nonoverlapping
+// k-phase schedule with the given cycle time and duty factor.
+func SymmetricSchedule(k int, tc, duty float64) *Schedule {
+	return core.SymmetricSchedule(k, tc, duty)
+}
+
+// MinTc solves the design problem with Algorithm MLP: minimum cycle
+// time, optimal clock schedule, and the supporting departure times.
+func MinTc(c *Circuit, opts Options) (*Result, error) { return core.MinTc(c, opts) }
+
+// CheckTc solves the analysis problem: verify a circuit against a
+// fixed clock schedule, reporting slacks and violations.
+func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
+	return core.CheckTc(c, sched, opts)
+}
+
+// MCRResult is the outcome of the min-cycle-ratio engine.
+type MCRResult = mcr.Result
+
+// MinTcMCR computes the optimal cycle time with the min-cycle-ratio
+// engine — an independent algorithm exploiting the 0/±1 structure of
+// the constraint matrix (the direction the paper's conclusion points
+// at). It returns the same optimal Tc as MinTc and is useful both as a
+// cross-check and as the faster engine on large circuits.
+func MinTcMCR(c *Circuit, opts Options) (*MCRResult, error) { return mcr.Solve(c, opts) }
+
+// EdgeTriggeredResult is the outcome of the edge-triggered baseline.
+type EdgeTriggeredResult = ettf.Result
+
+// MinTcEdgeTriggered computes the minimum cycle time under the classic
+// edge-triggered approximation (no time borrowing): an upper bound on
+// the true optimum, used as a baseline in the paper's comparisons.
+func MinTcEdgeTriggered(c *Circuit, opts Options) (*EdgeTriggeredResult, error) {
+	return ettf.MinTc(c, opts)
+}
+
+// NRIPResult is the outcome of the NRIP baseline reconstruction.
+type NRIPResult = nrip.Result
+
+// MinTcNRIP runs the reconstruction of Dagenais & Rumin's NRIP
+// heuristic (edge-triggered schedule shape plus one borrowing pass),
+// the baseline of the paper's Figs. 6, 7 and 9.
+func MinTcNRIP(c *Circuit, opts Options) (*NRIPResult, error) { return nrip.MinTc(c, opts) }
+
+// FrequencySearchResult is the outcome of the Agrawal-style search.
+type FrequencySearchResult = agrawal.Result
+
+// MinTcFrequencySearch reconstructs the earliest baseline of the
+// paper's related work (Agrawal's bounded binary search for the
+// maximum operating frequency): a binary search on Tc over a fixed
+// symmetric clock shape with the given duty factor, using the exact
+// analysis for feasibility. Always an upper bound on MinTc's optimum.
+func MinTcFrequencySearch(c *Circuit, duty, tol float64) (*FrequencySearchResult, error) {
+	return agrawal.MinTc(c, duty, tol)
+}
+
+// MCRSolver is a reusable min-cycle-ratio engine: compile once, update
+// delays with SetDelay, re-solve cheaply — the design-side analogue of
+// the Evaluator.
+type MCRSolver = mcr.Solver
+
+// NewMCRSolver compiles a circuit for repeated min-cycle-ratio solves.
+func NewMCRSolver(c *Circuit, opts Options) (*MCRSolver, error) {
+	return mcr.NewSolver(c, opts)
+}
+
+// Loop is one structural loop of the circuit with its cycle-ratio
+// bound on the cycle time.
+type Loop = mcr.Loop
+
+// TopLoops returns the n most critical loops of the circuit ranked by
+// their cycle-ratio bound Delay/Crossings — the quantified version of
+// the paper's several-critical-segments observation. Ratios are lower
+// bounds on Tc*; the maximum can be strictly below Tc* when a stage
+// (non-loop) constraint dominates.
+func TopLoops(c *Circuit, opts Options, n, maxCycles int) ([]Loop, error) {
+	return mcr.TopLoops(c, opts, n, maxCycles)
+}
+
+// WriteDOT renders the circuit's synchronizer graph in Graphviz DOT
+// format, optionally annotated with departure times.
+func WriteDOT(w io.Writer, c *Circuit, d []float64) error { return render.WriteDOT(w, c, d) }
+
+// ParseCircuit reads a circuit in the .smo description language.
+func ParseCircuit(r io.Reader) (*Circuit, error) { return parse.Circuit(r) }
+
+// ParseCircuitString parses a circuit from a string.
+func ParseCircuitString(s string) (*Circuit, error) { return parse.CircuitString(s) }
+
+// ParseSchedule reads a clock schedule for a k-phase clock.
+func ParseSchedule(r io.Reader, k int) (*Schedule, error) { return parse.Schedule(r, k) }
+
+// WriteCircuit renders a circuit back into the .smo format.
+func WriteCircuit(w io.Writer, c *Circuit) error { return parse.WriteCircuit(w, c) }
+
+// WriteSchedule renders a schedule in the .smo schedule format.
+func WriteSchedule(w io.Writer, sc *Schedule) error { return parse.WriteSchedule(w, sc) }
+
+// RenderOptions controls timing-diagram geometry.
+type RenderOptions = render.Options
+
+// RenderDiagram draws an ASCII timing diagram (clock waveforms plus
+// per-block propagation strips) in the style of the paper's Fig. 6.
+func RenderDiagram(c *Circuit, sched *Schedule, d []float64, opts RenderOptions) string {
+	return render.Diagram(c, sched, d, opts)
+}
+
+// RenderClock draws just the clock waveforms (paper Fig. 3 style).
+func RenderClock(sched *Schedule, names []string, opts RenderOptions) string {
+	return render.ClockASCII(sched, names, opts)
+}
+
+// RenderSVG draws the schedule and strips as a self-contained SVG
+// document.
+func RenderSVG(c *Circuit, sched *Schedule, d []float64, opts RenderOptions) string {
+	return render.SVG(c, sched, d, opts)
+}
+
+// Secondary selects a tie-breaking objective among the optimal clock
+// schedules (the paper notes the optimum is generally non-unique and
+// that requirements like minimum duty cycle may pick one).
+type Secondary = core.Secondary
+
+// Tie-breaking objectives for MinTcLex.
+const (
+	NoSecondary      = core.NoSecondary
+	MaxPhaseWidths   = core.MaxPhaseWidths
+	MinPhaseWidths   = core.MinPhaseWidths
+	MaxMinPhaseWidth = core.MaxMinPhaseWidth
+	MinDepartures    = core.MinDepartures
+	CompactSchedule  = core.CompactSchedule
+)
+
+// MinTcLex solves the design problem lexicographically: minimum cycle
+// time first, then the chosen secondary objective over the optimal
+// family.
+func MinTcLex(c *Circuit, opts Options, sec Secondary) (*Result, error) {
+	return core.MinTcLex(c, opts, sec)
+}
+
+// MarginResult is the outcome of MaxMarginSchedule.
+type MarginResult = core.MarginResult
+
+// MaxMarginSchedule designs a clock at a fixed cycle time that
+// maximizes the worst setup margin — how production schedules are
+// chosen once the frequency target is set. tc must be at least the
+// circuit's minimum cycle time.
+func MaxMarginSchedule(c *Circuit, opts Options, tc float64) (*MarginResult, error) {
+	return core.MaxMarginSchedule(c, opts, tc)
+}
+
+// DelaySegment is one linear piece of Tc*(Δ) from ParametricDelay.
+type DelaySegment = core.DelaySegment
+
+// ParametricDelay computes the piecewise-linear dependence of the
+// optimal cycle time on one path's delay — the parametric analysis the
+// paper's conclusion proposes for quantifying critical segments. On
+// the paper's Example 1 it recovers the Fig. 7 curve (slopes 0, 1/2, 1
+// with breakpoints at 20 and 100 ns) in three LP solves.
+func ParametricDelay(c *Circuit, opts Options, pathIndex int, from, to float64) ([]DelaySegment, error) {
+	return core.ParametricDelay(c, opts, pathIndex, from, to)
+}
+
+// Breakpoints returns the interior delay values where a parametric
+// curve's slope changes.
+func Breakpoints(segs []DelaySegment) []float64 { return core.Breakpoints(segs) }
+
+// Evaluator pre-compiles a circuit for fast repeated timing analysis
+// (LEADOUT-style); see NewEvaluator.
+type Evaluator = core.Evaluator
+
+// QuickAnalysis is the result of Evaluator.Check.
+type QuickAnalysis = core.QuickAnalysis
+
+// NewEvaluator compiles a circuit for fast repeated Check calls with
+// varying schedules or delays.
+func NewEvaluator(c *Circuit) (*Evaluator, error) { return core.NewEvaluator(c) }
+
+// NormalizePhases relabels a circuit's clock phases so the given
+// schedule's start times are nondecreasing (the paper's §III.A
+// preprocessing step), returning the relabeled circuit and schedule
+// and the permutation used (perm[new] = old).
+func NormalizePhases(c *Circuit, sched *Schedule) (*Circuit, *Schedule, []int, error) {
+	return core.NormalizePhases(c, sched)
+}
+
+// Simplify returns an equivalent circuit with redundant parallel paths
+// merged (max Delay, min MinDelay), plus the number of paths removed.
+// The reduction is exact for every analysis in this package.
+func Simplify(c *Circuit) (*Circuit, int) { return core.Simplify(c) }
+
+// LumpEquivalent merges timing-equivalent synchronizers — the paper's
+// bus-lumping remark ("by lumping latches corresponding to vector
+// signals with similar timing ... the number l can be reasonably
+// small"). Returns the lumped circuit and the old→new index mapping.
+func LumpEquivalent(c *Circuit) (*Circuit, []int) { return core.LumpEquivalent(c) }
+
+// StabilityWindow describes when a latch input is valid and stable
+// within the periodic steady state.
+type StabilityWindow = core.StabilityWindow
+
+// StabilityWindows computes the input-stability window of every
+// synchronizer under the given schedule (late-mode start, early-mode
+// next-wave expiry).
+func StabilityWindows(c *Circuit, sched *Schedule) ([]StabilityWindow, error) {
+	return core.StabilityWindows(c, sched)
+}
+
+// MCConfig tunes a Monte-Carlo simulation run.
+type MCConfig = sim.MCConfig
+
+// MCResult summarizes a Monte-Carlo run.
+type MCResult = sim.MCResult
+
+// SimulateMonteCarlo runs repeated randomized simulations with
+// per-cycle path delays drawn uniformly from [MinDelay, Delay]. A
+// schedule passing the worst-case static analysis never fails here;
+// the result reports the observed slack distribution.
+func SimulateMonteCarlo(c *Circuit, sched *Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
+	return sim.RunMonteCarlo(c, sched, cfg, rng)
+}
+
+// Gate-level front end: the decomposition step the paper assumes
+// ("the circuit has been decomposed into clocked combinational stages,
+// and ... the various delay parameters have been calculated").
+type (
+	// GateNetlist is a sequential gate-level design: gates plus
+	// clocked storage elements.
+	GateNetlist = netex.Netlist
+	// NetlistElement is one latch or flip-flop of a GateNetlist.
+	NetlistElement = netex.Element
+	// Gate is one combinational cell (shared with the delay models).
+	Gate = delay.Gate
+	// IOPolicy controls how primary I/O enters the timing model.
+	IOPolicy = netex.IOPolicy
+	// ExtractInfo reports gate-level extraction statistics.
+	ExtractInfo = netex.Info
+	// DelayModel maps gates and loads to delays.
+	DelayModel = delay.Model
+)
+
+// Gate delay models, in increasing fidelity.
+var (
+	UnitDelay   DelayModel = delay.Unit{}
+	LinearDelay DelayModel = delay.Linear{}
+	ElmoreDelay DelayModel = delay.Elmore{}
+)
+
+// ParseNetlist reads a gate-level netlist in the .gnl format.
+func ParseNetlist(r io.Reader) (*GateNetlist, error) { return netex.ParseNetlist(r) }
+
+// ParseNetlistString parses a gate-level netlist from a string.
+func ParseNetlistString(s string) (*GateNetlist, error) { return netex.ParseNetlistString(s) }
+
+// SimConfig tunes a simulation run.
+type SimConfig = sim.Config
+
+// SimTrace is the outcome of a simulation run.
+type SimTrace = sim.Trace
+
+// Simulate runs a cycle-accurate wavefront simulation of the circuit
+// under the given schedule, independently validating the static
+// analysis (the steady-state departures converge to CheckTc's D).
+func Simulate(c *Circuit, sched *Schedule, cfg SimConfig) (*SimTrace, error) {
+	return sim.Run(c, sched, cfg)
+}
+
+// RepairSchedule finds the smallest uniform stretch of a schedule that
+// passes all timing checks, keeping its shape — "how much slower must
+// this exact waveform run?". Returns the stretched schedule and the
+// scale factor (1 when the input already passes).
+func RepairSchedule(c *Circuit, sched *Schedule, opts Options, maxScale float64) (*Schedule, float64, error) {
+	return core.RepairSchedule(c, sched, opts, maxScale)
+}
+
+// SweepDelays solves the design problem at each delay value for one
+// path in parallel (workers get private circuit clones). The bulk
+// counterpart of ParametricDelay.
+func SweepDelays(c *Circuit, opts Options, pathIndex int, values []float64) ([]float64, []error) {
+	return core.SweepDelays(c, opts, pathIndex, values)
+}
