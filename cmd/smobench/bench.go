@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mintc/internal/engine"
+	"mintc/internal/gen"
+	"mintc/internal/obs"
+)
+
+// benchRecord is the machine-readable result of one (circuit, engine)
+// benchmark run, written as BENCH_<circuit>_<engine>.json.
+type benchRecord struct {
+	Engine          string    `json:"engine"`
+	Circuit         string    `json:"circuit"`
+	Latches         int       `json:"latches"`
+	Tc              float64   `json:"tc"`
+	WallNs          int64     `json:"wall_ns"`
+	Pivots          int64     `json:"pivots"`
+	SlideIterations int64     `json:"slide_iterations"`
+	Error           string    `json:"error,omitempty"`
+	Stats           obs.Stats `json:"stats"`
+}
+
+// runBench solves every suite circuit with each requested engine and
+// writes one JSON record per run into dir. An engine failing on one
+// circuit is recorded in that circuit's JSON, not fatal to the sweep.
+func runBench(dir, engines string, timeout time.Duration) ([]string, error) {
+	names := engine.Names()
+	if engines != "" {
+		names = nil
+		for _, n := range strings.Split(engines, ",") {
+			n = strings.TrimSpace(n)
+			if _, ok := engine.Get(n); !ok {
+				return nil, fmt.Errorf("unknown engine %q (available: %s)",
+					n, strings.Join(engine.Names(), ", "))
+			}
+			names = append(names, n)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, bm := range gen.Suite() {
+		for _, name := range names {
+			rec, err := benchOne(bm, name, timeout)
+			if err != nil {
+				rec.Error = err.Error()
+			}
+			path := filepath.Join(dir, fmt.Sprintf("BENCH_%s_%s.json", bm.Name, name))
+			blob, merr := json.MarshalIndent(rec, "", "  ")
+			if merr != nil {
+				return files, merr
+			}
+			if werr := os.WriteFile(path, append(blob, '\n'), 0o644); werr != nil {
+				return files, werr
+			}
+			files = append(files, path)
+		}
+	}
+	return files, nil
+}
+
+func benchOne(bm gen.Benchmark, name string, timeout time.Duration) (benchRecord, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := engine.Solve(ctx, name, bm.Circuit, engine.Options{Seed: 1})
+	wall := time.Since(start)
+	rec := benchRecord{
+		Engine:  name,
+		Circuit: bm.Name,
+		Latches: bm.Circuit.L(),
+		WallNs:  wall.Nanoseconds(),
+	}
+	if res != nil {
+		rec.Tc = res.Tc
+		rec.Stats = res.Stats
+		rec.Pivots = res.Stats.Counter(obs.Pivots)
+		rec.SlideIterations = res.Stats.Counter(obs.SlideIterations)
+	}
+	return rec, err
+}

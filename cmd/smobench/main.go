@@ -5,6 +5,12 @@
 //	smobench -fig 7          # one figure (3, 4, 5, 6, 7, 8, 9, 10, 11)
 //	smobench -table 1        # Table I
 //	smobench -claims         # the quantitative §IV-V side claims
+//	smobench -bench out/     # machine-readable engine benchmarks (JSON)
+//
+// The -bench mode sweeps the internal/gen benchmark suite through the
+// engine registry and writes one BENCH_<circuit>_<engine>.json per run
+// (cycle time, wall-clock, pivot/iteration counters, stage timings).
+// Restrict the sweep with -engines and bound each solve with -timeout.
 //
 // EXPERIMENTS.md records this command's output next to the paper's
 // numbers.
@@ -20,17 +26,20 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		fig    = flag.Int("fig", 0, "reproduce one figure (3-11)")
-		table  = flag.Int("table", 0, "reproduce one table (1)")
-		claims = flag.Bool("claims", false, "verify the quantitative side claims")
-		stats  = flag.Bool("stats", false, "iteration/pivot statistics over random circuits")
-		cache  = flag.Bool("cache", false, "GaAs cache-speed margin study (parametric)")
-		mcm    = flag.Bool("mcm", false, "GaAs chip-crossing / multichip-module study")
-		borrow = flag.Bool("borrowing", false, "time-borrowing study on Example 1")
-		check  = flag.Bool("checklist", false, "machine-checked reproduction checklist")
-		outDir = flag.String("o", "", "write all reports and graphical artifacts into this directory")
-		htmlTo = flag.String("html", "", "write the artifact bundle plus a browsable index.html into this directory")
+		all     = flag.Bool("all", false, "run every experiment")
+		fig     = flag.Int("fig", 0, "reproduce one figure (3-11)")
+		table   = flag.Int("table", 0, "reproduce one table (1)")
+		claims  = flag.Bool("claims", false, "verify the quantitative side claims")
+		stats   = flag.Bool("stats", false, "iteration/pivot statistics over random circuits")
+		cache   = flag.Bool("cache", false, "GaAs cache-speed margin study (parametric)")
+		mcm     = flag.Bool("mcm", false, "GaAs chip-crossing / multichip-module study")
+		borrow  = flag.Bool("borrowing", false, "time-borrowing study on Example 1")
+		check   = flag.Bool("checklist", false, "machine-checked reproduction checklist")
+		outDir  = flag.String("o", "", "write all reports and graphical artifacts into this directory")
+		htmlTo  = flag.String("html", "", "write the artifact bundle plus a browsable index.html into this directory")
+		bench   = flag.String("bench", "", "write BENCH_<circuit>_<engine>.json benchmark records into this directory")
+		engines = flag.String("engines", "", "comma-separated engine names for -bench (default: all registered)")
+		timeout = flag.Duration("timeout", 0, "per-solve deadline for -bench (0 = none)")
 	)
 	flag.Parse()
 
@@ -39,6 +48,16 @@ func main() {
 		err error
 	)
 	switch {
+	case *bench != "":
+		files, berr := runBench(*bench, *engines, *timeout)
+		if berr != nil {
+			fmt.Fprintf(os.Stderr, "smobench: %v\n", berr)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+		return
 	case *htmlTo != "":
 		idx, herr := experiments.WriteHTMLReport(*htmlTo)
 		if herr != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -50,6 +51,66 @@ func TestSmobenchBadArgs(t *testing.T) {
 		if err := exec.Command(bin, args...).Run(); err == nil {
 			t.Errorf("args %v: expected nonzero exit", args)
 		}
+	}
+}
+
+func TestSmobenchBenchJSON(t *testing.T) {
+	bin := buildOnce(t)
+	dir := t.TempDir()
+	out, err := exec.Command(bin, "-bench", dir, "-engines", "mlp,mcr", "-timeout", "30s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	path := filepath.Join(dir, "BENCH_example1-80_mlp.json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing benchmark record: %v", err)
+	}
+	var rec struct {
+		Engine  string  `json:"engine"`
+		Circuit string  `json:"circuit"`
+		Latches int     `json:"latches"`
+		Tc      float64 `json:"tc"`
+		WallNs  int64   `json:"wall_ns"`
+		Pivots  int64   `json:"pivots"`
+		Error   string  `json:"error"`
+	}
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatalf("unmarshal %s: %v", path, err)
+	}
+	if rec.Engine != "mlp" || rec.Circuit != "example1-80" {
+		t.Errorf("record identity = %q/%q", rec.Engine, rec.Circuit)
+	}
+	if rec.Latches != 4 || rec.Tc != 110 || rec.WallNs <= 0 || rec.Pivots == 0 {
+		t.Errorf("record values: %+v", rec)
+	}
+	if rec.Error != "" {
+		t.Errorf("unexpected error in record: %s", rec.Error)
+	}
+	// The mcr record must exist for the same circuit and agree on Tc.
+	blob, err = os.ReadFile(filepath.Join(dir, "BENCH_example1-80_mcr.json"))
+	if err != nil {
+		t.Fatalf("missing mcr record: %v", err)
+	}
+	var mcr struct {
+		Tc float64 `json:"tc"`
+	}
+	if err := json.Unmarshal(blob, &mcr); err != nil {
+		t.Fatal(err)
+	}
+	if mcr.Tc != 110 {
+		t.Errorf("mcr Tc = %g, want 110", mcr.Tc)
+	}
+}
+
+func TestSmobenchBenchUnknownEngine(t *testing.T) {
+	bin := buildOnce(t)
+	out, err := exec.Command(bin, "-bench", t.TempDir(), "-engines", "nope").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected nonzero exit, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown engine") {
+		t.Errorf("stderr missing engine diagnostic:\n%s", out)
 	}
 }
 

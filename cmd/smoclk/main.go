@@ -6,8 +6,16 @@
 //
 //	smoclk -f circuit.smo
 //	smoclk -f circuit.smo -engine mcr        # min-cycle-ratio engine
+//	smoclk -f circuit.smo -engine sim        # simulate the optimum dynamically
 //	smoclk -f circuit.smo -baseline nrip     # NRIP / edge-triggered baselines
 //	smoclk -f circuit.smo -diagram -svg out.svg
+//
+// Every solve goes through the unified engine layer, so any registered
+// engine is selectable by name (-engine mlp|mcr|nrip|ettf|sim; "lp" is
+// an alias for mlp), can be bounded in time (-timeout 50ms aborts with
+// the partial progress reported), and can stream a structured JSONL
+// trace of counters and stages (-trace solve.jsonl). -stats prints the
+// solve's counters and stage timings.
 //
 // Analysis mode verifies a given schedule (checkTc):
 //
@@ -19,10 +27,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"mintc"
 )
@@ -31,7 +41,10 @@ func main() {
 	var (
 		file     = flag.String("f", "", "circuit description file (.smo); '-' for stdin")
 		check    = flag.String("check", "", "schedule file: verify instead of optimize")
-		engine   = flag.String("engine", "lp", "optimal engine: lp (Algorithm MLP) or mcr (min cycle ratio)")
+		engine   = flag.String("engine", "lp", "solver engine: mlp (aka lp), mcr, nrip, ettf or sim")
+		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (e.g. 50ms, 2s)")
+		trace    = flag.String("trace", "", "stream a structured JSONL solve trace to this file")
+		stats    = flag.Bool("stats", false, "print solve statistics (counters and stage timings)")
 		baseline = flag.String("baseline", "", "run a baseline instead: nrip, ettf or agrawal")
 		diagram  = flag.Bool("diagram", false, "print an ASCII timing diagram")
 		svgOut   = flag.String("svg", "", "write an SVG timing diagram to this file")
@@ -64,6 +77,7 @@ func main() {
 		diagram: *diagram, svgOut: *svgOut, dump: *dump, simulate: *simulate,
 		cycles: *cycles, lex: *lex, parametric: *param, paramTo: *paramTo,
 		gnl: *gnl, model: *model, toploops: *toploops, dotOut: *dotOut, mcTrials: *mcTrials, marginTc: *marginTc,
+		timeout: *timeout, trace: *trace, stats: *stats,
 		opts: mintc.Options{MinPhaseWidth: *minWidth, MinSeparation: *minSep, Skew: *skew, FixedTc: *fixedTc, DesignForHold: *holdOpt},
 	}
 	if err := run(*file, cfg); err != nil {
@@ -88,6 +102,9 @@ type config struct {
 	mcTrials                int
 	marginTc                float64
 	dotOut                  string
+	timeout                 time.Duration
+	trace                   string
+	stats                   bool
 	opts                    mintc.Options
 }
 
@@ -100,7 +117,7 @@ var secondaries = map[string]mintc.Secondary{
 }
 
 func run(file string, cfg config) error {
-	check, engine, baseline := cfg.check, cfg.engine, cfg.baseline
+	check, baseline := cfg.check, cfg.baseline
 	diagram, svgOut, dump, simulate := cfg.diagram, cfg.svgOut, cfg.dump, cfg.simulate
 	opts, cycles := cfg.opts, cfg.cycles
 	c, err := loadCircuit(file, cfg)
@@ -167,31 +184,17 @@ func run(file string, cfg config) error {
 		sched = et.Schedule
 	case baseline != "":
 		return fmt.Errorf("unknown baseline %q (want nrip, ettf or agrawal)", baseline)
-	case engine == "mcr":
-		r, err := mintc.MinTcMCR(c, opts)
+	default:
+		res, err := runEngine(c, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("optimal Tc = %.6g (min-cycle-ratio engine, %d probes)\n", r.Tc, r.Probes)
-		if len(r.CriticalLoop) > 0 {
-			fmt.Printf("critical loop: %v (ratio %.6g)\n", r.CriticalLoop, r.CriticalRatio)
-			fmt.Print(r.Explain())
-		}
-		fmt.Println(r.Schedule)
-		sched, d = r.Schedule, r.D
-	case engine == "lp":
-		r, err := mintc.MinTc(c, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Report())
-		if dump {
+		if dump && res.Engine == "mlp" {
+			r := res.Detail.(*mintc.Result)
 			fmt.Println("\ngenerated linear program:")
 			fmt.Print(r.LP.String())
 		}
-		sched, d = r.Schedule, r.D
-	default:
-		return fmt.Errorf("unknown engine %q (want lp or mcr)", engine)
+		sched, d = res.Schedule, res.D
 	}
 
 	if d == nil {
@@ -247,6 +250,80 @@ func run(file string, cfg config) error {
 		return runSim(c, sched)
 	}
 	return nil
+}
+
+// runEngine solves the design problem through the unified engine layer
+// (any registered engine by name, with optional deadline and trace) and
+// prints the engine-specific report.
+func runEngine(c *mintc.Circuit, cfg config) (*mintc.EngineResult, error) {
+	name := cfg.engine
+	if name == "lp" { // historical alias for Algorithm MLP
+		name = "mlp"
+	}
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	eopts := mintc.EngineOptions{Core: cfg.opts, Seed: 1}
+	if cfg.trace != "" {
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rec := mintc.NewRecorder()
+		rec.SetSink(mintc.NewTraceWriter(f))
+		eopts.Rec = rec
+	}
+	res, err := mintc.SolveEngine(ctx, name, c, eopts)
+	if err != nil {
+		if res != nil && cfg.stats {
+			fmt.Printf("partial stats: %s\n", res.Stats)
+		}
+		return nil, err
+	}
+	switch name {
+	case "mlp":
+		r := res.Detail.(*mintc.Result)
+		fmt.Print(r.Report())
+	case "mcr":
+		r := res.Detail.(*mintc.MCRResult)
+		fmt.Printf("optimal Tc = %.6g (min-cycle-ratio engine, %d probes)\n", r.Tc, r.Probes)
+		if len(r.CriticalLoop) > 0 {
+			fmt.Printf("critical loop: %v (ratio %.6g)\n", r.CriticalLoop, r.CriticalRatio)
+			fmt.Print(r.Explain())
+		}
+		fmt.Println(r.Schedule)
+	case "nrip":
+		r := res.Detail.(*mintc.NRIPResult)
+		fmt.Printf("NRIP engine: Tc = %.6g (edge-triggered start %.6g, borrowing gain %.6g)\n",
+			r.Schedule.Tc, r.EdgeTriggeredTc, r.BorrowingGain)
+		fmt.Println(r.Schedule)
+	case "ettf":
+		r := res.Detail.(*mintc.EdgeTriggeredResult)
+		fmt.Printf("edge-triggered engine: Tc = %.6g (%d constraints, %d pivots)\n",
+			r.Schedule.Tc, r.NumConstraints, r.Pivots)
+		fmt.Println(r.Schedule)
+	case "sim":
+		det := res.Detail.(*mintc.SimDetail)
+		fmt.Printf("sim engine: simulated the MLP-optimal schedule, Tc = %.6g\n", res.Tc)
+		fmt.Println(res.Schedule)
+		tr := det.Trace
+		switch {
+		case len(tr.Violations) > 0:
+			fmt.Printf("simulation: %d violations (first: %s)\n", len(tr.Violations), tr.Violations[0])
+		case tr.ConvergedAt < 0:
+			fmt.Printf("simulation: no periodic steady state (drift %.6g per cycle)\n", tr.Drift())
+		default:
+			fmt.Printf("simulation: clean; steady state from cycle %d\n", tr.ConvergedAt)
+		}
+	}
+	if cfg.stats {
+		fmt.Printf("stats: %s\n", res.Stats)
+	}
+	return res, nil
 }
 
 // loadCircuit reads the circuit from an .smo file or, with -gnl, from

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"mintc"
 )
@@ -327,5 +328,58 @@ func TestRunMarginFlag(t *testing.T) {
 	}
 	if err := run(f, cfg(func(c *config) { c.marginTc = 50 })); err == nil {
 		t.Error("margin below Tc* accepted")
+	}
+}
+
+func TestRunRegistryEngines(t *testing.T) {
+	f := writeTemp(t, "ex1.smo", example1SMO)
+	cases := []struct {
+		engine string
+		want   string
+	}{
+		{"nrip", "NRIP engine: Tc ="},
+		{"ettf", "edge-triggered engine: Tc ="},
+		{"sim", "sim engine: simulated the MLP-optimal schedule, Tc = 110"},
+	}
+	for _, tc := range cases {
+		out, err := capture(t, func() error {
+			return run(f, cfg(func(c *config) { c.engine = tc.engine }))
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.engine, err)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%s output missing %q:\n%s", tc.engine, tc.want, out)
+		}
+	}
+}
+
+func TestRunStatsAndTimeoutFlags(t *testing.T) {
+	f := writeTemp(t, "ex1.smo", example1SMO)
+	out, err := capture(t, func() error {
+		return run(f, cfg(func(c *config) { c.stats = true; c.timeout = time.Minute }))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stats:") || !strings.Contains(out, "pivots=") {
+		t.Errorf("stats output missing counters:\n%s", out)
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	f := writeTemp(t, "ex1.smo", example1SMO)
+	tr := filepath.Join(t.TempDir(), "trace.jsonl")
+	if _, err := capture(t, func() error {
+		return run(f, cfg(func(c *config) { c.trace = tr }))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(tr)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if !strings.Contains(string(blob), `"stage"`) {
+		t.Errorf("trace file has no stage events:\n%s", blob)
 	}
 }

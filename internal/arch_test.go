@@ -20,17 +20,19 @@ var allowed = map[string][]string{
 	"graph":       {},
 	"lp":          {},
 	"delay":       {},
-	"core":        {"graph", "lp"},
-	"mcr":         {"core", "graph"},
-	"ettf":        {"core", "lp"},
-	"nrip":        {"core", "ettf"},
+	"obs":         {},
+	"core":        {"graph", "lp", "obs"},
+	"mcr":         {"core", "graph", "obs"},
+	"ettf":        {"core", "lp", "obs"},
+	"nrip":        {"core", "ettf", "obs"},
 	"agrawal":     {"core"},
 	"parse":       {"core"},
 	"render":      {"core"},
-	"sim":         {"core"},
+	"sim":         {"core", "obs"},
 	"netex":       {"core", "delay"},
 	"gen":         {"core", "delay", "netex", "circuits"},
 	"circuits":    {"core"},
+	"engine":      {"core", "ettf", "mcr", "nrip", "obs", "sim"},
 	"experiments": {"agrawal", "circuits", "core", "ettf", "gen", "lp", "mcr", "nrip", "render"},
 }
 
@@ -96,10 +98,10 @@ func TestInternalDependencyRules(t *testing.T) {
 }
 
 // TestSubstratesImportNoTimingPackages pins the key property: graph,
-// lp and delay are generic substrates with no knowledge of the SMO
-// model.
+// lp, delay and obs are generic substrates with no knowledge of the
+// SMO model.
 func TestSubstratesImportNoTimingPackages(t *testing.T) {
-	for _, pkg := range []string{"graph", "lp", "delay"} {
+	for _, pkg := range []string{"graph", "lp", "delay", "obs"} {
 		if len(allowed[pkg]) != 0 {
 			t.Errorf("substrate %s grew internal dependencies: %v", pkg, allowed[pkg])
 		}

@@ -54,6 +54,9 @@ func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if err := opts.validatePhaseSkew(c); err != nil {
 		return nil, err
 	}
@@ -75,18 +78,15 @@ func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
 	for i := 0; i < l; i++ {
 		g.AddEdge(z, i, 0) // D_i >= 0 floor
 	}
-	// Edge weights carry the same skew margins as the LP's L2R rows so
-	// analysis and design agree exactly under Options.Skew/PhaseSkew.
-	margin := func(pj, pi int) float64 {
-		return opts.Skew + opts.sigma(pj) + opts.sigma(pi)
-	}
-	for _, p := range c.Paths() {
+	// Edge weights carry the same skew margins as the LP's L2R rows —
+	// ArcWeight is shared with BuildLP and the MLP slide — so analysis
+	// and design agree exactly under Options.Skew/PhaseSkew.
+	for pidx, p := range c.Paths() {
 		if c.Sync(p.To).Kind == FlipFlop {
 			continue // FF departure is independent of arrivals
 		}
 		pj, pi := c.Sync(p.From).Phase, c.Sync(p.To).Phase
-		w := c.Sync(p.From).DQ + p.Delay + margin(pj, pi) + sched.PhaseShift(pj, pi)
-		g.AddEdge(p.From, p.To, w)
+		g.AddEdge(p.From, p.To, ArcWeight(c, opts, pidx)+sched.PhaseShift(pj, pi))
 	}
 	res := g.LongestPathsFrom(z)
 	if res.PositiveCycle != nil {

@@ -267,6 +267,9 @@ func (c *Circuit) MaxFanin() int {
 //
 // It returns the first problem found.
 func (c *Circuit) Validate() error {
+	if c.K() < 1 {
+		return fmt.Errorf("core: clock must have at least one phase, got %d", c.K())
+	}
 	if c.L() == 0 {
 		return fmt.Errorf("core: circuit has no synchronizers")
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"mintc/internal/lp"
 )
@@ -133,6 +134,43 @@ func (m UpdateMode) String() string {
 		return "event-driven"
 	}
 	return fmt.Sprintf("UpdateMode(%d)", int(m))
+}
+
+// Validate rejects option values that would otherwise surface as
+// confusing LP infeasibility (or panics) deep in a solver: negative or
+// non-finite margins, widths, separations, a negative fixed cycle
+// time, a negative iteration cap, or an unknown update mode. Every
+// engine entry point calls it before touching the circuit. The
+// circuit-dependent PhaseSkew length check stays in validatePhaseSkew.
+func (o Options) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"MinPhaseWidth", o.MinPhaseWidth},
+		{"MinSeparation", o.MinSeparation},
+		{"Skew", o.Skew},
+		{"FixedTc", o.FixedTc},
+	}
+	for _, c := range checks {
+		if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("core: option %s = %g is invalid (must be finite and nonnegative)", c.name, c.v)
+		}
+	}
+	for p, s := range o.PhaseSkew {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("core: option PhaseSkew[%d] = %g is invalid (must be finite and nonnegative)", p, s)
+		}
+	}
+	if o.MaxUpdateIter < 0 {
+		return fmt.Errorf("core: option MaxUpdateIter = %d is negative", o.MaxUpdateIter)
+	}
+	switch o.Update {
+	case Jacobi, GaussSeidel, EventDriven:
+	default:
+		return fmt.Errorf("core: unknown update mode %d", int(o.Update))
+	}
+	return nil
 }
 
 // cShift returns C_pq for 0-based phases: 1 when p >= q, else 0.
@@ -274,7 +312,7 @@ func BuildLP(c *Circuit, opts Options) (*lp.Problem, *VarMap, []RowInfo) {
 					{Var: vm.S[pj], Coef: -1},
 					{Var: vm.S[piph], Coef: 1},
 					{Var: vm.Tc, Coef: cji},
-				}, lp.GE, c.Sync(j).DQ+path.Delay+opts.Skew+opts.sigma(pj)+opts.sigma(piph))
+				}, lp.GE, ArcWeight(c, opts, pi))
 		case FlipFlop:
 			addRow(RowInfo{Kind: RowFFSetup, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("FFsu.%s->%s", c.SyncName(j), c.SyncName(i))},
 				[]lp.Term{
@@ -282,7 +320,7 @@ func BuildLP(c *Circuit, opts Options) (*lp.Problem, *VarMap, []RowInfo) {
 					{Var: vm.S[pj], Coef: 1},
 					{Var: vm.S[piph], Coef: -1},
 					{Var: vm.Tc, Coef: -cji},
-				}, lp.LE, -(c.Sync(i).Setup + c.Sync(j).DQ + path.Delay + opts.Skew + opts.sigma(pj) + opts.sigma(piph)))
+				}, lp.LE, -(c.Sync(i).Setup + ArcWeight(c, opts, pi)))
 		}
 	}
 

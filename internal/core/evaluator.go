@@ -66,7 +66,7 @@ func NewEvaluator(c *Circuit) (*Evaluator, error) {
 	}
 	g := graph.New(l)
 	for e, p := range c.Paths() {
-		ev.edgeConst[e] = c.Sync(p.From).DQ + p.Delay
+		ev.edgeConst[e] = ArcWeight(c, Options{}, e)
 		if c.Sync(p.To).Kind == FlipFlop {
 			continue
 		}
@@ -181,22 +181,16 @@ func (ev *Evaluator) Check(sched *Schedule) QuickAnalysis {
 }
 
 // departure evaluates max(0, max over compiled fanin) for latch i
-// using current departures (FFs return 0).
+// using current departures (FFs return 0). It is the shared L2
+// recurrence with the precompiled edge constants as the weights.
 func (ev *Evaluator) departure(sched *Schedule, i int) float64 {
 	if ev.c.Sync(i).Kind == FlipFlop {
 		return 0
 	}
-	best := 0.0
-	pi := ev.c.Sync(i).Phase
-	paths := ev.c.Paths()
-	for _, e := range ev.inEdges[i] {
-		p := paths[e]
-		v := ev.d[p.From] + ev.edgeConst[e] + sched.PhaseShift(ev.c.Sync(p.From).Phase, pi)
-		if v > best {
-			best = v
-		}
-	}
-	return best
+	return DepartLatch(ev.c, i, Arrive(ev.c, i,
+		func(j int) float64 { return ev.d[j] },
+		func(pidx int) float64 { return ev.edgeConst[pidx] },
+		sched.PhaseShift))
 }
 
 func hasSelfEdge(ev *Evaluator, i int) bool {

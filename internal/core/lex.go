@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mintc/internal/lp"
@@ -131,7 +132,7 @@ func MinTcLex(c *Circuit, opts Options, sec Secondary) (*Result, error) {
 	for i := range d {
 		d[i] = sol.X[vm.D[i]]
 	}
-	iters, relax, err := slideDepartures(c, sched, d, opts)
+	iters, relax, err := slideDepartures(context.Background(), c, sched, d, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mintc/internal/lp"
@@ -30,6 +31,9 @@ type MarginResult struct {
 // optimum.
 func MaxMarginSchedule(c *Circuit, opts Options, tc float64) (*MarginResult, error) {
 	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if err := opts.validatePhaseSkew(c); err != nil {
@@ -91,7 +95,7 @@ func MaxMarginSchedule(c *Circuit, opts Options, tc float64) (*MarginResult, err
 	}
 	// Slide to exact propagation times; margins only improve (moving
 	// departures earlier loosens setup).
-	if _, _, err := slideDepartures(c, sched, d, opts); err != nil {
+	if _, _, err := slideDepartures(context.Background(), c, sched, d, opts); err != nil {
 		return nil, err
 	}
 	return &MarginResult{Margin: sol.X[m], Schedule: sched, D: d}, nil

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"mintc/internal/lp"
+	"mintc/internal/obs"
 )
 
 // Result is the outcome of Algorithm MLP (optimal cycle time plus the
@@ -29,6 +31,10 @@ type Result struct {
 	NumConstraints int
 	// Pivots is the simplex pivot count.
 	Pivots int
+	// Stats is the observability snapshot of the solve: counters
+	// (pivots, slide iterations, relaxations) and per-stage wall-clock
+	// durations ("lp", "slide").
+	Stats obs.Stats
 	// LP retains the solved linear program and its solution for
 	// critical-segment analysis.
 	LP      *lp.Problem
@@ -58,15 +64,51 @@ var (
 // constraints L2 of problem P1. By Theorem 1 the cycle time is optimal
 // for P1.
 func MinTc(c *Circuit, opts Options) (*Result, error) {
+	return MinTcCtx(context.Background(), c, opts)
+}
+
+// MinTcCtx is MinTc with cancellation and observability: the context's
+// deadline/cancel is honored inside the simplex pivot loop and the
+// departure-slide iteration, and solve statistics are reported into
+// the obs recorder carried by the context (one is created when absent,
+// so Result.Stats is always populated). On cancellation the recorder
+// retains the progress reached so far.
+func MinTcCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if err := opts.validatePhaseSkew(c); err != nil {
 		return nil, err
 	}
-	prob, vm, rows := BuildLP(c, opts)
-	sol, err := lp.Solve(prob)
+	rec := obs.From(ctx)
+	if rec == nil {
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
+	}
+
+	var (
+		prob *lp.Problem
+		vm   *VarMap
+		rows []RowInfo
+		sol  *lp.Solution
+	)
+	err := rec.Phase(ctx, "lp", func(ctx context.Context) error {
+		prob, vm, rows = BuildLP(c, opts)
+		rec.Add(obs.LPRows, int64(prob.NumConstraints()))
+		var serr error
+		sol, serr = lp.SolveCtx(ctx, prob)
+		if sol != nil {
+			rec.Add(obs.Pivots, int64(sol.Pivots))
+		}
+		return serr
+	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: LP solve failed: %w", err)
 	}
 	switch sol.Status {
@@ -103,7 +145,14 @@ func MinTc(c *Circuit, opts Options) (*Result, error) {
 
 	// Steps 3–5: iterate the propagation operator with the clock held
 	// fixed until the L2 equalities hold.
-	iters, relax, err := slideDepartures(c, sched, d, opts)
+	var iters, relax int
+	err = rec.Phase(ctx, "slide", func(ctx context.Context) error {
+		var serr error
+		iters, relax, serr = slideDepartures(ctx, c, sched, d, opts)
+		rec.Add(obs.SlideIterations, int64(iters))
+		rec.Add(obs.Relaxations, int64(relax))
+		return serr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +161,7 @@ func MinTc(c *Circuit, opts Options) (*Result, error) {
 	res.D = d
 	res.A = Arrivals(c, sched, d, opts)
 	res.Q = Outputs(c, d)
+	res.Stats = rec.Snapshot()
 	return res, nil
 }
 
@@ -128,12 +178,18 @@ func maxUpdateIter(c *Circuit, opts Options) int {
 
 // slideDepartures implements steps 2–5 of Algorithm MLP on d in place,
 // returning the number of full iterations (Jacobi/Gauss–Seidel) or
-// rounds (event-driven) performed.
-func slideDepartures(c *Circuit, sched *Schedule, d []float64, opts Options) (iters, relaxations int, err error) {
+// rounds (event-driven) performed. The context is polled once per full
+// pass (Jacobi/Gauss–Seidel) or every 1024 worklist steps
+// (event-driven); on cancellation the counts reached so far are
+// returned with the context's error.
+func slideDepartures(ctx context.Context, c *Circuit, sched *Schedule, d []float64, opts Options) (iters, relaxations int, err error) {
 	limit := maxUpdateIter(c, opts)
 	switch opts.Update {
 	case GaussSeidel:
 		for m := 0; m < limit; m++ {
+			if err := ctx.Err(); err != nil {
+				return iters, relaxations, err
+			}
 			changed := false
 			for i := range d {
 				nv := departureOf(c, sched, d, i, opts)
@@ -166,6 +222,11 @@ func slideDepartures(c *Circuit, sched *Schedule, d []float64, opts Options) (it
 			if steps--; steps < 0 {
 				return iters, relaxations, ErrNoConvergence
 			}
+			if steps&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return relaxations, relaxations, err
+				}
+			}
 			i := queue[0]
 			queue = queue[1:]
 			inList[i] = false
@@ -186,6 +247,9 @@ func slideDepartures(c *Circuit, sched *Schedule, d []float64, opts Options) (it
 	default: // Jacobi, as in the paper's listing
 		next := make([]float64, len(d))
 		for m := 0; m < limit; m++ {
+			if err := ctx.Err(); err != nil {
+				return iters, relaxations, err
+			}
 			changed := false
 			for i := range d {
 				next[i] = departureOf(c, sched, d, i, opts)
@@ -210,33 +274,17 @@ func slideDepartures(c *Circuit, sched *Schedule, d []float64, opts Options) (it
 // in the LP rows and the CheckTc fixpoint. Flip-flops always depart at
 // their triggering edge (D = 0).
 func departureOf(c *Circuit, sched *Schedule, d []float64, i int, opts Options) float64 {
-	if c.Sync(i).Kind == FlipFlop {
-		return 0
-	}
-	a := arrivalOf(c, sched, d, i, opts)
-	if a < 0 || math.IsInf(a, -1) {
-		return 0
-	}
-	return a
+	return DepartLatch(c, i, arrivalOf(c, sched, d, i, opts))
 }
 
 // arrivalOf evaluates A_i = max_j (D_j + ΔDQ_j + Δ_ji + margins +
 // S_{p_j p_i}); -Inf when the synchronizer has no fanin (primary-input
 // latch).
 func arrivalOf(c *Circuit, sched *Schedule, d []float64, i int, opts Options) float64 {
-	a := math.Inf(-1)
-	pi := c.Sync(i).Phase
-	for _, pidx := range c.Fanin(i) {
-		p := c.Paths()[pidx]
-		j := p.From
-		pj := c.Sync(j).Phase
-		v := d[j] + c.Sync(j).DQ + p.Delay + opts.Skew + opts.sigma(pj) + opts.sigma(pi) +
-			sched.PhaseShift(pj, pi)
-		if v > a {
-			a = v
-		}
-	}
-	return a
+	return Arrive(c, i,
+		func(j int) float64 { return d[j] },
+		func(pidx int) float64 { return ArcWeight(c, opts, pidx) },
+		sched.PhaseShift)
 }
 
 // Arrivals computes the margin-adjusted arrival times A_i for all

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+
+	"mintc/internal/core"
+	"mintc/internal/ettf"
+	"mintc/internal/mcr"
+	"mintc/internal/nrip"
+	"mintc/internal/obs"
+	"mintc/internal/sim"
+)
+
+func init() {
+	Register(mlpSolver{})
+	Register(mcrSolver{})
+	Register(nripSolver{})
+	Register(ettfSolver{})
+	Register(simSolver{})
+}
+
+// mlpSolver runs the paper's Algorithm MLP (LP solve + departure
+// slide) — the exact optimum.
+type mlpSolver struct{}
+
+func (mlpSolver) Name() string { return "mlp" }
+
+func (mlpSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error) {
+	r, err := core.MinTcCtx(ctx, c, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tc: r.Schedule.Tc, Schedule: r.Schedule, D: r.D, Detail: r}, nil
+}
+
+// mcrSolver runs the min-cycle-ratio formulation — the same optimum by
+// Bellman–Ford witness jumping instead of simplex.
+type mcrSolver struct{}
+
+func (mcrSolver) Name() string { return "mcr" }
+
+func (mcrSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error) {
+	r, err := mcr.SolveCtx(ctx, c, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tc: r.Tc, Schedule: r.Schedule, D: r.D, Detail: r}, nil
+}
+
+// nripSolver runs the NRIP heuristic reconstruction (edge-triggered
+// shape + one borrowing pass) — an upper bound on the optimum.
+type nripSolver struct{}
+
+func (nripSolver) Name() string { return "nrip" }
+
+func (nripSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error) {
+	r, err := nrip.MinTcCtx(ctx, c, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tc: r.Schedule.Tc, Schedule: r.Schedule, Detail: r}, nil
+}
+
+// ettfSolver runs the plain edge-triggered approximation — the
+// baseline upper bound with no borrowing at all.
+type ettfSolver struct{}
+
+func (ettfSolver) Name() string { return "ettf" }
+
+func (ettfSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error) {
+	r, err := ettf.MinTcCtx(ctx, c, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tc: r.Schedule.Tc, Schedule: r.Schedule, Detail: r}, nil
+}
+
+// SimDetail is the native result of the "sim" engine: the
+// deterministic wavefront trace plus the optional Monte-Carlo summary.
+type SimDetail struct {
+	Trace *sim.Trace
+	MC    *sim.MCResult
+}
+
+// simSolver validates a schedule dynamically: cycle-accurate wavefront
+// simulation, optionally followed by a Monte-Carlo campaign. With no
+// schedule in the options it simulates the MLP optimum.
+type simSolver struct{}
+
+func (simSolver) Name() string { return "sim" }
+
+func (simSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error) {
+	sched := opts.Schedule
+	if sched == nil {
+		rec := obs.From(ctx)
+		var mlp *core.Result
+		err := rec.Phase(ctx, "schedule", func(ctx context.Context) error {
+			var serr error
+			mlp, serr = core.MinTcCtx(ctx, c, opts.Core)
+			return serr
+		})
+		if err != nil {
+			return nil, err
+		}
+		sched = mlp.Schedule
+	}
+	rec := obs.From(ctx)
+	detail := &SimDetail{}
+	res := &Result{Tc: sched.Tc, Schedule: sched, Detail: detail}
+	err := rec.Phase(ctx, "simulate", func(ctx context.Context) error {
+		tr, serr := sim.RunCtx(ctx, c, sched, sim.Config{Cycles: opts.SimCycles})
+		detail.Trace = tr
+		if serr != nil {
+			return serr
+		}
+		res.D = tr.SteadyD
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if opts.Trials > 0 {
+		err = rec.Phase(ctx, "montecarlo", func(ctx context.Context) error {
+			rng := rand.New(rand.NewSource(opts.Seed))
+			mc, serr := sim.RunMonteCarloCtx(ctx, c, sched,
+				sim.MCConfig{Cycles: opts.SimCycles, Trials: opts.Trials}, rng)
+			detail.MC = mc
+			return serr
+		})
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

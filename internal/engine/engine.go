@@ -1,0 +1,166 @@
+// Package engine unifies the repository's cycle-time solvers behind a
+// single cancellable, instrumented interface. Each solver — the exact
+// Algorithm MLP (core), the min-cycle-ratio formulation (mcr), the
+// NRIP reconstruction (nrip), the edge-triggered baseline (ettf), and
+// the dynamic simulator (sim) — registers itself under a stable name,
+// so the façade and the command-line tools can select an engine by
+// string without knowing any engine package directly.
+//
+// Every solve goes through Run, which guarantees the cross-cutting
+// contract the individual packages implement:
+//
+//   - the context's deadline/cancellation is honored inside the hot
+//     loops (simplex pivots, Bellman–Ford passes, departure slides,
+//     simulated cycles) and surfaces as ctx.Err();
+//   - an obs recorder travels with the context, so counters and stage
+//     timings accumulate no matter how deep the work happens, and the
+//     returned Result carries the snapshot — including the partial
+//     progress reached when a solve is cancelled;
+//   - the goroutine is labeled (pprof "mintc.engine") for profiling.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+
+	"mintc/internal/core"
+	"mintc/internal/obs"
+)
+
+// Options carries the per-solve configuration common to all engines
+// plus the knobs only some engines read (documented per field).
+type Options struct {
+	// Core is passed to the underlying solver; its validity is checked
+	// (core.Options.Validate) before any work starts.
+	Core core.Options
+	// Schedule, when non-nil, is the clock the "sim" engine validates.
+	// When nil, sim first computes the MLP-optimal schedule and
+	// simulates that. Ignored by the static engines.
+	Schedule *core.Schedule
+	// SimCycles is the number of cycles per simulation run (0 = the
+	// simulator's default). Read by "sim" only.
+	SimCycles int
+	// Trials, when positive, makes "sim" follow the deterministic run
+	// with a Monte-Carlo campaign of that many randomized trials.
+	Trials int
+	// Seed seeds the Monte-Carlo RNG (only read when Trials > 0).
+	Seed int64
+	// Rec, when non-nil, receives the solve's counters and stage
+	// timings (use obs.Rec.SetSink for a live trace). When nil, Run
+	// creates a private recorder; either way Result.Stats is populated.
+	Rec *obs.Rec
+}
+
+// Result is the engine-independent view of a solve.
+type Result struct {
+	// Engine is the registry name of the solver that produced this.
+	Engine string
+	// Tc is the cycle time found (the minimum for the optimizing
+	// engines, the validated schedule's for sim).
+	Tc float64
+	// Schedule is the supporting clock schedule.
+	Schedule *core.Schedule
+	// D holds per-synchronizer departure times when the engine computes
+	// them (nil for ettf/nrip, whose results are schedule-only; use
+	// core.CheckTc to derive departures).
+	D []float64
+	// Stats is the observability snapshot: counters (pivots, probes,
+	// slide iterations, simulated cycles, …) and per-stage wall-clock
+	// durations. Populated even when the solve returns an error, so
+	// callers can see the partial progress of a cancelled solve.
+	Stats obs.Stats
+	// Detail is the engine's native result (*core.Result, *mcr.Result,
+	// *nrip.Result, *ettf.Result, or *SimDetail) for callers that need
+	// engine-specific reporting.
+	Detail any
+}
+
+// Solver is one cycle-time engine. Implementations must honor ctx
+// inside their hot loops and report progress into the obs recorder
+// carried by ctx.
+type Solver interface {
+	// Name is the stable registry name ("mlp", "mcr", …).
+	Name() string
+	// Solve runs the engine. On cancellation it returns ctx.Err()
+	// (possibly wrapped); Run adds the stats snapshot afterwards.
+	Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Solver{}
+)
+
+// Register adds a solver under its name. Registering a duplicate name
+// panics: engine names are part of the CLI/façade contract.
+func Register(s Solver) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name()]; dup {
+		panic(fmt.Sprintf("engine: duplicate registration of %q", s.Name()))
+	}
+	registry[s.Name()] = s
+}
+
+// Get looks up a solver by name.
+func Get(name string) (Solver, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists the registered engine names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Solve resolves name in the registry and runs the engine via Run.
+func Solve(ctx context.Context, name string, c *core.Circuit, opts Options) (*Result, error) {
+	s, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown engine %q (available: %s)", name, strings.Join(Names(), ", "))
+	}
+	return Run(ctx, s, c, opts)
+}
+
+// Run executes one solve under the engine contract: options are
+// validated up front, an obs recorder is attached to the context
+// (opts.Rec, or a private one), the goroutine is pprof-labeled with the
+// engine name, and the returned Result — non-nil even on error, a
+// deliberate deviation from the usual Go convention — carries the stats
+// snapshot of whatever progress was made.
+func Run(ctx context.Context, s Solver, c *core.Circuit, opts Options) (*Result, error) {
+	name := s.Name()
+	if err := opts.Core.Validate(); err != nil {
+		return &Result{Engine: name}, err
+	}
+	rec := opts.Rec
+	if rec == nil {
+		rec = obs.New()
+	}
+	ctx = obs.With(ctx, rec)
+
+	var res *Result
+	var err error
+	pprof.Do(ctx, pprof.Labels("mintc.engine", name), func(ctx context.Context) {
+		res, err = s.Solve(ctx, c, opts)
+	})
+	if res == nil {
+		res = &Result{}
+	}
+	res.Engine = name
+	res.Stats = rec.Snapshot()
+	return res, err
+}

@@ -1,0 +1,159 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/engine"
+	"mintc/internal/obs"
+)
+
+func TestRegistryHasAllFiveEngines(t *testing.T) {
+	want := []string{"ettf", "mcr", "mlp", "nrip", "sim"}
+	got := engine.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, n := range want {
+		s, ok := engine.Get(n)
+		if !ok {
+			t.Fatalf("Get(%q) not found", n)
+		}
+		if s.Name() != n {
+			t.Fatalf("Get(%q).Name() = %q", n, s.Name())
+		}
+	}
+}
+
+func TestSolveUnknownEngine(t *testing.T) {
+	_, err := engine.Solve(context.Background(), "simplex2000", circuits.Example1(80), engine.Options{})
+	if err == nil {
+		t.Fatal("expected error for unknown engine")
+	}
+}
+
+// TestAllEnginesSolveExample1 checks every engine through the common
+// entry point on the paper's Example 1: the exact engines (mlp, mcr)
+// and the simulator of the optimal schedule must report the paper's
+// Tc* = 110; the conservative engines (ettf, nrip) must upper-bound
+// it. All must populate Stats.
+func TestAllEnginesSolveExample1(t *testing.T) {
+	c := circuits.Example1(80)
+	const want = 110.0
+	for _, name := range engine.Names() {
+		res, err := engine.Solve(context.Background(), name, c, engine.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Engine != name {
+			t.Errorf("%s: Result.Engine = %q", name, res.Engine)
+		}
+		switch name {
+		case "mlp", "mcr", "sim":
+			if math.Abs(res.Tc-want) > 1e-6 {
+				t.Errorf("%s: Tc = %g, want %g", name, res.Tc, want)
+			}
+		default: // conservative upper bounds
+			if res.Tc < want-1e-6 {
+				t.Errorf("%s: Tc = %g below the exact optimum %g", name, res.Tc, want)
+			}
+		}
+		if res.Schedule == nil {
+			t.Errorf("%s: nil Schedule", name)
+		}
+		if len(res.Stats.Counters) == 0 && len(res.Stats.StageNs) == 0 {
+			t.Errorf("%s: empty Stats", name)
+		}
+		if res.Detail == nil {
+			t.Errorf("%s: nil Detail", name)
+		}
+	}
+}
+
+func TestRunRejectsInvalidOptions(t *testing.T) {
+	c := circuits.Example1(80)
+	opts := engine.Options{Core: core.Options{Skew: -1}}
+	for _, name := range engine.Names() {
+		res, err := engine.Solve(context.Background(), name, c, opts)
+		if err == nil {
+			t.Errorf("%s: negative Skew accepted", name)
+		}
+		if res == nil {
+			t.Errorf("%s: Run must return a non-nil Result even on error", name)
+		}
+	}
+}
+
+func TestRunUsesProvidedRecorder(t *testing.T) {
+	rec := obs.New()
+	c := circuits.Example1(80)
+	res, err := engine.Solve(context.Background(), "mlp", c, engine.Options{Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Get(obs.Pivots); got == 0 {
+		t.Error("provided recorder saw no pivots")
+	}
+	if res.Stats.Counter(obs.Pivots) != rec.Get(obs.Pivots) {
+		t.Error("Result.Stats does not snapshot the provided recorder")
+	}
+}
+
+func TestCancelledContextReturnsPartialStats(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := circuits.Example1(80)
+	for _, name := range engine.Names() {
+		res, err := engine.Solve(ctx, name, c, engine.Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res == nil {
+			t.Errorf("%s: nil Result on cancellation", name)
+		}
+	}
+}
+
+func TestSimEngineValidatesGivenSchedule(t *testing.T) {
+	c := circuits.Example1(80)
+	opt, err := engine.Solve(context.Background(), "mlp", c, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Solve(context.Background(), "sim", c, engine.Options{
+		Schedule: opt.Schedule,
+		Trials:   10,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, ok := res.Detail.(*engine.SimDetail)
+	if !ok {
+		t.Fatalf("sim Detail is %T", res.Detail)
+	}
+	if len(det.Trace.Violations) != 0 {
+		t.Errorf("optimal schedule simulated with violations: %v", det.Trace.Violations)
+	}
+	if det.MC == nil || det.MC.Trials != 10 {
+		t.Errorf("Monte-Carlo detail missing or wrong trial count: %+v", det.MC)
+	}
+	if det.MC != nil && det.MC.FailingTrials != 0 {
+		t.Errorf("optimal schedule failed %d Monte-Carlo trials", det.MC.FailingTrials)
+	}
+	if got := res.Stats.Counter(obs.SimCycles); got == 0 {
+		t.Error("sim engine recorded no simulated cycles")
+	}
+	if got := res.Stats.Counter(obs.Trials); got != 10 {
+		t.Errorf("Trials counter = %d, want 10", got)
+	}
+}

@@ -20,11 +20,13 @@
 package ettf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"mintc/internal/core"
 	"mintc/internal/lp"
+	"mintc/internal/obs"
 )
 
 // ErrInfeasible indicates no cycle time satisfies the edge-triggered
@@ -40,6 +42,9 @@ type Result struct {
 	// NumConstraints and Pivots report LP statistics.
 	NumConstraints int
 	Pivots         int
+	// Stats is the observability snapshot of the solve. Populated by
+	// MinTcCtx.
+	Stats obs.Stats
 }
 
 // MinTc computes the minimum cycle time and a clock schedule under the
@@ -53,8 +58,24 @@ type Result struct {
 // their true opening edge, and flip-flop destinations require arrival
 // before the opening edge, matching their exact semantics.
 func MinTc(c *core.Circuit, opts core.Options) (*Result, error) {
+	return MinTcCtx(context.Background(), c, opts)
+}
+
+// MinTcCtx is MinTc with cancellation and observability: the context is
+// honored inside the simplex pivot loop, and LP statistics are reported
+// into the obs recorder carried by the context (one is created when
+// absent, so Result.Stats is always populated).
+func MinTcCtx(ctx context.Context, c *core.Circuit, opts core.Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rec := obs.From(ctx)
+	if rec == nil {
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
 	}
 	k := c.K()
 	p := &lp.Problem{}
@@ -136,8 +157,20 @@ func MinTc(c *core.Circuit, opts core.Options) (*Result, error) {
 		}
 	}
 
-	sol, err := lp.Solve(p)
+	var sol *lp.Solution
+	err := rec.Phase(ctx, "lp", func(ctx context.Context) error {
+		rec.Add(obs.LPRows, int64(p.NumConstraints()))
+		var serr error
+		sol, serr = lp.SolveCtx(ctx, p)
+		if sol != nil {
+			rec.Add(obs.Pivots, int64(sol.Pivots))
+		}
+		return serr
+	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("ettf: LP solve failed: %w", err)
 	}
 	switch sol.Status {
@@ -152,5 +185,5 @@ func MinTc(c *core.Circuit, opts core.Options) (*Result, error) {
 		sched.S[i] = sol.X[s[i]]
 		sched.T[i] = sol.X[tw[i]]
 	}
-	return &Result{Schedule: sched, NumConstraints: p.NumConstraints(), Pivots: sol.Pivots}, nil
+	return &Result{Schedule: sched, NumConstraints: p.NumConstraints(), Pivots: sol.Pivots, Stats: rec.Snapshot()}, nil
 }

@@ -1,0 +1,65 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// chainProblem builds a feasible chain program with n variables and
+// n-1 coupling rows, big enough that a solve takes many pivots.
+func chainProblem(n int) *Problem {
+	p := &Problem{}
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddVar(fmt.Sprintf("x%d", i), 1)
+	}
+	for i := 0; i+1 < n; i++ {
+		p.AddConstraint(fmt.Sprintf("c%d", i),
+			[]Term{{Var: vars[i], Coef: 1}, {Var: vars[i+1], Coef: -1}}, GE, 1)
+	}
+	p.AddConstraint("floor", []Term{{Var: vars[n-1], Coef: 1}}, GE, 1)
+	return p
+}
+
+func TestSolveCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := SolveCtx(ctx, chainProblem(400))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sol == nil {
+		t.Fatal("want a partial solution for progress accounting")
+	}
+}
+
+func TestSolveCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	start := time.Now()
+	_, err := SolveCtx(ctx, chainProblem(800))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancellation took %v", el)
+	}
+}
+
+func TestSolveCtxBackgroundMatchesSolve(t *testing.T) {
+	p := chainProblem(40)
+	a, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveCtx(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != b.Status || a.Obj != b.Obj {
+		t.Fatalf("Solve and SolveCtx disagree: %v/%g vs %v/%g", a.Status, a.Obj, b.Status, b.Obj)
+	}
+}

@@ -19,6 +19,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -248,6 +249,16 @@ const (
 // with a nil error; the error is reserved for solver failures (e.g.
 // iteration limit).
 func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve with cancellation: the context is checked while
+// the tableau is assembled and on every pivot iteration, so deadlines
+// are honored even on large programs. On cancellation it returns the
+// context's error together with a partial Solution carrying the pivot
+// count reached so far (for progress accounting); the partial solution
+// has no variable values.
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	n := len(p.names)
 	m := len(p.rows)
 	if n == 0 {
@@ -260,22 +271,27 @@ func Solve(p *Problem) (*Solution, error) {
 		return &Solution{Status: Optimal, X: nil, Dual: make([]float64, m), Slack: rowSlacks(p, nil)}, nil
 	}
 
-	t := newTableau(p)
+	t, err := newTableau(ctx, p)
+	if err != nil {
+		return &Solution{}, err
+	}
 	// Phase 1: minimize sum of artificials.
 	if t.numArt > 0 {
 		t.setPhase1Objective()
-		if err := t.iterate(); err != nil {
-			return nil, err
+		if err := t.iterate(ctx); err != nil {
+			return &Solution{Pivots: t.pivots}, err
 		}
 		if t.objValue() > 1e-7*(1+t.scale) {
 			return &Solution{Status: Infeasible, Pivots: t.pivots}, nil
 		}
-		t.driveOutArtificials()
+		if err := t.driveOutArtificials(ctx); err != nil {
+			return &Solution{Pivots: t.pivots}, err
+		}
 	}
 	// Phase 2: real objective.
 	t.setPhase2Objective(p.obj)
-	if err := t.iterate(); err != nil {
-		return nil, err
+	if err := t.iterate(ctx); err != nil {
+		return &Solution{Pivots: t.pivots}, err
 	}
 	if t.unbounded {
 		return &Solution{Status: Unbounded, Pivots: t.pivots}, nil
@@ -342,7 +358,10 @@ type tableau struct {
 	pivots    int
 }
 
-func newTableau(p *Problem) *tableau {
+// newTableau assembles the dense tableau. Construction of large
+// programs allocates and fills hundreds of megabytes, so the context
+// is polled every few rows to keep cancellation prompt.
+func newTableau(ctx context.Context, p *Problem) (*tableau, error) {
 	m := len(p.rows)
 	n := len(p.names)
 
@@ -370,6 +389,11 @@ func newTableau(p *Problem) *tableau {
 	}
 	t.a = make([][]float64, m+1)
 	for i := range t.a {
+		if i&127 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t.a[i] = make([]float64, t.ncols+1)
 	}
 
@@ -377,6 +401,11 @@ func newTableau(p *Problem) *tableau {
 	artUsed := 0
 	var scale float64 = 1
 	for i, r := range p.rows {
+		if i&127 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row := t.a[i]
 		for _, term := range r.Terms {
 			row[term.Var] += term.Coef
@@ -442,6 +471,11 @@ func newTableau(p *Problem) *tableau {
 		t.colTol[j] = eps
 	}
 	for j := 0; j < n; j++ {
+		if j&127 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		m := 1.0
 		for i := 0; i < t.m; i++ {
 			if v := math.Abs(t.a[i][j]); v > m {
@@ -453,7 +487,7 @@ func newTableau(p *Problem) *tableau {
 		}
 		t.colTol[j] = eps * m
 	}
-	return t
+	return t, nil
 }
 
 // setPhase1Objective loads the objective "minimize sum of artificials",
@@ -517,8 +551,11 @@ func (t *tableau) colAllowed(j int) bool {
 
 // iterate runs simplex pivots until optimality, unboundedness or the
 // iteration limit. Dantzig pricing; switches to Bland's rule if the
-// objective stalls for longer than a degeneracy window.
-func (t *tableau) iterate() error {
+// objective stalls for longer than a degeneracy window. The context is
+// polled once per iteration (one pivot is the natural cancellation
+// granularity: pricing, ratio test and the pivot itself are a single
+// O(m·n) unit of work).
+func (t *tableau) iterate(ctx context.Context) error {
 	tol := eps * (1 + t.scale)
 	bland := false
 	stall := 0
@@ -526,6 +563,9 @@ func (t *tableau) iterate() error {
 	window := 4 * (t.m + t.ncols)
 
 	for iter := 0; iter < defaultIt; iter++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		obj := t.a[t.m]
 		// Choose entering column; each reduced cost is judged against
 		// its own column's magnitude so wide dynamic ranges don't
@@ -620,8 +660,11 @@ func (t *tableau) pivot(row, col int) {
 
 // driveOutArtificials removes artificial variables from the basis after
 // phase 1 so phase 2 cannot be polluted by them.
-func (t *tableau) driveOutArtificials() {
+func (t *tableau) driveOutArtificials(ctx context.Context) error {
 	for i := 0; i < t.m; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if t.basis[i] < t.artCol0 {
 			continue
 		}
@@ -636,6 +679,7 @@ func (t *tableau) driveOutArtificials() {
 		// If no column qualifies the row is redundant; the artificial
 		// stays basic at zero and is barred from entering elsewhere.
 	}
+	return nil
 }
 
 // extract builds the Solution from the final tableau.

@@ -24,12 +24,14 @@
 package mcr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"strings"
 
 	"mintc/internal/core"
+	"mintc/internal/obs"
 )
 
 // node ids inside the constraint graph.
@@ -72,6 +74,9 @@ type Result struct {
 	CriticalRatio float64
 	// Probes counts Bellman–Ford feasibility probes.
 	Probes int
+	// Stats is the observability snapshot of the solve (probe counter,
+	// "build"/"search" stage durations). Populated by SolveCtx.
+	Stats obs.Stats
 
 	// criticalA/criticalB hold the witness cycle's accumulated
 	// constant and Tc coefficient (for Explain).
@@ -154,7 +159,9 @@ func newBuilder(c *core.Circuit, opts core.Options) *builder {
 		if pj >= pi {
 			cji = 1
 		}
-		w := c.Sync(j).DQ + path.Delay + opts.Skew + sigma(opts, pj) + sigma(opts, pi)
+		// Same margin-adjusted transfer weight as the LP's L2R rows and
+		// the analysis fixpoint.
+		w := core.ArcWeight(c, opts, pidx)
 		b.pathEdge[pidx] = len(b.edges)
 		switch c.Sync(i).Kind {
 		case core.Latch:
@@ -196,8 +203,9 @@ func maxf(a, b float64) float64 {
 
 // probe runs Bellman–Ford longest paths from the origin with edge
 // weights a + b·tc. It returns the node potentials when feasible, or
-// the edges of a positive-weight cycle when not.
-func (b *builder) probe(tc float64) (dist []float64, witness []edge) {
+// the edges of a positive-weight cycle when not. The context is polled
+// once per relaxation pass (each pass is O(edges)).
+func (b *builder) probe(ctx context.Context, tc float64) (dist []float64, witness []edge, err error) {
 	dist = make([]float64, b.n)
 	pred := make([]int, b.n) // index into b.edges, or -1
 	for i := range dist {
@@ -221,13 +229,16 @@ func (b *builder) probe(tc float64) (dist []float64, witness []edge) {
 		return changed
 	}
 	for i := 0; i < b.n-1; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if relax() == -1 {
-			return dist, nil
+			return dist, nil, nil
 		}
 	}
 	v := relax()
 	if v == -1 {
-		return dist, nil
+		return dist, nil, nil
 	}
 	// Walk back n steps to land on the cycle, then extract it.
 	for i := 0; i < b.n; i++ {
@@ -240,13 +251,13 @@ func (b *builder) probe(tc float64) (dist []float64, witness []edge) {
 		if at, ok := seen[cur]; ok {
 			// path[at:] runs backwards along the cycle.
 			cyc := append([]edge(nil), path[at:]...)
-			return nil, cyc
+			return nil, cyc, nil
 		}
 		seen[cur] = len(path)
 		ei := pred[cur]
 		if ei < 0 {
 			// Shouldn't happen: cycle nodes always have predecessors.
-			return nil, path
+			return nil, path, nil
 		}
 		path = append(path, b.edges[ei])
 		cur = b.edges[ei].from
@@ -259,15 +270,50 @@ func (b *builder) probe(tc float64) (dist []float64, witness []edge) {
 // the candidate through the finite set of simple-cycle ratios, so the
 // loop terminates with the exact maximum cycle ratio.
 func Solve(c *core.Circuit, opts core.Options) (*Result, error) {
+	return SolveCtx(context.Background(), c, opts)
+}
+
+// SolveCtx is Solve with cancellation and observability: the context is
+// honored inside every Bellman–Ford pass and the witness-jumping loop,
+// and probe counts plus "build"/"search" stage timings are reported
+// into the obs recorder carried by the context (one is created when
+// absent, so Result.Stats is always populated).
+func SolveCtx(ctx context.Context, c *core.Circuit, opts core.Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	return solveWith(newBuilder(c, opts), opts)
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rec := obs.From(ctx)
+	if rec == nil {
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
+	}
+	var b *builder
+	if err := rec.Phase(ctx, "build", func(context.Context) error {
+		b = newBuilder(c, opts)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var res *Result
+	err := rec.Phase(ctx, "search", func(ctx context.Context) error {
+		var serr error
+		res, serr = solveWith(ctx, b, opts)
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = rec.Snapshot()
+	return res, nil
 }
 
 // solveWith runs the witness-jumping loop on an already-built
-// constraint graph (shared by Solve and Solver.Solve).
-func solveWith(b *builder, opts core.Options) (*Result, error) {
+// constraint graph (shared by SolveCtx and Solver.Solve).
+func solveWith(ctx context.Context, b *builder, opts core.Options) (*Result, error) {
+	rec := obs.From(ctx)
 	res := &Result{}
 	tc := 0.0
 	if opts.FixedTc > 0 {
@@ -279,7 +325,11 @@ func solveWith(b *builder, opts core.Options) (*Result, error) {
 			return nil, fmt.Errorf("mcr: witness iteration failed to converge (tc=%g)", tc)
 		}
 		res.Probes++
-		dist, witness := b.probe(tc)
+		rec.Add(obs.Probes, 1)
+		dist, witness, err := b.probe(ctx, tc)
+		if err != nil {
+			return nil, err
+		}
 		if witness == nil {
 			b.extract(res, tc, dist, lastWitness)
 			if opts.FixedTc > 0 && tc > opts.FixedTc+eps {
@@ -309,14 +359,29 @@ func solveWith(b *builder, opts core.Options) (*Result, error) {
 // SolveBinary computes the optimal cycle time by bisection to the given
 // absolute tolerance (used as an independent cross-check of Solve).
 func SolveBinary(c *core.Circuit, opts core.Options, tol float64) (*Result, error) {
+	return SolveBinaryCtx(context.Background(), c, opts, tol)
+}
+
+// SolveBinaryCtx is SolveBinary with cancellation: the context is
+// polled inside every Bellman–Ford probe and between bisection steps.
+func SolveBinaryCtx(ctx context.Context, c *core.Circuit, opts core.Options, tol float64) (*Result, error) {
 	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if tol <= 0 {
 		tol = 1e-7
 	}
+	rec := obs.From(ctx)
 	b := newBuilder(c, opts)
 	res := &Result{}
+	probe := func(tc float64) ([]float64, []edge, error) {
+		res.Probes++
+		rec.Add(obs.Probes, 1)
+		return b.probe(ctx, tc)
+	}
 	// Upper bound: any Tc beyond the sum of all positive constants is
 	// feasible unless the system is structurally infeasible.
 	hi := 1.0
@@ -325,27 +390,34 @@ func SolveBinary(c *core.Circuit, opts core.Options, tol float64) (*Result, erro
 			hi += e.a
 		}
 	}
-	res.Probes++
-	if _, witness := b.probe(hi); witness != nil {
+	if _, witness, err := probe(hi); err != nil {
+		return nil, err
+	} else if witness != nil {
 		return nil, ErrInfeasible
 	}
-	res.Probes++
-	if dist, witness := b.probe(0); witness == nil {
+	if dist, witness, err := probe(0); err != nil {
+		return nil, err
+	} else if witness == nil {
 		b.extract(res, 0, dist, nil)
 		return res, nil
 	}
 	lo := 0.0
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
-		res.Probes++
-		if _, witness := b.probe(mid); witness == nil {
+		_, witness, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if witness == nil {
 			hi = mid
 		} else {
 			lo = mid
 		}
 	}
-	dist, witness := b.probe(hi)
-	res.Probes++
+	dist, witness, err := probe(hi)
+	if err != nil {
+		return nil, err
+	}
 	if witness != nil {
 		return nil, fmt.Errorf("mcr: bisection landed on infeasible point")
 	}

@@ -1,6 +1,7 @@
 package mcr
 
 import (
+	"context"
 	"fmt"
 
 	"mintc/internal/core"
@@ -25,6 +26,9 @@ func NewSolver(c *core.Circuit, opts core.Options) (*Solver, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	b := newBuilder(c, opts)
 	s := &Solver{b: b, opts: opts, baseA: make([]float64, len(c.Paths()))}
 	for p, ei := range b.pathEdge {
@@ -44,5 +48,11 @@ func (s *Solver) SetDelay(p int, d float64) {
 
 // Solve computes the optimal cycle time for the current delays.
 func (s *Solver) Solve() (*Result, error) {
-	return solveWith(s.b, s.opts)
+	return s.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve with cancellation; any obs recorder carried by the
+// context receives the probe counts.
+func (s *Solver) SolveCtx(ctx context.Context) (*Result, error) {
+	return solveWith(ctx, s.b, s.opts)
 }

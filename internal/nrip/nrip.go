@@ -34,11 +34,13 @@
 package nrip
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mintc/internal/core"
 	"mintc/internal/ettf"
+	"mintc/internal/obs"
 )
 
 // Result is the outcome of the NRIP heuristic.
@@ -52,19 +54,47 @@ type Result struct {
 	BorrowingGain float64
 	// Probes counts CheckTc evaluations in the borrowing pass.
 	Probes int
+	// Stats is the observability snapshot of the solve (probe counter,
+	// "edge-triggered"/"borrow" stage durations). Populated by MinTcCtx.
+	Stats obs.Stats
 }
 
 // MinTc runs the NRIP reconstruction. The tolerance of the borrowing
 // bisection is 1e-9 relative to the edge-triggered cycle time.
 func MinTc(c *core.Circuit, opts core.Options) (*Result, error) {
-	et, err := ettf.MinTc(c, opts)
-	if err != nil {
+	return MinTcCtx(context.Background(), c, opts)
+}
+
+// MinTcCtx is MinTc with cancellation and observability: the context is
+// honored inside the edge-triggered LP solve and between borrowing
+// probes, and probe counts plus stage timings are reported into the obs
+// recorder carried by the context (one is created when absent, so
+// Result.Stats is always populated).
+func MinTcCtx(ctx context.Context, c *core.Circuit, opts core.Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rec := obs.From(ctx)
+	if rec == nil {
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
+	}
+	var et *ettf.Result
+	if err := rec.Phase(ctx, "edge-triggered", func(ctx context.Context) error {
+		var serr error
+		et, serr = ettf.MinTcCtx(ctx, c, opts)
+		return serr
+	}); err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("nrip: null-retardation pass failed: %w", err)
 	}
 	res := &Result{EdgeTriggeredTc: et.Schedule.Tc}
 	base := et.Schedule
 	if base.Tc <= 0 {
 		res.Schedule = base
+		res.Stats = rec.Snapshot()
 		return res, nil
 	}
 
@@ -80,31 +110,50 @@ func MinTc(c *core.Circuit, opts core.Options) (*Result, error) {
 		}
 	}
 
-	feasibleAt := func(alpha float64) bool {
-		res.Probes++
-		an, err := core.CheckTc(c, scale(base, alpha, floors), opts)
-		return err == nil && an.Feasible
-	}
-	if !feasibleAt(1) {
-		// The edge-triggered schedule must satisfy the exact
-		// constraints (it is strictly conservative); failure would be
-		// a modeling bug.
-		return nil, fmt.Errorf("nrip: edge-triggered schedule fails exact analysis")
-	}
-	// Bisect the scale factor in (0, 1]: larger schedules are more
-	// feasible, so feasibility is monotone in alpha for a fixed shape.
-	lo, hi := 0.0, 1.0
-	tol := 1e-9
-	for hi-lo > tol {
-		mid := (lo + hi) / 2
-		if feasibleAt(mid) {
-			hi = mid
-		} else {
-			lo = mid
+	err := rec.Phase(ctx, "borrow", func(ctx context.Context) error {
+		feasibleAt := func(alpha float64) (bool, error) {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+			res.Probes++
+			rec.Add(obs.Probes, 1)
+			an, err := core.CheckTc(c, scale(base, alpha, floors), opts)
+			return err == nil && an.Feasible, nil
 		}
+		ok, err := feasibleAt(1)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// The edge-triggered schedule must satisfy the exact
+			// constraints (it is strictly conservative); failure would be
+			// a modeling bug.
+			return fmt.Errorf("nrip: edge-triggered schedule fails exact analysis")
+		}
+		// Bisect the scale factor in (0, 1]: larger schedules are more
+		// feasible, so feasibility is monotone in alpha for a fixed shape.
+		lo, hi := 0.0, 1.0
+		tol := 1e-9
+		for hi-lo > tol {
+			mid := (lo + hi) / 2
+			ok, err := feasibleAt(mid)
+			if err != nil {
+				return err
+			}
+			if ok {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		res.Schedule = scale(base, hi, floors)
+		res.BorrowingGain = res.EdgeTriggeredTc - res.Schedule.Tc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.Schedule = scale(base, hi, floors)
-	res.BorrowingGain = res.EdgeTriggeredTc - res.Schedule.Tc
+	res.Stats = rec.Snapshot()
 	return res, nil
 }
 

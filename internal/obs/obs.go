@@ -1,0 +1,284 @@
+// Package obs provides the observability substrate shared by every
+// cycle-time engine: lock-free counters for the quantities that
+// dominate latch-analysis cost (simplex pivots, departure-slide
+// iterations, Bellman–Ford probes, simulation trials), wall-clock
+// timers for named solver stages, an optional structured trace sink,
+// and pprof labels so CPU profiles attribute samples to engine phases.
+//
+// A *Rec travels down a solve through its context.Context (With/From),
+// so deep layers report progress without widening their signatures.
+// Every method is safe on a nil receiver and safe for concurrent use;
+// counters remain readable while a solve is still running (or after it
+// was cancelled), which is what gives callers partial-progress
+// statistics on abort.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one monotonically increasing solve statistic.
+type Counter int
+
+// The counters the engines report. Each engine touches the subset that
+// is meaningful for its algorithm; the rest stay zero.
+const (
+	// Pivots counts simplex pivot operations (LP-backed engines).
+	Pivots Counter = iota
+	// LPRows counts generated LP constraint rows.
+	LPRows
+	// SlideIterations counts full passes of the MLP departure-update
+	// loop (the paper's steps 3–5).
+	SlideIterations
+	// Relaxations counts individual departure-time updates.
+	Relaxations
+	// Probes counts feasibility probes: Bellman–Ford runs (MCR),
+	// CheckTc evaluations (NRIP borrowing), bisection steps (Agrawal).
+	Probes
+	// Trials counts Monte-Carlo trials.
+	Trials
+	// SimCycles counts simulated clock cycles.
+	SimCycles
+
+	numCounters
+)
+
+// String returns the snake_case name used in Stats maps and JSON.
+func (c Counter) String() string {
+	switch c {
+	case Pivots:
+		return "pivots"
+	case LPRows:
+		return "lp_rows"
+	case SlideIterations:
+		return "slide_iterations"
+	case Relaxations:
+		return "relaxations"
+	case Probes:
+		return "probes"
+	case Trials:
+		return "trials"
+	case SimCycles:
+		return "sim_cycles"
+	}
+	return fmt.Sprintf("counter_%d", int(c))
+}
+
+// Event is one structured trace record emitted by a solver.
+type Event struct {
+	Time   time.Time      `json:"t"`
+	Name   string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Sink receives trace events. Implementations must be safe for
+// concurrent use.
+type Sink interface {
+	Event(e Event)
+}
+
+// WriterSink streams events as JSON lines to an io.Writer.
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink wraps w as a JSONL trace sink.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Event writes one JSON line; encoding errors are dropped (tracing
+// must never fail a solve).
+func (s *WriterSink) Event(e Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(append(b, '\n'))
+}
+
+// Rec accumulates the statistics of one solve. The zero value is not
+// usable; call New. A nil *Rec discards everything, so call sites need
+// no guards.
+type Rec struct {
+	counters [numCounters]atomic.Int64
+
+	mu     sync.Mutex
+	stages map[string]time.Duration
+	sink   Sink
+}
+
+// New returns an empty recorder.
+func New() *Rec { return &Rec{stages: make(map[string]time.Duration)} }
+
+// SetSink installs a structured trace sink (nil disables tracing).
+func (r *Rec) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// Add increments counter c by n.
+func (r *Rec) Add(c Counter, n int64) {
+	if r == nil || c < 0 || c >= numCounters {
+		return
+	}
+	r.counters[c].Add(n)
+}
+
+// Get returns the current value of counter c (readable mid-solve).
+func (r *Rec) Get(c Counter) int64 {
+	if r == nil || c < 0 || c >= numCounters {
+		return 0
+	}
+	return r.counters[c].Load()
+}
+
+// Emit sends a structured trace event to the sink, if one is set.
+func (r *Rec) Emit(name string, fields map[string]any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	sink := r.sink
+	r.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	sink.Event(Event{Time: time.Now(), Name: name, Fields: fields})
+}
+
+// addStage accumulates wall time into a named stage.
+func (r *Rec) addStage(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.stages == nil {
+		r.stages = make(map[string]time.Duration)
+	}
+	r.stages[name] += d
+	r.mu.Unlock()
+}
+
+// Phase runs f as a named solver stage: its wall time accrues to the
+// stage, a begin/end event pair goes to the trace sink, and the
+// goroutine carries a pprof label ("mintc.stage" = name) so CPU
+// profiles split by phase. A nil receiver still runs f, unlabeled.
+func (r *Rec) Phase(ctx context.Context, name string, f func(context.Context) error) error {
+	if r == nil {
+		return f(ctx)
+	}
+	r.Emit("stage.begin", map[string]any{"stage": name})
+	start := time.Now()
+	var err error
+	pprof.Do(ctx, pprof.Labels("mintc.stage", name), func(ctx context.Context) {
+		err = f(ctx)
+	})
+	d := time.Since(start)
+	r.addStage(name, d)
+	fields := map[string]any{"stage": name, "ns": d.Nanoseconds()}
+	if err != nil {
+		fields["error"] = err.Error()
+	}
+	r.Emit("stage.end", fields)
+	return err
+}
+
+// Snapshot returns a point-in-time copy of all statistics. Safe to
+// call while the solve is still running (partial progress) or after
+// cancellation.
+func (r *Rec) Snapshot() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	s := Stats{Counters: make(map[string]int64), StageNs: make(map[string]int64)}
+	for c := Counter(0); c < numCounters; c++ {
+		if v := r.counters[c].Load(); v != 0 {
+			s.Counters[c.String()] = v
+		}
+	}
+	r.mu.Lock()
+	for name, d := range r.stages {
+		s.StageNs[name] = d.Nanoseconds()
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// Stats is an immutable snapshot of a recorder, shaped for JSON
+// reports (counter and per-stage nanosecond maps).
+type Stats struct {
+	Counters map[string]int64 `json:"counters,omitempty"`
+	StageNs  map[string]int64 `json:"stage_ns,omitempty"`
+}
+
+// Counter returns the named counter (0 when absent).
+func (s Stats) Counter(c Counter) int64 { return s.Counters[c.String()] }
+
+// Stage returns the accumulated duration of a named stage.
+func (s Stats) Stage(name string) time.Duration {
+	return time.Duration(s.StageNs[name])
+}
+
+// String renders the snapshot on one line, keys sorted, e.g.
+// "pivots=12 slide_iterations=2 | lp=1.2ms slide=34µs".
+func (s Stats) String() string {
+	var b strings.Builder
+	for i, k := range sortedKeys(s.Counters) {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, s.Counters[k])
+	}
+	if len(s.StageNs) > 0 {
+		if b.Len() > 0 {
+			b.WriteString(" | ")
+		}
+		for i, k := range sortedKeys(s.StageNs) {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%s", k, time.Duration(s.StageNs[k]))
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ctxKey is the private context key for the recorder.
+type ctxKey struct{}
+
+// With returns a context carrying the recorder; solver layers retrieve
+// it with From and report into it without signature changes.
+func With(ctx context.Context, r *Rec) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// From returns the recorder carried by ctx, or nil (whose methods all
+// no-op) when none is attached.
+func From(ctx context.Context) *Rec {
+	r, _ := ctx.Value(ctxKey{}).(*Rec)
+	return r
+}

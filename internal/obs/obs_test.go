@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	r := New()
+	r.Add(Pivots, 3)
+	r.Add(Pivots, 4)
+	r.Add(SlideIterations, 2)
+	if got := r.Get(Pivots); got != 7 {
+		t.Fatalf("Pivots = %d, want 7", got)
+	}
+	s := r.Snapshot()
+	if s.Counter(Pivots) != 7 || s.Counter(SlideIterations) != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Counter(Trials) != 0 {
+		t.Fatalf("unset counter should read 0")
+	}
+	if !strings.Contains(s.String(), "pivots=7") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Rec
+	r.Add(Pivots, 1)
+	r.Emit("x", nil)
+	r.SetSink(nil)
+	if r.Get(Pivots) != 0 {
+		t.Fatal("nil recorder should read 0")
+	}
+	ran := false
+	err := r.Phase(context.Background(), "lp", func(context.Context) error {
+		ran = true
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatal("nil recorder must still run the phase body")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.StageNs) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+func TestPhaseTimingAndError(t *testing.T) {
+	r := New()
+	wantErr := errors.New("boom")
+	err := r.Phase(context.Background(), "lp", func(context.Context) error {
+		time.Sleep(2 * time.Millisecond)
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := r.Snapshot().Stage("lp"); d < time.Millisecond {
+		t.Fatalf("stage duration %v too small", d)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	r := New()
+	ctx := With(context.Background(), r)
+	From(ctx).Add(Probes, 5)
+	if r.Get(Probes) != 5 {
+		t.Fatal("recorder not reachable through context")
+	}
+	if From(context.Background()) != nil {
+		t.Fatal("From on a bare context must be nil")
+	}
+}
+
+func TestWriterSinkEmitsJSONL(t *testing.T) {
+	var buf strings.Builder
+	mu := &syncWriter{w: &buf}
+	r := New()
+	r.SetSink(NewWriterSink(mu))
+	r.Emit("probe", map[string]any{"tc": 110.0})
+	r.Phase(context.Background(), "slide", func(context.Context) error { return nil })
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // probe + stage.begin + stage.end
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "probe" || e.Fields["tc"] != 110.0 {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add(Relaxations, 1)
+				r.addStage("slide", time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get(Relaxations); got != 8000 {
+		t.Fatalf("Relaxations = %d, want 8000", got)
+	}
+	if r.Snapshot().Stage("slide") != 8000*time.Nanosecond {
+		t.Fatalf("stage = %v", r.Snapshot().Stage("slide"))
+	}
+}
+
+// syncWriter serializes writes from the sink goroutines.
+type syncWriter struct {
+	mu sync.Mutex
+	w  *strings.Builder
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

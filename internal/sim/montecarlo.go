@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"mintc/internal/core"
+	"mintc/internal/obs"
 )
 
 // MCConfig tunes a Monte-Carlo simulation run.
@@ -41,6 +43,16 @@ type MCResult struct {
 // argument, and a way to observe the actual slack distribution under
 // realistic (non-worst-case) conditions.
 func RunMonteCarlo(c *core.Circuit, sched *core.Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
+	return RunMonteCarloCtx(context.Background(), c, sched, cfg, rng)
+}
+
+// RunMonteCarloCtx is RunMonteCarlo with cancellation and
+// observability: the context is polled once per simulated cycle, and
+// trial/cycle counts are reported into any obs recorder carried by the
+// context. On cancellation the result accumulated so far is returned
+// alongside the context's error (MCResult.Trials reflects the trials
+// actually completed).
+func RunMonteCarloCtx(ctx context.Context, c *core.Circuit, sched *core.Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,7 +75,16 @@ func RunMonteCarlo(c *core.Circuit, sched *core.Schedule, cfg MCConfig, rng *ran
 	l := c.L()
 	paths := c.Paths()
 	order := phaseOrder(c)
-	res := &MCResult{Trials: cfg.Trials, WorstSlack: math.Inf(1)}
+	rec := obs.From(ctx)
+	res := &MCResult{WorstSlack: math.Inf(1)}
+
+	// Shared recurrence in absolute time (zero shift); the weight
+	// callback samples each path's delay uniformly per evaluation.
+	sampled := func(pidx int) float64 {
+		p := paths[pidx]
+		return c.Sync(p.From).DQ + p.MinDelay + rng.Float64()*(p.Delay-p.MinDelay)
+	}
+	noShift := func(pj, pi int) float64 { return 0 }
 
 	prev := make([]float64, l) // absolute departures, previous cycle
 	cur := make([]float64, l)
@@ -73,23 +94,19 @@ func RunMonteCarlo(c *core.Circuit, sched *core.Schedule, cfg MCConfig, rng *ran
 			prev[i] = sched.S[c.Sync(i).Phase] - sched.Tc // cycle -1 cold start
 		}
 		for n := 0; n < cfg.Cycles; n++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			rec.Add(obs.SimCycles, 1)
 			for _, i := range order {
 				open := sched.S[c.Sync(i).Phase] + float64(n)*sched.Tc
-				arr := math.Inf(-1)
-				for _, pidx := range c.Fanin(i) {
-					p := paths[pidx]
-					j := p.From
-					var depJ float64
+				depOf := func(j int) float64 {
 					if c.Sync(j).Phase >= c.Sync(i).Phase {
-						depJ = prev[j]
-					} else {
-						depJ = cur[j]
+						return prev[j]
 					}
-					d := p.MinDelay + rng.Float64()*(p.Delay-p.MinDelay)
-					if v := depJ + c.Sync(j).DQ + d; v > arr {
-						arr = v
-					}
+					return cur[j]
 				}
+				arr := core.Arrive(c, i, depOf, sampled, noShift)
 				s := c.Sync(i)
 				switch s.Kind {
 				case core.Latch:
@@ -123,6 +140,8 @@ func RunMonteCarlo(c *core.Circuit, sched *core.Schedule, cfg MCConfig, rng *ran
 		if failed {
 			res.FailingTrials++
 		}
+		res.Trials++
+		rec.Add(obs.Trials, 1)
 	}
 	return res, nil
 }

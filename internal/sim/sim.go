@@ -15,11 +15,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"mintc/internal/core"
+	"mintc/internal/obs"
 )
 
 // Violation is one timing failure observed during simulation.
@@ -83,6 +85,13 @@ func (cfg Config) withDefaults(c *core.Circuit) Config {
 
 // Run simulates the circuit under the given schedule.
 func Run(c *core.Circuit, sched *core.Schedule, cfg Config) (*Trace, error) {
+	return RunCtx(context.Background(), c, sched, cfg)
+}
+
+// RunCtx is Run with cancellation and observability: the context is
+// polled once per simulated cycle, and the cycle count is reported into
+// any obs recorder carried by the context.
+func RunCtx(ctx context.Context, c *core.Circuit, sched *core.Schedule, cfg Config) (*Trace, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,13 +105,11 @@ func Run(c *core.Circuit, sched *core.Schedule, cfg Config) (*Trace, error) {
 
 	l := c.L()
 	tr := &Trace{ConvergedAt: -1}
-	// dep[n][i]: absolute departure of token n from synchronizer i.
-	dep := make([][]float64, cfg.Cycles)
-	for n := range dep {
-		dep[n] = make([]float64, l)
-	}
-	tr.LocalD = make([][]float64, cfg.Cycles)
-	tr.Arrival = make([][]float64, cfg.Cycles)
+	// The arrival recurrence only ever looks one token back, so absolute
+	// departures need a two-row rolling window, not a per-cycle history
+	// (which would make long cancellable runs allocate O(Cycles·L)).
+	prevDep := make([]float64, l)
+	curDep := make([]float64, l)
 
 	phaseStart := func(i, n int) float64 {
 		return sched.S[c.Sync(i).Phase] + float64(n)*sched.Tc
@@ -120,9 +127,24 @@ func Run(c *core.Circuit, sched *core.Schedule, cfg Config) (*Trace, error) {
 		return c.Sync(order[a]).Phase < c.Sync(order[b]).Phase
 	})
 
+	rec := obs.From(ctx)
+	// The simulator works in absolute time, so the shared recurrence is
+	// instantiated with a zero shift; the worst-case arc weight is the
+	// same ArcWeight the static analyses use (margins don't apply to a
+	// concrete simulation, hence the zero Options).
+	weight := func(pidx int) float64 { return core.ArcWeight(c, core.Options{}, pidx) }
+	noShift := func(pj, pi int) float64 { return 0 }
+
 	for n := 0; n < cfg.Cycles; n++ {
-		tr.LocalD[n] = make([]float64, l)
-		tr.Arrival[n] = make([]float64, l)
+		// The trace grows one cycle at a time (rather than being sized
+		// up front) so an early cancellation of a long run never pays
+		// for — or allocates — the cycles it skipped.
+		if err := ctx.Err(); err != nil {
+			return tr, err
+		}
+		rec.Add(obs.SimCycles, 1)
+		tr.LocalD = append(tr.LocalD, make([]float64, l))
+		tr.Arrival = append(tr.Arrival, make([]float64, l))
 		for _, i := range order {
 			open := phaseStart(i, n)
 			// Arrival of this cycle's token: the latest contribution
@@ -130,26 +152,22 @@ func Run(c *core.Circuit, sched *core.Schedule, cfg Config) (*Trace, error) {
 			// token feeds this one: same cycle when the source phase
 			// precedes the destination phase, previous cycle
 			// otherwise.
-			arr := math.Inf(-1)
-			for _, pidx := range c.Fanin(i) {
-				p := c.Paths()[pidx]
-				j := p.From
+			depOf := func(j int) float64 {
 				srcCycle := n
 				if c.Sync(j).Phase >= c.Sync(i).Phase {
 					srcCycle = n - 1
 				}
-				var depJ float64
 				if srcCycle < 0 {
 					// Cold start: pretend the pre-history token left
 					// at its phase opening with the initial local D.
-					depJ = phaseStart(j, srcCycle) + cfg.InitialD[j]
-				} else {
-					depJ = dep[srcCycle][j]
+					return phaseStart(j, srcCycle) + cfg.InitialD[j]
 				}
-				if v := depJ + c.Sync(j).DQ + p.Delay; v > arr {
-					arr = v
+				if srcCycle == n {
+					return curDep[j]
 				}
+				return prevDep[j]
 			}
+			arr := core.Arrive(c, i, depOf, weight, noShift)
 			tr.Arrival[n][i] = localize(arr, open)
 
 			s := c.Sync(i)
@@ -158,31 +176,32 @@ func Run(c *core.Circuit, sched *core.Schedule, cfg Config) (*Trace, error) {
 				// Transparent flow-through or wait for the edge.
 				if n == 0 && cfg.InitialD[i] > 0 {
 					// Honor an explicit perturbed start.
-					dep[n][i] = open + math.Max(cfg.InitialD[i], math.Max(0, localize(arr, open)))
+					curDep[i] = open + math.Max(cfg.InitialD[i], math.Max(0, localize(arr, open)))
 				} else {
-					dep[n][i] = math.Max(open, arr)
+					curDep[i] = math.Max(open, arr)
 				}
 				// Setup: data must be stable setup before the closing
 				// edge.
 				if n >= cfg.WarmupCycles {
 					closing := open + sched.T[s.Phase]
-					if slack := closing - s.Setup - dep[n][i]; slack < -core.Eps {
+					if slack := closing - s.Setup - curDep[i]; slack < -core.Eps {
 						tr.Violations = append(tr.Violations, Violation{Cycle: n, Sync: i, Kind: "setup", Amount: -slack})
 					}
 				}
 			case core.FlipFlop:
-				dep[n][i] = open
+				curDep[i] = open
 				if n >= cfg.WarmupCycles && !math.IsInf(arr, -1) {
 					if slack := open - s.Setup - arr; slack < -core.Eps {
 						tr.Violations = append(tr.Violations, Violation{Cycle: n, Sync: i, Kind: "ff-setup", Amount: -slack})
 					}
 				}
 			}
-			tr.LocalD[n][i] = dep[n][i] - open
+			tr.LocalD[n][i] = curDep[i] - open
 		}
 		if n > 0 && tr.ConvergedAt < 0 && vecEqual(tr.LocalD[n], tr.LocalD[n-1], core.Eps) {
 			tr.ConvergedAt = n
 		}
+		prevDep, curDep = curDep, prevDep
 	}
 	tr.SteadyD = tr.LocalD[cfg.Cycles-1]
 	return tr, nil

@@ -35,16 +35,19 @@
 package mintc
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
 	"mintc/internal/agrawal"
 	"mintc/internal/core"
 	"mintc/internal/delay"
+	"mintc/internal/engine"
 	"mintc/internal/ettf"
 	"mintc/internal/mcr"
 	"mintc/internal/netex"
 	"mintc/internal/nrip"
+	"mintc/internal/obs"
 	"mintc/internal/parse"
 	"mintc/internal/render"
 	"mintc/internal/sim"
@@ -118,6 +121,14 @@ func SymmetricSchedule(k int, tc, duty float64) *Schedule {
 // time, optimal clock schedule, and the supporting departure times.
 func MinTc(c *Circuit, opts Options) (*Result, error) { return core.MinTc(c, opts) }
 
+// MinTcCtx is MinTc with cancellation: the context's deadline and
+// cancellation are honored inside the simplex pivot loop and the
+// departure-slide iteration, returning ctx.Err() promptly on abort.
+// Result.Stats reports solve counters and stage timings.
+func MinTcCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
+	return core.MinTcCtx(ctx, c, opts)
+}
+
 // CheckTc solves the analysis problem: verify a circuit against a
 // fixed clock schedule, reporting slacks and violations.
 func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
@@ -134,6 +145,12 @@ type MCRResult = mcr.Result
 // cross-check and as the faster engine on large circuits.
 func MinTcMCR(c *Circuit, opts Options) (*MCRResult, error) { return mcr.Solve(c, opts) }
 
+// MinTcMCRCtx is MinTcMCR with cancellation inside every Bellman–Ford
+// pass and the witness-jumping loop.
+func MinTcMCRCtx(ctx context.Context, c *Circuit, opts Options) (*MCRResult, error) {
+	return mcr.SolveCtx(ctx, c, opts)
+}
+
 // EdgeTriggeredResult is the outcome of the edge-triggered baseline.
 type EdgeTriggeredResult = ettf.Result
 
@@ -144,6 +161,12 @@ func MinTcEdgeTriggered(c *Circuit, opts Options) (*EdgeTriggeredResult, error) 
 	return ettf.MinTc(c, opts)
 }
 
+// MinTcEdgeTriggeredCtx is MinTcEdgeTriggered with cancellation inside
+// the simplex pivot loop.
+func MinTcEdgeTriggeredCtx(ctx context.Context, c *Circuit, opts Options) (*EdgeTriggeredResult, error) {
+	return ettf.MinTcCtx(ctx, c, opts)
+}
+
 // NRIPResult is the outcome of the NRIP baseline reconstruction.
 type NRIPResult = nrip.Result
 
@@ -151,6 +174,12 @@ type NRIPResult = nrip.Result
 // heuristic (edge-triggered schedule shape plus one borrowing pass),
 // the baseline of the paper's Figs. 6, 7 and 9.
 func MinTcNRIP(c *Circuit, opts Options) (*NRIPResult, error) { return nrip.MinTc(c, opts) }
+
+// MinTcNRIPCtx is MinTcNRIP with cancellation inside the
+// edge-triggered LP solve and between borrowing probes.
+func MinTcNRIPCtx(ctx context.Context, c *Circuit, opts Options) (*NRIPResult, error) {
+	return nrip.MinTcCtx(ctx, c, opts)
+}
 
 // FrequencySearchResult is the outcome of the Agrawal-style search.
 type FrequencySearchResult = agrawal.Result
@@ -330,6 +359,13 @@ func SimulateMonteCarlo(c *Circuit, sched *Schedule, cfg MCConfig, rng *rand.Ran
 	return sim.RunMonteCarlo(c, sched, cfg, rng)
 }
 
+// SimulateMonteCarloCtx is SimulateMonteCarlo with cancellation (polled
+// once per simulated cycle); on abort the trials completed so far are
+// returned alongside ctx.Err().
+func SimulateMonteCarloCtx(ctx context.Context, c *Circuit, sched *Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
+	return sim.RunMonteCarloCtx(ctx, c, sched, cfg, rng)
+}
+
 // Gate-level front end: the decomposition step the paper assumes
 // ("the circuit has been decomposed into clocked combinational stages,
 // and ... the various delay parameters have been calculated").
@@ -375,6 +411,12 @@ func Simulate(c *Circuit, sched *Schedule, cfg SimConfig) (*SimTrace, error) {
 	return sim.Run(c, sched, cfg)
 }
 
+// SimulateCtx is Simulate with cancellation (polled once per simulated
+// cycle); on abort the truncated trace is returned alongside ctx.Err().
+func SimulateCtx(ctx context.Context, c *Circuit, sched *Schedule, cfg SimConfig) (*SimTrace, error) {
+	return sim.RunCtx(ctx, c, sched, cfg)
+}
+
 // RepairSchedule finds the smallest uniform stretch of a schedule that
 // passes all timing checks, keeping its shape — "how much slower must
 // this exact waveform run?". Returns the stretched schedule and the
@@ -388,4 +430,54 @@ func RepairSchedule(c *Circuit, sched *Schedule, opts Options, maxScale float64)
 // counterpart of ParametricDelay.
 func SweepDelays(c *Circuit, opts Options, pathIndex int, values []float64) ([]float64, []error) {
 	return core.SweepDelays(c, opts, pathIndex, values)
+}
+
+// Unified engine layer: every cycle-time solver in the package — the
+// exact Algorithm MLP ("mlp"), the min-cycle-ratio engine ("mcr"), the
+// NRIP reconstruction ("nrip"), the edge-triggered baseline ("ettf")
+// and the dynamic simulator ("sim") — is selectable by name through a
+// common cancellable, instrumented interface.
+type (
+	// EngineOptions configures a SolveEngine call (core options plus
+	// the simulation-only knobs).
+	EngineOptions = engine.Options
+	// EngineResult is the engine-independent view of a solve: Tc,
+	// schedule, departures when available, observability stats, and the
+	// engine's native result in Detail.
+	EngineResult = engine.Result
+	// EngineSolver is the interface every registered engine implements.
+	EngineSolver = engine.Solver
+	// Stats is an observability snapshot: named counters (pivots,
+	// probes, slide iterations, simulated cycles, …) and per-stage
+	// wall-clock durations.
+	Stats = obs.Stats
+	// Recorder accumulates counters and stage timings during a solve;
+	// pass one in EngineOptions.Rec to observe a solve live (attach a
+	// TraceSink for per-event traces).
+	Recorder = obs.Rec
+	// TraceEvent is one structured trace record emitted by a Recorder.
+	TraceEvent = obs.Event
+	// TraceSink receives TraceEvents.
+	TraceSink = obs.Sink
+	// SimDetail is the "sim" engine's native result: the deterministic
+	// wavefront trace plus the optional Monte-Carlo summary.
+	SimDetail = engine.SimDetail
+)
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return obs.New() }
+
+// NewTraceWriter returns a TraceSink writing one JSON object per event
+// to w (JSONL).
+func NewTraceWriter(w io.Writer) TraceSink { return obs.NewWriterSink(w) }
+
+// Engines lists the available engine names, sorted.
+func Engines() []string { return engine.Names() }
+
+// SolveEngine runs the named engine on the circuit. The context's
+// deadline/cancellation is honored inside the engine's hot loops; the
+// returned EngineResult is non-nil even on error and carries the stats
+// of whatever progress was made.
+func SolveEngine(ctx context.Context, name string, c *Circuit, opts EngineOptions) (*EngineResult, error) {
+	return engine.Solve(ctx, name, c, opts)
 }
