@@ -31,7 +31,10 @@ type benchRecord struct {
 // runBench solves every suite circuit with each requested engine and
 // writes one JSON record per run into dir. An engine failing on one
 // circuit is recorded in that circuit's JSON, not fatal to the sweep.
-func runBench(dir, engines string, timeout time.Duration) ([]string, error) {
+// trials > 0 makes the "sim" engine follow its deterministic run with a
+// Monte-Carlo campaign of that many randomized trials, so the
+// "montecarlo" stage appears in the records.
+func runBench(dir, engines string, timeout time.Duration, trials int) ([]string, error) {
 	names := engine.Names()
 	if engines != "" {
 		names = nil
@@ -50,7 +53,7 @@ func runBench(dir, engines string, timeout time.Duration) ([]string, error) {
 	var files []string
 	for _, bm := range gen.Suite() {
 		for _, name := range names {
-			rec, err := benchOne(bm, name, timeout)
+			rec, err := benchOne(bm, name, timeout, trials)
 			if err != nil {
 				rec.Error = err.Error()
 			}
@@ -68,7 +71,7 @@ func runBench(dir, engines string, timeout time.Duration) ([]string, error) {
 	return files, nil
 }
 
-func benchOne(bm gen.Benchmark, name string, timeout time.Duration) (benchRecord, error) {
+func benchOne(bm gen.Benchmark, name string, timeout time.Duration, trials int) (benchRecord, error) {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -76,7 +79,7 @@ func benchOne(bm gen.Benchmark, name string, timeout time.Duration) (benchRecord
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := engine.Solve(ctx, name, bm.Circuit, engine.Options{Seed: 1})
+	res, err := engine.Solve(ctx, name, bm.Circuit, engine.Options{Seed: 1, Trials: trials})
 	wall := time.Since(start)
 	rec := benchRecord{
 		Engine:  name,

@@ -40,6 +40,7 @@ func main() {
 		bench   = flag.String("bench", "", "write BENCH_<circuit>_<engine>.json benchmark records into this directory")
 		engines = flag.String("engines", "", "comma-separated engine names for -bench (default: all registered)")
 		timeout = flag.Duration("timeout", 0, "per-solve deadline for -bench (0 = none)")
+		trials  = flag.Int("trials", 0, "Monte-Carlo trials for the sim engine during -bench (0 = skip MC)")
 	)
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func main() {
 	)
 	switch {
 	case *bench != "":
-		files, berr := runBench(*bench, *engines, *timeout)
+		files, berr := runBench(*bench, *engines, *timeout, *trials)
 		if berr != nil {
 			fmt.Fprintf(os.Stderr, "smobench: %v\n", berr)
 			os.Exit(1)
