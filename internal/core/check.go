@@ -79,14 +79,18 @@ func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
 		g.AddEdge(z, i, 0) // D_i >= 0 floor
 	}
 	// Edge weights carry the same skew margins as the LP's L2R rows —
-	// ArcWeight is shared with BuildLP and the MLP slide — so analysis
-	// and design agree exactly under Options.Skew/PhaseSkew.
-	for pidx, p := range c.Paths() {
-		if c.Sync(p.To).Kind == FlipFlop {
+	// the kernel pre-folds the same ArcWeight shared with BuildLP and
+	// the MLP slide — so analysis and design agree exactly under
+	// Options.Skew/PhaseSkew.
+	kn := CompileKernel(c, opts)
+	shift := kn.ShiftTable(sched, nil)
+	for i := 0; i < l; i++ {
+		if kn.FF[i] {
 			continue // FF departure is independent of arrivals
 		}
-		pj, pi := c.Sync(p.From).Phase, c.Sync(p.To).Phase
-		g.AddEdge(p.From, p.To, ArcWeight(c, opts, pidx)+sched.PhaseShift(pj, pi))
+		for a := kn.Start[i]; a < kn.Start[i+1]; a++ {
+			g.AddEdge(int(kn.Src[a]), i, kn.W[a]+shift[kn.PP[a]])
+		}
 	}
 	res := g.LongestPathsFrom(z)
 	if res.PositiveCycle != nil {
@@ -109,7 +113,8 @@ func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
 		d[i] = res.Dist[i]
 	}
 	an.D = d
-	an.A = Arrivals(c, sched, d, opts) // margin-adjusted, like the fixpoint
+	an.A = make([]float64, l)
+	kn.ArriveAll(d, shift, an.A) // margin-adjusted, like the fixpoint
 	an.Q = Outputs(c, d)
 
 	// Setup checks (margins on the propagation side are already in the

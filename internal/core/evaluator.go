@@ -14,25 +14,25 @@ import (
 // fast-executing program which allows repeated analysis of a circuit
 // with different clocking or device parameters").
 //
-// The compilation step partitions the synchronizer graph into strongly
-// connected components once; each Check then propagates departures
-// through the component DAG in topological order, iterating only
-// within genuine loops, and reuses all scratch buffers. Delays may be
-// updated between checks with SetDelay without recompiling.
+// The compilation step flattens the fanin lists into a Kernel (CSR arc
+// arrays with the arc weights pre-folded) and partitions the
+// synchronizer graph into strongly connected components once; each
+// Check then propagates departures through the component DAG in
+// topological order, iterating only within genuine loops, and reuses
+// all scratch buffers — including the per-schedule phase-shift table.
+// Delays may be updated between checks with SetDelay without
+// recompiling.
 type Evaluator struct {
-	c *Circuit
+	c  *Circuit
+	kn *Kernel
 	// comps lists SCCs in topological order (sources first); sccOf
 	// maps a synchronizer to its component.
 	comps [][]int
 	sccOf []int
-	// edgeConst[e] = ΔDQ_from + Delay for path e (updated by SetDelay).
-	edgeConst []float64
-	// inEdges[i] lists path indices ending at latch i (FF destinations
-	// excluded: their departures are pinned).
-	inEdges [][]int
 	// scratch
 	d     []float64
 	slack []float64
+	shift []float64
 }
 
 // QuickAnalysis is the result of Evaluator.Check: the essentials of a
@@ -58,20 +58,19 @@ func NewEvaluator(c *Circuit) (*Evaluator, error) {
 	}
 	l := c.L()
 	ev := &Evaluator{
-		c:         c,
-		edgeConst: make([]float64, len(c.Paths())),
-		inEdges:   make([][]int, l),
-		d:         make([]float64, l),
-		slack:     make([]float64, l),
+		c:     c,
+		kn:    CompileKernel(c, Options{}),
+		d:     make([]float64, l),
+		slack: make([]float64, l),
 	}
 	g := graph.New(l)
-	for e, p := range c.Paths() {
-		ev.edgeConst[e] = ArcWeight(c, Options{}, e)
-		if c.Sync(p.To).Kind == FlipFlop {
-			continue
+	for i := 0; i < l; i++ {
+		if ev.kn.FF[i] {
+			continue // FF departures never depend on arrivals
 		}
-		ev.inEdges[p.To] = append(ev.inEdges[p.To], e)
-		g.AddEdge(p.From, p.To, 0)
+		for a := ev.kn.Start[i]; a < ev.kn.Start[i+1]; a++ {
+			g.AddEdge(int(ev.kn.Src[a]), i, 0)
+		}
 	}
 	comps, sccOf := g.SCC()
 	// Tarjan emits components in reverse topological order; flip so
@@ -86,10 +85,10 @@ func NewEvaluator(c *Circuit) (*Evaluator, error) {
 
 // SetDelay updates the worst-case delay of path e without recompiling.
 func (ev *Evaluator) SetDelay(e int, d float64) {
-	if e < 0 || e >= len(ev.edgeConst) {
+	if e < 0 || e >= len(ev.c.Paths()) {
 		panic(fmt.Sprintf("core: Evaluator.SetDelay path %d out of range", e))
 	}
-	ev.edgeConst[e] = ev.c.Sync(ev.c.Paths()[e].From).DQ + d
+	ev.kn.SetDelay(e, d)
 }
 
 // Check analyzes the compiled circuit against a schedule. It performs
@@ -98,17 +97,19 @@ func (ev *Evaluator) SetDelay(e int, d float64) {
 // CheckTc (call that when you need complete violation reporting).
 func (ev *Evaluator) Check(sched *Schedule) QuickAnalysis {
 	c := ev.c
+	kn := ev.kn
 	l := c.L()
-	paths := c.Paths()
+	ev.shift = kn.ShiftTable(sched, ev.shift)
+	shift := ev.shift
 	for i := 0; i < l; i++ {
 		ev.d[i] = 0
 	}
 
 	// Propagate through the SCC DAG.
 	for _, comp := range ev.comps {
-		if len(comp) == 1 && !hasSelfEdge(ev, comp[0]) {
+		if len(comp) == 1 && !ev.hasSelfEdge(comp[0]) {
 			i := comp[0]
-			ev.d[i] = ev.departure(sched, i)
+			ev.d[i] = kn.Depart(i, ev.d, shift)
 			continue
 		}
 		// Loop component: iterate to the least fixpoint; |comp|+1
@@ -119,7 +120,7 @@ func (ev *Evaluator) Check(sched *Schedule) QuickAnalysis {
 		for it := 0; it < limit && !converged; it++ {
 			converged = true
 			for _, i := range comp {
-				nv := ev.departure(sched, i)
+				nv := kn.Depart(i, ev.d, shift)
 				if nv > ev.d[i]+Eps {
 					ev.d[i] = nv
 					converged = false
@@ -135,7 +136,7 @@ func (ev *Evaluator) Check(sched *Schedule) QuickAnalysis {
 			for it := 0; it < 4*l+16 && !converged; it++ {
 				converged = true
 				for _, i := range comp {
-					nv := ev.departure(sched, i)
+					nv := kn.Depart(i, ev.d, shift)
 					if nv > ev.d[i]+Eps {
 						ev.d[i] = nv
 						converged = false
@@ -161,10 +162,9 @@ func (ev *Evaluator) Check(sched *Schedule) QuickAnalysis {
 			slack = sched.T[s.Phase] - s.Setup - ev.d[i]
 		case FlipFlop:
 			slack = math.Inf(1)
-			for _, e := range c.Fanin(i) {
-				p := paths[e]
-				a := ev.d[p.From] + ev.edgeConst[e] + sched.PhaseShift(c.Sync(p.From).Phase, s.Phase)
-				if v := -s.Setup - a; v < slack {
+			for a := kn.Start[i]; a < kn.Start[i+1]; a++ {
+				arr := ev.d[kn.Src[a]] + kn.W[a] + shift[kn.PP[a]]
+				if v := -s.Setup - arr; v < slack {
 					slack = v
 				}
 			}
@@ -180,22 +180,14 @@ func (ev *Evaluator) Check(sched *Schedule) QuickAnalysis {
 	return QuickAnalysis{Feasible: feasible, D: ev.d, WorstSlack: worst}
 }
 
-// departure evaluates max(0, max over compiled fanin) for latch i
-// using current departures (FFs return 0). It is the shared L2
-// recurrence with the precompiled edge constants as the weights.
-func (ev *Evaluator) departure(sched *Schedule, i int) float64 {
-	if ev.c.Sync(i).Kind == FlipFlop {
-		return 0
+// hasSelfEdge reports whether latch i has a combinational self-loop
+// (FF destinations have no relaxing in-arcs by construction).
+func (ev *Evaluator) hasSelfEdge(i int) bool {
+	if ev.kn.FF[i] {
+		return false
 	}
-	return DepartLatch(ev.c, i, Arrive(ev.c, i,
-		func(j int) float64 { return ev.d[j] },
-		func(pidx int) float64 { return ev.edgeConst[pidx] },
-		sched.PhaseShift))
-}
-
-func hasSelfEdge(ev *Evaluator, i int) bool {
-	for _, e := range ev.inEdges[i] {
-		if ev.c.Paths()[e].From == i {
+	for a := ev.kn.Start[i]; a < ev.kn.Start[i+1]; a++ {
+		if int(ev.kn.Src[a]) == i {
 			return true
 		}
 	}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mintc/internal/core"
+	"mintc/internal/gen"
+)
+
+// TestKernelMatchesReferenceOnSuite compiles a kernel for every
+// benchmark-suite workload and checks, at the MLP-optimal schedule and
+// departures plus random departure vectors, that the kernel arrival
+// and departure operators agree bit-for-bit with the closure-based
+// reference recurrence.
+func TestKernelMatchesReferenceOnSuite(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, bm := range gen.Suite() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			c := bm.Circuit
+			r, err := core.MinTc(c, core.Options{})
+			if err != nil {
+				t.Skipf("MinTc: %v", err)
+			}
+			kn := core.CompileKernel(c, core.Options{})
+			shift := kn.ShiftTable(r.Schedule, nil)
+
+			check := func(d []float64) {
+				t.Helper()
+				for i := 0; i < c.L(); i++ {
+					ref := core.Arrive(c, i,
+						func(j int) float64 { return d[j] },
+						func(pidx int) float64 { return core.ArcWeight(c, core.Options{}, pidx) },
+						r.Schedule.PhaseShift)
+					got := kn.Arrive(i, d, shift)
+					if got != ref && !(math.IsInf(got, -1) && math.IsInf(ref, -1)) {
+						t.Fatalf("sync %d: kernel arrival %v != reference %v", i, got, ref)
+					}
+					refD := core.DepartLatch(c, i, ref)
+					if gotD := kn.Depart(i, d, shift); gotD != refD {
+						t.Fatalf("sync %d: kernel departure %v != reference %v", i, gotD, refD)
+					}
+				}
+			}
+			check(r.D) // at the optimum
+			d := make([]float64, c.L())
+			for trial := 0; trial < 8; trial++ {
+				for i := range d {
+					d[i] = rng.Float64() * 150
+				}
+				check(d)
+			}
+		})
+	}
+}

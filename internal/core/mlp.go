@@ -182,8 +182,16 @@ func maxUpdateIter(c *Circuit, opts Options) int {
 // pass (Jacobi/Gauss–Seidel) or every 1024 worklist steps
 // (event-driven); on cancellation the counts reached so far are
 // returned with the context's error.
+//
+// The propagation operator is evaluated through a compiled Kernel —
+// the circuit's fanin lists are flattened once and every update is a
+// plain indexed max-accumulate — rather than the closure-based
+// reference recurrence; kernel_test.go proves the two agree
+// bit-for-bit.
 func slideDepartures(ctx context.Context, c *Circuit, sched *Schedule, d []float64, opts Options) (iters, relaxations int, err error) {
 	limit := maxUpdateIter(c, opts)
+	kn := CompileKernel(c, opts)
+	shift := kn.ShiftTable(sched, nil)
 	switch opts.Update {
 	case GaussSeidel:
 		for m := 0; m < limit; m++ {
@@ -192,7 +200,7 @@ func slideDepartures(ctx context.Context, c *Circuit, sched *Schedule, d []float
 			}
 			changed := false
 			for i := range d {
-				nv := departureOf(c, sched, d, i, opts)
+				nv := kn.Depart(i, d, shift)
 				if math.Abs(nv-d[i]) > Eps {
 					d[i] = nv
 					changed = true
@@ -207,14 +215,14 @@ func slideDepartures(ctx context.Context, c *Circuit, sched *Schedule, d []float
 	case EventDriven:
 		// Worklist algorithm: recompute a synchronizer only when one
 		// of its fanin departures changed.
-		fanout := make([][]int, c.L())
+		fanout := make([][]int32, c.L())
 		for _, p := range c.Paths() {
-			fanout[p.From] = append(fanout[p.From], p.To)
+			fanout[p.From] = append(fanout[p.From], int32(p.To))
 		}
 		inList := make([]bool, c.L())
-		var queue []int
+		var queue []int32
 		for i := range d {
-			queue = append(queue, i)
+			queue = append(queue, int32(i))
 			inList[i] = true
 		}
 		steps := limit * (c.L() + 1)
@@ -230,7 +238,7 @@ func slideDepartures(ctx context.Context, c *Circuit, sched *Schedule, d []float
 			i := queue[0]
 			queue = queue[1:]
 			inList[i] = false
-			nv := departureOf(c, sched, d, i, opts)
+			nv := kn.Depart(int(i), d, shift)
 			if math.Abs(nv-d[i]) <= Eps {
 				continue
 			}
@@ -252,7 +260,7 @@ func slideDepartures(ctx context.Context, c *Circuit, sched *Schedule, d []float
 			}
 			changed := false
 			for i := range d {
-				next[i] = departureOf(c, sched, d, i, opts)
+				next[i] = kn.Depart(i, d, shift)
 				if math.Abs(next[i]-d[i]) > Eps {
 					changed = true
 					relaxations++

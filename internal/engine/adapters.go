@@ -124,7 +124,7 @@ func (simSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Res
 		err = rec.Phase(ctx, "montecarlo", func(ctx context.Context) error {
 			rng := rand.New(rand.NewSource(opts.Seed))
 			mc, serr := sim.RunMonteCarloCtx(ctx, c, sched,
-				sim.MCConfig{Cycles: opts.SimCycles, Trials: opts.Trials}, rng)
+				sim.MCConfig{Cycles: opts.SimCycles, Trials: opts.Trials, Workers: opts.Workers}, rng)
 			detail.MC = mc
 			return serr
 		})

@@ -49,6 +49,10 @@ type Options struct {
 	Trials int
 	// Seed seeds the Monte-Carlo RNG (only read when Trials > 0).
 	Seed int64
+	// Workers bounds the Monte-Carlo worker pool (0 = GOMAXPROCS, 1 =
+	// sequential). The result is identical for any value; only read by
+	// "sim" when Trials > 0.
+	Workers int
 	// Rec, when non-nil, receives the solve's counters and stage
 	// timings (use obs.Rec.SetSink for a live trace). When nil, Run
 	// creates a private recorder; either way Result.Stats is populated.

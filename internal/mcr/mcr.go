@@ -49,6 +49,24 @@ type builder struct {
 	// pathEdge[p] is the index of the constraint edge carrying path
 	// p's worst-case delay (for incremental delay updates).
 	pathEdge []int
+
+	// Worklist-probe scratch, allocated on first probe and reused
+	// across probes and across Solver solves on the same builder. The
+	// CSR out-adjacency stays valid under SetDelay (edge endpoints
+	// never change, only the affine constants).
+	outStart []int32 // CSR row index into outEdge, len n+1
+	outEdge  []int32 // edge indices grouped by source node
+	dist     []float64
+	pred     []int32 // predecessor edge index, or -1
+	inq      []bool
+	queue    []int32 // current-round worklist
+	queue2   []int32 // next-round worklist (swapped each round)
+	// distValid reports that dist holds finite potentials from a
+	// previous probe, usable as a warm start (any finite start is
+	// sound for feasibility: solutions of a difference-constraint
+	// system are shift-invariant, so one dominating the start exists
+	// whenever the system is feasible).
+	distValid bool
 }
 
 // edge encodes the difference constraint x[to] >= x[from] + a + b*Tc.
@@ -120,7 +138,7 @@ func newBuilder(c *core.Circuit, opts core.Options) *builder {
 		// (s >= e − Tc).
 		add(b.z, b.s[p], 0, 0)
 		add(b.s[p], b.z, 0, -1) // z >= s_p − Tc
-		add(b.s[p], b.e[p], maxf(0, opts.MinPhaseWidth), 0)
+		add(b.s[p], b.e[p], math.Max(0, opts.MinPhaseWidth), 0)
 		add(b.e[p], b.s[p], 0, -1)
 	}
 	// C2 ordering.
@@ -194,18 +212,262 @@ func sigma(o core.Options, p int) float64 {
 	return o.PhaseSkew[p]
 }
 
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
+// ensureScratch lazily builds the CSR out-adjacency and the reusable
+// probe buffers.
+func (b *builder) ensureScratch() {
+	if b.outStart != nil {
+		return
 	}
-	return b
+	n, m := b.n, len(b.edges)
+	b.outStart = make([]int32, n+1)
+	for _, e := range b.edges {
+		b.outStart[e.from+1]++
+	}
+	for i := 0; i < n; i++ {
+		b.outStart[i+1] += b.outStart[i]
+	}
+	b.outEdge = make([]int32, m)
+	fill := make([]int32, n)
+	copy(fill, b.outStart[:n])
+	for ei, e := range b.edges {
+		b.outEdge[fill[e.from]] = int32(ei)
+		fill[e.from]++
+	}
+	b.dist = make([]float64, n)
+	b.pred = make([]int32, n)
+	b.inq = make([]bool, n)
+	b.queue = make([]int32, 0, n)
+	b.queue2 = make([]int32, 0, n)
 }
 
-// probe runs Bellman–Ford longest paths from the origin with edge
-// weights a + b·tc. It returns the node potentials when feasible, or
-// the edges of a positive-weight cycle when not. The context is polled
-// once per relaxation pass (each pass is O(edges)).
-func (b *builder) probe(ctx context.Context, tc float64) (dist []float64, witness []edge, err error) {
+// probe decides feasibility of the difference-constraint system at
+// cycle time tc by worklist (SPFA-style) longest-path relaxation with
+// edge weights a + b·tc. It returns the node potentials when feasible,
+// or the edges of a positive-weight cycle when not. The returned dist
+// aliases builder scratch and is overwritten by the next probe.
+//
+// With warm == true the relaxation starts from the potentials left by
+// the previous probe instead of the -Inf origin point. That is sound
+// for the feasibility verdict and the witness cycle (see distValid),
+// and across Lawler jumps — where tc only increases, shrinking every
+// edge weight — most potentials are already consistent, so warm probes
+// touch a small fraction of the graph. The potentials of a warm
+// feasible probe are NOT the canonical least solution, so callers that
+// extract a schedule must finish with a cold probe.
+//
+// The context is polled every 1024 pops and during cycle extraction.
+// Edge relaxations are reported to the obs recorder carried by ctx
+// (ProbeRelaxations).
+func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []float64, witness []edge, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	b.ensureScratch()
+	n := b.n
+	for i := 0; i < n; i++ {
+		b.pred[i] = -1
+		b.inq[i] = false
+	}
+	if !warm || !b.distValid {
+		for i := range b.dist {
+			b.dist[i] = math.Inf(-1)
+		}
+		b.dist[b.z] = 0
+	}
+	b.distValid = true
+	var relaxations int64
+	rec := obs.From(ctx)
+	defer func() { rec.Add(obs.ProbeRelaxations, relaxations) }()
+
+	cur, next := b.queue[:0], b.queue2[:0]
+	defer func() { b.queue, b.queue2 = cur[:0], next[:0] }()
+	// Seed sweep (round 1): one dense pass in edge-insertion order. The
+	// builder emits edges roughly topologically (clock rows, then
+	// per-sync rows, then path rows in path order), so this pass alone
+	// nearly converges on feed-forward structures — the worklist then
+	// drains only the genuinely iterative residual (loops, warm-start
+	// slack).
+	for ei := range b.edges {
+		e := &b.edges[ei]
+		if math.IsInf(b.dist[e.from], -1) {
+			continue
+		}
+		if d := b.dist[e.from] + e.a + e.b*tc; d > b.dist[e.to]+eps {
+			b.dist[e.to] = d
+			b.pred[e.to] = int32(ei)
+			relaxations++
+			if !b.inq[e.to] {
+				b.inq[e.to] = true
+				cur = append(cur, int32(e.to))
+			}
+		}
+	}
+	// Round-synchronous drain: each swap of cur/next is one Bellman–Ford
+	// pass restricted to the nodes whose potential changed last round.
+	// Without a positive cycle every potential equals its best-walk value
+	// (≤ n−1 edges) within n rounds — the +1 absorbs the warm start,
+	// which acts as a virtual source edge into every node — so a worklist
+	// still active past round n+1 certifies a positive cycle.
+	//
+	// Detection policy: a cold probe waits for that saturation point
+	// (rather than tripping on the first short weak cycle), which leaves
+	// the predecessor graph dominated by the strongest growth paths, so
+	// bestWitness recovers a high-ratio cycle and the first Lawler jump
+	// lands as far as the dense probe's would. A warm probe instead
+	// scans the pred graph for an already-certified positive cycle from
+	// round 16 on (doubling the scan round each miss, so scans stay
+	// amortized): warm infeasible probes have a tiny active set, and
+	// making them wait n+1 rounds would cost more than the dense pass
+	// they replace. An early warm witness may be weaker — worst case one
+	// extra Lawler jump, paid for with another cheap warm probe.
+	checkRound := n + 1
+	if warm {
+		checkRound = 16
+	}
+	pops := 0
+	for rounds := 1; len(cur) > 0; rounds++ {
+		if rounds > checkRound {
+			cyc, cerr := b.bestWitness(ctx, tc)
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+			if cyc != nil {
+				return nil, cyc, nil
+			}
+			if rounds > n+1 {
+				// Saturated yet nothing certifies (eps-tolerance
+				// corner): defer to the dense reference probe.
+				return b.probeDense(ctx, tc)
+			}
+			if checkRound *= 2; checkRound > n+1 {
+				checkRound = n + 1
+			}
+		}
+		if len(cur)*4 >= n {
+			// Dense round: most of the graph is active, so one
+			// contiguous sweep of the edge array beats per-node CSR
+			// chasing and queue bookkeeping.
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			for _, u := range cur {
+				b.inq[u] = false
+			}
+			for ei := range b.edges {
+				e := &b.edges[ei]
+				if math.IsInf(b.dist[e.from], -1) {
+					continue
+				}
+				if d := b.dist[e.from] + e.a + e.b*tc; d > b.dist[e.to]+eps {
+					b.dist[e.to] = d
+					b.pred[e.to] = int32(ei)
+					relaxations++
+					if !b.inq[e.to] {
+						b.inq[e.to] = true
+						next = append(next, int32(e.to))
+					}
+				}
+			}
+		} else {
+			for _, u := range cur {
+				b.inq[u] = false
+				if pops++; pops&1023 == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, nil, err
+					}
+				}
+				du := b.dist[u]
+				for a := b.outStart[u]; a < b.outStart[u+1]; a++ {
+					ei := b.outEdge[a]
+					e := &b.edges[ei]
+					if d := du + e.a + e.b*tc; d > b.dist[e.to]+eps {
+						b.dist[e.to] = d
+						b.pred[e.to] = ei
+						relaxations++
+						if !b.inq[e.to] {
+							b.inq[e.to] = true
+							next = append(next, int32(e.to))
+						}
+					}
+				}
+			}
+		}
+		cur, next = next, cur[:0]
+	}
+	return b.dist, nil, nil
+}
+
+// bestWitness scans the whole predecessor graph for cycles and returns
+// the most binding one that certifies as strictly positive at tc: a
+// structural cycle (no Tc coefficient — infeasible at every cycle
+// time) if present, otherwise the maximum-ratio cycle. The worklist's
+// cnt-based detection fires on whichever node first accumulates n
+// relaxations — usually a short cycle, not the strongest — and a weak
+// witness would cost Lawler extra jumps; since each node has at most
+// one predecessor edge, the pred graph is functional and this full
+// scan is O(n). Returns nil when no cycle certifies (the caller falls
+// back to the dense probe).
+func (b *builder) bestWitness(ctx context.Context, tc float64) ([]edge, error) {
+	mark := make([]int32, b.n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var best []edge
+	bestScore := math.Inf(-1)
+	for s := 0; s < b.n; s++ {
+		if mark[s] != -1 {
+			continue
+		}
+		if s&255 == 255 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		// Follow pred until the walk dies, merges into an earlier walk,
+		// or closes on itself (a fresh cycle).
+		v := s
+		for v >= 0 && mark[v] == -1 {
+			mark[v] = int32(s)
+			if ei := b.pred[v]; ei < 0 {
+				v = -1
+			} else {
+				v = b.edges[ei].from
+			}
+		}
+		if v < 0 || mark[v] != int32(s) {
+			continue
+		}
+		var cyc []edge
+		var sumA, sumB float64
+		for cur := v; ; {
+			e := b.edges[b.pred[cur]]
+			cyc = append(cyc, e)
+			sumA += e.a
+			sumB += e.b
+			if cur = e.from; cur == v {
+				break
+			}
+		}
+		if sumA+sumB*tc <= eps {
+			continue // not certifiably positive at tc
+		}
+		score := math.Inf(1) // structural: binds at every cycle time
+		if sumB < -eps {
+			score = sumA / -sumB
+		}
+		if score > bestScore {
+			bestScore, best = score, cyc
+		}
+	}
+	return best, nil
+}
+
+// probeDense is the reference Bellman–Ford probe: n−1 full relaxation
+// passes from the origin. It is retained as the authority the worklist
+// probe falls back to when cycle certification fails, and as the
+// oracle for the worklist-vs-dense property tests. The context is
+// polled once per pass and during cycle extraction.
+func (b *builder) probeDense(ctx context.Context, tc float64) (dist []float64, witness []edge, err error) {
 	dist = make([]float64, b.n)
 	pred := make([]int, b.n) // index into b.edges, or -1
 	for i := range dist {
@@ -236,18 +498,31 @@ func (b *builder) probe(ctx context.Context, tc float64) (dist []float64, witnes
 			return dist, nil, nil
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	v := relax()
 	if v == -1 {
 		return dist, nil, nil
 	}
 	// Walk back n steps to land on the cycle, then extract it.
 	for i := 0; i < b.n; i++ {
+		if i&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		v = b.edges[pred[v]].from
 	}
 	seen := make(map[int]int)
 	var path []edge
 	cur := v
 	for {
+		if len(path)&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		if at, ok := seen[cur]; ok {
 			// path[at:] runs backwards along the cycle.
 			cyc := append([]edge(nil), path[at:]...)
@@ -326,11 +601,33 @@ func solveWith(ctx context.Context, b *builder, opts core.Options) (*Result, err
 		}
 		res.Probes++
 		rec.Add(obs.Probes, 1)
-		dist, witness, err := b.probe(ctx, tc)
+		// Warm-start every probe after the first: each Lawler jump only
+		// raises tc, which shrinks every edge weight, so the previous
+		// potentials already satisfy most constraints and the warm probe
+		// touches a small residual of the graph. The price is one cold
+		// extraction re-probe at the final (feasible) tc — roughly what
+		// a single cold probe would have cost anyway, amortized over
+		// every intermediate probe turned near-free.
+		warm := iter > 0
+		dist, witness, err := b.probe(ctx, tc, warm)
 		if err != nil {
 			return nil, err
 		}
 		if witness == nil {
+			if warm {
+				// Warm potentials certify feasibility but are not the
+				// canonical least solution; re-probe cold so the
+				// extracted schedule is the least one in the lattice.
+				res.Probes++
+				rec.Add(obs.Probes, 1)
+				dist, witness, err = b.probe(ctx, tc, false)
+				if err != nil {
+					return nil, err
+				}
+				if witness != nil {
+					return nil, fmt.Errorf("mcr: cold re-probe found a witness at feasible tc=%g", tc)
+				}
+			}
 			b.extract(res, tc, dist, lastWitness)
 			if opts.FixedTc > 0 && tc > opts.FixedTc+eps {
 				return nil, fmt.Errorf("mcr: requested Tc %g below minimum %g", opts.FixedTc, tc)
@@ -377,10 +674,13 @@ func SolveBinaryCtx(ctx context.Context, c *core.Circuit, opts core.Options, tol
 	rec := obs.From(ctx)
 	b := newBuilder(c, opts)
 	res := &Result{}
+	// Bisection moves tc in both directions, so every probe runs cold
+	// (warm starts are only sound as feasibility oracles; the endpoint
+	// probes below also feed extraction, which needs least potentials).
 	probe := func(tc float64) ([]float64, []edge, error) {
 		res.Probes++
 		rec.Add(obs.Probes, 1)
-		return b.probe(ctx, tc)
+		return b.probe(ctx, tc, false)
 	}
 	// Upper bound: any Tc beyond the sum of all positive constants is
 	// feasible unless the system is structurally infeasible.

@@ -44,6 +44,10 @@ const (
 	// Probes counts feasibility probes: Bellman–Ford runs (MCR),
 	// CheckTc evaluations (NRIP borrowing), bisection steps (Agrawal).
 	Probes
+	// ProbeRelaxations counts individual edge relaxations performed
+	// inside feasibility probes (the work metric of the MCR worklist
+	// probe; relaxations-per-probe measures warm-start effectiveness).
+	ProbeRelaxations
 	// Trials counts Monte-Carlo trials.
 	Trials
 	// SimCycles counts simulated clock cycles.
@@ -65,6 +69,8 @@ func (c Counter) String() string {
 		return "relaxations"
 	case Probes:
 		return "probes"
+	case ProbeRelaxations:
+		return "probe_relaxations"
 	case Trials:
 		return "trials"
 	case SimCycles:

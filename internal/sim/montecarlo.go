@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mintc/internal/core"
 	"mintc/internal/obs"
@@ -19,6 +22,13 @@ type MCConfig struct {
 	// WarmupCycles suppresses violation counting while the wavefront
 	// settles (default 2).
 	WarmupCycles int
+	// Workers bounds the goroutines running trials concurrently
+	// (default GOMAXPROCS, capped at Trials; 1 forces a sequential
+	// run). The result is bit-identical for every worker count: each
+	// trial owns a sub-RNG seeded up front from the caller's rng, and
+	// trial summaries merge through order-independent reductions
+	// (integer sums and a float min).
+	Workers int
 }
 
 // MCResult summarizes a Monte-Carlo run.
@@ -47,11 +57,18 @@ func RunMonteCarlo(c *core.Circuit, sched *core.Schedule, cfg MCConfig, rng *ran
 }
 
 // RunMonteCarloCtx is RunMonteCarlo with cancellation and
-// observability: the context is polled once per simulated cycle, and
-// trial/cycle counts are reported into any obs recorder carried by the
-// context. On cancellation the result accumulated so far is returned
-// alongside the context's error (MCResult.Trials reflects the trials
-// actually completed).
+// observability: every worker polls the context once per simulated
+// cycle, and trial/cycle counts are reported into any obs recorder
+// carried by the context. On cancellation the merged result of the
+// trials completed so far is returned alongside the context's error
+// (MCResult.Trials reflects the trials actually completed; trials
+// aborted mid-flight contribute nothing, keeping even partial results
+// well-defined).
+//
+// The caller's rng is only used up front, to draw one sub-seed per
+// trial; the trials themselves run on private PRNGs. A fixed seed
+// therefore reproduces the exact same statistics regardless of
+// Workers, GOMAXPROCS, or scheduling.
 func RunMonteCarloCtx(ctx context.Context, c *core.Circuit, sched *core.Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -71,79 +88,159 @@ func RunMonteCarloCtx(ctx context.Context, c *core.Circuit, sched *core.Schedule
 	if cfg.WarmupCycles <= 0 {
 		cfg.WarmupCycles = 2
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
 
+	// Trial-invariant setup, hoisted out of the trial loop: the
+	// compiled kernel (Base/Span give each arc's sampled weight as
+	// Base + u·Span with a single uniform draw), the phase evaluation
+	// order, and the per-synchronizer phase openings.
 	l := c.L()
-	paths := c.Paths()
+	kn := core.CompileKernel(c, core.Options{})
 	order := phaseOrder(c)
+	open0 := make([]float64, l)
+	for i := 0; i < l; i++ {
+		open0[i] = sched.S[c.Sync(i).Phase]
+	}
+
+	// One sub-seed per trial, drawn from the caller's rng in trial
+	// order — the only rng use, so results are scheduling-independent.
+	seeds := make([]int64, cfg.Trials)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
 	rec := obs.From(ctx)
+	partials := make([]MCResult, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		partials[w].WorstSlack = math.Inf(1)
+		wg.Add(1)
+		go func(out *MCResult) {
+			defer wg.Done()
+			prev := make([]float64, l)
+			cur := make([]float64, l)
+			for ctx.Err() == nil {
+				t := int(next.Add(1)) - 1
+				if t >= cfg.Trials {
+					return
+				}
+				trng := trialRNG(seeds[t])
+				mcTrial(ctx, c, kn, sched, cfg, order, open0, &trng, prev, cur, rec, out)
+			}
+		}(&partials[w])
+	}
+	wg.Wait()
+
 	res := &MCResult{WorstSlack: math.Inf(1)}
-
-	// Shared recurrence in absolute time (zero shift); the weight
-	// callback samples each path's delay uniformly per evaluation.
-	sampled := func(pidx int) float64 {
-		p := paths[pidx]
-		return c.Sync(p.From).DQ + p.MinDelay + rng.Float64()*(p.Delay-p.MinDelay)
-	}
-	noShift := func(pj, pi int) float64 { return 0 }
-
-	prev := make([]float64, l) // absolute departures, previous cycle
-	cur := make([]float64, l)
-	for trial := 0; trial < cfg.Trials; trial++ {
-		failed := false
-		for i := 0; i < l; i++ {
-			prev[i] = sched.S[c.Sync(i).Phase] - sched.Tc // cycle -1 cold start
+	for _, p := range partials {
+		res.Trials += p.Trials
+		res.FailingTrials += p.FailingTrials
+		res.TotalViolations += p.TotalViolations
+		if p.WorstSlack < res.WorstSlack {
+			res.WorstSlack = p.WorstSlack
 		}
-		for n := 0; n < cfg.Cycles; n++ {
-			if err := ctx.Err(); err != nil {
-				return res, err
-			}
-			rec.Add(obs.SimCycles, 1)
-			for _, i := range order {
-				open := sched.S[c.Sync(i).Phase] + float64(n)*sched.Tc
-				depOf := func(j int) float64 {
-					if c.Sync(j).Phase >= c.Sync(i).Phase {
-						return prev[j]
-					}
-					return cur[j]
+	}
+	return res, ctx.Err()
+}
+
+// mcTrial runs one randomized trial on the compiled kernel, merging
+// its summary into out only when the trial completes (a cancelled
+// trial leaves out untouched). The context is polled once per cycle.
+func mcTrial(ctx context.Context, c *core.Circuit, kn *core.Kernel, sched *core.Schedule, cfg MCConfig,
+	order []int, open0 []float64, trng *trialRNG, prev, cur []float64, rec *obs.Rec, out *MCResult) {
+	failed := false
+	worst := math.Inf(1)
+	viol := 0
+	for i := range prev {
+		prev[i] = open0[i] - sched.Tc // cycle -1 cold start
+	}
+	for n := 0; n < cfg.Cycles; n++ {
+		if ctx.Err() != nil {
+			return
+		}
+		rec.Add(obs.SimCycles, 1)
+		for _, i := range order {
+			open := open0[i] + float64(n)*sched.Tc
+			// Sampled arrival: like kn.Arrive, but each arc's weight is
+			// drawn as Base + u·Span (uniform in [DQ+MinDelay, DQ+Delay])
+			// and the source departure comes from this cycle or the
+			// previous one per the C matrix (absolute time, no shift).
+			arr := math.Inf(-1)
+			for a := kn.Start[i]; a < kn.Start[i+1]; a++ {
+				d := cur[kn.Src[a]]
+				if kn.PrevCycle[a] {
+					d = prev[kn.Src[a]]
 				}
-				arr := core.Arrive(c, i, depOf, sampled, noShift)
-				s := c.Sync(i)
-				switch s.Kind {
-				case core.Latch:
-					cur[i] = math.Max(open, arr)
-					if n >= cfg.WarmupCycles {
-						slack := open + sched.T[s.Phase] - s.Setup - cur[i]
-						if slack < res.WorstSlack {
-							res.WorstSlack = slack
-						}
-						if slack < -core.Eps {
-							res.TotalViolations++
-							failed = true
-						}
-					}
-				case core.FlipFlop:
-					cur[i] = open
-					if n >= cfg.WarmupCycles && !math.IsInf(arr, -1) {
-						slack := open - s.Setup - arr
-						if slack < res.WorstSlack {
-							res.WorstSlack = slack
-						}
-						if slack < -core.Eps {
-							res.TotalViolations++
-							failed = true
-						}
-					}
+				if v := d + kn.Base[a] + trng.float64()*kn.Span[a]; v > arr {
+					arr = v
 				}
 			}
-			prev, cur = cur, prev
+			s := c.Sync(i)
+			switch s.Kind {
+			case core.Latch:
+				cur[i] = math.Max(open, arr)
+				if n >= cfg.WarmupCycles {
+					slack := open + sched.T[s.Phase] - s.Setup - cur[i]
+					if slack < worst {
+						worst = slack
+					}
+					if slack < -core.Eps {
+						viol++
+						failed = true
+					}
+				}
+			case core.FlipFlop:
+				cur[i] = open
+				if n >= cfg.WarmupCycles && !math.IsInf(arr, -1) {
+					slack := open - s.Setup - arr
+					if slack < worst {
+						worst = slack
+					}
+					if slack < -core.Eps {
+						viol++
+						failed = true
+					}
+				}
+			}
 		}
-		if failed {
-			res.FailingTrials++
-		}
-		res.Trials++
-		rec.Add(obs.Trials, 1)
+		prev, cur = cur, prev
 	}
-	return res, nil
+	out.Trials++
+	out.TotalViolations += viol
+	if failed {
+		out.FailingTrials++
+	}
+	if worst < out.WorstSlack {
+		out.WorstSlack = worst
+	}
+	rec.Add(obs.Trials, 1)
+}
+
+// trialRNG is a splitmix64 PRNG used for the per-trial sub-streams.
+// Unlike rand.NewSource — which seeds a 607-word lagged-Fibonacci
+// state, a cost that would dominate small-circuit trials — seeding is
+// free (the seed IS the state), and every draw is a few arithmetic
+// ops with no interface dispatch.
+type trialRNG uint64
+
+func (r *trialRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 draws uniformly from [0, 1).
+func (r *trialRNG) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
 }
 
 // phaseOrder returns synchronizer indices sorted by phase so

@@ -128,12 +128,11 @@ func RunCtx(ctx context.Context, c *core.Circuit, sched *core.Schedule, cfg Conf
 	})
 
 	rec := obs.From(ctx)
-	// The simulator works in absolute time, so the shared recurrence is
-	// instantiated with a zero shift; the worst-case arc weight is the
+	// The simulator works in absolute time, so the compiled kernel is
+	// used without a shift table; the pre-folded arc weight W is the
 	// same ArcWeight the static analyses use (margins don't apply to a
 	// concrete simulation, hence the zero Options).
-	weight := func(pidx int) float64 { return core.ArcWeight(c, core.Options{}, pidx) }
-	noShift := func(pj, pi int) float64 { return 0 }
+	kn := core.CompileKernel(c, core.Options{})
 
 	for n := 0; n < cfg.Cycles; n++ {
 		// The trace grows one cycle at a time (rather than being sized
@@ -148,26 +147,28 @@ func RunCtx(ctx context.Context, c *core.Circuit, sched *core.Schedule, cfg Conf
 		for _, i := range order {
 			open := phaseStart(i, n)
 			// Arrival of this cycle's token: the latest contribution
-			// over fanin paths. The C matrix decides which upstream
-			// token feeds this one: same cycle when the source phase
-			// precedes the destination phase, previous cycle
-			// otherwise.
-			depOf := func(j int) float64 {
-				srcCycle := n
-				if c.Sync(j).Phase >= c.Sync(i).Phase {
-					srcCycle = n - 1
-				}
-				if srcCycle < 0 {
+			// over fanin arcs. The C matrix (kernel PrevCycle flag)
+			// decides which upstream token feeds this one: same cycle
+			// when the source phase precedes the destination phase,
+			// previous cycle otherwise.
+			arr := math.Inf(-1)
+			for a := kn.Start[i]; a < kn.Start[i+1]; a++ {
+				j := int(kn.Src[a])
+				var d float64
+				switch {
+				case !kn.PrevCycle[a]:
+					d = curDep[j]
+				case n > 0:
+					d = prevDep[j]
+				default:
 					// Cold start: pretend the pre-history token left
 					// at its phase opening with the initial local D.
-					return phaseStart(j, srcCycle) + cfg.InitialD[j]
+					d = phaseStart(j, -1) + cfg.InitialD[j]
 				}
-				if srcCycle == n {
-					return curDep[j]
+				if v := d + kn.W[a]; v > arr {
+					arr = v
 				}
-				return prevDep[j]
 			}
-			arr := core.Arrive(c, i, depOf, weight, noShift)
 			tr.Arrival[n][i] = localize(arr, open)
 
 			s := c.Sync(i)
