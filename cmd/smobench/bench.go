@@ -28,25 +28,32 @@ type benchRecord struct {
 	Stats           obs.Stats `json:"stats"`
 }
 
+// parseEngines resolves a comma-separated -engines flag value against
+// the engine registry, so typos fail before any directory is created or
+// benchmark solved. An empty value selects every registered engine.
+func parseEngines(engines string) ([]string, error) {
+	if engines == "" {
+		return engine.Names(), nil
+	}
+	var names []string
+	for _, n := range strings.Split(engines, ",") {
+		n = strings.TrimSpace(n)
+		if _, ok := engine.Get(n); !ok {
+			return nil, fmt.Errorf("unknown engine %q (available: %s)",
+				n, strings.Join(engine.Names(), ", "))
+		}
+		names = append(names, n)
+	}
+	return names, nil
+}
+
 // runBench solves every suite circuit with each requested engine and
 // writes one JSON record per run into dir. An engine failing on one
 // circuit is recorded in that circuit's JSON, not fatal to the sweep.
 // trials > 0 makes the "sim" engine follow its deterministic run with a
 // Monte-Carlo campaign of that many randomized trials, so the
 // "montecarlo" stage appears in the records.
-func runBench(dir, engines string, timeout time.Duration, trials int) ([]string, error) {
-	names := engine.Names()
-	if engines != "" {
-		names = nil
-		for _, n := range strings.Split(engines, ",") {
-			n = strings.TrimSpace(n)
-			if _, ok := engine.Get(n); !ok {
-				return nil, fmt.Errorf("unknown engine %q (available: %s)",
-					n, strings.Join(engine.Names(), ", "))
-			}
-			names = append(names, n)
-		}
-	}
+func runBench(dir string, names []string, timeout time.Duration, trials int) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}

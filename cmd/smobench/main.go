@@ -50,7 +50,14 @@ func main() {
 	)
 	switch {
 	case *bench != "":
-		files, berr := runBench(*bench, *engines, *timeout, *trials)
+		// Resolve -engines before any benchmarking work so a typo in
+		// the engine list fails fast instead of surfacing mid-sweep.
+		names, perr := parseEngines(*engines)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "smobench: %v\n", perr)
+			os.Exit(2)
+		}
+		files, berr := runBench(*bench, names, *timeout, *trials)
 		if berr != nil {
 			fmt.Fprintf(os.Stderr, "smobench: %v\n", berr)
 			os.Exit(1)

@@ -105,12 +105,21 @@ func TestSmobenchBenchJSON(t *testing.T) {
 
 func TestSmobenchBenchUnknownEngine(t *testing.T) {
 	bin := buildOnce(t)
-	out, err := exec.Command(bin, "-bench", t.TempDir(), "-engines", "nope").CombinedOutput()
+	dir := t.TempDir()
+	// A typo anywhere in the list must fail fast, before any record is
+	// benchmarked or written, and list what is actually available.
+	out, err := exec.Command(bin, "-bench", dir, "-engines", "mlp,nope").CombinedOutput()
 	if err == nil {
 		t.Fatalf("expected nonzero exit, got:\n%s", out)
 	}
 	if !strings.Contains(string(out), "unknown engine") {
 		t.Errorf("stderr missing engine diagnostic:\n%s", out)
+	}
+	if !strings.Contains(string(out), "available:") || !strings.Contains(string(out), "mcr") {
+		t.Errorf("stderr should list the registered engines:\n%s", out)
+	}
+	if entries, rerr := os.ReadDir(dir); rerr == nil && len(entries) != 0 {
+		t.Errorf("fail-fast validation still wrote %d record(s)", len(entries))
 	}
 }
 

@@ -254,11 +254,18 @@ func run(file string, cfg config) error {
 
 // runEngine solves the design problem through the unified engine layer
 // (any registered engine by name, with optional deadline and trace) and
-// prints the engine-specific report.
+// prints the engine-specific report. The circuit is frozen first and
+// the solve runs against the immutable snapshot through a zero-edit
+// overlay, so it cannot mutate the model that the diagram, loop and
+// simulation reporting read afterwards.
 func runEngine(c *mintc.Circuit, cfg config) (*mintc.EngineResult, error) {
 	name := cfg.engine
 	if name == "lp" { // historical alias for Algorithm MLP
 		name = "mlp"
+	}
+	cc, err := mintc.Freeze(c)
+	if err != nil {
+		return nil, err
 	}
 	ctx := context.Background()
 	if cfg.timeout > 0 {
@@ -277,7 +284,7 @@ func runEngine(c *mintc.Circuit, cfg config) (*mintc.EngineResult, error) {
 		rec.SetSink(mintc.NewTraceWriter(f))
 		eopts.Rec = rec
 	}
-	res, err := mintc.SolveEngine(ctx, name, c, eopts)
+	res, err := mintc.SolveEngineOverlay(ctx, name, cc.Overlay(), eopts)
 	if err != nil {
 		if res != nil && cfg.stats {
 			fmt.Printf("partial stats: %s\n", res.Stats)

@@ -36,15 +36,16 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed (random)")
 		d41    = flag.Float64("d41", 80, "Ld delay (example1)")
 		depth  = flag.Int("depth", 4, "gate depth per stage (glring)")
+		verify = flag.Bool("verify", false, "freeze and solve the generated model before emitting it")
 	)
 	flag.Parse()
-	if err := generate(os.Stdout, *kind, *n, *phases, *d, *setup, *dq, *seed, *d41, *depth); err != nil {
+	if err := generate(os.Stdout, *kind, *n, *phases, *d, *setup, *dq, *seed, *d41, *depth, *verify); err != nil {
 		fmt.Fprintf(os.Stderr, "smogen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func generate(w *os.File, kind string, n, phases int, d, setup, dq float64, seed int64, d41 float64, depth int) error {
+func generate(w *os.File, kind string, n, phases int, d, setup, dq float64, seed int64, d41 float64, depth int, verify bool) error {
 	var c *mintc.Circuit
 	switch kind {
 	case "ring":
@@ -66,6 +67,9 @@ func generate(w *os.File, kind string, n, phases int, d, setup, dq float64, seed
 	case "gaas":
 		c = circuits.GaAsMIPS()
 	case "glring":
+		if verify {
+			return fmt.Errorf("-verify applies to timing models, not gate-level output")
+		}
 		nl, err := gen.GateLevelRing(n, depth, setup, dq, 0.3, 0.1, 0.02)
 		if err != nil {
 			return err
@@ -73,6 +77,19 @@ func generate(w *os.File, kind string, n, phases int, d, setup, dq float64, seed
 		return netex.WriteNetlist(w, nl)
 	default:
 		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if verify {
+		// Freeze (validates the model once) and solve the snapshot, so a
+		// generator bug surfaces here instead of inside a downstream tool.
+		cc, err := mintc.Freeze(c)
+		if err != nil {
+			return fmt.Errorf("verify: %v", err)
+		}
+		r, err := mintc.MinTcOverlay(cc.Overlay(), mintc.Options{})
+		if err != nil {
+			return fmt.Errorf("verify: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "verified: model freezes and solves, optimal Tc = %.6g\n", r.Schedule.Tc)
 	}
 	return parse.WriteCircuit(w, c)
 }

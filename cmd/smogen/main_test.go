@@ -33,6 +33,7 @@ func TestGenerateKinds(t *testing.T) {
 		{[]string{"-kind", "fig1"}, "clock 4"},
 		{[]string{"-kind", "gaas"}, "RFprech"},
 		{[]string{"-kind", "glring", "-n", "4", "-depth", "2"}, "netlist glring-4x2"},
+		{[]string{"-kind", "ring", "-n", "4", "-verify"}, "verified: model freezes and solves"},
 	}
 	for _, tc := range cases {
 		out, err := exec.Command(bin, tc.args...).CombinedOutput()
@@ -72,6 +73,7 @@ func TestGenerateErrors(t *testing.T) {
 		{"-kind", "bogus"},
 		{"-kind", "ring", "-n", "5", "-phases", "2"}, // not a multiple
 		{"-kind", "glring", "-n", "3"},
+		{"-kind", "glring", "-n", "4", "-verify"},
 	} {
 		if err := exec.Command(bin, args...).Run(); err == nil {
 			t.Errorf("args %v: expected failure", args)

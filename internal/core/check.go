@@ -54,6 +54,23 @@ func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	return checkTc(c, nil, sched, opts)
+}
+
+// CheckTcOverlay is CheckTc against a frozen snapshot seen through a
+// delay overlay: the verification runs on the overlay's effective
+// delays without materializing a circuit, reusing the snapshot's
+// cached kernel when the overlay is empty. The snapshot was validated
+// at Freeze, so no re-validation happens per call; the overlay itself
+// validates edits at With time.
+func CheckTcOverlay(ov DelayOverlay, sched *Schedule, opts Options) (*Analysis, error) {
+	if !ov.Valid() {
+		return nil, fmt.Errorf("core: CheckTcOverlay on a zero DelayOverlay (start from Compiled.Overlay)")
+	}
+	return checkTc(ov.base.c, &ov, sched, opts)
+}
+
+func checkTc(c *Circuit, ov *DelayOverlay, sched *Schedule, opts Options) (*Analysis, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,7 +99,7 @@ func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
 	// the kernel pre-folds the same ArcWeight shared with BuildLP and
 	// the MLP slide — so analysis and design agree exactly under
 	// Options.Skew/PhaseSkew.
-	kn := CompileKernel(c, opts)
+	kn := kernelFor(c, ov, opts)
 	shift := kn.ShiftTable(sched, nil)
 	for i := 0; i < l; i++ {
 		if kn.FF[i] {
@@ -149,7 +166,7 @@ func CheckTc(c *Circuit, sched *Schedule, opts Options) (*Analysis, error) {
 	}
 
 	// Hold checks (extension; enabled per synchronizer by Hold > 0).
-	an.HoldSlack = holdSlacks(c, sched, opts)
+	an.HoldSlack = holdSlacks(c, ov, sched, opts)
 	for i, hs := range an.HoldSlack {
 		if !math.IsNaN(hs) && hs < -Eps {
 			an.Feasible = false
@@ -177,7 +194,7 @@ func loopNames(c *Circuit, loop []int) []string {
 // edge is T_{p_i}; for a flip-flop the capture happens at the phase
 // start (0 in local time). Entries are NaN for synchronizers with
 // Hold == 0 (check disabled) or no fanin.
-func holdSlacks(c *Circuit, sched *Schedule, opts Options) []float64 {
+func holdSlacks(c *Circuit, ov *DelayOverlay, sched *Schedule, opts Options) []float64 {
 	l := c.L()
 	out := make([]float64, l)
 	any := false
@@ -190,12 +207,12 @@ func holdSlacks(c *Circuit, sched *Schedule, opts Options) []float64 {
 	if !any {
 		return out
 	}
-	de := earliestDepartures(c, sched)
+	de := earliestDepartures(c, ov, sched)
 	for i, s := range c.Syncs() {
 		if s.Hold == 0 || len(c.Fanin(i)) == 0 {
 			continue
 		}
-		ae := earliestArrivalOf(c, sched, de, i)
+		ae := earliestArrivalOf(c, ov, sched, de, i)
 		closing := 0.0
 		if s.Kind == Latch {
 			closing = sched.T[s.Phase]
@@ -208,7 +225,7 @@ func holdSlacks(c *Circuit, sched *Schedule, opts Options) []float64 {
 // earliestDepartures computes the least fixpoint of the best-case
 // departure recursion d_i = max(0, min_j (d_j + ΔDQ_j + Δmin_ji + S)),
 // with flip-flops pinned at 0, by monotone iteration from below.
-func earliestDepartures(c *Circuit, sched *Schedule) []float64 {
+func earliestDepartures(c *Circuit, ov *DelayOverlay, sched *Schedule) []float64 {
 	l := c.L()
 	d := make([]float64, l)
 	limit := 2*l + 8
@@ -219,7 +236,7 @@ func earliestDepartures(c *Circuit, sched *Schedule) []float64 {
 			if c.Sync(i).Kind == FlipFlop || len(c.Fanin(i)) == 0 {
 				nv = 0
 			} else {
-				nv = earliestArrivalOf(c, sched, d, i)
+				nv = earliestArrivalOf(c, ov, sched, d, i)
 				if nv < 0 {
 					nv = 0
 				}
@@ -236,14 +253,16 @@ func earliestDepartures(c *Circuit, sched *Schedule) []float64 {
 	return d
 }
 
-// earliestArrivalOf is min over fanin of (d_j + ΔDQ_j + Δmin_ji + S).
-func earliestArrivalOf(c *Circuit, sched *Schedule, d []float64, i int) float64 {
+// earliestArrivalOf is min over fanin of (d_j + ΔDQ_j + Δmin_ji + S),
+// with Δmin read through the optional overlay.
+func earliestArrivalOf(c *Circuit, ov *DelayOverlay, sched *Schedule, d []float64, i int) float64 {
 	a := math.Inf(1)
 	pi := c.Sync(i).Phase
 	for _, pidx := range c.Fanin(i) {
 		p := c.Paths()[pidx]
 		j := p.From
-		v := d[j] + c.Sync(j).DQ + p.MinDelay + sched.PhaseShift(c.Sync(j).Phase, pi)
+		_, minDelay := delayOf(c, ov, pidx)
+		v := d[j] + c.Sync(j).DQ + minDelay + sched.PhaseShift(c.Sync(j).Phase, pi)
 		if v < a {
 			a = v
 		}

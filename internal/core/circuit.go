@@ -176,8 +176,11 @@ func (c *Circuit) AddPathFull(p Path) int {
 }
 
 // Clone returns a deep copy of the circuit. Circuits are mutable
-// (SetPathDelay) and not safe for concurrent mutation, so concurrent
-// sweeps give each goroutine its own clone.
+// builders (SetPathDelay) and not safe for concurrent mutation; Clone
+// is for forking a builder mid-construction. For concurrent analysis,
+// do not clone per goroutine — Freeze the circuit once and share the
+// immutable *Compiled snapshot, layering what-if edits as DelayOverlay
+// values (see Freeze and DESIGN.md §9).
 func (c *Circuit) Clone() *Circuit {
 	out := NewCircuit(c.K())
 	for p := 0; p < c.K(); p++ {

@@ -213,6 +213,14 @@ func (o Options) validatePhaseSkew(c *Circuit) error {
 //
 // The returned RowInfo slice parallels the LP's constraint rows.
 func BuildLP(c *Circuit, opts Options) (*lp.Problem, *VarMap, []RowInfo) {
+	return buildLPOv(c, nil, opts)
+}
+
+// buildLPOv is BuildLP with path delays read through an optional
+// overlay (nil = the circuit's own delays). The generated rows are
+// bit-identical to BuildLP on a circuit carrying the overlay's
+// effective delays.
+func buildLPOv(c *Circuit, ov *DelayOverlay, opts Options) (*lp.Problem, *VarMap, []RowInfo) {
 	k := c.K()
 	l := c.L()
 	p := &lp.Problem{}
@@ -312,7 +320,7 @@ func BuildLP(c *Circuit, opts Options) (*lp.Problem, *VarMap, []RowInfo) {
 					{Var: vm.S[pj], Coef: -1},
 					{Var: vm.S[piph], Coef: 1},
 					{Var: vm.Tc, Coef: cji},
-				}, lp.GE, ArcWeight(c, opts, pi))
+				}, lp.GE, arcWeightOv(c, ov, opts, pi))
 		case FlipFlop:
 			addRow(RowInfo{Kind: RowFFSetup, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("FFsu.%s->%s", c.SyncName(j), c.SyncName(i))},
 				[]lp.Term{
@@ -320,7 +328,7 @@ func BuildLP(c *Circuit, opts Options) (*lp.Problem, *VarMap, []RowInfo) {
 					{Var: vm.S[pj], Coef: 1},
 					{Var: vm.S[piph], Coef: -1},
 					{Var: vm.Tc, Coef: -cji},
-				}, lp.LE, -(c.Sync(i).Setup + ArcWeight(c, opts, pi)))
+				}, lp.LE, -(c.Sync(i).Setup + arcWeightOv(c, ov, opts, pi)))
 		}
 	}
 
@@ -349,7 +357,8 @@ func BuildLP(c *Circuit, opts Options) (*lp.Problem, *VarMap, []RowInfo) {
 			if c.Sync(i).Kind == Latch {
 				terms = append(terms, lp.Term{Var: vm.T[piph], Coef: -1})
 			}
-			rhs := hold - c.Sync(j).DQ - path.MinDelay + opts.Skew + opts.sigma(pj) + opts.sigma(piph)
+			_, minDelay := delayOf(c, ov, pi)
+			rhs := hold - c.Sync(j).DQ - minDelay + opts.Skew + opts.sigma(pj) + opts.sigma(piph)
 			addRow(RowInfo{Kind: RowHold, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("hold.%s->%s", c.SyncName(j), c.SyncName(i))},
 				terms, lp.GE, rhs)
 		}

@@ -2,17 +2,17 @@ package core
 
 import "fmt"
 
-// Reoptimize returns the optimal cycle time after changing one path's
-// worst-case delay, reusing the solved LP when possible: if the new
-// delay keeps the constraint's RHS inside the final basis's validity
-// interval (Solution.RHSRange), the new optimum follows from the dual
-// without another simplex run — the incremental analysis pattern of
-// interactive timing tools. Otherwise it falls back to a full MinTc.
-//
-// The circuit is left set to newDelay in either case (mirroring what a
-// design iteration does); resolved reports whether a full solve was
-// needed.
-func (r *Result) Reoptimize(pathIndex int, newDelay float64) (tc float64, resolved bool, err error) {
+// TryReoptimizeDual computes the optimal cycle time after changing one
+// path's worst-case delay purely from the solved LP's dual
+// information, without mutating the circuit, the result, or anything
+// else: if the new delay keeps the constraint's RHS inside the final
+// basis's validity interval (Solution.RHSRange), the new optimum
+// follows from the dual at zero solve cost and ok is true. When the
+// basis would change, ok is false and the caller must run a full
+// solve. Because it is pure, it is safe against results backed by a
+// frozen snapshot (MinTcOverlay) and from concurrent goroutines — the
+// analysis session's Reoptimize is built on it.
+func (r *Result) TryReoptimizeDual(pathIndex int, newDelay float64) (tc float64, ok bool, err error) {
 	c := r.Circuit
 	if pathIndex < 0 || pathIndex >= len(c.Paths()) {
 		return 0, false, fmt.Errorf("core: path index %d out of range", pathIndex)
@@ -25,17 +25,54 @@ func (r *Result) Reoptimize(pathIndex int, newDelay float64) (tc float64, resolv
 		return 0, false, err
 	}
 	oldDelay := c.Paths()[pathIndex].Delay
-	c.SetPathDelay(pathIndex, newDelay)
-
+	if r.Overlay.Valid() {
+		oldDelay = r.Overlay.Delay(pathIndex)
+	}
 	rhsOld := r.LP.Constraint(row).RHS
 	rhsNew := rhsOld + sign*(newDelay-oldDelay)
 	rng := r.LPSol.RHSRange[row]
-	if rhsNew >= rng[0]-1e-12 && rhsNew <= rng[1]+1e-12 {
-		// Same optimal basis: the objective moves at the dual rate.
-		return r.Schedule.Tc + r.LPSol.Dual[row]*(rhsNew-rhsOld), false, nil
+	if rhsNew < rng[0]-1e-12 || rhsNew > rng[1]+1e-12 {
+		return 0, false, nil
+	}
+	// Same optimal basis: the objective moves at the dual rate.
+	return r.Schedule.Tc + r.LPSol.Dual[row]*(rhsNew-rhsOld), true, nil
+}
+
+// Reoptimize returns the optimal cycle time after changing one path's
+// worst-case delay, reusing the solved LP when possible (see
+// TryReoptimizeDual) and falling back to a full MinTc when the optimal
+// basis changes — the incremental analysis pattern of interactive
+// timing tools.
+//
+// On success the circuit is left set to newDelay (mirroring what a
+// design iteration does); if the fallback solve fails, the circuit is
+// restored to its pre-call delays so an error never leaves it silently
+// mutated. resolved reports whether a full solve was needed.
+//
+// Results backed by a frozen snapshot (MinTcOverlay) reject Reoptimize
+// — their circuit is immutable; layer the edit with
+// DelayOverlay.With and re-solve, or use a session, instead.
+func (r *Result) Reoptimize(pathIndex int, newDelay float64) (tc float64, resolved bool, err error) {
+	if r.Overlay.Valid() {
+		return 0, false, fmt.Errorf("core: Reoptimize on a snapshot-backed result would mutate the frozen circuit; use DelayOverlay.With + MinTcOverlay (or Session.Reoptimize)")
+	}
+	tc, ok, err := r.TryReoptimizeDual(pathIndex, newDelay)
+	if err != nil {
+		return 0, false, err
+	}
+	c := r.Circuit
+	oldDelay := c.paths[pathIndex].Delay
+	oldMin := c.paths[pathIndex].MinDelay
+	c.SetPathDelay(pathIndex, newDelay)
+	if ok {
+		return tc, false, nil
 	}
 	full, err := MinTc(c, r.Options)
 	if err != nil {
+		// Restore both fields: SetPathDelay clamps MinDelay down to the
+		// new delay, so undoing it must undo the clamp too.
+		c.paths[pathIndex].Delay = oldDelay
+		c.paths[pathIndex].MinDelay = oldMin
 		return 0, true, err
 	}
 	return full.Schedule.Tc, true, nil

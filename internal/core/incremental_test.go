@@ -56,6 +56,67 @@ func TestReoptimizeLeavesNewDelay(t *testing.T) {
 	}
 }
 
+func TestReoptimizeRestoresDelayOnFallbackError(t *testing.T) {
+	// Pin the cycle time at the optimum for Δ41=50, then push Δ41 far
+	// past the basis's validity range: the dual shortcut is
+	// unavailable, and the fallback full solve is infeasible at the
+	// pinned Tc. The failed Reoptimize must leave the circuit exactly
+	// as it found it — both Delay and the (potentially clamped)
+	// MinDelay.
+	c := example1(50)
+	c.paths[3].MinDelay = 30 // distinct best-case so clamp restoration is observable
+	opts := Options{FixedTc: example1OptTc(50)}
+	r, err := MinTc(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, resolved, err := r.Reoptimize(3, 1e4)
+	if err == nil {
+		t.Fatal("expected the fallback solve to fail at the pinned Tc")
+	}
+	if !resolved {
+		t.Fatalf("expected a full-resolve attempt, got a dual answer (err=%v)", err)
+	}
+	if got := c.Paths()[3].Delay; got != 50 {
+		t.Errorf("after failed Reoptimize, Delay = %g, want the original 50", got)
+	}
+	if got := c.Paths()[3].MinDelay; got != 30 {
+		t.Errorf("after failed Reoptimize, MinDelay = %g, want the original 30", got)
+	}
+	// The result must stay usable: the same edit within a feasible
+	// range still answers.
+	if _, _, err := r.Reoptimize(3, 55); err == nil {
+		// Δ41=55 needs Tc 97.5 > pinned 95: also infeasible; assert
+		// restoration again rather than success.
+		t.Fatal("Δ41=55 should exceed the pinned Tc")
+	}
+	if got := c.Paths()[3].Delay; got != 50 {
+		t.Errorf("after second failed Reoptimize, Delay = %g, want 50", got)
+	}
+}
+
+func TestReoptimizeRejectsSnapshotResult(t *testing.T) {
+	cc := example1(50).MustFreeze()
+	r, err := MinTcOverlay(cc.Overlay(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Reoptimize(3, 60); err == nil {
+		t.Error("Reoptimize on a snapshot-backed result must refuse to mutate the frozen circuit")
+	}
+	// The pure dual query is allowed and must agree with a fresh solve.
+	tc, ok, err := r.TryReoptimizeDual(3, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		want := example1OptTc(55)
+		if math.Abs(tc-want) > 1e-6 {
+			t.Errorf("dual Tc = %g, want %g", tc, want)
+		}
+	}
+}
+
 func TestReoptimizeValidation(t *testing.T) {
 	c := example1(50)
 	r, err := MinTc(c, Options{})

@@ -66,6 +66,11 @@ type Kernel struct {
 	// arcOf[p] is the arc index of circuit path p (arcs are a
 	// permutation of paths: every path becomes exactly one arc).
 	arcOf []int32
+	// frozen marks a kernel shared through a Compiled snapshot: the
+	// mutating methods (SetDelay, Refold) panic so no caller can
+	// corrupt concurrent readers. Derive a private kernel through a
+	// DelayOverlay instead.
+	frozen bool
 }
 
 // CompileKernel flattens the circuit under the given margin options.
@@ -144,10 +149,42 @@ func (kn *Kernel) ShiftTable(sched *Schedule, buf []float64) []float64 {
 	return buf
 }
 
+// withOverlay derives a private kernel reflecting an overlay's edits:
+// the immutable structure arrays stay shared with the receiver, the
+// weight arrays are copied and the edited arcs re-folded exactly as
+// SetPathDelay-then-Refold would compute them (W from the new delay,
+// Base/Span from the clamped MinDelay).
+func (kn *Kernel) withOverlay(ov DelayOverlay) *Kernel {
+	out := *kn // shares Start/Src/PP/Path/PrevCycle/FF/arcOf
+	out.frozen = false
+	n := len(kn.W)
+	floats := make([]float64, 3*n)
+	out.W = floats[:n:n]
+	out.Base = floats[n : 2*n : 2*n]
+	out.Span = floats[2*n:]
+	copy(out.W, kn.W)
+	copy(out.Base, kn.Base)
+	copy(out.Span, kn.Span)
+	for pidx, e := range ov.edits {
+		a := kn.arcOf[pidx]
+		p := kn.c.Paths()[pidx]
+		pj, pi := kn.c.Sync(p.From).Phase, kn.c.Sync(p.To).Phase
+		w := kn.c.Sync(p.From).DQ + e.delay + kn.opts.Skew + kn.opts.sigma(pj) + kn.opts.sigma(pi)
+		out.W[a] = w
+		out.Base[a] = w - e.delay + e.minDelay
+		out.Span[a] = e.delay - e.minDelay
+	}
+	return &out
+}
+
 // Refold re-reads every path's current delays from the circuit,
 // repairing the kernel after Circuit.SetPathDelay calls. Structure and
-// margins must be unchanged.
+// margins must be unchanged. Panics on a frozen (snapshot-shared)
+// kernel.
 func (kn *Kernel) Refold() {
+	if kn.frozen {
+		panic("core: Refold on a frozen kernel (shared via Compiled); derive one with DelayOverlay.Kernel")
+	}
 	for a := range kn.W {
 		pidx := int(kn.Path[a])
 		p := kn.c.Paths()[pidx]
@@ -160,8 +197,12 @@ func (kn *Kernel) Refold() {
 // SetDelay folds a new worst-case delay for circuit path pidx into the
 // kernel without touching the circuit (the incremental-analysis use:
 // Evaluator.SetDelay). Base/Span keep the construction-time best-case
-// delay, clamped so Span stays nonnegative.
+// delay, clamped so Span stays nonnegative. Panics on a frozen
+// (snapshot-shared) kernel.
 func (kn *Kernel) SetDelay(pidx int, delay float64) {
+	if kn.frozen {
+		panic("core: SetDelay on a frozen kernel (shared via Compiled); derive one with DelayOverlay.Kernel")
+	}
 	a := kn.arcOf[pidx]
 	old := kn.c.Paths()[pidx]
 	pj := kn.c.Sync(old.From).Phase

@@ -185,11 +185,13 @@ func BenchmarkSlideDepartures(b *testing.B) {
 			}
 			d := make([]float64, len(d0))
 			ctx := context.Background()
+			kn := CompileKernel(c, opts)
+			shift := kn.ShiftTable(r.Schedule, nil)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(d, d0)
-				if _, _, err := slideDepartures(ctx, c, r.Schedule, d, opts); err != nil {
+				if _, _, err := slideDepartures(ctx, c, kn, shift, d, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -132,7 +132,9 @@ func MinTcLex(c *Circuit, opts Options, sec Secondary) (*Result, error) {
 	for i := range d {
 		d[i] = sol.X[vm.D[i]]
 	}
-	iters, relax, err := slideDepartures(context.Background(), c, sched, d, opts)
+	kn := CompileKernel(c, opts)
+	shift := kn.ShiftTable(sched, nil)
+	iters, relax, err := slideDepartures(context.Background(), c, kn, shift, d, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -95,7 +95,9 @@ func MaxMarginSchedule(c *Circuit, opts Options, tc float64) (*MarginResult, err
 	}
 	// Slide to exact propagation times; margins only improve (moving
 	// departures earlier loosens setup).
-	if _, _, err := slideDepartures(context.Background(), c, sched, d, opts); err != nil {
+	kn := CompileKernel(c, opts)
+	shift := kn.ShiftTable(sched, nil)
+	if _, _, err := slideDepartures(context.Background(), c, kn, shift, d, opts); err != nil {
 		return nil, err
 	}
 	return &MarginResult{Margin: sol.X[m], Schedule: sched, D: d}, nil

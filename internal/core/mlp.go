@@ -43,6 +43,11 @@ type Result struct {
 	Vars    *VarMap
 	Circuit *Circuit
 	Options Options
+	// Overlay records the delay overlay the solve ran against (the
+	// zero overlay for plain MinTc). When valid, Circuit is the
+	// overlay's shared snapshot view and must not be mutated;
+	// Reoptimize then works purely on overlays.
+	Overlay DelayOverlay
 }
 
 // Errors returned by MinTc.
@@ -77,6 +82,34 @@ func MinTcCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	return minTcCtx(ctx, c, nil, opts)
+}
+
+// MinTcOverlay solves the design problem against a frozen snapshot
+// with the overlay's delay edits applied — the concurrent form of
+// MinTc: the snapshot is never touched, so any number of goroutines
+// may solve divergent overlays over one Compiled simultaneously. The
+// result is bit-identical to MinTc on a circuit carrying the
+// overlay's effective delays.
+func MinTcOverlay(ov DelayOverlay, opts Options) (*Result, error) {
+	return MinTcOverlayCtx(context.Background(), ov, opts)
+}
+
+// MinTcOverlayCtx is MinTcOverlay with cancellation and observability
+// (see MinTcCtx). Circuit validation happened once at Freeze; only the
+// options are validated here.
+func MinTcOverlayCtx(ctx context.Context, ov DelayOverlay, opts Options) (*Result, error) {
+	if !ov.Valid() {
+		return nil, fmt.Errorf("core: MinTcOverlay on a zero DelayOverlay (start from Circuit.Freeze)")
+	}
+	return minTcCtx(ctx, ov.base.c, &ov, opts)
+}
+
+// minTcCtx is the shared Algorithm MLP implementation: delays are read
+// through the optional overlay (nil = the circuit's own paths). The
+// circuit is assumed valid (MinTcCtx validates builder circuits;
+// Freeze validated snapshots).
+func minTcCtx(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,7 +129,7 @@ func MinTcCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		sol  *lp.Solution
 	)
 	err := rec.Phase(ctx, "lp", func(ctx context.Context) error {
-		prob, vm, rows = BuildLP(c, opts)
+		prob, vm, rows = buildLPOv(c, ov, opts)
 		rec.Add(obs.LPRows, int64(prob.NumConstraints()))
 		var serr error
 		sol, serr = lp.SolveCtx(ctx, prob)
@@ -142,13 +175,21 @@ func MinTcCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 		Circuit:        c,
 		Options:        opts,
 	}
+	if ov != nil {
+		res.Overlay = *ov
+	}
 
 	// Steps 3–5: iterate the propagation operator with the clock held
-	// fixed until the L2 equalities hold.
+	// fixed until the L2 equalities hold. The operator is evaluated
+	// through a compiled kernel — a fresh compile for builder circuits,
+	// the snapshot's cached kernel (plus the overlay's edits) for
+	// frozen ones.
+	kn := kernelFor(c, ov, opts)
+	shift := kn.ShiftTable(sched, nil)
 	var iters, relax int
 	err = rec.Phase(ctx, "slide", func(ctx context.Context) error {
 		var serr error
-		iters, relax, serr = slideDepartures(ctx, c, sched, d, opts)
+		iters, relax, serr = slideDepartures(ctx, c, kn, shift, d, opts)
 		rec.Add(obs.SlideIterations, int64(iters))
 		rec.Add(obs.Relaxations, int64(relax))
 		return serr
@@ -159,10 +200,20 @@ func MinTcCtx(ctx context.Context, c *Circuit, opts Options) (*Result, error) {
 	res.UpdateIterations = iters
 	res.Relaxations = relax
 	res.D = d
-	res.A = Arrivals(c, sched, d, opts)
+	res.A = make([]float64, c.L())
+	kn.ArriveAll(d, shift, res.A)
 	res.Q = Outputs(c, d)
 	res.Stats = rec.Snapshot()
 	return res, nil
+}
+
+// kernelFor compiles (or, for frozen snapshots, fetches and derives)
+// the propagation kernel for a solve.
+func kernelFor(c *Circuit, ov *DelayOverlay, opts Options) *Kernel {
+	if ov != nil {
+		return ov.Kernel(opts)
+	}
+	return CompileKernel(c, opts)
 }
 
 // maxUpdateIter returns the iteration cap for the departure update.
@@ -187,11 +238,10 @@ func maxUpdateIter(c *Circuit, opts Options) int {
 // the circuit's fanin lists are flattened once and every update is a
 // plain indexed max-accumulate — rather than the closure-based
 // reference recurrence; kernel_test.go proves the two agree
-// bit-for-bit.
-func slideDepartures(ctx context.Context, c *Circuit, sched *Schedule, d []float64, opts Options) (iters, relaxations int, err error) {
+// bit-for-bit. The caller supplies the kernel and its schedule shift
+// table so overlay solves reuse the snapshot's cached compile.
+func slideDepartures(ctx context.Context, c *Circuit, kn *Kernel, shift, d []float64, opts Options) (iters, relaxations int, err error) {
 	limit := maxUpdateIter(c, opts)
-	kn := CompileKernel(c, opts)
-	shift := kn.ShiftTable(sched, nil)
 	switch opts.Update {
 	case GaussSeidel:
 		for m := 0; m < limit; m++ {

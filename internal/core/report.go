@@ -63,7 +63,7 @@ func StabilityWindows(c *Circuit, sched *Schedule) ([]StabilityWindow, error) {
 	if an.D == nil {
 		return nil, fmt.Errorf("core: no periodic steady state at this schedule")
 	}
-	de := earliestDepartures(c, sched)
+	de := earliestDepartures(c, nil, sched)
 	out := make([]StabilityWindow, c.L())
 	for i := range out {
 		if len(c.Fanin(i)) == 0 {
@@ -72,7 +72,7 @@ func StabilityWindows(c *Circuit, sched *Schedule) ([]StabilityWindow, error) {
 		}
 		out[i] = StabilityWindow{
 			Valid:  an.A[i],
-			Expire: earliestArrivalOf(c, sched, de, i) + sched.Tc,
+			Expire: earliestArrivalOf(c, nil, sched, de, i) + sched.Tc,
 		}
 	}
 	return out, nil

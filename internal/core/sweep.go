@@ -7,10 +7,11 @@ import (
 )
 
 // SweepDelays solves the design problem at each of the given delay
-// values for one path, in parallel: every worker gets its own clone of
-// the circuit (circuits are mutable and not safe for shared mutation).
-// Results are returned in input order; a value whose solve fails
-// carries the error at its index.
+// values for one path, in parallel. The circuit is frozen once and
+// every worker layers its value over the shared snapshot as a
+// DelayOverlay — no per-worker clone, no mutation. Results are
+// returned in input order; a value whose solve fails carries the error
+// at its index.
 //
 // This is the bulk counterpart of ParametricDelay: parametrics gives
 // the exact piecewise-linear curve from a handful of solves, while
@@ -18,9 +19,26 @@ import (
 // where options like DesignForHold make the parametric shortcut
 // unavailable).
 func SweepDelays(c *Circuit, opts Options, pathIndex int, values []float64) ([]float64, []error) {
+	cc, err := c.Freeze()
+	if err != nil {
+		tcs := make([]float64, len(values))
+		errs := make([]error, len(values))
+		for i := range errs {
+			errs[i] = err
+		}
+		return tcs, errs
+	}
+	return SweepDelaysCompiled(cc, opts, pathIndex, values)
+}
+
+// SweepDelaysCompiled is SweepDelays against an already-frozen
+// snapshot, sharing it across workers with zero copies. Callers that
+// sweep several paths (or several value lists) over the same circuit
+// freeze once and fan out from here.
+func SweepDelaysCompiled(cc *Compiled, opts Options, pathIndex int, values []float64) ([]float64, []error) {
 	tcs := make([]float64, len(values))
 	errs := make([]error, len(values))
-	if pathIndex < 0 || pathIndex >= len(c.Paths()) {
+	if pathIndex < 0 || pathIndex >= len(cc.c.Paths()) {
 		err := fmt.Errorf("core: path index %d out of range", pathIndex)
 		for i := range errs {
 			errs[i] = err
@@ -34,16 +52,20 @@ func SweepDelays(c *Circuit, opts Options, pathIndex int, values []float64) ([]f
 	if workers < 1 {
 		workers = 1
 	}
+	base := cc.Overlay()
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := c.Clone()
 			for i := range next {
-				local.SetPathDelay(pathIndex, values[i])
-				r, err := MinTc(local, opts)
+				ov, err := withChecked(base, pathIndex, values[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				r, err := MinTcOverlay(ov, opts)
 				if err != nil {
 					errs[i] = err
 					continue

@@ -34,6 +34,14 @@ func (mlpSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Res
 	return &Result{Tc: r.Schedule.Tc, Schedule: r.Schedule, D: r.D, Detail: r}, nil
 }
 
+func (mlpSolver) SolveOverlay(ctx context.Context, ov core.DelayOverlay, opts Options) (*Result, error) {
+	r, err := core.MinTcOverlayCtx(ctx, ov, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tc: r.Schedule.Tc, Schedule: r.Schedule, D: r.D, Detail: r}, nil
+}
+
 // mcrSolver runs the min-cycle-ratio formulation — the same optimum by
 // Bellman–Ford witness jumping instead of simplex.
 type mcrSolver struct{}
@@ -91,13 +99,47 @@ type simSolver struct{}
 func (simSolver) Name() string { return "sim" }
 
 func (simSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error) {
+	return simSolve(ctx,
+		func(ctx context.Context) (*core.Result, error) { return core.MinTcCtx(ctx, c, opts.Core) },
+		func(ctx context.Context, sched *core.Schedule) (*sim.Trace, error) {
+			return sim.RunCtx(ctx, c, sched, sim.Config{Cycles: opts.SimCycles})
+		},
+		func(ctx context.Context, sched *core.Schedule, rng *rand.Rand) (*sim.MCResult, error) {
+			return sim.RunMonteCarloCtx(ctx, c, sched,
+				sim.MCConfig{Cycles: opts.SimCycles, Trials: opts.Trials, Workers: opts.Workers}, rng)
+		},
+		opts)
+}
+
+func (simSolver) SolveOverlay(ctx context.Context, ov core.DelayOverlay, opts Options) (*Result, error) {
+	return simSolve(ctx,
+		func(ctx context.Context) (*core.Result, error) { return core.MinTcOverlayCtx(ctx, ov, opts.Core) },
+		func(ctx context.Context, sched *core.Schedule) (*sim.Trace, error) {
+			return sim.RunOverlayCtx(ctx, ov, sched, sim.Config{Cycles: opts.SimCycles})
+		},
+		func(ctx context.Context, sched *core.Schedule, rng *rand.Rand) (*sim.MCResult, error) {
+			return sim.RunMonteCarloOverlayCtx(ctx, ov, sched,
+				sim.MCConfig{Cycles: opts.SimCycles, Trials: opts.Trials, Workers: opts.Workers}, rng)
+		},
+		opts)
+}
+
+// simSolve is the sim engine's shared driver: resolve a schedule (the
+// one in opts, or the MLP optimum), run the deterministic wavefront,
+// then the optional Monte-Carlo campaign. The three closures bind it
+// to either a plain circuit or a snapshot overlay.
+func simSolve(ctx context.Context,
+	minTc func(context.Context) (*core.Result, error),
+	run func(context.Context, *core.Schedule) (*sim.Trace, error),
+	monteCarlo func(context.Context, *core.Schedule, *rand.Rand) (*sim.MCResult, error),
+	opts Options) (*Result, error) {
+	rec := obs.From(ctx)
 	sched := opts.Schedule
 	if sched == nil {
-		rec := obs.From(ctx)
 		var mlp *core.Result
 		err := rec.Phase(ctx, "schedule", func(ctx context.Context) error {
 			var serr error
-			mlp, serr = core.MinTcCtx(ctx, c, opts.Core)
+			mlp, serr = minTc(ctx)
 			return serr
 		})
 		if err != nil {
@@ -105,11 +147,10 @@ func (simSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Res
 		}
 		sched = mlp.Schedule
 	}
-	rec := obs.From(ctx)
 	detail := &SimDetail{}
 	res := &Result{Tc: sched.Tc, Schedule: sched, Detail: detail}
 	err := rec.Phase(ctx, "simulate", func(ctx context.Context) error {
-		tr, serr := sim.RunCtx(ctx, c, sched, sim.Config{Cycles: opts.SimCycles})
+		tr, serr := run(ctx, sched)
 		detail.Trace = tr
 		if serr != nil {
 			return serr
@@ -122,9 +163,7 @@ func (simSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Res
 	}
 	if opts.Trials > 0 {
 		err = rec.Phase(ctx, "montecarlo", func(ctx context.Context) error {
-			rng := rand.New(rand.NewSource(opts.Seed))
-			mc, serr := sim.RunMonteCarloCtx(ctx, c, sched,
-				sim.MCConfig{Cycles: opts.SimCycles, Trials: opts.Trials, Workers: opts.Workers}, rng)
+			mc, serr := monteCarlo(ctx, sched, rand.New(rand.NewSource(opts.Seed)))
 			detail.MC = mc
 			return serr
 		})

@@ -94,6 +94,19 @@ type Solver interface {
 	Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error)
 }
 
+// CompiledSolver is the optional overlay-native extension of Solver:
+// engines that implement it solve directly against a frozen snapshot
+// seen through a core.DelayOverlay — no per-call validation, snapshot
+// caches (kernel, matrices, phase order) reused, nothing shared
+// mutated. Engines that don't implement it are still usable through
+// RunOverlay, which falls back to the overlay's materialized circuit
+// (zero-copy when the overlay carries no edits, since no solver
+// mutates its input).
+type CompiledSolver interface {
+	Solver
+	SolveOverlay(ctx context.Context, ov core.DelayOverlay, opts Options) (*Result, error)
+}
+
 var (
 	regMu    sync.RWMutex
 	registry = map[string]Solver{}
@@ -137,6 +150,53 @@ func Solve(ctx context.Context, name string, c *core.Circuit, opts Options) (*Re
 		return nil, fmt.Errorf("engine: unknown engine %q (available: %s)", name, strings.Join(Names(), ", "))
 	}
 	return Run(ctx, s, c, opts)
+}
+
+// SolveOverlay resolves name in the registry and runs the engine
+// against a snapshot overlay via RunOverlay.
+func SolveOverlay(ctx context.Context, name string, ov core.DelayOverlay, opts Options) (*Result, error) {
+	s, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown engine %q (available: %s)", name, strings.Join(Names(), ", "))
+	}
+	return RunOverlay(ctx, s, ov, opts)
+}
+
+// RunOverlay executes one solve against a frozen snapshot seen through
+// a delay overlay, under the same contract as Run. Overlay-native
+// engines (CompiledSolver) skip validation and reuse snapshot caches;
+// the others receive the overlay's materialized circuit — a shared
+// read-only view when the overlay has no edits, a private clone
+// otherwise.
+func RunOverlay(ctx context.Context, s Solver, ov core.DelayOverlay, opts Options) (*Result, error) {
+	name := s.Name()
+	if !ov.Valid() {
+		return &Result{Engine: name}, fmt.Errorf("engine: overlay solve without a snapshot (start from Compiled.Overlay)")
+	}
+	if err := opts.Core.Validate(); err != nil {
+		return &Result{Engine: name}, err
+	}
+	rec := opts.Rec
+	if rec == nil {
+		rec = obs.New()
+	}
+	ctx = obs.With(ctx, rec)
+
+	var res *Result
+	var err error
+	pprof.Do(ctx, pprof.Labels("mintc.engine", name), func(ctx context.Context) {
+		if cs, ok := s.(CompiledSolver); ok {
+			res, err = cs.SolveOverlay(ctx, ov, opts)
+		} else {
+			res, err = s.Solve(ctx, ov.Materialize(), opts)
+		}
+	})
+	if res == nil {
+		res = &Result{}
+	}
+	res.Engine = name
+	res.Stats = rec.Snapshot()
+	return res, err
 }
 
 // Run executes one solve under the engine contract: options are

@@ -79,6 +79,48 @@ func TestAllEnginesSolveExample1(t *testing.T) {
 	}
 }
 
+// TestAllEnginesSolveOverlay drives every engine through the overlay
+// entry point — the native path for mlp/sim, the materialize fallback
+// for the rest — with an edit moving Example 1 from Δ41=50 to Δ41=80,
+// and requires exact agreement with solving a circuit built at Δ41=80.
+func TestAllEnginesSolveOverlay(t *testing.T) {
+	cc, err := circuits.Example1(50).Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := cc.Overlay().With(3, 80)
+	for _, name := range engine.Names() {
+		got, err := engine.SolveOverlay(context.Background(), name, ov, engine.Options{Seed: 1, Trials: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := engine.Solve(context.Background(), name, circuits.Example1(80), engine.Options{Seed: 1, Trials: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Tc != want.Tc {
+			t.Errorf("%s: overlay Tc %v != direct Tc %v", name, got.Tc, want.Tc)
+		}
+		if got.Engine != name {
+			t.Errorf("%s: Result.Engine = %q", name, got.Engine)
+		}
+		if len(got.Stats.Counters) == 0 && len(got.Stats.StageNs) == 0 {
+			t.Errorf("%s: empty Stats", name)
+		}
+	}
+	// The snapshot's own delays must be untouched.
+	if d := cc.Circuit().Paths()[3].Delay; d != 50 {
+		t.Errorf("snapshot Δ41 = %g after engine solves, want 50", d)
+	}
+}
+
+func TestSolveOverlayZeroOverlay(t *testing.T) {
+	_, err := engine.SolveOverlay(context.Background(), "mlp", core.DelayOverlay{}, engine.Options{})
+	if err == nil {
+		t.Fatal("expected error for a zero overlay")
+	}
+}
+
 func TestRunRejectsInvalidOptions(t *testing.T) {
 	c := circuits.Example1(80)
 	opts := engine.Options{Core: core.Options{Skew: -1}}

@@ -52,6 +52,14 @@ const (
 	Trials
 	// SimCycles counts simulated clock cycles.
 	SimCycles
+	// SessionHits counts analysis-session queries answered from the
+	// memoization cache.
+	SessionHits
+	// SessionMisses counts analysis-session queries that ran a solve.
+	SessionMisses
+	// SessionDedup counts analysis-session queries coalesced onto an
+	// identical in-flight solve (singleflight).
+	SessionDedup
 
 	numCounters
 )
@@ -75,6 +83,12 @@ func (c Counter) String() string {
 		return "trials"
 	case SimCycles:
 		return "sim_cycles"
+	case SessionHits:
+		return "session_hits"
+	case SessionMisses:
+		return "session_misses"
+	case SessionDedup:
+		return "session_dedup"
 	}
 	return fmt.Sprintf("counter_%d", int(c))
 }

@@ -1,0 +1,315 @@
+// Package session provides the concurrent analysis layer of the model
+// pipeline: a Session owns one frozen circuit snapshot
+// (*core.Compiled) and serves timing queries — engine solves, schedule
+// checks, incremental reoptimization — from any number of goroutines.
+//
+// Because the snapshot is immutable and what-if edits travel as
+// copy-on-write core.DelayOverlay values, queries need no locking to
+// be correct; the session adds the two things immutability alone does
+// not give:
+//
+//   - singleflight deduplication: identical queries arriving while the
+//     first is still solving share that one solve instead of running
+//     it N times;
+//   - bounded memoization: completed results are kept in an LRU cache
+//     keyed by (query kind, engine, canonicalized options, overlay
+//     digest), so repeated interactive queries — the "wiggle one delay,
+//     re-ask" loop — cost a map lookup.
+//
+// Cached results are shared: callers must treat everything reachable
+// from a returned result as read-only, the same contract Compiled
+// itself carries. Cache hits, misses, and deduplicated joins are
+// reported both into the session's own recorder (Session.Stats) and
+// into any obs recorder carried by the query context.
+package session
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"sync"
+
+	"mintc/internal/core"
+	"mintc/internal/engine"
+	"mintc/internal/obs"
+)
+
+// Config tunes a session.
+type Config struct {
+	// CacheSize bounds the number of memoized results (default 256;
+	// negative disables memoization — singleflight still applies).
+	CacheSize int
+}
+
+// DefaultCacheSize is the memoization bound used when Config.CacheSize
+// is zero.
+const DefaultCacheSize = 256
+
+// Session serves concurrent timing analyses of one frozen snapshot.
+// Create with New; all methods are safe for concurrent use.
+type Session struct {
+	cc      *core.Compiled
+	maxSize int
+	rec     *obs.Rec
+
+	mu     sync.Mutex
+	lru    *list.List // front = most recently used; element value is *entry
+	items  map[string]*list.Element
+	flight map[string]*flight
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress computation other callers can join.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns a session over the snapshot.
+func New(cc *core.Compiled, cfg Config) *Session {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size < 0 {
+		size = 0
+	}
+	return &Session{
+		cc:      cc,
+		maxSize: size,
+		rec:     obs.New(),
+		lru:     list.New(),
+		items:   make(map[string]*list.Element),
+		flight:  make(map[string]*flight),
+	}
+}
+
+// Freeze validates and freezes a builder circuit and opens a session
+// over the snapshot in one step.
+func Freeze(c *core.Circuit, cfg Config) (*Session, error) {
+	cc, err := c.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return New(cc, cfg), nil
+}
+
+// Compiled returns the snapshot the session serves.
+func (s *Session) Compiled() *core.Compiled { return s.cc }
+
+// Overlay returns the empty overlay over the session's snapshot — the
+// starting point for what-if edits.
+func (s *Session) Overlay() core.DelayOverlay { return s.cc.Overlay() }
+
+// Stats returns the session's lifetime counters (cache hits, misses,
+// deduplicated joins).
+func (s *Session) Stats() obs.Stats { return s.rec.Snapshot() }
+
+// Solve runs the named engine against the overlay (which must come
+// from this session's snapshot), memoized and deduplicated. The
+// returned result is shared with other callers of the same query:
+// read-only.
+func (s *Session) Solve(ctx context.Context, name string, ov core.DelayOverlay, opts engine.Options) (*engine.Result, error) {
+	if err := s.checkOverlay(ov); err != nil {
+		return nil, err
+	}
+	// Workers is excluded from the key: Monte-Carlo results are
+	// bit-identical for every worker count. Rec is per-call plumbing,
+	// not an input.
+	key := solveKey("engine/"+name, ov.Digest(), &opts.Core, opts.Schedule,
+		"sc=", int64(opts.SimCycles), "tr=", int64(opts.Trials), "seed=", opts.Seed)
+	v, err := s.do(ctx, key, func(ctx context.Context) (any, error) {
+		callOpts := opts
+		callOpts.Rec = obs.From(ctx)
+		return engine.SolveOverlay(ctx, name, ov, callOpts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*engine.Result), nil
+}
+
+// MinTc runs the exact Algorithm MLP against the overlay, memoized and
+// deduplicated, returning the full core result (schedule, departures,
+// solved LP — the substrate for TryReoptimizeDual). Read-only.
+func (s *Session) MinTc(ctx context.Context, ov core.DelayOverlay, opts core.Options) (*core.Result, error) {
+	if err := s.checkOverlay(ov); err != nil {
+		return nil, err
+	}
+	key := solveKey("mintc", ov.Digest(), &opts, nil)
+	v, err := s.do(ctx, key, func(ctx context.Context) (any, error) {
+		return core.MinTcOverlayCtx(ctx, ov, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Result), nil
+}
+
+// CheckTc verifies the overlay against a concrete clock schedule,
+// memoized and deduplicated. The schedule is part of the cache key;
+// like every session input it must not be mutated afterwards.
+// Read-only result.
+func (s *Session) CheckTc(ctx context.Context, ov core.DelayOverlay, sched *core.Schedule, opts core.Options) (*core.Analysis, error) {
+	if err := s.checkOverlay(ov); err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("session: CheckTc needs a schedule")
+	}
+	key := solveKey("checktc", ov.Digest(), &opts, sched)
+	v, err := s.do(ctx, key, func(context.Context) (any, error) {
+		return core.CheckTcOverlay(ov, sched, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Analysis), nil
+}
+
+// Reoptimize answers "what is the optimal cycle time if path pathIndex
+// had delay newDelay?" against the overlay: it solves (or recalls) the
+// overlay's MinTc, tries the pure dual shortcut, and only when the
+// optimal basis changes falls back to a full solve of the edited
+// overlay — which is itself memoized, so interactive sweeps that
+// revisit a delay pay nothing. Nothing is mutated anywhere; resolved
+// reports whether the fallback ran.
+func (s *Session) Reoptimize(ctx context.Context, ov core.DelayOverlay, pathIndex int, newDelay float64, opts core.Options) (tc float64, resolved bool, err error) {
+	base, err := s.MinTc(ctx, ov, opts)
+	if err != nil {
+		return 0, false, err
+	}
+	tc, ok, err := base.TryReoptimizeDual(pathIndex, newDelay)
+	if err != nil {
+		return 0, false, err
+	}
+	if ok {
+		return tc, false, nil
+	}
+	full, err := s.MinTc(ctx, ov.With(pathIndex, newDelay), opts)
+	if err != nil {
+		return 0, true, err
+	}
+	return full.Schedule.Tc, true, nil
+}
+
+func (s *Session) checkOverlay(ov core.DelayOverlay) error {
+	if !ov.Valid() {
+		return fmt.Errorf("session: zero overlay (start from Session.Overlay)")
+	}
+	if ov.Base() != s.cc {
+		return fmt.Errorf("session: overlay belongs to a different snapshot")
+	}
+	return nil
+}
+
+// do answers key from the cache, joins an identical in-flight
+// computation, or runs fn — whichever applies. Errors are returned to
+// every waiter but never cached: a later identical query retries.
+func (s *Session) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
+	rec := obs.From(ctx)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
+		v := el.Value.(*entry).val
+		s.mu.Unlock()
+		s.rec.Add(obs.SessionHits, 1)
+		rec.Add(obs.SessionHits, 1)
+		return v, nil
+	}
+	if f, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		s.rec.Add(obs.SessionDedup, 1)
+		rec.Add(obs.SessionDedup, 1)
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			// The leader keeps solving (its own context governs it);
+			// this waiter just stops waiting.
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flight[key] = f
+	s.mu.Unlock()
+	s.rec.Add(obs.SessionMisses, 1)
+	rec.Add(obs.SessionMisses, 1)
+
+	f.val, f.err = fn(ctx)
+	s.mu.Lock()
+	delete(s.flight, key)
+	if f.err == nil && s.maxSize > 0 {
+		s.items[key] = s.lru.PushFront(&entry{key: key, val: f.val})
+		for s.lru.Len() > s.maxSize {
+			old := s.lru.Back()
+			s.lru.Remove(old)
+			delete(s.items, old.Value.(*entry).key)
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// solveKey canonicalizes a query into a cache key: the query kind, the
+// overlay's canonical digest, every semantically relevant core option
+// in fixed order, the schedule's exact values when one participates,
+// and any engine-specific trailing fields.
+func solveKey(kind string, digest uint64, co *core.Options, sched *core.Schedule, extra ...any) string {
+	var b strings.Builder
+	b.WriteString(kind)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(digest, 16))
+	b.WriteByte('|')
+	fbits := func(v float64) {
+		b.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
+		b.WriteByte(',')
+	}
+	fbits(co.MinPhaseWidth)
+	fbits(co.MinSeparation)
+	fbits(co.Skew)
+	fbits(co.FixedTc)
+	b.WriteString(strconv.Itoa(int(co.Update)))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(co.MaxUpdateIter))
+	b.WriteByte(',')
+	if co.DesignForHold {
+		b.WriteByte('h')
+	}
+	b.WriteByte('|')
+	for _, v := range co.PhaseSkew {
+		fbits(v)
+	}
+	b.WriteByte('|')
+	if sched != nil {
+		fbits(sched.Tc)
+		for _, v := range sched.S {
+			fbits(v)
+		}
+		for _, v := range sched.T {
+			fbits(v)
+		}
+	}
+	for _, e := range extra {
+		switch v := e.(type) {
+		case string:
+			b.WriteString(v)
+		case int64:
+			b.WriteString(strconv.FormatInt(v, 10))
+			b.WriteByte('|')
+		default:
+			fmt.Fprintf(&b, "%v|", v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,250 @@
+package session_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/engine"
+	"mintc/internal/gen"
+	"mintc/internal/obs"
+	"mintc/internal/session"
+)
+
+func newSession(t testing.TB, cfg session.Config) *session.Session {
+	t.Helper()
+	s, err := session.Freeze(circuits.Example1(80), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionCacheHit(t *testing.T) {
+	s := newSession(t, session.Config{})
+	ctx := context.Background()
+	ov := s.Overlay().With(3, 95)
+	r1, err := s.MinTc(ctx, ov, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same effective overlay built along a different edit sequence:
+	// the canonical digest must land on the same cache entry.
+	ov2 := s.Overlay().With(3, 200).With(3, 95)
+	r2, err := s.MinTc(ctx, ov2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical queries returned distinct results (cache miss)")
+	}
+	st := s.Stats()
+	if st.Counter(obs.SessionHits) != 1 || st.Counter(obs.SessionMisses) != 1 {
+		t.Errorf("stats = %v, want 1 hit / 1 miss", st)
+	}
+
+	// Different options must not collide.
+	r3, err := s.MinTc(ctx, ov, core.Options{Skew: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("distinct options shared a cache entry")
+	}
+	// Neither must a different overlay.
+	if r4, err := s.MinTc(ctx, s.Overlay().With(3, 96), core.Options{}); err != nil {
+		t.Fatal(err)
+	} else if r4 == r1 {
+		t.Error("distinct overlays shared a cache entry")
+	}
+}
+
+func TestSessionCacheCountersReachCallerRec(t *testing.T) {
+	s := newSession(t, session.Config{})
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	ov := s.Overlay()
+	for i := 0; i < 3; i++ {
+		if _, err := s.MinTc(ctx, ov, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.Get(obs.SessionHits); got != 2 {
+		t.Errorf("caller recorder hits = %d, want 2", got)
+	}
+	if got := rec.Get(obs.SessionMisses); got != 1 {
+		t.Errorf("caller recorder misses = %d, want 1", got)
+	}
+}
+
+func TestSessionLRUEviction(t *testing.T) {
+	s := newSession(t, session.Config{CacheSize: 2})
+	ctx := context.Background()
+	for _, d := range []float64{10, 20, 30} {
+		if _, err := s.MinTc(ctx, s.Overlay().With(3, d), core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 was evicted by 30; re-asking it must miss, while 30 hits.
+	if _, err := s.MinTc(ctx, s.Overlay().With(3, 30), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MinTc(ctx, s.Overlay().With(3, 10), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Counter(obs.SessionHits) != 1 {
+		t.Errorf("hits = %d, want 1 (the un-evicted entry)", st.Counter(obs.SessionHits))
+	}
+	if st.Counter(obs.SessionMisses) != 4 {
+		t.Errorf("misses = %d, want 4 (three initial + one post-eviction)", st.Counter(obs.SessionMisses))
+	}
+}
+
+func TestSessionSingleflight(t *testing.T) {
+	// A large circuit makes the solve slow enough that concurrent
+	// identical queries join the leader's flight instead of re-solving.
+	ring, err := gen.Ring(2, 64, 10, 10, func(int) float64 { return 30 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := session.Freeze(ring, session.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ov := s.Overlay()
+	const n = 8
+	results := make([]*core.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.MinTc(ctx, ov, core.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("query %d got a different result object; singleflight/cache failed", i)
+		}
+	}
+	st := s.Stats()
+	if st.Counter(obs.SessionMisses) != 1 {
+		t.Errorf("misses = %d, want exactly 1 solve", st.Counter(obs.SessionMisses))
+	}
+	if st.Counter(obs.SessionHits)+st.Counter(obs.SessionDedup) != n-1 {
+		t.Errorf("hits (%d) + dedup (%d) should cover the other %d queries",
+			st.Counter(obs.SessionHits), st.Counter(obs.SessionDedup), n-1)
+	}
+}
+
+func TestSessionRejectsForeignOverlay(t *testing.T) {
+	s := newSession(t, session.Config{})
+	other := circuits.Example1(80).MustFreeze()
+	if _, err := s.MinTc(context.Background(), other.Overlay(), core.Options{}); err == nil {
+		t.Error("overlay from another snapshot accepted")
+	}
+	if _, err := s.MinTc(context.Background(), core.DelayOverlay{}, core.Options{}); err == nil {
+		t.Error("zero overlay accepted")
+	}
+}
+
+func TestSessionReoptimizePaths(t *testing.T) {
+	s := newSession(t, session.Config{})
+	ctx := context.Background()
+	ov := s.Overlay()
+	// In-basis move: answered by the dual, no fallback.
+	tc, resolved, err := s.Reoptimize(ctx, ov, 3, 85, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved {
+		t.Error("small move should stay in the dual's validity range")
+	}
+	wantR, err := core.MinTc(circuits.Example1(85), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc != wantR.Schedule.Tc {
+		t.Errorf("dual Tc = %v, want %v", tc, wantR.Schedule.Tc)
+	}
+	// Out-of-basis move: fallback full solve, also memoized.
+	tc2, resolved2, err := s.Reoptimize(ctx, ov, 3, 300, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resolved2 {
+		t.Error("large move should need a full resolve")
+	}
+	want2, err := core.MinTc(circuits.Example1(300), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc2 != want2.Schedule.Tc {
+		t.Errorf("fallback Tc = %v, want %v", tc2, want2.Schedule.Tc)
+	}
+	// Asking the same large move again hits the memoized fallback.
+	before := s.Stats().Counter(obs.SessionHits)
+	if _, _, err := s.Reoptimize(ctx, ov, 3, 300, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats().Counter(obs.SessionHits); after <= before {
+		t.Errorf("repeated Reoptimize did not hit the cache (hits %d -> %d)", before, after)
+	}
+}
+
+// BenchmarkSessionRepeatedQuery is the acceptance benchmark: a
+// four-delay interactive loop against one session. After the first
+// lap every query is a cache hit; the reported hit metric must be
+// positive.
+func BenchmarkSessionRepeatedQuery(b *testing.B) {
+	s := newSession(b, session.Config{})
+	ctx := context.Background()
+	overlays := []core.DelayOverlay{
+		s.Overlay().With(3, 60),
+		s.Overlay().With(3, 80),
+		s.Overlay().With(3, 100),
+		s.Overlay().With(0, 35),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MinTc(ctx, overlays[i%len(overlays)], core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := s.Stats()
+	b.ReportMetric(float64(st.Counter(obs.SessionHits)), "hits")
+	b.ReportMetric(float64(st.Counter(obs.SessionMisses)), "misses")
+	if b.N > len(overlays) && st.Counter(obs.SessionHits) == 0 {
+		b.Fatal("repeated queries produced no cache hits")
+	}
+}
+
+// BenchmarkSessionSolveEngine measures the memoized engine path.
+func BenchmarkSessionSolveEngine(b *testing.B) {
+	s := newSession(b, session.Config{})
+	ctx := context.Background()
+	ov := s.Overlay().With(3, 95)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(ctx, "mcr", ov, engine.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 1 && s.Stats().Counter(obs.SessionHits) == 0 {
+		b.Fatal("repeated engine solves produced no cache hits")
+	}
+}

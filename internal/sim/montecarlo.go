@@ -73,6 +73,33 @@ func RunMonteCarloCtx(ctx context.Context, c *core.Circuit, sched *core.Schedule
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	return runMonteCarloCtx(ctx, c, nil, nil, sched, cfg, rng)
+}
+
+// RunMonteCarloOverlay samples a frozen snapshot seen through a delay
+// overlay.
+func RunMonteCarloOverlay(ov core.DelayOverlay, sched *core.Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
+	return RunMonteCarloOverlayCtx(context.Background(), ov, sched, cfg, rng)
+}
+
+// RunMonteCarloOverlayCtx is RunMonteCarloCtx against a Compiled
+// snapshot's overlay: the snapshot's cached kernel (Base/Span refolded
+// for edited paths) and phase order are reused, no per-call
+// validation, no shared mutation — concurrent campaigns over divergent
+// overlays of one snapshot are safe and results stay bit-identical to
+// mutating a clone.
+func RunMonteCarloOverlayCtx(ctx context.Context, ov core.DelayOverlay, sched *core.Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
+	if !ov.Valid() {
+		return nil, fmt.Errorf("sim: RunMonteCarloOverlay on a zero DelayOverlay (start from Compiled.Overlay)")
+	}
+	return runMonteCarloCtx(ctx, ov.Base().Circuit(), ov.Kernel(core.Options{}), ov.Base().PhaseOrder(), sched, cfg, rng)
+}
+
+// runMonteCarloCtx is the campaign body shared by the circuit and
+// overlay entry points. kn and order may be nil (compiled/derived
+// here); when given, they must correspond to c under zero-margin
+// Options.
+func runMonteCarloCtx(ctx context.Context, c *core.Circuit, kn *core.Kernel, order []int, sched *core.Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
 	if sched.K() != c.K() {
 		return nil, fmt.Errorf("sim: schedule has %d phases, circuit has %d", sched.K(), c.K())
 	}
@@ -101,8 +128,12 @@ func RunMonteCarloCtx(ctx context.Context, c *core.Circuit, sched *core.Schedule
 	// Base + u·Span with a single uniform draw), the phase evaluation
 	// order, and the per-synchronizer phase openings.
 	l := c.L()
-	kn := core.CompileKernel(c, core.Options{})
-	order := phaseOrder(c)
+	if kn == nil {
+		kn = core.CompileKernel(c, core.Options{})
+	}
+	if order == nil {
+		order = phaseOrder(c)
+	}
 	open0 := make([]float64, l)
 	for i := 0; i < l; i++ {
 		open0[i] = sched.S[c.Sync(i).Phase]

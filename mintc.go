@@ -50,6 +50,7 @@ import (
 	"mintc/internal/obs"
 	"mintc/internal/parse"
 	"mintc/internal/render"
+	"mintc/internal/session"
 	"mintc/internal/sim"
 )
 
@@ -426,8 +427,9 @@ func RepairSchedule(c *Circuit, sched *Schedule, opts Options, maxScale float64)
 }
 
 // SweepDelays solves the design problem at each delay value for one
-// path in parallel (workers get private circuit clones). The bulk
-// counterpart of ParametricDelay.
+// path in parallel (the circuit is frozen once and workers share the
+// snapshot through delay overlays). The bulk counterpart of
+// ParametricDelay.
 func SweepDelays(c *Circuit, opts Options, pathIndex int, values []float64) ([]float64, []error) {
 	return core.SweepDelays(c, opts, pathIndex, values)
 }
@@ -480,4 +482,81 @@ func Engines() []string { return engine.Names() }
 // of whatever progress was made.
 func SolveEngine(ctx context.Context, name string, c *Circuit, opts EngineOptions) (*EngineResult, error) {
 	return engine.Solve(ctx, name, c, opts)
+}
+
+// Frozen model pipeline: a mutable builder Circuit is frozen into an
+// immutable Compiled snapshot (validated once, derived artifacts
+// cached), what-if delay edits layer over it as copy-on-write
+// DelayOverlay values, and a Session serves concurrent queries over
+// one snapshot with singleflight deduplication and memoization.
+type (
+	// Compiled is an immutable frozen circuit snapshot; see
+	// Circuit.Freeze. Everything reachable from it is safe for
+	// concurrent use and must be treated as read-only.
+	Compiled = core.Compiled
+	// DelayOverlay is a cheap copy-on-write set of what-if path-delay
+	// edits over a Compiled snapshot; overlays are values and never
+	// mutate anything shared.
+	DelayOverlay = core.DelayOverlay
+	// Session serves concurrent timing queries (engine solves,
+	// schedule checks, incremental reoptimization) over one frozen
+	// snapshot, with singleflight deduplication and a bounded
+	// memoization cache.
+	Session = session.Session
+	// SessionConfig tunes a Session (cache bound).
+	SessionConfig = session.Config
+)
+
+// Freeze validates the circuit once and returns its immutable compiled
+// snapshot; the builder circuit may keep being mutated (or be dropped)
+// without affecting the snapshot. Start what-if edits from
+// Compiled.Overlay.
+func Freeze(c *Circuit) (*Compiled, error) { return c.Freeze() }
+
+// MinTcOverlay solves the design problem for a frozen snapshot seen
+// through a delay overlay — the lock-free concurrent counterpart of
+// mutating a circuit and calling MinTc, with bit-identical results.
+func MinTcOverlay(ov DelayOverlay, opts Options) (*Result, error) {
+	return core.MinTcOverlay(ov, opts)
+}
+
+// MinTcOverlayCtx is MinTcOverlay with cancellation.
+func MinTcOverlayCtx(ctx context.Context, ov DelayOverlay, opts Options) (*Result, error) {
+	return core.MinTcOverlayCtx(ctx, ov, opts)
+}
+
+// CheckTcOverlay solves the analysis problem for a frozen snapshot
+// seen through a delay overlay.
+func CheckTcOverlay(ov DelayOverlay, sched *Schedule, opts Options) (*Analysis, error) {
+	return core.CheckTcOverlay(ov, sched, opts)
+}
+
+// SolveEngineOverlay runs the named engine against a snapshot overlay:
+// overlay-native engines (mlp, sim) reuse the snapshot's caches, the
+// others solve the overlay's materialized circuit.
+func SolveEngineOverlay(ctx context.Context, name string, ov DelayOverlay, opts EngineOptions) (*EngineResult, error) {
+	return engine.SolveOverlay(ctx, name, ov, opts)
+}
+
+// SimulateOverlay runs the wavefront simulation against a snapshot
+// overlay.
+func SimulateOverlay(ov DelayOverlay, sched *Schedule, cfg SimConfig) (*SimTrace, error) {
+	return sim.RunOverlay(ov, sched, cfg)
+}
+
+// SimulateMonteCarloOverlay runs a Monte-Carlo campaign against a
+// snapshot overlay.
+func SimulateMonteCarloOverlay(ov DelayOverlay, sched *Schedule, cfg MCConfig, rng *rand.Rand) (*MCResult, error) {
+	return sim.RunMonteCarloOverlay(ov, sched, cfg, rng)
+}
+
+// NewSession opens an analysis session over a frozen snapshot. All
+// Session methods are safe for concurrent use; returned results are
+// shared (read-only).
+func NewSession(cc *Compiled, cfg SessionConfig) *Session { return session.New(cc, cfg) }
+
+// OpenSession freezes a builder circuit and opens a session over the
+// snapshot in one step.
+func OpenSession(c *Circuit, cfg SessionConfig) (*Session, error) {
+	return session.Freeze(c, cfg)
 }
