@@ -17,15 +17,23 @@ import (
 // benchRecord is the machine-readable result of one (circuit, engine)
 // benchmark run, written as BENCH_<circuit>_<engine>.json.
 type benchRecord struct {
-	Engine          string    `json:"engine"`
-	Circuit         string    `json:"circuit"`
-	Latches         int       `json:"latches"`
-	Tc              float64   `json:"tc"`
-	WallNs          int64     `json:"wall_ns"`
-	Pivots          int64     `json:"pivots"`
-	SlideIterations int64     `json:"slide_iterations"`
-	Error           string    `json:"error,omitempty"`
-	Stats           obs.Stats `json:"stats"`
+	Engine          string  `json:"engine"`
+	Circuit         string  `json:"circuit"`
+	Latches         int     `json:"latches"`
+	Tc              float64 `json:"tc"`
+	WallNs          int64   `json:"wall_ns"`
+	Pivots          int64   `json:"pivots"`
+	SlideIterations int64   `json:"slide_iterations"`
+	// The LP stage split and sparse-solver counters (zero for engines
+	// that never enter the LP, and for the dense oracle, which reports
+	// no nonzero/refactorization telemetry).
+	LPAssembleNs       int64     `json:"lp_assemble_ns,omitempty"`
+	LPFactorNs         int64     `json:"lp_factor_ns,omitempty"`
+	LPPivotNs          int64     `json:"lp_pivot_ns,omitempty"`
+	LPNnz              int64     `json:"lp_nnz,omitempty"`
+	LPRefactorizations int64     `json:"lp_refactorizations,omitempty"`
+	Error              string    `json:"error,omitempty"`
+	Stats              obs.Stats `json:"stats"`
 }
 
 // parseEngines resolves a comma-separated -engines flag value against
@@ -53,12 +61,16 @@ func parseEngines(engines string) ([]string, error) {
 // trials > 0 makes the "sim" engine follow its deterministic run with a
 // Monte-Carlo campaign of that many randomized trials, so the
 // "montecarlo" stage appears in the records.
-func runBench(dir string, names []string, timeout time.Duration, trials int) ([]string, error) {
+func runBench(dir string, names []string, timeout time.Duration, trials int, xl bool) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	suite := gen.Suite()
+	if xl {
+		suite = append(suite, gen.XLarge()...)
+	}
 	var files []string
-	for _, bm := range gen.Suite() {
+	for _, bm := range suite {
 		for _, name := range names {
 			rec, err := benchOne(bm, name, timeout, trials)
 			if err != nil {
@@ -99,6 +111,11 @@ func benchOne(bm gen.Benchmark, name string, timeout time.Duration, trials int) 
 		rec.Stats = res.Stats
 		rec.Pivots = res.Stats.Counter(obs.Pivots)
 		rec.SlideIterations = res.Stats.Counter(obs.SlideIterations)
+		rec.LPAssembleNs = res.Stats.Stage("lp.assemble").Nanoseconds()
+		rec.LPFactorNs = res.Stats.Stage("lp.factor").Nanoseconds()
+		rec.LPPivotNs = res.Stats.Stage("lp.pivot").Nanoseconds()
+		rec.LPNnz = res.Stats.Counter(obs.LPNnz)
+		rec.LPRefactorizations = res.Stats.Counter(obs.LPRefactorizations)
 	}
 	return rec, err
 }

@@ -20,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"mintc/internal/experiments"
+	"mintc/internal/lp"
 )
 
 func main() {
@@ -41,8 +43,35 @@ func main() {
 		engines = flag.String("engines", "", "comma-separated engine names for -bench (default: all registered)")
 		timeout = flag.Duration("timeout", 0, "per-solve deadline for -bench (0 = none)")
 		trials  = flag.Int("trials", 0, "Monte-Carlo trials for the sim engine during -bench (0 = skip MC)")
+		xl      = flag.Bool("xl", false, "include the oversized (>=512-latch) workloads in -bench")
+		lpName  = flag.String("lp", "", "LP solver for every solve: revised (default) or dense")
+		profile = flag.String("profile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	if *lpName != "" {
+		if err := lp.SetDefaultSolver(*lpName); err != nil {
+			fmt.Fprintf(os.Stderr, "smobench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smobench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "smobench: %v\n", err)
+			os.Exit(1)
+		}
+		// Flushed on every successful path; error paths os.Exit and
+		// forfeit the profile, which is fine for a diagnostics flag.
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var (
 		out string
@@ -57,7 +86,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "smobench: %v\n", perr)
 			os.Exit(2)
 		}
-		files, berr := runBench(*bench, names, *timeout, *trials)
+		files, berr := runBench(*bench, names, *timeout, *trials, *xl)
 		if berr != nil {
 			fmt.Fprintf(os.Stderr, "smobench: %v\n", berr)
 			os.Exit(1)

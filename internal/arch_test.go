@@ -33,7 +33,7 @@ var allowed = map[string][]string{
 	"gen":         {"core", "delay", "netex", "circuits"},
 	"circuits":    {"core"},
 	"engine":      {"core", "ettf", "mcr", "nrip", "obs", "sim"},
-	"session":     {"core", "engine", "obs"},
+	"session":     {"core", "engine", "lp", "obs"},
 	"experiments": {"agrawal", "circuits", "core", "ettf", "gen", "lp", "mcr", "nrip", "render"},
 }
 

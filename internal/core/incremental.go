@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // TryReoptimizeDual computes the optimal cycle time after changing one
 // path's worst-case delay purely from the solved LP's dual
@@ -67,7 +70,11 @@ func (r *Result) Reoptimize(pathIndex int, newDelay float64) (tc float64, resolv
 	if ok {
 		return tc, false, nil
 	}
-	full, err := MinTc(c, r.Options)
+	// The edit only moved one constraint's RHS, so the solved LP's
+	// basis warm-starts the fallback: the dual simplex repairs it in a
+	// few pivots instead of re-running phase 1 (the solver falls back
+	// to a cold solve on its own if the basis turns out unusable).
+	full, err := minTcCtxWarm(context.Background(), c, nil, r.Options, r.LPBasis())
 	if err != nil {
 		// Restore both fields: SetPathDelay clamps MinDelay down to the
 		// new delay, so undoing it must undo the clamp too.

@@ -50,6 +50,16 @@ type Result struct {
 	Overlay DelayOverlay
 }
 
+// LPBasis returns the optimal simplex basis of the solve's LP, for
+// warm-starting re-solves of edited overlays over the same snapshot
+// and options (MinTcOverlayWarmCtx); nil when unavailable.
+func (r *Result) LPBasis() *lp.Basis {
+	if r == nil {
+		return nil
+	}
+	return r.LPSol.Basis()
+}
+
 // Errors returned by MinTc.
 var (
 	// ErrInfeasible indicates the constraint system has no feasible
@@ -99,10 +109,21 @@ func MinTcOverlay(ov DelayOverlay, opts Options) (*Result, error) {
 // (see MinTcCtx). Circuit validation happened once at Freeze; only the
 // options are validated here.
 func MinTcOverlayCtx(ctx context.Context, ov DelayOverlay, opts Options) (*Result, error) {
+	return MinTcOverlayWarmCtx(ctx, ov, opts, nil)
+}
+
+// MinTcOverlayWarmCtx is MinTcOverlayCtx warm-started from a previous
+// solve's optimal LP basis (Result.LPBasis of a solve over the same
+// snapshot with the same options). Overlay edits only move LP RHS
+// values, so the old basis typically stays dual feasible and the
+// re-solve costs a handful of dual-simplex pivots instead of a full
+// two-phase solve. A nil or mismatched basis falls back to a cold
+// solve; results are identical either way.
+func MinTcOverlayWarmCtx(ctx context.Context, ov DelayOverlay, opts Options, warm *lp.Basis) (*Result, error) {
 	if !ov.Valid() {
 		return nil, fmt.Errorf("core: MinTcOverlay on a zero DelayOverlay (start from Circuit.Freeze)")
 	}
-	return minTcCtx(ctx, ov.base.c, &ov, opts)
+	return minTcCtxWarm(ctx, ov.base.c, &ov, opts, warm)
 }
 
 // minTcCtx is the shared Algorithm MLP implementation: delays are read
@@ -110,6 +131,39 @@ func MinTcOverlayCtx(ctx context.Context, ov DelayOverlay, opts Options) (*Resul
 // circuit is assumed valid (MinTcCtx validates builder circuits;
 // Freeze validated snapshots).
 func minTcCtx(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Options) (*Result, error) {
+	return minTcCtxWarm(ctx, c, ov, opts, nil)
+}
+
+// recordLPStats translates the solver's self-reported work profile
+// into the obs recorder (the lp package is a generic substrate and
+// cannot depend on obs itself).
+func recordLPStats(rec *obs.Rec, sol *lp.Solution) {
+	rec.Add(obs.Pivots, int64(sol.Pivots))
+	st := sol.Stats
+	if st.Nnz > 0 {
+		rec.Add(obs.LPNnz, int64(st.Nnz))
+	}
+	if st.Refactorizations > 0 {
+		rec.Add(obs.LPRefactorizations, int64(st.Refactorizations))
+	}
+	if st.WarmStarted {
+		rec.Add(obs.LPWarmStarts, 1)
+		rec.Add(obs.LPWarmPivots, int64(st.WarmPivots))
+	}
+	if st.AssembleTime > 0 {
+		rec.AddStage("lp.assemble", st.AssembleTime)
+	}
+	if st.FactorTime > 0 {
+		rec.AddStage("lp.factor", st.FactorTime)
+	}
+	if st.PivotTime > 0 {
+		rec.AddStage("lp.pivot", st.PivotTime)
+	}
+}
+
+// minTcCtxWarm is minTcCtx with an optional warm-start basis for the
+// LP solve.
+func minTcCtxWarm(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Options, warm *lp.Basis) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,9 +186,9 @@ func minTcCtx(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Options) (
 		prob, vm, rows = buildLPOv(c, ov, opts)
 		rec.Add(obs.LPRows, int64(prob.NumConstraints()))
 		var serr error
-		sol, serr = lp.SolveCtx(ctx, prob)
+		sol, serr = lp.SolveCtxFrom(ctx, prob, warm)
 		if sol != nil {
-			rec.Add(obs.Pivots, int64(sol.Pivots))
+			recordLPStats(rec, sol)
 		}
 		return serr
 	})

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+
+	"mintc/internal/lp"
 )
 
 // SweepDelays solves the design problem at each of the given delay
@@ -59,16 +62,24 @@ func SweepDelaysCompiled(cc *Compiled, opts Options, pathIndex int, values []flo
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Consecutive sweep values differ only in one delay, which the
+			// LP sees as an RHS edit: each worker chains the basis from its
+			// previous solve into the next one, so all solves after the
+			// first are dual-simplex warm re-solves.
+			var warm *lp.Basis
 			for i := range next {
 				ov, err := withChecked(base, pathIndex, values[i])
 				if err != nil {
 					errs[i] = err
 					continue
 				}
-				r, err := MinTcOverlay(ov, opts)
+				r, err := MinTcOverlayWarmCtx(context.Background(), ov, opts, warm)
 				if err != nil {
 					errs[i] = err
 					continue
+				}
+				if b := r.LPBasis(); b != nil {
+					warm = b
 				}
 				tcs[i] = r.Schedule.Tc
 			}

@@ -80,6 +80,24 @@ func Suite() []Benchmark {
 	return out
 }
 
+// XLarge returns the oversized workloads kept out of Suite so they do
+// not dominate the cross-engine test matrix: a 512-latch two-phase
+// ring with a known optimum and a 512-synchronizer random circuit.
+// The sparse-LP benchmark sweep (smobench -bench -xl, bench/sparse)
+// includes them to measure solver scaling past the suite's sizes.
+func XLarge() []Benchmark {
+	const ringDQ, ringSetup, ringDelay = 2.0, 1.0, 30.0
+	r, err := Ring(2, 512, ringSetup, ringDQ, func(int) float64 { return ringDelay })
+	if err != nil {
+		panic(err) // 512 is a multiple of 2 by construction
+	}
+	rng := rand.New(rand.NewSource(404))
+	return []Benchmark{
+		{Name: "ring-2x512", Circuit: r, OptimalTc: 2 * (ringDQ + ringDelay)},
+		{Name: "rand-xl-512", Circuit: randomOfSize(rng, 512)},
+	}
+}
+
 func ringName(n int) string {
 	switch n {
 	case 8:

@@ -1,0 +1,185 @@
+// Differential fuzzing of the sparse revised simplex against the dense
+// tableau oracle. The two solvers share every convention (tolerances,
+// pricing, tie-breaks), so on any decodable program they must agree on
+// the status and, when optimal, on the objective value. The corpus is
+// seeded with the actual MinTc LPs of the paper's circuits plus small
+// hand-built programs covering each status.
+package lp_test
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/lp"
+)
+
+// Encoding: u8 n, u8 m, n×f64 objective, then m rows of
+// {u8 rel, u8 k, k×(u8 var, f64 coef), f64 rhs}. The decoder snaps
+// every float to a 1/16 grid inside moderate bounds so fuzzed inputs
+// stay well conditioned: a disagreement on such a program is a solver
+// bug, not tolerance dirt.
+const (
+	fuzzMaxVars = 64
+	fuzzMaxRows = 128
+)
+
+func snapCoef(f, lim float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	v := math.Round(f*16) / 16
+	return math.Max(-lim, math.Min(lim, v))
+}
+
+func takeF64(data []byte, pos *int) (float64, bool) {
+	if *pos+8 > len(data) {
+		return 0, false
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(data[*pos:]))
+	*pos += 8
+	return v, true
+}
+
+// decodeProblem turns fuzz bytes into an SMO-shaped LP (minimize c·x,
+// x >= 0, mixed-relation rows) or nil when the input is too short to
+// yield at least one constraint.
+func decodeProblem(data []byte) *lp.Problem {
+	if len(data) < 2 {
+		return nil
+	}
+	n := 1 + int(data[0])%fuzzMaxVars
+	m := 1 + int(data[1])%fuzzMaxRows
+	pos := 2
+	p := &lp.Problem{}
+	for j := 0; j < n; j++ {
+		f, _ := takeF64(data, &pos)
+		p.AddVar("", snapCoef(f, 16))
+	}
+	for i := 0; i < m; i++ {
+		if pos+2 > len(data) {
+			break
+		}
+		rel := lp.Rel(data[pos] % 3)
+		k := int(data[pos+1]) % (n + 1)
+		pos += 2
+		terms := make([]lp.Term, 0, k)
+		for t := 0; t < k; t++ {
+			if pos >= len(data) {
+				break
+			}
+			v := int(data[pos]) % n
+			pos++
+			f, _ := takeF64(data, &pos)
+			if c := snapCoef(f, 16); c != 0 {
+				terms = append(terms, lp.Term{Var: v, Coef: c})
+			}
+		}
+		f, _ := takeF64(data, &pos)
+		p.AddConstraint("", terms, rel, snapCoef(f, 256))
+	}
+	if p.NumConstraints() == 0 {
+		return nil
+	}
+	return p
+}
+
+// encodeProblem is the decoder's inverse for corpus seeding; returns
+// nil when the program exceeds the encoding's size fields.
+func encodeProblem(p *lp.Problem) []byte {
+	n, m := p.NumVars(), p.NumConstraints()
+	if n < 1 || n > fuzzMaxVars || m < 1 || m > fuzzMaxRows {
+		return nil
+	}
+	var out []byte
+	putF64 := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		out = append(out, b[:]...)
+	}
+	out = append(out, byte(n-1), byte(m-1)) // decoder reads 1 + b%max
+	for j := 0; j < n; j++ {
+		putF64(p.ObjCoef(j))
+	}
+	for i := 0; i < m; i++ {
+		row := p.Constraint(i)
+		terms := row.Terms
+		if len(terms) > n {
+			terms = terms[:n]
+		}
+		out = append(out, byte(row.Rel), byte(len(terms)))
+		for _, t := range terms {
+			out = append(out, byte(t.Var%n))
+			putF64(t.Coef)
+		}
+		putF64(row.RHS)
+	}
+	return out
+}
+
+// FuzzSolveSparseVsDense cross-checks the revised simplex against the
+// dense oracle: equal status always, objectives within 1e-7 when both
+// report an optimum.
+func FuzzSolveSparseVsDense(f *testing.F) {
+	// The paper's circuits, through the real MinTc LP builder.
+	for _, c := range []*core.Circuit{
+		circuits.Example2(),
+		circuits.GaAsMIPS(),
+		circuits.Fig1(circuits.DefaultFig1Delays(), 2, 3),
+	} {
+		p, _, _ := core.BuildLP(c, core.Options{})
+		if b := encodeProblem(p); b != nil {
+			f.Add(b)
+		}
+	}
+	// One seed per status.
+	feas := &lp.Problem{}
+	x0 := feas.AddVar("x0", 1)
+	x1 := feas.AddVar("x1", 1)
+	feas.AddConstraint("", []lp.Term{{Var: x0, Coef: 1}, {Var: x1, Coef: 1}}, lp.GE, 1)
+	feas.AddConstraint("", []lp.Term{{Var: x0, Coef: 1}}, lp.LE, 3)
+	infeas := &lp.Problem{}
+	y := infeas.AddVar("y", 1)
+	infeas.AddConstraint("", []lp.Term{{Var: y, Coef: 1}}, lp.LE, -1)
+	unb := &lp.Problem{}
+	z := unb.AddVar("z", -1)
+	unb.AddConstraint("", []lp.Term{{Var: z, Coef: 1}}, lp.GE, 1)
+	for _, p := range []*lp.Problem{feas, infeas, unb} {
+		if b := encodeProblem(p); b != nil {
+			f.Add(b)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeProblem(data)
+		if p == nil {
+			return
+		}
+		// Mutated programs can stall a trajectory for hundreds of
+		// thousands of degenerate pivots; a tight deadline skips those
+		// instead of letting one input eat the whole fuzz budget.
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		dense, derr := lp.SolveDenseCtx(ctx, p)
+		sparse, serr := lp.SolveCtx(ctx, p)
+		if derr != nil || serr != nil {
+			// Timeouts and iteration-limit bail-outs are not
+			// disagreements; a program that stalls one pivoting
+			// trajectory may not stall the other.
+			return
+		}
+		if dense.Status != sparse.Status {
+			t.Fatalf("status disagreement: dense=%v sparse=%v\n%s", dense.Status, sparse.Status, p)
+		}
+		if dense.Status == lp.Optimal {
+			if diff := math.Abs(dense.Obj - sparse.Obj); diff > 1e-7*(1+math.Abs(dense.Obj)) {
+				t.Fatalf("objective disagreement: dense=%.12g sparse=%.12g (diff %.3g)\n%s",
+					dense.Obj, sparse.Obj, diff, p)
+			}
+		}
+	})
+}

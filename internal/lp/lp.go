@@ -1,5 +1,5 @@
-// Package lp implements a dense two-phase primal simplex solver for
-// linear programs of the form
+// Package lp implements two-phase simplex solvers for linear programs
+// of the form
 //
 //	minimize    c·x
 //	subject to  a_i·x  {<=, =, >=}  b_i     i = 1..m
@@ -7,15 +7,28 @@
 //
 // which is exactly the shape of the SMO optimal-cycle-time program P2:
 // all timing variables (Tc, s_i, T_i, D_i) are nonnegative and every
-// constraint is a linear inequality. The solver provides primal values,
+// constraint is a linear inequality. The solvers provide primal values,
 // dual values (clock-constraint "prices"), slacks (the critical-segment
 // indicators of the paper's §V discussion), pivot counts (to check the
 // paper's n..3n simplex-steps claim), and simple RHS ranging for the
 // parametric analysis the paper proposes as future work.
 //
-// The implementation uses Dantzig pricing with an automatic switch to
-// Bland's rule when degeneracy stalls progress, guaranteeing
-// termination.
+// Two implementations share every convention (tolerances, pricing
+// rules, duals, ranging):
+//
+//   - The default solver behind Solve/SolveCtx is a sparse revised
+//     simplex (sparse.go, basis.go, revised.go): a CSC column store, an
+//     LU-factorized basis with eta-file updates, FTRAN/BTRAN kernels,
+//     and candidate-list partial pricing. Its cost scales with the
+//     nonzero count, which for P2 (≤ ~4 entries per row) is linear in
+//     the circuit size. It also supports warm-started re-solves from a
+//     previous optimal basis (warmstart.go).
+//
+//   - SolveDense/SolveDenseCtx keep the original dense two-phase
+//     tableau as the differential-testing oracle.
+//
+// Both use Dantzig pricing with an automatic switch to Bland's rule
+// when degeneracy stalls progress, guaranteeing termination.
 package lp
 
 import (
@@ -24,6 +37,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // Rel is the relation of a constraint row.
@@ -101,6 +116,9 @@ func (p *Problem) ClearObjective() {
 
 // NumConstraints returns the number of constraint rows added so far.
 func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// ObjCoef returns variable v's objective coefficient.
+func (p *Problem) ObjCoef(v int) float64 { return p.obj[v] }
 
 // VarName returns the name of variable v.
 func (p *Problem) VarName(v int) string { return p.names[v] }
@@ -230,6 +248,39 @@ type Solution struct {
 	// classic RHS ranging used for the paper's proposed parametric
 	// (critical-segment) analysis. Bounds may be ±Inf.
 	RHSRange [][2]float64
+	// Stats describes the work the solve performed (revised solver
+	// only; the dense oracle leaves it zero). The lp package is a
+	// generic substrate with no observability dependencies, so callers
+	// that keep counters translate these fields themselves.
+	Stats SolveStats
+
+	// basis is the optimal basis in the canonical column encoding (see
+	// Basis); nil on non-optimal outcomes.
+	basis []int32
+}
+
+// SolveStats is the work profile of one revised-simplex solve: sparse
+// problem size, factorization effort, warm-start attribution and the
+// assemble/factor/pivot wall-clock split. Populated on success and on
+// partial (cancelled / iteration-limited) solutions alike.
+type SolveStats struct {
+	// Nnz is the structural nonzero count of the assembled column store.
+	Nnz int
+	// Refactorizations counts basis LU (re)factorizations, including
+	// the initial one and the final accuracy refactorization.
+	Refactorizations int
+	// WarmStarted reports that the solve proceeded from a supplied
+	// basis instead of running phase 1.
+	WarmStarted bool
+	// WarmPivots is the pivot count of a warm-started solve (equal to
+	// Solution.Pivots when WarmStarted, 0 otherwise).
+	WarmPivots int
+	// AssembleTime, FactorTime and PivotTime split the solve wall
+	// clock: CSC assembly, LU factorization work, and everything else
+	// (pricing, FTRAN/BTRAN, ratio tests, extraction).
+	AssembleTime time.Duration
+	FactorTime   time.Duration
+	PivotTime    time.Duration
 }
 
 // Errors returned by Solve.
@@ -237,40 +288,114 @@ var (
 	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
 )
 
+// useDense routes Solve/SolveCtx (and SolveCtxFrom) to the dense
+// oracle instead of the revised simplex. Off by default; flipped by
+// SetDefaultSolver for baseline benchmark sweeps and differential
+// debugging.
+var useDense atomic.Bool
+
+// SetDefaultSolver selects the solver behind Solve/SolveCtx:
+// "revised" (the default sparse revised simplex) or "dense" (the
+// two-phase tableau oracle). It affects the whole process and is meant
+// for benchmark harnesses and debugging, not for concurrent toggling
+// mid-solve.
+func SetDefaultSolver(name string) error {
+	switch name {
+	case "", "revised":
+		useDense.Store(false)
+	case "dense":
+		useDense.Store(true)
+	default:
+		return fmt.Errorf("lp: unknown solver %q (have \"revised\", \"dense\")", name)
+	}
+	return nil
+}
+
 const (
-	eps       = 1e-9
-	ratioEps  = 1e-9
-	zeroSnap  = 1e-11
+	eps      = 1e-9
+	ratioEps = 1e-9
+	zeroSnap = 1e-11
+	// defaultIt is the iteration-cap floor; the effective cap scales
+	// with problem size (see iterLimit) so large programs are not
+	// truncated by a constant while small degenerate ones still stop.
 	defaultIt = 200000
+	// iterPerSize is the per-(row+column) iteration allowance above the
+	// floor. Simplex visits O(m+n) bases in practice (the paper's n..3n
+	// claim); 100·(m+n) flags pathology without biting real solves.
+	iterPerSize = 100
 )
 
-// Solve solves the problem by two-phase primal simplex.
-// Infeasible and unbounded outcomes are reported in Solution.Status
-// with a nil error; the error is reserved for solver failures (e.g.
-// iteration limit).
+// iterLimit returns the pivot-iteration cap for an m×n program:
+// max(defaultIt, iterPerSize·(m+n)).
+func iterLimit(m, n int) int {
+	if it := iterPerSize * (m + n); it > defaultIt {
+		return it
+	}
+	return defaultIt
+}
+
+// iterLimitError wraps ErrIterationLimit with the diagnosable context
+// (phase, pivot count, problem size) so truncated solves can be read
+// straight out of smobench output.
+func iterLimitError(phase, pivots, m, n int) error {
+	return fmt.Errorf("%w: phase %d stopped after %d pivots (m=%d n=%d cap=%d)",
+		ErrIterationLimit, phase, pivots, m, n, iterLimit(m, n))
+}
+
+// Solve solves the problem with the default solver (the sparse revised
+// simplex). Infeasible and unbounded outcomes are reported in
+// Solution.Status with a nil error; the error is reserved for solver
+// failures (e.g. iteration limit).
 func Solve(p *Problem) (*Solution, error) {
 	return SolveCtx(context.Background(), p)
 }
 
 // SolveCtx is Solve with cancellation: the context is checked while
-// the tableau is assembled and on every pivot iteration, so deadlines
+// the problem is assembled and on every pivot iteration, so deadlines
 // are honored even on large programs. On cancellation it returns the
 // context's error together with a partial Solution carrying the pivot
 // count reached so far (for progress accounting); the partial solution
 // has no variable values.
+//
+// The default solver is the sparse revised simplex; SetDefaultSolver
+// reroutes it (smobench's dense-baseline sweeps), and SolveDenseCtx
+// always runs the dense oracle.
 func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
-	n := len(p.names)
-	m := len(p.rows)
-	if n == 0 {
-		// Degenerate but legal: feasibility depends on constant rows.
-		for _, r := range p.rows {
-			if !constRowFeasible(r) {
-				return &Solution{Status: Infeasible, X: nil, Dual: make([]float64, m), Slack: make([]float64, m)}, nil
-			}
-		}
-		return &Solution{Status: Optimal, X: nil, Dual: make([]float64, m), Slack: rowSlacks(p, nil)}, nil
+	if useDense.Load() {
+		return SolveDenseCtx(ctx, p)
 	}
+	if sol, done := solveTrivial(p); done {
+		return sol, nil
+	}
+	return solveRevised(ctx, p, nil)
+}
 
+// SolveDense solves the problem with the dense two-phase tableau — the
+// differential-testing oracle for the revised solver.
+func SolveDense(p *Problem) (*Solution, error) {
+	return SolveDenseCtx(context.Background(), p)
+}
+
+// solveTrivial handles zero-variable programs (feasibility of constant
+// rows), shared by both solvers. done reports whether sol is final.
+func solveTrivial(p *Problem) (*Solution, bool) {
+	if len(p.names) > 0 {
+		return nil, false
+	}
+	m := len(p.rows)
+	for _, r := range p.rows {
+		if !constRowFeasible(r) {
+			return &Solution{Status: Infeasible, X: nil, Dual: make([]float64, m), Slack: make([]float64, m)}, true
+		}
+	}
+	return &Solution{Status: Optimal, X: nil, Dual: make([]float64, m), Slack: rowSlacks(p, nil)}, true
+}
+
+// SolveDenseCtx is SolveDense with cancellation (see SolveCtx).
+func SolveDenseCtx(ctx context.Context, p *Problem) (*Solution, error) {
+	if sol, done := solveTrivial(p); done {
+		return sol, nil
+	}
 	t, err := newTableau(ctx, p)
 	if err != nil {
 		return &Solution{}, err
@@ -278,7 +403,7 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	// Phase 1: minimize sum of artificials.
 	if t.numArt > 0 {
 		t.setPhase1Objective()
-		if err := t.iterate(ctx); err != nil {
+		if err := t.iterate(ctx, 1); err != nil {
 			return &Solution{Pivots: t.pivots}, err
 		}
 		if t.objValue() > 1e-7*(1+t.scale) {
@@ -290,7 +415,7 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	}
 	// Phase 2: real objective.
 	t.setPhase2Objective(p.obj)
-	if err := t.iterate(ctx); err != nil {
+	if err := t.iterate(ctx, 2); err != nil {
 		return &Solution{Pivots: t.pivots}, err
 	}
 	if t.unbounded {
@@ -346,6 +471,7 @@ type tableau struct {
 	artCol0  int         // first artificial column
 	slackCol []int       // per row: slack/surplus column or -1
 	artCol   []int       // per row: artificial column or -1
+	colRow   []int       // per slack/artificial column: owning row (canonical basis encoding)
 	rowSign  []float64   // +1 if row kept its sign, -1 if multiplied by -1
 	scale    float64     // magnitude scale of the problem for tolerances
 	// colTol holds the per-column optimality tolerance: global scale
@@ -365,17 +491,30 @@ func newTableau(ctx context.Context, p *Problem) (*tableau, error) {
 	m := len(p.rows)
 	n := len(p.names)
 
-	// One slack/surplus column per inequality plus (at most) one
-	// artificial per row; unused artificial columns stay zero and are
-	// simply never referenced. Dense zero columns cost little at these
-	// problem sizes and keep the indexing trivial.
-	numSlack := 0
+	// One slack/surplus column per inequality plus one artificial per
+	// row that starts without a basic slack (GE/EQ after RHS
+	// normalization). Artificials are allocated exactly — a dense zero
+	// column would still be swept by every pivot, and driven-out
+	// artificials must never re-enter pricing, so the artificial block
+	// holds only live columns and pricing simply stops at artCol0.
+	numSlack, numArt := 0, 0
 	for _, r := range p.rows {
 		if r.Rel != EQ {
 			numSlack++
 		}
+		rel := r.Rel
+		if r.RHS < 0 { // row will be flipped during assembly
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		if rel != LE {
+			numArt++
+		}
 	}
-	numArt := m
 
 	t := &tableau{
 		m:        m,
@@ -385,6 +524,7 @@ func newTableau(ctx context.Context, p *Problem) (*tableau, error) {
 		basis:    make([]int, m),
 		slackCol: make([]int, m),
 		artCol:   make([]int, m),
+		colRow:   make([]int, numSlack+numArt),
 		rowSign:  make([]float64, m),
 	}
 	t.a = make([][]float64, m+1)
@@ -442,21 +582,25 @@ func newTableau(ctx context.Context, p *Problem) (*tableau, error) {
 		case LE:
 			row[slackNext] = 1
 			t.slackCol[i] = slackNext
+			t.colRow[slackNext-n] = i
 			t.basis[i] = slackNext
 			slackNext++
 		case GE:
 			row[slackNext] = -1
 			t.slackCol[i] = slackNext
+			t.colRow[slackNext-n] = i
 			slackNext++
 			ac := t.artCol0 + artUsed
 			row[ac] = 1
 			t.artCol[i] = ac
+			t.colRow[ac-n] = i
 			t.basis[i] = ac
 			artUsed++
 		case EQ:
 			ac := t.artCol0 + artUsed
 			row[ac] = 1
 			t.artCol[i] = ac
+			t.colRow[ac-n] = i
 			t.basis[i] = ac
 			artUsed++
 		}
@@ -540,29 +684,26 @@ func (t *tableau) objValue() float64 {
 	return -t.a[t.m][t.ncols]
 }
 
-// colAllowed reports whether column j may enter the basis.
-func (t *tableau) colAllowed(j int) bool {
-	if j >= t.artCol0 {
-		// Artificials may only be basic leftovers; never re-enter.
-		return false
-	}
-	return true
-}
-
 // iterate runs simplex pivots until optimality, unboundedness or the
 // iteration limit. Dantzig pricing; switches to Bland's rule if the
 // objective stalls for longer than a degeneracy window. The context is
 // polled once per iteration (one pivot is the natural cancellation
 // granularity: pricing, ratio test and the pivot itself are a single
 // O(m·n) unit of work).
-func (t *tableau) iterate(ctx context.Context) error {
+//
+// Pricing stops at artCol0: artificial columns are excluded from
+// entering permanently by layout (the block holds only the artificials
+// that were actually created, and they may only be basic leftovers),
+// so no per-column eligibility predicate runs inside the loop.
+func (t *tableau) iterate(ctx context.Context, phase int) error {
 	tol := eps * (1 + t.scale)
 	bland := false
 	stall := 0
 	lastObj := t.objValue()
 	window := 4 * (t.m + t.ncols)
 
-	for iter := 0; iter < defaultIt; iter++ {
+	limit := iterLimit(t.m, t.n)
+	for iter := 0; iter < limit; iter++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -573,7 +714,7 @@ func (t *tableau) iterate(ctx context.Context) error {
 		enter := -1
 		if bland {
 			for j := 0; j < t.artCol0; j++ {
-				if obj[j] < -t.colTol[j] && t.colAllowed(j) {
+				if obj[j] < -t.colTol[j] {
 					enter = j
 					break
 				}
@@ -581,7 +722,7 @@ func (t *tableau) iterate(ctx context.Context) error {
 		} else {
 			best := 0.0
 			for j := 0; j < t.artCol0; j++ {
-				if obj[j] >= -t.colTol[j] || !t.colAllowed(j) {
+				if obj[j] >= -t.colTol[j] {
 					continue
 				}
 				// Compare scaled reduced costs across columns.
@@ -627,7 +768,7 @@ func (t *tableau) iterate(ctx context.Context) error {
 			}
 		}
 	}
-	return ErrIterationLimit
+	return iterLimitError(phase, t.pivots, t.m, t.n)
 }
 
 // pivot performs a Gauss–Jordan pivot on (row, col).
@@ -727,6 +868,10 @@ func (t *tableau) extract(p *Problem) *Solution {
 			dual[i] = 0
 		}
 	}
+	enc := make([]int32, t.m)
+	for i := 0; i < t.m; i++ {
+		enc[i] = t.encodeCol(t.basis[i])
+	}
 	return &Solution{
 		Status:   Optimal,
 		Obj:      objVal,
@@ -735,7 +880,22 @@ func (t *tableau) extract(p *Problem) *Solution {
 		Slack:    clampSlacks(rowSlacks(p, x)),
 		Pivots:   t.pivots,
 		RHSRange: t.rhsRanges(p),
+		basis:    enc,
 	}
+}
+
+// encodeCol translates a dense tableau column index into the canonical
+// basis encoding shared with the revised solver: structural j → j,
+// slack of row i → n+i, artificial of row i → n+m+i (see Basis).
+func (t *tableau) encodeCol(col int) int32 {
+	if col < t.n {
+		return int32(col)
+	}
+	row := t.colRow[col-t.n]
+	if col >= t.artCol0 {
+		return int32(t.n + t.m + row)
+	}
+	return int32(t.n + row)
 }
 
 // rhsRanges computes, for each original constraint, the interval of RHS

@@ -1,0 +1,144 @@
+package lp
+
+// pricer implements candidate-list (partial) Dantzig pricing with the
+// same per-column tolerance scheme as the dense oracle, plus a Bland
+// full-scan mode for degeneracy stalls. The candidate list remembers
+// the most attractive columns from the last full scan; between
+// refreshes only those columns are re-priced, so a typical pricing step
+// touches K short columns instead of the whole matrix. Correctness is
+// unaffected: a candidate is only chosen on its freshly recomputed
+// reduced cost, and optimality is only declared after a full rescan
+// comes up empty.
+type pricer struct {
+	st     *store
+	cand   []int32
+	scores []float64
+}
+
+// priceListSize is the candidate-list capacity. Large enough that
+// refreshes are rare on SMO programs, small enough that re-pricing the
+// list is far cheaper than a full scan. Programs whose eligible column
+// count is below fullScanLimit skip the list entirely and price every
+// column each iteration — at that size a full scan is as cheap as list
+// bookkeeping, and it keeps the pivot trajectory aligned with the dense
+// oracle's exact Dantzig rule on the small paper circuits.
+const (
+	priceListSize = 64
+	fullScanLimit = 512
+)
+
+func newPricer(st *store) *pricer {
+	return &pricer{
+		st:     st,
+		cand:   make([]int32, 0, priceListSize),
+		scores: make([]float64, 0, priceListSize),
+	}
+}
+
+// reset discards the candidate list (phase switches and drive-out
+// change the duals too much for stale candidates to be useful).
+func (pr *pricer) reset() { pr.cand = pr.cand[:0] }
+
+// price returns the entering column id under duals y (row-indexed), or
+// -1 at optimality for the phase. where maps column id -> basis
+// position (-1 when nonbasic). bland selects Bland's rule: the first
+// improving eligible index, via full scan, which guarantees
+// termination under degeneracy.
+func (pr *pricer) price(y []float64, where []int32, phase1, bland bool) int32 {
+	st := pr.st
+	lim := int32(st.n + st.m)
+	if bland {
+		for id := int32(0); id < lim; id++ {
+			if where[id] >= 0 || !st.eligible(id) {
+				continue
+			}
+			if st.cost(id, phase1)-st.colDot(y, id) < -st.tol(id) {
+				return id
+			}
+		}
+		return -1
+	}
+
+	best := int32(-1)
+	bestScore := 0.0
+	if int(lim) <= fullScanLimit {
+		for id := int32(0); id < lim; id++ {
+			if where[id] >= 0 || !st.eligible(id) {
+				continue
+			}
+			d := st.cost(id, phase1) - st.colDot(y, id)
+			tol := st.tol(id)
+			if d >= -tol {
+				continue
+			}
+			if score := d / tol; score < bestScore {
+				bestScore = score
+				best = id
+			}
+		}
+		return best
+	}
+
+	// Re-price the surviving candidates.
+	keep := pr.cand[:0]
+	for _, id := range pr.cand {
+		if where[id] >= 0 {
+			continue
+		}
+		d := st.cost(id, phase1) - st.colDot(y, id)
+		tol := st.tol(id)
+		if d >= -tol {
+			continue
+		}
+		keep = append(keep, id)
+		if score := d / tol; score < bestScore {
+			bestScore = score
+			best = id
+		}
+	}
+	pr.cand = keep
+	if best >= 0 {
+		return best
+	}
+
+	// Refresh: full scan keeping the top-K columns by scaled reduced
+	// cost (the same cross-column comparison the dense oracle uses).
+	pr.cand = pr.cand[:0]
+	pr.scores = pr.scores[:0]
+	weakest := -1
+	for id := int32(0); id < lim; id++ {
+		if where[id] >= 0 || !st.eligible(id) {
+			continue
+		}
+		d := st.cost(id, phase1) - st.colDot(y, id)
+		tol := st.tol(id)
+		if d >= -tol {
+			continue
+		}
+		score := d / tol
+		if score < bestScore {
+			bestScore = score
+			best = id
+		}
+		if len(pr.cand) < priceListSize {
+			pr.cand = append(pr.cand, id)
+			pr.scores = append(pr.scores, score)
+			weakest = -1
+			continue
+		}
+		if weakest < 0 {
+			weakest = 0
+			for k := 1; k < len(pr.scores); k++ {
+				if pr.scores[k] > pr.scores[weakest] {
+					weakest = k
+				}
+			}
+		}
+		if score < pr.scores[weakest] {
+			pr.cand[weakest] = id
+			pr.scores[weakest] = score
+			weakest = -1
+		}
+	}
+	return best
+}

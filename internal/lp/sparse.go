@@ -1,0 +1,284 @@
+package lp
+
+import (
+	"context"
+	"math"
+)
+
+// Canonical column-id space shared by the revised solver, the warm
+// start Basis encoding and the dense oracle's basis export. For a
+// problem with n structural variables and m rows:
+//
+//	[0, n)        structural variable j
+//	[n, n+m)      slack/surplus of row id-n (only inequality rows own one)
+//	[n+m, n+2m)   artificial of row id-n-m
+//
+// Ids are stable across re-assemblies of problems with the same shape
+// (same n, m and per-row relations), which is what makes a Basis from
+// one solve installable into the next solve of an edited program.
+
+// store is the sparse standard-form view of a Problem: rows normalized
+// to nonnegative RHS, structural columns in compressed sparse column
+// (CSC) form, slack and artificial columns represented implicitly
+// (they are ±unit vectors). Nothing here is mutated after assembly.
+type store struct {
+	m, n int
+
+	// Structural columns, CSC over normalized rows.
+	colPtr []int32
+	rowIdx []int32
+	vals   []float64
+
+	obj []float64 // structural objective coefficients (phase 2)
+	rhs []float64 // normalized RHS, >= 0
+
+	rowSign   []float64 // +1 if row kept its sign, -1 if multiplied by -1
+	slackSign []float64 // per row after normalization: +1 LE, -1 GE, 0 EQ
+
+	// colTol holds the per-structural-column optimality tolerance (the
+	// same scheme as the dense tableau: reduced costs are judged
+	// against the magnitude of their own column, so wide dynamic
+	// ranges don't cause premature optimality). Slack and artificial
+	// columns use the bare eps, matching the dense solver.
+	colTol []float64
+
+	scale float64 // magnitude scale of the problem for tolerances
+	nnz   int     // structural nonzeros
+}
+
+// assemble builds the store from a problem. Large programs are
+// assembled in O(nnz); the context is polled every few rows so
+// cancellation stays prompt.
+func assemble(ctx context.Context, p *Problem) (*store, error) {
+	m := len(p.rows)
+	n := len(p.names)
+	st := &store{
+		m:         m,
+		n:         n,
+		obj:       make([]float64, n),
+		rhs:       make([]float64, m),
+		rowSign:   make([]float64, m),
+		slackSign: make([]float64, m),
+		colPtr:    make([]int32, n+1),
+		scale:     1,
+	}
+	copy(st.obj, p.obj)
+
+	// Pass 1: accumulate repeated terms within each row, count column
+	// entries, and record normalization. Row entries are merged through
+	// a stamped dense workspace so repeats cost O(1).
+	acc := make([]float64, n)
+	stamp := make([]int, n)
+	type rowEnt struct {
+		row  int32
+		col  int32
+		coef float64
+	}
+	ents := make([]rowEnt, 0, 4*m)
+	counts := make([]int32, n)
+	for i, r := range p.rows {
+		if i&127 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		sign := 1.0
+		rhs := r.RHS
+		rel := r.Rel
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		st.rowSign[i] = sign
+		st.rhs[i] = rhs
+		switch rel {
+		case LE:
+			st.slackSign[i] = 1
+		case GE:
+			st.slackSign[i] = -1
+		default:
+			st.slackSign[i] = 0
+		}
+		if rhs > st.scale {
+			st.scale = rhs
+		}
+		mark := i + 1
+		for _, t := range r.Terms {
+			if stamp[t.Var] != mark {
+				stamp[t.Var] = mark
+				acc[t.Var] = 0
+			}
+			acc[t.Var] += sign * t.Coef
+		}
+		for _, t := range r.Terms {
+			if stamp[t.Var] != mark {
+				continue // already emitted for this row
+			}
+			stamp[t.Var] = -mark // emitted marker
+			v := acc[t.Var]
+			if v == 0 {
+				continue
+			}
+			if a := math.Abs(v); a > st.scale {
+				st.scale = a
+			}
+			ents = append(ents, rowEnt{row: int32(i), col: int32(t.Var), coef: v})
+			counts[t.Var]++
+		}
+	}
+
+	// Pass 2: prefix sums and CSC fill (entries arrive row-major, so
+	// each column's rows end up sorted ascending).
+	var total int32
+	for j := 0; j < n; j++ {
+		st.colPtr[j] = total
+		total += counts[j]
+	}
+	st.colPtr[n] = total
+	st.nnz = int(total)
+	st.rowIdx = make([]int32, total)
+	st.vals = make([]float64, total)
+	next := make([]int32, n)
+	copy(next, st.colPtr[:n])
+	for _, e := range ents {
+		k := next[e.col]
+		st.rowIdx[k] = e.row
+		st.vals[k] = e.coef
+		next[e.col] = k + 1
+	}
+
+	// Per-column tolerances from column magnitudes and objective.
+	st.colTol = make([]float64, n)
+	for j := 0; j < n; j++ {
+		if j&127 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		mx := 1.0
+		for k := st.colPtr[j]; k < st.colPtr[j+1]; k++ {
+			if v := math.Abs(st.vals[k]); v > mx {
+				mx = v
+			}
+		}
+		if v := math.Abs(st.obj[j]); v > mx {
+			mx = v
+		}
+		st.colTol[j] = eps * mx
+	}
+	return st, nil
+}
+
+// numCols returns the size of the canonical column-id space.
+func (st *store) numCols() int32 { return int32(st.n + 2*st.m) }
+
+// isStructural / isSlack / isArtificial classify a canonical id.
+func (st *store) isArtificial(id int32) bool { return int(id) >= st.n+st.m }
+
+// slackRow returns the owning row of a slack id.
+func (st *store) slackRow(id int32) int32 { return id - int32(st.n) }
+
+// artRow returns the owning row of an artificial id.
+func (st *store) artRow(id int32) int32 { return id - int32(st.n+st.m) }
+
+// tol returns the optimality tolerance of a column.
+func (st *store) tol(id int32) float64 {
+	if int(id) < st.n {
+		return st.colTol[id]
+	}
+	return eps
+}
+
+// cost returns the column's objective coefficient under the given
+// phase: phase 1 charges artificials 1, phase 2 charges structural
+// columns their problem cost.
+func (st *store) cost(id int32, phase1 bool) float64 {
+	if phase1 {
+		if st.isArtificial(id) {
+			return 1
+		}
+		return 0
+	}
+	if int(id) < st.n {
+		return st.obj[id]
+	}
+	return 0
+}
+
+// colDot returns y·A_col for a dense row-indexed vector y.
+func (st *store) colDot(y []float64, id int32) float64 {
+	if int(id) < st.n {
+		var s float64
+		for k := st.colPtr[id]; k < st.colPtr[id+1]; k++ {
+			s += y[st.rowIdx[k]] * st.vals[k]
+		}
+		return s
+	}
+	if st.isArtificial(id) {
+		return y[st.artRow(id)]
+	}
+	r := st.slackRow(id)
+	return y[r] * st.slackSign[r]
+}
+
+// scatterCol adds the column into a dense row-indexed vector.
+func (st *store) scatterCol(id int32, out []float64) {
+	if int(id) < st.n {
+		for k := st.colPtr[id]; k < st.colPtr[id+1]; k++ {
+			out[st.rowIdx[k]] += st.vals[k]
+		}
+		return
+	}
+	if st.isArtificial(id) {
+		out[st.artRow(id)]++
+		return
+	}
+	r := st.slackRow(id)
+	out[r] += st.slackSign[r]
+}
+
+// appendCol appends the column's sparse entries to (idx, vals),
+// returning the grown slices (used when gathering basis columns for
+// LU refactorization).
+func (st *store) appendCol(id int32, idx []int32, vals []float64) ([]int32, []float64) {
+	if int(id) < st.n {
+		for k := st.colPtr[id]; k < st.colPtr[id+1]; k++ {
+			idx = append(idx, st.rowIdx[k])
+			vals = append(vals, st.vals[k])
+		}
+		return idx, vals
+	}
+	if st.isArtificial(id) {
+		return append(idx, st.artRow(id)), append(vals, 1)
+	}
+	r := st.slackRow(id)
+	return append(idx, r), append(vals, st.slackSign[r])
+}
+
+// colNnz returns the column's nonzero count (fill heuristic for the
+// LU column ordering).
+func (st *store) colNnz(id int32) int {
+	if int(id) < st.n {
+		return int(st.colPtr[id+1] - st.colPtr[id])
+	}
+	return 1
+}
+
+// eligible reports whether a column may enter the basis: structural
+// columns and slack columns of inequality rows. Artificial columns may
+// only be basic leftovers from phase 1 and never re-enter.
+func (st *store) eligible(id int32) bool {
+	if int(id) < st.n {
+		return true
+	}
+	if st.isArtificial(id) {
+		return false
+	}
+	return st.slackSign[st.slackRow(id)] != 0
+}

@@ -1,0 +1,155 @@
+// Warm-start behaviour of the revised simplex against real MinTc LPs:
+// a basis from one solve must cut a same-shape re-solve to a handful of
+// dual pivots without moving the optimum, and unusable bases must fall
+// back to a cold solve silently.
+package lp_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/lp"
+)
+
+// buildGaAs returns the GaAs MIPS MinTc LP with path 0 scaled by f.
+func buildGaAs(t *testing.T, f float64) *lp.Problem {
+	t.Helper()
+	c := circuits.GaAsMIPS()
+	if f != 1 {
+		c.SetPathDelay(0, c.Paths()[0].Delay*f)
+	}
+	p, _, _ := core.BuildLP(c, core.Options{})
+	return p
+}
+
+// TestWarmStartFewerPivots is the acceptance property of the warm-start
+// API: after an RHS-only edit (one delay scaled 5%), re-solving from
+// the previous optimal basis must report WarmStarted, agree with the
+// cold solve's optimum to 1e-9, and use at least 5x fewer pivots.
+func TestWarmStartFewerPivots(t *testing.T) {
+	ctx := context.Background()
+	first, err := lp.SolveCtx(ctx, buildGaAs(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != lp.Optimal {
+		t.Fatalf("status %v", first.Status)
+	}
+	basis := first.Basis()
+	if basis == nil {
+		t.Fatal("optimal solve returned nil basis")
+	}
+
+	edited := buildGaAs(t, 1.05)
+	cold, err := lp.SolveCtx(ctx, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := lp.SolveCtxFrom(ctx, buildGaAs(t, 1.05), basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != lp.Optimal {
+		t.Fatalf("warm status %v", warm.Status)
+	}
+	if !warm.Stats.WarmStarted {
+		t.Fatal("warm solve did not report WarmStarted")
+	}
+	if d := math.Abs(warm.Obj - cold.Obj); d > 1e-9 {
+		t.Fatalf("warm optimum %.15g != cold %.15g (diff %.3g)", warm.Obj, cold.Obj, d)
+	}
+	if warm.Pivots*5 > cold.Pivots {
+		t.Fatalf("warm solve took %d pivots, cold %d; want >=5x reduction", warm.Pivots, cold.Pivots)
+	}
+	if warm.Stats.WarmPivots != warm.Pivots {
+		t.Fatalf("WarmPivots=%d but Pivots=%d", warm.Stats.WarmPivots, warm.Pivots)
+	}
+}
+
+// TestWarmStartIdenticalProblemZeroWork: re-solving the unchanged
+// problem from its own optimal basis must not pivot at all.
+func TestWarmStartIdenticalProblemZeroWork(t *testing.T) {
+	ctx := context.Background()
+	first, err := lp.SolveCtx(ctx, buildGaAs(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := lp.SolveCtxFrom(ctx, buildGaAs(t, 1), first.Basis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.WarmStarted || warm.Pivots != 0 {
+		t.Fatalf("unchanged re-solve: WarmStarted=%v Pivots=%d, want true/0",
+			warm.Stats.WarmStarted, warm.Pivots)
+	}
+	if d := math.Abs(warm.Obj - first.Obj); d > 1e-12 {
+		t.Fatalf("unchanged re-solve moved the optimum by %g", d)
+	}
+}
+
+// TestWarmStartUnusableBasisFallsBack: nil and shape-mismatched bases
+// must silently cold-start and still reach the optimum.
+func TestWarmStartUnusableBasisFallsBack(t *testing.T) {
+	ctx := context.Background()
+	p := buildGaAs(t, 1)
+	cold, err := lp.SolveCtx(ctx, buildGaAs(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A basis from a different-shape program.
+	small := &lp.Problem{}
+	x := small.AddVar("x", 1)
+	small.AddConstraint("", []lp.Term{{Var: x, Coef: 1}}, lp.GE, 1)
+	ssol, err := lp.SolveCtx(ctx, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, b := range map[string]*lp.Basis{"nil": nil, "mismatched": ssol.Basis()} {
+		got, err := lp.SolveCtxFrom(ctx, p, b)
+		if err != nil {
+			t.Fatalf("%s basis: %v", name, err)
+		}
+		if got.Stats.WarmStarted {
+			t.Fatalf("%s basis: solve claims WarmStarted", name)
+		}
+		if d := math.Abs(got.Obj - cold.Obj); d > 1e-9 {
+			t.Fatalf("%s basis: optimum %.15g != cold %.15g", name, got.Obj, cold.Obj)
+		}
+	}
+}
+
+// TestWarmStartInfeasibleEdit: pushing a row's RHS beyond feasibility
+// must yield Infeasible from the warm path, agreeing with a cold solve.
+func TestWarmStartInfeasibleEdit(t *testing.T) {
+	ctx := context.Background()
+	p := &lp.Problem{}
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 2)
+	p.AddConstraint("lo", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.GE, 2)
+	p.AddConstraint("hi", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.LE, 10)
+	first, err := lp.SolveCtx(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != lp.Optimal {
+		t.Fatalf("status %v", first.Status)
+	}
+
+	edited := &lp.Problem{}
+	x = edited.AddVar("x", 1)
+	y = edited.AddVar("y", 2)
+	edited.AddConstraint("lo", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.GE, 20)
+	edited.AddConstraint("hi", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.LE, 10)
+	warm, err := lp.SolveCtxFrom(ctx, edited, first.Basis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != lp.Infeasible {
+		t.Fatalf("warm status %v, want Infeasible", warm.Status)
+	}
+}

@@ -60,6 +60,19 @@ const (
 	// SessionDedup counts analysis-session queries coalesced onto an
 	// identical in-flight solve (singleflight).
 	SessionDedup
+	// LPNnz counts structural nonzeros assembled into sparse LP column
+	// stores (the size metric the revised simplex scales with).
+	LPNnz
+	// LPRefactorizations counts basis LU refactorizations performed by
+	// the revised simplex (eta-file resets).
+	LPRefactorizations
+	// LPWarmStarts counts LP solves that started from a supplied basis
+	// instead of phase 1.
+	LPWarmStarts
+	// LPWarmPivots counts simplex pivots spent inside warm-started
+	// solves (a subset of Pivots; warm pivots per warm start versus
+	// cold pivots per cold solve measures basis-reuse effectiveness).
+	LPWarmPivots
 
 	numCounters
 )
@@ -89,6 +102,14 @@ func (c Counter) String() string {
 		return "session_misses"
 	case SessionDedup:
 		return "session_dedup"
+	case LPNnz:
+		return "lp_nnz"
+	case LPRefactorizations:
+		return "lp_refactorizations"
+	case LPWarmStarts:
+		return "lp_warm_starts"
+	case LPWarmPivots:
+		return "lp_warm_pivots"
 	}
 	return fmt.Sprintf("counter_%d", int(c))
 }
@@ -180,6 +201,11 @@ func (r *Rec) Emit(name string, fields map[string]any) {
 	}
 	sink.Event(Event{Time: time.Now(), Name: name, Fields: fields})
 }
+
+// AddStage accumulates wall time into a named stage directly, for
+// solver layers that time sub-stages (assemble/factor/pivot splits)
+// with plain time.Since instead of the heavier Phase wrapper.
+func (r *Rec) AddStage(name string, d time.Duration) { r.addStage(name, d) }
 
 // addStage accumulates wall time into a named stage.
 func (r *Rec) addStage(name string, d time.Duration) {

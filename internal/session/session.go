@@ -35,6 +35,7 @@ import (
 
 	"mintc/internal/core"
 	"mintc/internal/engine"
+	"mintc/internal/lp"
 	"mintc/internal/obs"
 )
 
@@ -60,6 +61,25 @@ type Session struct {
 	lru    *list.List // front = most recently used; element value is *entry
 	items  map[string]*list.Element
 	flight map[string]*flight
+
+	// seeds holds, per options shape, the optimal LP basis of the
+	// UNEDITED snapshot's solve, computed lazily once and used to
+	// warm-start every edited-overlay MinTc. Every overlay over one
+	// snapshot yields an LP of identical structure (delays only move
+	// RHS values), so the base basis is a valid warm seed for all of
+	// them — and because it is a fixed function of (snapshot, options),
+	// warm-started results stay independent of query arrival order,
+	// preserving the concurrent==serial bit-identity guarantee that a
+	// "most recently solved basis" cache would break at degenerate
+	// optima (same vertex, different basis, different RHS ranges).
+	seedMu sync.Mutex
+	seeds  map[string]*baseSeed
+}
+
+// baseSeed computes one options shape's base-overlay basis at most once.
+type baseSeed struct {
+	once sync.Once
+	b    *lp.Basis
 }
 
 type entry struct {
@@ -90,6 +110,7 @@ func New(cc *core.Compiled, cfg Config) *Session {
 		lru:     list.New(),
 		items:   make(map[string]*list.Element),
 		flight:  make(map[string]*flight),
+		seeds:   make(map[string]*baseSeed),
 	}
 }
 
@@ -147,7 +168,11 @@ func (s *Session) MinTc(ctx context.Context, ov core.DelayOverlay, opts core.Opt
 	}
 	key := solveKey("mintc", ov.Digest(), &opts, nil)
 	v, err := s.do(ctx, key, func(ctx context.Context) (any, error) {
-		return core.MinTcOverlayCtx(ctx, ov, opts)
+		var warm *lp.Basis
+		if ov.Digest() != s.cc.Overlay().Digest() {
+			warm = s.baseBasis(opts)
+		}
+		return core.MinTcOverlayWarmCtx(ctx, ov, opts, warm)
 	})
 	if err != nil {
 		return nil, err
@@ -200,6 +225,32 @@ func (s *Session) Reoptimize(ctx context.Context, ov core.DelayOverlay, pathInde
 		return 0, true, err
 	}
 	return full.Schedule.Tc, true, nil
+}
+
+// baseBasis returns the optimal basis of the unedited snapshot's MinTc
+// under opts, solving it (cold, at most once per options shape) on
+// first use. Deliberately NOT routed through the result cache: the
+// seed is internal plumbing and must not perturb the session's
+// hit/miss accounting or evict user entries. A failed or non-optimal
+// base solve leaves a nil seed and every overlay solve cold-starts.
+func (s *Session) baseBasis(opts core.Options) *lp.Basis {
+	shape := solveKey("mintc", 0, &opts, nil)
+	s.seedMu.Lock()
+	sd, ok := s.seeds[shape]
+	if !ok {
+		sd = &baseSeed{}
+		s.seeds[shape] = sd
+	}
+	s.seedMu.Unlock()
+	sd.once.Do(func() {
+		// Background context + no recorder: the seed solve belongs to
+		// the session, not to whichever query happened to trigger it —
+		// per-query observability must not depend on arrival order.
+		if r, err := core.MinTcOverlayCtx(context.Background(), s.cc.Overlay(), opts); err == nil {
+			sd.b = r.LPBasis()
+		}
+	})
+	return sd.b
 }
 
 func (s *Session) checkOverlay(ov core.DelayOverlay) error {

@@ -1,0 +1,55 @@
+package session
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/obs"
+)
+
+// TestSessionMinTcWarmStartsAcrossOverlays: the session's basis cache
+// is keyed by options shape, so the second distinct-overlay MinTc query
+// must warm-start from the first query's optimal basis (visible on the
+// per-call obs recorder) and still agree with a direct core solve.
+func TestSessionMinTcWarmStartsAcrossOverlays(t *testing.T) {
+	s, err := Freeze(circuits.GaAsMIPS(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Overlay()
+	if _, err := s.MinTc(context.Background(), base, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	edited := base.With(0, s.Compiled().Circuit().Paths()[0].Delay*1.1)
+	rec := obs.New()
+	got, err := s.MinTc(obs.With(context.Background(), rec), edited, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Get(obs.LPWarmStarts) == 0 {
+		t.Fatal("second overlay query did not warm-start from the cached basis")
+	}
+	ref, err := core.MinTcOverlay(edited, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(got.Schedule.Tc - ref.Schedule.Tc); d > 1e-9 {
+		t.Fatalf("warm session Tc %.15g != direct %.15g", got.Schedule.Tc, ref.Schedule.Tc)
+	}
+
+	// Different options shape => different basis-cache key: no stale
+	// basis may leak across shapes (a wrong-shape basis would be
+	// rejected by the solver anyway; the cache must simply miss).
+	opts2 := core.Options{MinPhaseWidth: 0.5}
+	rec2 := obs.New()
+	if _, err := s.MinTc(obs.With(context.Background(), rec2), base, opts2); err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Get(obs.LPWarmStarts) != 0 {
+		t.Fatal("first query of a new options shape claims a warm start")
+	}
+}
