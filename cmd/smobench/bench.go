@@ -27,13 +27,21 @@ type benchRecord struct {
 	// The LP stage split and sparse-solver counters (zero for engines
 	// that never enter the LP, and for the dense oracle, which reports
 	// no nonzero/refactorization telemetry).
-	LPAssembleNs       int64     `json:"lp_assemble_ns,omitempty"`
-	LPFactorNs         int64     `json:"lp_factor_ns,omitempty"`
-	LPPivotNs          int64     `json:"lp_pivot_ns,omitempty"`
-	LPNnz              int64     `json:"lp_nnz,omitempty"`
-	LPRefactorizations int64     `json:"lp_refactorizations,omitempty"`
-	Error              string    `json:"error,omitempty"`
-	Stats              obs.Stats `json:"stats"`
+	LPAssembleNs       int64 `json:"lp_assemble_ns,omitempty"`
+	LPFactorNs         int64 `json:"lp_factor_ns,omitempty"`
+	LPPivotNs          int64 `json:"lp_pivot_ns,omitempty"`
+	LPNnz              int64 `json:"lp_nnz,omitempty"`
+	LPRefactorizations int64 `json:"lp_refactorizations,omitempty"`
+	// Reliability telemetry: each benchmark solve runs through the
+	// degradation supervisor, so every recorded Tc is independently
+	// certified and the certification cost is visible.
+	Certified       bool      `json:"certified"`
+	VerifyNs        int64     `json:"verify_ns,omitempty"`
+	Fallbacks       int64     `json:"fallbacks,omitempty"`
+	VerifyFailures  int64     `json:"verify_failures,omitempty"`
+	PanicsRecovered int64     `json:"panics_recovered,omitempty"`
+	Error           string    `json:"error,omitempty"`
+	Stats           obs.Stats `json:"stats"`
 }
 
 // parseEngines resolves a comma-separated -engines flag value against
@@ -55,7 +63,8 @@ func parseEngines(engines string) ([]string, error) {
 	return names, nil
 }
 
-// runBench solves every suite circuit with each requested engine and
+// runBench solves every suite circuit with each requested engine —
+// through the degradation supervisor, so every Tc is certified — and
 // writes one JSON record per run into dir. An engine failing on one
 // circuit is recorded in that circuit's JSON, not fatal to the sweep.
 // trials > 0 makes the "sim" engine follow its deterministic run with a
@@ -98,7 +107,8 @@ func benchOne(bm gen.Benchmark, name string, timeout time.Duration, trials int) 
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := engine.Solve(ctx, name, bm.Circuit, engine.Options{Seed: 1, Trials: trials})
+	res, err := engine.SolveCertified(ctx, name, bm.Circuit,
+		engine.Options{Seed: 1, Trials: trials}, engine.Policy{})
 	wall := time.Since(start)
 	rec := benchRecord{
 		Engine:  name,
@@ -116,6 +126,11 @@ func benchOne(bm gen.Benchmark, name string, timeout time.Duration, trials int) 
 		rec.LPPivotNs = res.Stats.Stage("lp.pivot").Nanoseconds()
 		rec.LPNnz = res.Stats.Counter(obs.LPNnz)
 		rec.LPRefactorizations = res.Stats.Counter(obs.LPRefactorizations)
+		rec.Certified = res.Certificate.Certified()
+		rec.VerifyNs = res.Stats.Stage("verify").Nanoseconds()
+		rec.Fallbacks = res.Stats.Counter(obs.Fallbacks)
+		rec.VerifyFailures = res.Stats.Counter(obs.VerifyFailures)
+		rec.PanicsRecovered = res.Stats.Counter(obs.PanicsRecovered)
 	}
 	return rec, err
 }

@@ -10,6 +10,9 @@
 // The -bench mode sweeps the internal/gen benchmark suite through the
 // engine registry and writes one BENCH_<circuit>_<engine>.json per run
 // (cycle time, wall-clock, pivot/iteration counters, stage timings).
+// Every benchmark solve runs through the degradation supervisor, so
+// each record also carries the certification verdict, the "verify"
+// stage cost and the fallback/verify-failure/panic counters.
 // Restrict the sweep with -engines and bound each solve with -timeout.
 //
 // EXPERIMENTS.md records this command's output next to the paper's

@@ -67,13 +67,16 @@ func TestSmobenchBenchJSON(t *testing.T) {
 		t.Fatalf("missing benchmark record: %v", err)
 	}
 	var rec struct {
-		Engine  string  `json:"engine"`
-		Circuit string  `json:"circuit"`
-		Latches int     `json:"latches"`
-		Tc      float64 `json:"tc"`
-		WallNs  int64   `json:"wall_ns"`
-		Pivots  int64   `json:"pivots"`
-		Error   string  `json:"error"`
+		Engine    string  `json:"engine"`
+		Circuit   string  `json:"circuit"`
+		Latches   int     `json:"latches"`
+		Tc        float64 `json:"tc"`
+		WallNs    int64   `json:"wall_ns"`
+		Pivots    int64   `json:"pivots"`
+		Certified bool    `json:"certified"`
+		VerifyNs  int64   `json:"verify_ns"`
+		Fallbacks int64   `json:"fallbacks"`
+		Error     string  `json:"error"`
 	}
 	if err := json.Unmarshal(blob, &rec); err != nil {
 		t.Fatalf("unmarshal %s: %v", path, err)
@@ -83,6 +86,12 @@ func TestSmobenchBenchJSON(t *testing.T) {
 	}
 	if rec.Latches != 4 || rec.Tc != 110 || rec.WallNs <= 0 || rec.Pivots == 0 {
 		t.Errorf("record values: %+v", rec)
+	}
+	if !rec.Certified || rec.VerifyNs <= 0 {
+		t.Errorf("benchmark solve not certified (certified=%v verify_ns=%d)", rec.Certified, rec.VerifyNs)
+	}
+	if rec.Fallbacks != 0 {
+		t.Errorf("clean benchmark took %d fallbacks", rec.Fallbacks)
 	}
 	if rec.Error != "" {
 		t.Errorf("unexpected error in record: %s", rec.Error)

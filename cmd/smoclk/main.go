@@ -15,7 +15,11 @@
 // an alias for mlp), can be bounded in time (-timeout 50ms aborts with
 // the partial progress reported), and can stream a structured JSONL
 // trace of counters and stages (-trace solve.jsonl). -stats prints the
-// solve's counters and stage timings.
+// solve's counters and stage timings. -certify routes the solve
+// through the degradation supervisor: the answer is independently
+// re-checked against the paper's constraint system (and the LP duality
+// gap, for exact engines), failed rungs fall down the engine's
+// fallback ladder, and the verdict, gap and trail are printed.
 //
 // Analysis mode verifies a given schedule (checkTc):
 //
@@ -30,6 +34,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"time"
@@ -45,6 +50,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (e.g. 50ms, 2s)")
 		trace    = flag.String("trace", "", "stream a structured JSONL solve trace to this file")
 		stats    = flag.Bool("stats", false, "print solve statistics (counters and stage timings)")
+		certify  = flag.Bool("certify", false, "independently certify the result and fall back through the engine's degradation ladder on failure")
 		baseline = flag.String("baseline", "", "run a baseline instead: nrip, ettf or agrawal")
 		diagram  = flag.Bool("diagram", false, "print an ASCII timing diagram")
 		svgOut   = flag.String("svg", "", "write an SVG timing diagram to this file")
@@ -77,7 +83,7 @@ func main() {
 		diagram: *diagram, svgOut: *svgOut, dump: *dump, simulate: *simulate,
 		cycles: *cycles, lex: *lex, parametric: *param, paramTo: *paramTo,
 		gnl: *gnl, model: *model, toploops: *toploops, dotOut: *dotOut, mcTrials: *mcTrials, marginTc: *marginTc,
-		timeout: *timeout, trace: *trace, stats: *stats,
+		timeout: *timeout, trace: *trace, stats: *stats, certify: *certify,
 		opts: mintc.Options{MinPhaseWidth: *minWidth, MinSeparation: *minSep, Skew: *skew, FixedTc: *fixedTc, DesignForHold: *holdOpt},
 	}
 	if err := run(*file, cfg); err != nil {
@@ -105,6 +111,7 @@ type config struct {
 	timeout                 time.Duration
 	trace                   string
 	stats                   bool
+	certify                 bool
 	opts                    mintc.Options
 }
 
@@ -284,8 +291,16 @@ func runEngine(c *mintc.Circuit, cfg config) (*mintc.EngineResult, error) {
 		rec.SetSink(mintc.NewTraceWriter(f))
 		eopts.Rec = rec
 	}
-	res, err := mintc.SolveEngineOverlay(ctx, name, cc.Overlay(), eopts)
+	var res *mintc.EngineResult
+	if cfg.certify {
+		res, err = mintc.SolveEngineCertifiedOverlay(ctx, name, cc.Overlay(), eopts, mintc.CertifyPolicy{})
+	} else {
+		res, err = mintc.SolveEngineOverlay(ctx, name, cc.Overlay(), eopts)
+	}
 	if err != nil {
+		if res != nil && cfg.certify {
+			printCertificate(res)
+		}
 		if res != nil && cfg.stats {
 			fmt.Printf("partial stats: %s\n", res.Stats)
 		}
@@ -327,10 +342,37 @@ func runEngine(c *mintc.Circuit, cfg config) (*mintc.EngineResult, error) {
 			fmt.Printf("simulation: clean; steady state from cycle %d\n", tr.ConvergedAt)
 		}
 	}
+	if cfg.certify {
+		printCertificate(res)
+	}
 	if cfg.stats {
 		fmt.Printf("stats: %s\n", res.Stats)
 	}
 	return res, nil
+}
+
+// printCertificate reports the independent checker's verdict, the LP
+// duality gap when the solve carried one, and — whenever more than a
+// clean first rung ran — the degradation-ladder trail.
+func printCertificate(res *mintc.EngineResult) {
+	cert := res.Certificate
+	fmt.Printf("certificate: %s\n", cert)
+	if cert != nil && !math.IsNaN(cert.DualityGap) {
+		fmt.Printf("  duality gap: %.3g\n", cert.DualityGap)
+	}
+	if len(res.Trail) > 1 || (len(res.Trail) == 1 && !res.Trail[0].Certified) {
+		fmt.Println("  fallback trail:")
+		for _, a := range res.Trail {
+			status := "certified"
+			switch {
+			case a.Err != "":
+				status = "failed: " + a.Err
+			case a.Rejected != "":
+				status = "rejected: " + a.Rejected
+			}
+			fmt.Printf("    %-6s (engine %s): %s\n", a.Rung, a.Engine, status)
+		}
+	}
 }
 
 // loadCircuit reads the circuit from an .smo file or, with -gnl, from

@@ -383,3 +383,32 @@ func TestRunTraceFlag(t *testing.T) {
 		t.Errorf("trace file has no stage events:\n%s", blob)
 	}
 }
+
+func TestRunCertifyFlag(t *testing.T) {
+	f := writeTemp(t, "ex1.smo", example1SMO)
+	out, err := capture(t, func() error {
+		return run(f, cfg(func(c *config) { c.certify = true }))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "certificate: certified optimal") {
+		t.Errorf("missing certificate verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "duality gap:") {
+		t.Errorf("missing duality gap:\n%s", out)
+	}
+}
+
+func TestRunCertifyInfeasible(t *testing.T) {
+	f := writeTemp(t, "ex1.smo", example1SMO)
+	out, err := capture(t, func() error {
+		return run(f, cfg(func(c *config) { c.certify = true; c.opts = mintc.Options{FixedTc: 90} }))
+	})
+	if err == nil {
+		t.Fatal("want an infeasibility error")
+	}
+	if !strings.Contains(out, "certificate: certified infeasible") {
+		t.Errorf("infeasibility not certified in output:\n%s", out)
+	}
+}

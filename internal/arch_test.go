@@ -17,11 +17,13 @@ import (
 // allowed maps each internal package to the internal packages it may
 // import. Packages absent from the map may import nothing internal.
 var allowed = map[string][]string{
+	"faultinject": {},
 	"graph":       {},
-	"lp":          {},
+	"lp":          {"faultinject"},
 	"delay":       {},
 	"obs":         {},
 	"core":        {"graph", "lp", "obs"},
+	"verify":      {"core", "lp"},
 	"mcr":         {"core", "graph", "obs"},
 	"ettf":        {"core", "lp", "obs"},
 	"nrip":        {"core", "ettf", "obs"},
@@ -32,7 +34,7 @@ var allowed = map[string][]string{
 	"netex":       {"core", "delay"},
 	"gen":         {"core", "delay", "netex", "circuits"},
 	"circuits":    {"core"},
-	"engine":      {"core", "ettf", "mcr", "nrip", "obs", "sim"},
+	"engine":      {"core", "ettf", "lp", "mcr", "nrip", "obs", "sim", "verify"},
 	"session":     {"core", "engine", "lp", "obs"},
 	"experiments": {"agrawal", "circuits", "core", "ettf", "gen", "lp", "mcr", "nrip", "render"},
 }
@@ -100,11 +102,18 @@ func TestInternalDependencyRules(t *testing.T) {
 
 // TestSubstratesImportNoTimingPackages pins the key property: graph,
 // lp, delay and obs are generic substrates with no knowledge of the
-// SMO model.
+// SMO model. The only internal import a substrate may have is
+// faultinject — the build-tag-gated fault hooks, itself a leaf with
+// zero dependencies and no timing semantics.
 func TestSubstratesImportNoTimingPackages(t *testing.T) {
 	for _, pkg := range []string{"graph", "lp", "delay", "obs"} {
-		if len(allowed[pkg]) != 0 {
-			t.Errorf("substrate %s grew internal dependencies: %v", pkg, allowed[pkg])
+		for _, dep := range allowed[pkg] {
+			if dep != "faultinject" {
+				t.Errorf("substrate %s grew internal dependency %s", pkg, dep)
+			}
 		}
+	}
+	if len(allowed["faultinject"]) != 0 {
+		t.Errorf("faultinject must stay a leaf; it imports %v", allowed["faultinject"])
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -151,7 +152,7 @@ func TestFixedTcFeasibleAndInfeasible(t *testing.T) {
 	if _, err := MinTc(c, Options{FixedTc: opt.Schedule.Tc + 10}); err != nil {
 		t.Errorf("fixed Tc above optimum must be feasible: %v", err)
 	}
-	if _, err := MinTc(c, Options{FixedTc: opt.Schedule.Tc - 5}); err != ErrInfeasible {
+	if _, err := MinTc(c, Options{FixedTc: opt.Schedule.Tc - 5}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("fixed Tc below optimum: err = %v, want ErrInfeasible", err)
 	}
 }

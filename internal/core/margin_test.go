@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -71,7 +72,7 @@ func TestMaxMarginGrowsWithTc(t *testing.T) {
 
 func TestMaxMarginBelowOptimumInfeasible(t *testing.T) {
 	c := example1(80)
-	if _, err := MaxMarginSchedule(c, Options{}, 100); err != ErrInfeasible {
+	if _, err := MaxMarginSchedule(c, Options{}, 100); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
 	if _, err := MaxMarginSchedule(c, Options{}, 0); err == nil {

@@ -72,6 +72,21 @@ var (
 	ErrNoConvergence = errors.New("core: departure update iteration did not converge")
 )
 
+// InfeasibleError is the typed form of ErrInfeasible carrying the LP
+// solver's machine-checkable witness. errors.Is(err, ErrInfeasible)
+// matches it, so existing callers are unaffected; certificate-aware
+// callers use errors.As to reach the ray and validate it against the
+// raw P2 rows (internal/verify.Infeasible with BuildLP).
+type InfeasibleError struct {
+	// Ray is the Farkas infeasibility certificate in P2 row order (see
+	// lp.Solution.FarkasRay); nil when the solver produced none.
+	Ray []float64
+}
+
+func (e *InfeasibleError) Error() string { return ErrInfeasible.Error() }
+
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
+
 // MinTc runs Algorithm MLP: it solves the linear program P2 for the
 // minimum cycle time and optimal clock schedule, then slides the
 // departure times down to the greatest fixpoint of the propagation
@@ -200,7 +215,7 @@ func minTcCtxWarm(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Option
 	}
 	switch sol.Status {
 	case lp.Infeasible:
-		return nil, ErrInfeasible
+		return nil, &InfeasibleError{Ray: sol.FarkasRay}
 	case lp.Unbounded:
 		// Minimizing a nonnegative variable cannot be unbounded.
 		return nil, fmt.Errorf("core: LP unexpectedly unbounded")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -331,7 +332,7 @@ func TestTheorem1RandomCircuits(t *testing.T) {
 	for iter := 0; iter < 60; iter++ {
 		c := randomCircuit(rng)
 		r, err := MinTc(c, Options{})
-		if err == ErrInfeasible {
+		if errors.Is(err, ErrInfeasible) {
 			continue
 		}
 		if err != nil {
@@ -341,7 +342,7 @@ func TestTheorem1RandomCircuits(t *testing.T) {
 		// Tightening below the optimum must be infeasible.
 		if r.Schedule.Tc > 1 {
 			_, err := MinTc(c, Options{FixedTc: r.Schedule.Tc * 0.98})
-			if err != ErrInfeasible {
+			if !errors.Is(err, ErrInfeasible) {
 				t.Errorf("iter %d: Tc below optimum still feasible (Tc*=%g)", iter, r.Schedule.Tc)
 			}
 		}

@@ -35,7 +35,7 @@ func (mlpSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Res
 }
 
 func (mlpSolver) SolveOverlay(ctx context.Context, ov core.DelayOverlay, opts Options) (*Result, error) {
-	r, err := core.MinTcOverlayCtx(ctx, ov, opts.Core)
+	r, err := core.MinTcOverlayWarmCtx(ctx, ov, opts.Core, opts.WarmBasis)
 	if err != nil {
 		return nil, err
 	}

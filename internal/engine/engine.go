@@ -21,15 +21,42 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
 
 	"mintc/internal/core"
+	"mintc/internal/lp"
 	"mintc/internal/obs"
+	"mintc/internal/verify"
 )
+
+// ErrUnknownEngine is returned (wrapped, with the offending name and
+// the available engines) when a registry lookup fails. Match with
+// errors.Is.
+var ErrUnknownEngine = errors.New("engine: unknown engine")
+
+// PanicError is a panic caught at the engine boundary and converted
+// into an ordinary error: no panic from a solver's internals crosses
+// Run, RunOverlay or the session layer. The recovered value and the
+// goroutine stack at the panic site are retained for diagnosis, and
+// obs.PanicsRecovered counts every conversion.
+type PanicError struct {
+	// Engine is the registry name of the solver that panicked.
+	Engine string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted goroutine stack captured inside recover.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine/%s: panic recovered: %v", e.Engine, e.Value)
+}
 
 // Options carries the per-solve configuration common to all engines
 // plus the knobs only some engines read (documented per field).
@@ -57,6 +84,12 @@ type Options struct {
 	// timings (use obs.Rec.SetSink for a live trace). When nil, Run
 	// creates a private recorder; either way Result.Stats is populated.
 	Rec *obs.Rec
+	// WarmBasis, when non-nil, seeds the "mlp" engine's overlay solve
+	// with a previous optimal simplex basis (core.Result.LPBasis),
+	// turning the LP phase into a warm-started dual re-solve. Only read
+	// by "mlp" through SolveOverlay; the degradation ladder clears it
+	// when it retreats to a cold rung.
+	WarmBasis *lp.Basis
 }
 
 // Result is the engine-independent view of a solve.
@@ -77,6 +110,17 @@ type Result struct {
 	// durations. Populated even when the solve returns an error, so
 	// callers can see the partial progress of a cancelled solve.
 	Stats obs.Stats
+	// Certificate is the independent re-check of this result, present
+	// when the solve went through SolveCertified/SolveCertifiedOverlay:
+	// for feasible solves a constraint-by-constraint verification of
+	// (Tc, s, D) plus the engine's optimality evidence (LP duality gap
+	// or critical cycle); for certified-infeasible solves the validated
+	// infeasibility witness. Nil for plain Solve/Run calls.
+	Certificate *verify.Certificate
+	// Trail records every degradation-ladder rung the supervisor tried
+	// to produce this result, in order, ending with the rung that
+	// produced it. Nil for plain Solve/Run calls.
+	Trail []Attempt
 	// Detail is the engine's native result (*core.Result, *mcr.Result,
 	// *nrip.Result, *ettf.Result, or *SimDetail) for callers that need
 	// engine-specific reporting.
@@ -147,7 +191,7 @@ func Names() []string {
 func Solve(ctx context.Context, name string, c *core.Circuit, opts Options) (*Result, error) {
 	s, ok := Get(name)
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown engine %q (available: %s)", name, strings.Join(Names(), ", "))
+		return nil, fmt.Errorf("%w %q (available: %s)", ErrUnknownEngine, name, strings.Join(Names(), ", "))
 	}
 	return Run(ctx, s, c, opts)
 }
@@ -157,7 +201,7 @@ func Solve(ctx context.Context, name string, c *core.Circuit, opts Options) (*Re
 func SolveOverlay(ctx context.Context, name string, ov core.DelayOverlay, opts Options) (*Result, error) {
 	s, ok := Get(name)
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown engine %q (available: %s)", name, strings.Join(Names(), ", "))
+		return nil, fmt.Errorf("%w %q (available: %s)", ErrUnknownEngine, name, strings.Join(Names(), ", "))
 	}
 	return RunOverlay(ctx, s, ov, opts)
 }
@@ -171,10 +215,10 @@ func SolveOverlay(ctx context.Context, name string, ov core.DelayOverlay, opts O
 func RunOverlay(ctx context.Context, s Solver, ov core.DelayOverlay, opts Options) (*Result, error) {
 	name := s.Name()
 	if !ov.Valid() {
-		return &Result{Engine: name}, fmt.Errorf("engine: overlay solve without a snapshot (start from Compiled.Overlay)")
+		return &Result{Engine: name}, fmt.Errorf("engine/%s: overlay solve without a snapshot (start from Compiled.Overlay)", name)
 	}
 	if err := opts.Core.Validate(); err != nil {
-		return &Result{Engine: name}, err
+		return &Result{Engine: name}, fmt.Errorf("engine/%s: %w", name, err)
 	}
 	rec := opts.Rec
 	if rec == nil {
@@ -185,11 +229,12 @@ func RunOverlay(ctx context.Context, s Solver, ov core.DelayOverlay, opts Option
 	var res *Result
 	var err error
 	pprof.Do(ctx, pprof.Labels("mintc.engine", name), func(ctx context.Context) {
-		if cs, ok := s.(CompiledSolver); ok {
-			res, err = cs.SolveOverlay(ctx, ov, opts)
-		} else {
-			res, err = s.Solve(ctx, ov.Materialize(), opts)
-		}
+		res, err = runGuarded(name, rec, func() (*Result, error) {
+			if cs, ok := s.(CompiledSolver); ok {
+				return cs.SolveOverlay(ctx, ov, opts)
+			}
+			return s.Solve(ctx, ov.Materialize(), opts)
+		})
 	})
 	if res == nil {
 		res = &Result{}
@@ -208,7 +253,7 @@ func RunOverlay(ctx context.Context, s Solver, ov core.DelayOverlay, opts Option
 func Run(ctx context.Context, s Solver, c *core.Circuit, opts Options) (*Result, error) {
 	name := s.Name()
 	if err := opts.Core.Validate(); err != nil {
-		return &Result{Engine: name}, err
+		return &Result{Engine: name}, fmt.Errorf("engine/%s: %w", name, err)
 	}
 	rec := opts.Rec
 	if rec == nil {
@@ -219,12 +264,36 @@ func Run(ctx context.Context, s Solver, c *core.Circuit, opts Options) (*Result,
 	var res *Result
 	var err error
 	pprof.Do(ctx, pprof.Labels("mintc.engine", name), func(ctx context.Context) {
-		res, err = s.Solve(ctx, c, opts)
+		res, err = runGuarded(name, rec, func() (*Result, error) {
+			return s.Solve(ctx, c, opts)
+		})
 	})
 	if res == nil {
 		res = &Result{}
 	}
 	res.Engine = name
 	res.Stats = rec.Snapshot()
+	return res, err
+}
+
+// runGuarded executes one solver call under the engine boundary's
+// failure contract: a panic anywhere inside the solver is converted
+// into a *PanicError (stack captured at the panic site,
+// obs.PanicsRecovered incremented) instead of unwinding into the
+// caller, and every ordinary error is wrapped with the engine name —
+// "engine/mlp: …" — while keeping the cause chain intact, so
+// errors.Is(err, lp.ErrIterationLimit) and friends keep working
+// through the façade.
+func runGuarded(name string, rec *obs.Rec, fn func() (*Result, error)) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rec.Add(obs.PanicsRecovered, 1)
+			err = &PanicError{Engine: name, Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	res, err = fn()
+	if err != nil {
+		err = fmt.Errorf("engine/%s: %w", name, err)
+	}
 	return res, err
 }

@@ -1,0 +1,29 @@
+//go:build !faultinject
+
+// Package faultinject is a build-tag-gated fault injection substrate.
+//
+// Production builds (no tag) compile the hooks to inlinable no-ops, so
+// instrumented hot loops (simplex pivots, basis factorization) pay
+// nothing. Builds with -tags faultinject activate a process-global
+// registry (see hooks.go) through which tests force singular bases,
+// perturb pivot arithmetic, trip iteration caps, or panic inside
+// solver internals — driving every rung of the engine layer's
+// degradation ladder deterministically.
+//
+// The package is a generic leaf substrate: it imports nothing from
+// this module and knows nothing about timing analysis. Hook points are
+// named by convention "<pkg>.<site>" (e.g. "lp.factor", "lp.pivot").
+package faultinject
+
+// Enabled reports whether this binary was built with the faultinject
+// build tag.
+func Enabled() bool { return false }
+
+// Fire reports the fault configured for point, if any. In production
+// builds it always returns nil. A configured hook may instead panic,
+// modeling a crash inside the instrumented code.
+func Fire(point string) error { return nil }
+
+// Perturb returns v, transformed by the perturbation configured for
+// point, if any. In production builds it returns v unchanged.
+func Perturb(point string, v float64) float64 { return v }

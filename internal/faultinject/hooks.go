@@ -1,0 +1,95 @@
+//go:build faultinject
+
+// Package faultinject (faultinject build): the active hook registry.
+// See faultinject.go for the package contract; this file replaces the
+// no-op hooks with a mutex-guarded process-global registry that tests
+// program with Set/SetAfter/SetPerturb and clear with Reset.
+package faultinject
+
+import "sync"
+
+// fault is one armed Fire hook: skip the first `after` hits, then
+// trigger `count` times (negative = unlimited). The function may
+// return an error to inject or panic to model a crash.
+type fault struct {
+	after int
+	count int
+	fn    func() error
+}
+
+var (
+	mu       sync.Mutex
+	faults   = map[string]*fault{}
+	perturbs = map[string]func(float64) float64{}
+)
+
+// Enabled reports whether this binary was built with the faultinject
+// build tag.
+func Enabled() bool { return true }
+
+// Set arms point so every Fire(point) invokes fn until Reset. fn may
+// return an error (injected as the hook site's failure) or panic.
+func Set(point string, fn func() error) { SetAfter(point, 0, -1, fn) }
+
+// SetAfter arms point to skip the first `skip` Fire calls, then invoke
+// fn on the next `times` calls (negative times = unlimited).
+func SetAfter(point string, skip, times int, fn func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	faults[point] = &fault{after: skip, count: times, fn: fn}
+}
+
+// SetPerturb arms point so every Perturb(point, v) returns fn(v).
+func SetPerturb(point string, fn func(float64) float64) {
+	mu.Lock()
+	defer mu.Unlock()
+	perturbs[point] = fn
+}
+
+// Reset disarms every hook. Tests must call it (usually via t.Cleanup)
+// so faults never leak across test cases.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = map[string]*fault{}
+	perturbs = map[string]func(float64) float64{}
+}
+
+// Fire reports the fault configured for point, if any. The armed
+// function runs outside the registry lock, so it may itself call back
+// into the package (or panic) safely.
+func Fire(point string) error {
+	mu.Lock()
+	f := faults[point]
+	if f == nil {
+		mu.Unlock()
+		return nil
+	}
+	if f.after > 0 {
+		f.after--
+		mu.Unlock()
+		return nil
+	}
+	if f.count == 0 {
+		mu.Unlock()
+		return nil
+	}
+	if f.count > 0 {
+		f.count--
+	}
+	fn := f.fn
+	mu.Unlock()
+	return fn()
+}
+
+// Perturb returns v transformed by the perturbation configured for
+// point, or v unchanged when none is armed.
+func Perturb(point string, v float64) float64 {
+	mu.Lock()
+	fn := perturbs[point]
+	mu.Unlock()
+	if fn == nil {
+		return v
+	}
+	return fn(v)
+}

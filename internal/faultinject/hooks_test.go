@@ -1,0 +1,59 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSetAfterSkipAndTimes(t *testing.T) {
+	Reset()
+	defer Reset()
+	injected := errors.New("boom")
+	// Skip the first two hits, then fire exactly three times.
+	SetAfter("p", 2, 3, func() error { return injected })
+	var got []bool
+	for i := 0; i < 7; i++ {
+		got = append(got, Fire("p") != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire pattern = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetUnlimited(t *testing.T) {
+	Reset()
+	defer Reset()
+	injected := errors.New("boom")
+	Set("p", func() error { return injected })
+	for i := 0; i < 100; i++ {
+		if !errors.Is(Fire("p"), injected) {
+			t.Fatalf("fire %d did not inject", i)
+		}
+	}
+	if Fire("other") != nil {
+		t.Error("unarmed point fired")
+	}
+}
+
+func TestPerturbAndReset(t *testing.T) {
+	Reset()
+	SetPerturb("p", func(v float64) float64 { return v + 1 })
+	if got := Perturb("p", 1); got != 2 {
+		t.Errorf("Perturb = %g, want 2", got)
+	}
+	if got := Perturb("other", 1); got != 1 {
+		t.Errorf("unarmed Perturb = %g, want identity", got)
+	}
+	Reset()
+	if got := Perturb("p", 1); got != 1 {
+		t.Errorf("Perturb after Reset = %g, want identity", got)
+	}
+	if !Enabled() {
+		t.Error("Enabled() = false under the faultinject tag")
+	}
+}

@@ -1,15 +1,10 @@
 package lp
 
 import (
-	"errors"
 	"math"
-)
 
-// errSingularBasis reports that a basis handed to the LU factorizer was
-// numerically singular. Inside the solver this is recovered from (the
-// offending pivot is rejected or the warm start falls back to a cold
-// solve); it never escapes to package API.
-var errSingularBasis = errors.New("lp: singular basis")
+	"mintc/internal/faultinject"
+)
 
 // luEta holds one product-form update: after a pivot at basis position
 // pos with transformed entering column w, the new basis inverse is
@@ -92,6 +87,9 @@ func newBasisLU(m int) *basisLU {
 // heuristic that works well on SMO programs where most basis columns
 // are slacks or near-unit structural columns.
 func (b *basisLU) factorize(st *store, basis []int32) error {
+	if err := faultinject.Fire("lp.factor"); err != nil {
+		return err
+	}
 	m := b.m
 	b.lp = append(b.lp[:0], 0)
 	b.li = b.li[:0]
@@ -174,7 +172,7 @@ func (b *basisLU) factorize(st *store, basis []int32) error {
 			for _, r := range b.topo {
 				b.x[r] = 0
 			}
-			return errSingularBasis
+			return ErrSingularBasis
 		}
 
 		// Emit U column (entries at already-pivotal rows) and L column

@@ -1,0 +1,48 @@
+//go:build faultinject
+
+package lp_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mintc/internal/faultinject"
+	"mintc/internal/lp"
+)
+
+// TestWarmFaultForcesColdPath: an injected unusable-basis fault on
+// "lp.warm" must silently demote SolveCtxFrom to a cold solve — same
+// optimum, but no WarmStarted flag — proving the fallback path a real
+// corrupted basis would take.
+func TestWarmFaultForcesColdPath(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	ctx := context.Background()
+
+	first, err := lp.SolveCtx(ctx, buildGaAs(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := first.Basis()
+
+	warm, err := lp.SolveCtxFrom(ctx, buildGaAs(t, 1.05), basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.WarmStarted {
+		t.Fatal("control warm solve did not warm-start")
+	}
+
+	faultinject.Set("lp.warm", func() error { return lp.ErrSingularBasis })
+	cold, err := lp.SolveCtxFrom(ctx, buildGaAs(t, 1.05), basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.WarmStarted {
+		t.Error("faulted solve still claims WarmStarted")
+	}
+	if d := math.Abs(cold.Obj - warm.Obj); d > 1e-9 {
+		t.Errorf("forced-cold optimum %.15g != warm %.15g (diff %.3g)", cold.Obj, warm.Obj, d)
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"mintc/internal/faultinject"
 )
 
 // Rel is the relation of a constraint row.
@@ -253,6 +255,17 @@ type Solution struct {
 	// generic substrate with no observability dependencies, so callers
 	// that keep counters translate these fields themselves.
 	Stats SolveStats
+	// FarkasRay, populated when Status is Infeasible, is a certificate
+	// of infeasibility in the original row space: a vector y with
+	// y_i <= 0 on LE rows, y_i >= 0 on GE rows (free on EQ), such that
+	// Σ_i y_i·a_ij <= 0 for every variable j while Σ_i y_i·b_i > 0.
+	// Any x >= 0 satisfying the rows would give the contradiction
+	// 0 >= y·Ax = Σ_j x_j (y·A_j) and y·Ax R y·b with positive slack —
+	// so the rows are unsatisfiable. The ray comes from phase-1 duals
+	// (cold solves) or the failing dual-simplex row (warm solves) and
+	// is exact only up to solver tolerances; independent validation
+	// lives in internal/verify. Nil when no certificate was extracted.
+	FarkasRay []float64
 
 	// basis is the optimal basis in the canonical column encoding (see
 	// Basis); nil on non-optimal outcomes.
@@ -286,6 +299,11 @@ type SolveStats struct {
 // Errors returned by Solve.
 var (
 	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+	// ErrSingularBasis reports a basis matrix the LU factorization
+	// could not invert. It surfaces wrapped in refactorization errors
+	// ("lp: basis refactorization failed: ...") when the eta file must
+	// be rebuilt mid-solve; match it with errors.Is.
+	ErrSingularBasis = errors.New("lp: singular basis")
 )
 
 // useDense routes Solve/SolveCtx (and SolveCtxFrom) to the dense
@@ -309,6 +327,33 @@ func SetDefaultSolver(name string) error {
 		return fmt.Errorf("lp: unknown solver %q (have \"revised\", \"dense\")", name)
 	}
 	return nil
+}
+
+// solverKey carries a per-solve solver override in a context.
+type solverKey struct{}
+
+// WithSolver returns a context that forces SolveCtx/SolveCtxFrom under
+// it to use the named solver ("revised" or "dense"), overriding the
+// process-global SetDefaultSolver knob for that solve only. The engine
+// supervisor uses it to pin individual degradation-ladder rungs to a
+// specific solver without racing concurrent solves on the global
+// atomic. Unknown names are ignored (the context passes through
+// unchanged), keeping the call total for plumbing code.
+func WithSolver(ctx context.Context, name string) context.Context {
+	switch name {
+	case "revised", "dense":
+		return context.WithValue(ctx, solverKey{}, name)
+	}
+	return ctx
+}
+
+// wantDense resolves the solver choice for one solve: a WithSolver
+// override wins, otherwise the process-global knob decides.
+func wantDense(ctx context.Context) bool {
+	if name, ok := ctx.Value(solverKey{}).(string); ok {
+		return name == "dense"
+	}
+	return useDense.Load()
 }
 
 const (
@@ -361,7 +406,7 @@ func Solve(p *Problem) (*Solution, error) {
 // reroutes it (smobench's dense-baseline sweeps), and SolveDenseCtx
 // always runs the dense oracle.
 func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
-	if useDense.Load() {
+	if wantDense(ctx) {
 		return SolveDenseCtx(ctx, p)
 	}
 	if sol, done := solveTrivial(p); done {
@@ -383,9 +428,22 @@ func solveTrivial(p *Problem) (*Solution, bool) {
 		return nil, false
 	}
 	m := len(p.rows)
-	for _, r := range p.rows {
+	for i, r := range p.rows {
 		if !constRowFeasible(r) {
-			return &Solution{Status: Infeasible, X: nil, Dual: make([]float64, m), Slack: make([]float64, m)}, true
+			// A violated constant row is its own Farkas ray: the unit
+			// vector on that row, signed by its relation.
+			ray := make([]float64, m)
+			switch {
+			case r.Rel == LE:
+				ray[i] = -1
+			case r.Rel == GE:
+				ray[i] = 1
+			case r.RHS > 0:
+				ray[i] = 1
+			default:
+				ray[i] = -1
+			}
+			return &Solution{Status: Infeasible, X: nil, Dual: make([]float64, m), Slack: make([]float64, m), FarkasRay: ray}, true
 		}
 	}
 	return &Solution{Status: Optimal, X: nil, Dual: make([]float64, m), Slack: rowSlacks(p, nil)}, true
@@ -407,7 +465,7 @@ func SolveDenseCtx(ctx context.Context, p *Problem) (*Solution, error) {
 			return &Solution{Pivots: t.pivots}, err
 		}
 		if t.objValue() > 1e-7*(1+t.scale) {
-			return &Solution{Status: Infeasible, Pivots: t.pivots}, nil
+			return &Solution{Status: Infeasible, Pivots: t.pivots, FarkasRay: t.farkasRay()}, nil
 		}
 		if err := t.driveOutArtificials(ctx); err != nil {
 			return &Solution{Pivots: t.pivots}, err
@@ -707,6 +765,9 @@ func (t *tableau) iterate(ctx context.Context, phase int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if err := faultinject.Fire("lp.dense.iterate"); err != nil {
+			return err
+		}
 		obj := t.a[t.m]
 		// Choose entering column; each reduced cost is judged against
 		// its own column's magnitude so wide dynamic ranges don't
@@ -935,6 +996,32 @@ func (t *tableau) rhsRanges(p *Problem) [][2]float64 {
 		ranges[r] = [2]float64{base + lo, base + hi}
 	}
 	return ranges
+}
+
+// farkasRay reads the phase-1 duals out of the objective row at a
+// phase-1 optimum with positive objective — the standard infeasibility
+// certificate. For each row, the reduced cost of its initial identity
+// column recovers y: slack columns have phase-1 cost 0, so y_i = -r
+// for a +e_i slack and y_i = +r for a -e_i surplus; artificial columns
+// have phase-1 cost 1, so y_i = 1 - r. Row flips are undone so the ray
+// lives in the original row space (see Solution.FarkasRay).
+func (t *tableau) farkasRay() []float64 {
+	ray := make([]float64, t.m)
+	obj := t.a[t.m]
+	for i := 0; i < t.m; i++ {
+		var y float64
+		if sc := t.slackCol[i]; sc >= 0 {
+			if t.slackSign(i) > 0 {
+				y = -obj[sc]
+			} else {
+				y = obj[sc]
+			}
+		} else if ac := t.artCol[i]; ac >= 0 {
+			y = 1 - obj[ac]
+		}
+		ray[i] = y * t.rowSign[i]
+	}
+	return ray
 }
 
 // slackSign reports whether row i's slack column entered with +1 (LE

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"mintc/internal/faultinject"
 )
 
 // revised is one sparse revised-simplex solve in flight: the immutable
@@ -110,7 +112,15 @@ func (r *revised) run(ctx context.Context, p *Problem, warm *Basis) (*Solution, 
 		}
 		_ = stop // phase 1 cannot be unbounded; treated as optimal
 		if r.phaseObj() > 1e-7*(1+r.st.scale) {
-			return &Solution{Status: Infeasible, Pivots: r.pivots}, nil
+			// Phase-1 optimum with positive artificial mass: the phase-1
+			// duals are a Farkas certificate of infeasibility. cB still
+			// holds phase-1 costs here, so one BTRAN reads them out.
+			r.duals()
+			ray := make([]float64, r.st.m)
+			for i := range ray {
+				ray[i] = r.y[i] * r.st.rowSign[i]
+			}
+			return &Solution{Status: Infeasible, Pivots: r.pivots, FarkasRay: ray}, nil
 		}
 		if err := r.driveOutArtificials(ctx); err != nil {
 			return &Solution{Pivots: r.pivots}, err
@@ -227,6 +237,9 @@ func (r *revised) iterate(ctx context.Context, phase int) (unbounded bool, err e
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
+		if err := faultinject.Fire("lp.iterate"); err != nil {
+			return false, err
+		}
 		r.duals()
 		enter := r.pr.price(r.y, r.where, phase1, bland)
 		if enter < 0 {
@@ -284,6 +297,9 @@ func (r *revised) iterate(ctx context.Context, phase int) (unbounded bool, err e
 // enter, using the already-computed transformed column in r.w, then
 // updates the eta file (refactorizing when it has grown too long).
 func (r *revised) pivot(leave, enter int32, phase1 bool) error {
+	if err := faultinject.Fire("lp.pivot"); err != nil {
+		return err
+	}
 	wl := r.w[leave]
 	if math.Abs(wl) < 1e-11 {
 		// Degenerate pivot element: rebuild the factorization and
@@ -298,7 +314,7 @@ func (r *revised) pivot(leave, enter int32, phase1 bool) error {
 			return fmt.Errorf("lp: pivot element %.3g too small (row %d col %d)", wl, leave, enter)
 		}
 	}
-	theta := r.xB[leave] / wl
+	theta := faultinject.Perturb("lp.pivot.theta", r.xB[leave]/wl)
 	for i := range r.xB {
 		if int32(i) == leave {
 			continue
@@ -375,7 +391,7 @@ func (r *revised) extract(ctx context.Context, p *Problem) (*Solution, error) {
 	x := make([]float64, st.n)
 	for i, id := range r.basis {
 		if int(id) < st.n {
-			v := r.xB[i]
+			v := faultinject.Perturb("lp.extract.x", r.xB[i])
 			if math.Abs(v) < zeroSnap {
 				v = 0
 			}

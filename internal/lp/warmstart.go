@@ -3,6 +3,8 @@ package lp
 import (
 	"context"
 	"time"
+
+	"mintc/internal/faultinject"
 )
 
 // Basis is an opaque snapshot of a simplex basis in the canonical
@@ -38,13 +40,16 @@ func (s *Solution) Basis() *Basis {
 // back to a cold SolveCtx, so callers can pass whatever basis they
 // last saw without shape bookkeeping.
 func SolveCtxFrom(ctx context.Context, p *Problem, b *Basis) (*Solution, error) {
-	if useDense.Load() {
+	if wantDense(ctx) {
 		// The dense oracle has no warm path; keeping the knob authoritative
 		// makes dense-baseline benchmark sweeps measure true cold re-solves.
 		return SolveDenseCtx(ctx, p)
 	}
 	if sol, done := solveTrivial(p); done {
 		return sol, nil
+	}
+	if faultinject.Fire("lp.warm") != nil {
+		b = nil // injected unusable-basis fault: force the cold path
 	}
 	if b == nil || b.m != len(p.rows) || b.n != len(p.names) {
 		return solveRevised(ctx, p, nil)
@@ -114,7 +119,14 @@ func (r *revised) warmRun(ctx context.Context, p *Problem, warm *Basis) (sol *So
 			return nil, false, nil
 		}
 		if !feasible {
-			return &Solution{Status: Infeasible, Pivots: r.pivots}, true, nil
+			// dualIterate left rho = B^-T e_leave for the failing row in
+			// y2: no eligible column has a negative transformed entry
+			// there, so y = -rho (flips undone) is a Farkas ray.
+			ray := make([]float64, st.m)
+			for i := range ray {
+				ray[i] = -r.y2[i] * st.rowSign[i]
+			}
+			return &Solution{Status: Infeasible, Pivots: r.pivots, FarkasRay: ray}, true, nil
 		}
 	}
 

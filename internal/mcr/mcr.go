@@ -88,6 +88,12 @@ type Result struct {
 	// ratio determines Tc (empty when Tc is forced to 0 by no
 	// ratio-bearing cycle).
 	CriticalLoop []string
+	// CriticalArcs is the same cycle as individual difference
+	// constraints (x[To] >= x[From] + A + B·Tc), in walk order — the
+	// machine-checkable optimality witness that internal/verify
+	// re-walks arc by arc: the cycle must close, accumulate B < 0, and
+	// have A/(−B) equal to Tc.
+	CriticalArcs []CycleArc
 	// CriticalRatio is A/(−B) of that cycle (== Tc when it binds).
 	CriticalRatio float64
 	// Probes counts Bellman–Ford feasibility probes.
@@ -105,6 +111,27 @@ type Result struct {
 // constraint systems (a cycle needs positive time but crosses no cycle
 // boundary).
 var ErrInfeasible = errors.New("mcr: timing constraints are infeasible at any cycle time")
+
+// CycleArc is one difference constraint of a witness cycle:
+// x[To] >= x[From] + A + B·Tc, with From/To naming constraint-graph
+// nodes (phase starts/ends, latch departures).
+type CycleArc struct {
+	From, To string
+	A, B     float64
+}
+
+// InfeasibleError is the typed form of ErrInfeasible carrying the
+// witness cycle: a closed loop of constraints that accumulates
+// positive fixed delay (ΣA > 0) while crossing no net cycle boundary
+// (ΣB >= 0), so no Tc can satisfy it. errors.Is(err, ErrInfeasible)
+// matches it.
+type InfeasibleError struct {
+	Arcs []CycleArc
+}
+
+func (e *InfeasibleError) Error() string { return ErrInfeasible.Error() }
+
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
 
 const eps = 1e-9
 
@@ -641,7 +668,7 @@ func solveWith(ctx context.Context, b *builder, opts core.Options) (*Result, err
 		}
 		if sumB >= -eps {
 			// Cycle needs positive slack but crosses no boundary.
-			return nil, ErrInfeasible
+			return nil, &InfeasibleError{Arcs: b.cycleArcs(witness)}
 		}
 		ratio := sumA / (-sumB)
 		if ratio <= tc+eps {
@@ -753,7 +780,18 @@ func (b *builder) extract(res *Result, tc float64, dist []float64, witness []edg
 		}
 		res.criticalA = sumA
 		res.criticalB = sumB
+		res.CriticalArcs = b.cycleArcs(witness)
 	}
+}
+
+// cycleArcs renders a witness cycle into exported arcs with node
+// names, the form certificate checkers consume.
+func (b *builder) cycleArcs(witness []edge) []CycleArc {
+	arcs := make([]CycleArc, 0, len(witness))
+	for _, e := range witness {
+		arcs = append(arcs, CycleArc{From: b.names[e.from], To: b.names[e.to], A: e.a, B: e.b})
+	}
+	return arcs
 }
 
 // Explain renders the optimality certificate carried by the critical

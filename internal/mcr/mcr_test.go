@@ -1,6 +1,7 @@
 package mcr
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -48,8 +49,8 @@ func TestSolveAgainstLPOnRandomCircuits(t *testing.T) {
 		lpRes, lpErr := core.MinTc(c, core.Options{})
 		mcrRes, mcrErr := Solve(c, core.Options{})
 		switch {
-		case lpErr == core.ErrInfeasible:
-			if mcrErr != ErrInfeasible {
+		case errors.Is(lpErr, core.ErrInfeasible):
+			if !errors.Is(mcrErr, ErrInfeasible) {
 				t.Fatalf("iter %d: LP infeasible but MCR said %v", iter, mcrErr)
 			}
 		case lpErr != nil:
@@ -139,7 +140,7 @@ func TestSolveStructurallyInfeasible(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 30; i++ {
 		c := randomCircuit(rng)
-		if _, err := Solve(c, core.Options{}); err != nil && err != ErrInfeasible {
+		if _, err := Solve(c, core.Options{}); err != nil && !errors.Is(err, ErrInfeasible) {
 			t.Fatalf("unexpected error: %v", err)
 		}
 	}

@@ -73,6 +73,17 @@ const (
 	// solves (a subset of Pivots; warm pivots per warm start versus
 	// cold pivots per cold solve measures basis-reuse effectiveness).
 	LPWarmPivots
+	// VerifyFailures counts certificates rejected by the independent
+	// result checker (internal/verify) — answers the supervisor refused
+	// to return as-is.
+	VerifyFailures
+	// Fallbacks counts degradation-ladder hops: each time the engine
+	// supervisor abandons one solve strategy and retries on the next
+	// rung (warm → cold sparse → dense oracle → MCR cross-check).
+	Fallbacks
+	// PanicsRecovered counts solver panics caught at the engine
+	// boundary and converted to typed errors.
+	PanicsRecovered
 
 	numCounters
 )
@@ -110,6 +121,12 @@ func (c Counter) String() string {
 		return "lp_warm_starts"
 	case LPWarmPivots:
 		return "lp_warm_pivots"
+	case VerifyFailures:
+		return "verify_failures"
+	case Fallbacks:
+		return "fallbacks"
+	case PanicsRecovered:
+		return "panics_recovered"
 	}
 	return fmt.Sprintf("counter_%d", int(c))
 }

@@ -1,0 +1,96 @@
+//go:build faultinject
+
+package session_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mintc/internal/core"
+	"mintc/internal/engine"
+	"mintc/internal/faultinject"
+	"mintc/internal/lp"
+	"mintc/internal/obs"
+	"mintc/internal/session"
+)
+
+// TestSessionContainsPanic: a panic planted in the simplex pivot
+// reaches the session through the direct core path (MinTc, which has
+// no engine boundary in front of it) — the flight must resolve with a
+// typed *engine.PanicError instead of unwinding a goroutine, the
+// recovery must be counted, the poisoned answer must not be cached
+// even with negative caching on, and once the fault is cleared the
+// identical query must succeed.
+func TestSessionContainsPanic(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.SetAfter("lp.pivot", 0, -1, func() error { panic("injected pivot panic") })
+
+	s := newSession(t, session.Config{CacheErrors: true})
+	ctx := context.Background()
+	ov := s.Overlay()
+
+	var pe *engine.PanicError
+	_, err := s.MinTc(ctx, ov, core.Options{})
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *engine.PanicError", err)
+	}
+	if pe.Stack == "" {
+		t.Error("recovered panic lost its stack")
+	}
+	if got := s.Stats().Counter(obs.PanicsRecovered); got < 1 {
+		t.Errorf("panics_recovered = %d, want >= 1", got)
+	}
+
+	// Clear the fault: the very same query must now recompute (the
+	// panic was not memoized, despite CacheErrors) and succeed.
+	faultinject.Reset()
+	r, err := s.MinTc(ctx, ov, core.Options{})
+	if err != nil {
+		t.Fatalf("query after clearing the fault: %v", err)
+	}
+	if r == nil || r.Schedule == nil {
+		t.Fatal("no result after clearing the fault")
+	}
+	st := s.Stats()
+	if st.Counter(obs.SessionHits) != 0 || st.Counter(obs.SessionMisses) != 2 {
+		t.Errorf("stats = hits %d / misses %d, want 0 / 2 (panic must not poison the cache)",
+			st.Counter(obs.SessionHits), st.Counter(obs.SessionMisses))
+	}
+}
+
+// TestSessionCertifiedRoutesAroundFault: the certified session path
+// inherits the supervisor's ladder — with the sparse factorization
+// singular, a session query still comes back certified via the dense
+// rung, and the fallback is visible in the query's own recorder.
+func TestSessionCertifiedRoutesAroundFault(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	s := newSession(t, session.Config{})
+	ctx := context.Background()
+	clean, err := s.SolveCertified(ctx, "mlp", s.Overlay(), engine.Options{}, engine.Policy{})
+	if err != nil {
+		t.Fatalf("clean certified solve: %v", err)
+	}
+
+	faultinject.SetAfter("lp.factor", 0, -1, func() error { return lp.ErrSingularBasis })
+	ov := s.Overlay().With(3, 120)
+	res, err := s.SolveCertified(ctx, "mlp", ov, engine.Options{}, engine.Policy{})
+	if err != nil {
+		t.Fatalf("faulted certified solve: %v", err)
+	}
+	if !res.Certificate.Certified() {
+		t.Fatalf("fallback result rejected: %s", res.Certificate)
+	}
+	if res.Trail[len(res.Trail)-1].Rung != "dense" {
+		t.Errorf("trail = %+v, want the dense rung to rescue the solve", res.Trail)
+	}
+	if res.Stats.Counter(obs.Fallbacks) < 1 {
+		t.Errorf("fallbacks = %d, want >= 1", res.Stats.Counter(obs.Fallbacks))
+	}
+	if clean.Tc <= 0 || res.Tc <= 0 {
+		t.Errorf("suspicious cycle times: clean %g, faulted %g", clean.Tc, res.Tc)
+	}
+}

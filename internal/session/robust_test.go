@@ -1,0 +1,171 @@
+package session_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mintc/internal/core"
+	"mintc/internal/engine"
+	"mintc/internal/obs"
+	"mintc/internal/session"
+)
+
+// TestTransientErrorNotCached: a cancellation is a property of the
+// call, not the query — it must not poison the LRU, and the identical
+// retry must recompute (two misses, zero hits) and succeed.
+func TestTransientErrorNotCached(t *testing.T) {
+	s := newSession(t, session.Config{})
+	ov := s.Overlay().With(3, 95)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.MinTc(ctx, ov, core.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query: err = %v, want context.Canceled", err)
+	}
+
+	r, err := s.MinTc(context.Background(), ov, core.Options{})
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if r == nil || r.Schedule == nil {
+		t.Fatal("retry returned no result")
+	}
+	st := s.Stats()
+	if st.Counter(obs.SessionHits) != 0 || st.Counter(obs.SessionMisses) != 2 {
+		t.Errorf("stats = hits %d / misses %d, want 0 / 2 (error must not be memoized)",
+			st.Counter(obs.SessionHits), st.Counter(obs.SessionMisses))
+	}
+}
+
+// TestCacheErrorsKnob: with negative caching opted in, a deterministic
+// failure (infeasible fixed Tc) is served from the cache on the second
+// ask — but a cancellation still is not.
+func TestCacheErrorsKnob(t *testing.T) {
+	s := newSession(t, session.Config{CacheErrors: true})
+	ctx := context.Background()
+	ov := s.Overlay()
+	opts := core.Options{FixedTc: 1}
+
+	if _, err := s.MinTc(ctx, ov, opts); !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := s.MinTc(ctx, ov, opts); !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("cached err = %v, want ErrInfeasible", err)
+	}
+	st := s.Stats()
+	if st.Counter(obs.SessionHits) != 1 || st.Counter(obs.SessionMisses) != 1 {
+		t.Errorf("stats = hits %d / misses %d, want 1 / 1 (negative caching on)",
+			st.Counter(obs.SessionHits), st.Counter(obs.SessionMisses))
+	}
+
+	// A cancellation is never negative-cached, even with the knob on.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	ov2 := s.Overlay().With(3, 95)
+	if _, err := s.MinTc(cctx, ov2, core.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := s.MinTc(ctx, ov2, core.Options{}); err != nil {
+		t.Fatalf("retry after cancellation with CacheErrors on: %v", err)
+	}
+}
+
+// TestDefaultNeverCachesErrors: without the knob even a deterministic
+// infeasibility is recomputed — both asks are misses.
+func TestDefaultNeverCachesErrors(t *testing.T) {
+	s := newSession(t, session.Config{})
+	ctx := context.Background()
+	opts := core.Options{FixedTc: 1}
+	for i := 0; i < 2; i++ {
+		if _, err := s.MinTc(ctx, s.Overlay(), opts); !errors.Is(err, core.ErrInfeasible) {
+			t.Fatalf("ask %d: err = %v, want ErrInfeasible", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Counter(obs.SessionHits) != 0 || st.Counter(obs.SessionMisses) != 2 {
+		t.Errorf("stats = hits %d / misses %d, want 0 / 2 (negative caching off)",
+			st.Counter(obs.SessionHits), st.Counter(obs.SessionMisses))
+	}
+}
+
+// TestSessionSentinels: misuse surfaces as typed sentinels matchable
+// through errors.Is.
+func TestSessionSentinels(t *testing.T) {
+	s := newSession(t, session.Config{})
+	ctx := context.Background()
+
+	var zero core.DelayOverlay
+	if _, err := s.MinTc(ctx, zero, core.Options{}); !errors.Is(err, session.ErrZeroOverlay) {
+		t.Errorf("zero overlay: err = %v, want ErrZeroOverlay", err)
+	}
+	other := newSession(t, session.Config{})
+	if _, err := s.MinTc(ctx, other.Overlay(), core.Options{}); !errors.Is(err, session.ErrSnapshotMismatch) {
+		t.Errorf("foreign overlay: err = %v, want ErrSnapshotMismatch", err)
+	}
+	if _, err := s.SolveCertified(ctx, "mlp", zero, engine.Options{}, engine.Policy{}); !errors.Is(err, session.ErrZeroOverlay) {
+		t.Errorf("certified zero overlay: err = %v, want ErrZeroOverlay", err)
+	}
+}
+
+// TestSessionSolveCertified: the certified path is memoized like any
+// other query, an edited overlay rides the warm rung (seeded from the
+// base snapshot's basis), and a rejected-everywhere / errored run is
+// not cached by default.
+func TestSessionSolveCertified(t *testing.T) {
+	s := newSession(t, session.Config{})
+	ctx := context.Background()
+	ov := s.Overlay().With(3, 120)
+
+	var rungs []string
+	pol := engine.Policy{OnRung: func(_, r string) { rungs = append(rungs, r) }}
+	r1, err := s.SolveCertified(ctx, "mlp", ov, engine.Options{}, pol)
+	if err != nil {
+		t.Fatalf("SolveCertified: %v", err)
+	}
+	if !r1.Certificate.Certified() {
+		t.Fatalf("certificate rejected: %s", r1.Certificate)
+	}
+	if len(rungs) != 1 || rungs[0] != "warm" {
+		t.Errorf("rungs = %v, want [warm] (edited overlay seeded from base basis)", rungs)
+	}
+
+	r2, err := s.SolveCertified(ctx, "mlp", ov, engine.Options{}, engine.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical certified queries returned distinct results (cache miss)")
+	}
+
+	// The uncertified and certified variants of the same query must not
+	// collide on one cache entry: only the latter carries a certificate.
+	plain, err := s.Solve(ctx, "mlp", ov, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == r1 {
+		t.Error("certified and plain solves shared a cache entry")
+	}
+	if plain.Tc != r1.Tc {
+		t.Errorf("certified Tc %g != plain Tc %g", r1.Tc, plain.Tc)
+	}
+}
+
+// TestSessionCertifiedInfeasibleCaching: a certified-infeasible result
+// is an error plus a witness; under CacheErrors the error is memoized.
+func TestSessionCertifiedInfeasibleCaching(t *testing.T) {
+	s := newSession(t, session.Config{CacheErrors: true})
+	ctx := context.Background()
+	opts := engine.Options{Core: core.Options{FixedTc: 1}}
+	for i := 0; i < 2; i++ {
+		if _, err := s.SolveCertified(ctx, "mlp", s.Overlay(), opts, engine.Policy{}); !errors.Is(err, core.ErrInfeasible) {
+			t.Fatalf("ask %d: err = %v, want ErrInfeasible", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Counter(obs.SessionHits) != 1 || st.Counter(obs.SessionMisses) != 1 {
+		t.Errorf("stats = hits %d / misses %d, want 1 / 1",
+			st.Counter(obs.SessionHits), st.Counter(obs.SessionMisses))
+	}
+}

@@ -26,8 +26,10 @@ package session
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
@@ -44,7 +46,25 @@ type Config struct {
 	// CacheSize bounds the number of memoized results (default 256;
 	// negative disables memoization — singleflight still applies).
 	CacheSize int
+	// CacheErrors enables negative caching: failed queries are
+	// memoized like successful ones, so a deterministic failure (an
+	// infeasible fixed-Tc solve, say) is not recomputed on every ask.
+	// Context cancellation / deadline errors and recovered panics are
+	// never cached regardless — they describe the call, not the query.
+	// Default false: errors are returned to every current waiter but a
+	// later identical query retries.
+	CacheErrors bool
 }
+
+// Typed sentinels for session misuse; match with errors.Is.
+var (
+	// ErrZeroOverlay is returned when a query is given the zero
+	// DelayOverlay value instead of one from Session.Overlay.
+	ErrZeroOverlay = errors.New("session: zero overlay (start from Session.Overlay)")
+	// ErrSnapshotMismatch is returned when a query's overlay belongs
+	// to a different snapshot than the session.
+	ErrSnapshotMismatch = errors.New("session: overlay belongs to a different snapshot")
+)
 
 // DefaultCacheSize is the memoization bound used when Config.CacheSize
 // is zero.
@@ -53,9 +73,10 @@ const DefaultCacheSize = 256
 // Session serves concurrent timing analyses of one frozen snapshot.
 // Create with New; all methods are safe for concurrent use.
 type Session struct {
-	cc      *core.Compiled
-	maxSize int
-	rec     *obs.Rec
+	cc        *core.Compiled
+	maxSize   int
+	cacheErrs bool
+	rec       *obs.Rec
 
 	mu     sync.Mutex
 	lru    *list.List // front = most recently used; element value is *entry
@@ -85,6 +106,7 @@ type baseSeed struct {
 type entry struct {
 	key string
 	val any
+	err error // non-nil only under Config.CacheErrors
 }
 
 // flight is one in-progress computation other callers can join.
@@ -104,13 +126,14 @@ func New(cc *core.Compiled, cfg Config) *Session {
 		size = 0
 	}
 	return &Session{
-		cc:      cc,
-		maxSize: size,
-		rec:     obs.New(),
-		lru:     list.New(),
-		items:   make(map[string]*list.Element),
-		flight:  make(map[string]*flight),
-		seeds:   make(map[string]*baseSeed),
+		cc:        cc,
+		maxSize:   size,
+		cacheErrs: cfg.CacheErrors,
+		rec:       obs.New(),
+		lru:       list.New(),
+		items:     make(map[string]*list.Element),
+		flight:    make(map[string]*flight),
+		seeds:     make(map[string]*baseSeed),
 	}
 }
 
@@ -157,6 +180,39 @@ func (s *Session) Solve(ctx context.Context, name string, ov core.DelayOverlay, 
 		return nil, err
 	}
 	return v.(*engine.Result), nil
+}
+
+// SolveCertified runs the named engine through the degradation
+// supervisor (engine.SolveCertifiedOverlay): the answer is
+// independently certified and failed rungs fall down the engine's
+// ladder. Memoized and deduplicated like Solve; a run that ends in an
+// error — including one whose certificate was rejected on every rung —
+// is never cached unless Config.CacheErrors opts in (and even then,
+// cancellations and panics never are). pol.OnRung is per-call plumbing
+// and excluded from the cache key; Tolerance, NoFallback and Rungs are
+// part of it. For edited overlays the mlp ladder is seeded with the
+// base snapshot's optimal basis, so its first rung is the warm-started
+// re-solve.
+func (s *Session) SolveCertified(ctx context.Context, name string, ov core.DelayOverlay, opts engine.Options, pol engine.Policy) (*engine.Result, error) {
+	if err := s.checkOverlay(ov); err != nil {
+		return nil, err
+	}
+	key := solveKey("certified/"+name, ov.Digest(), &opts.Core, opts.Schedule,
+		"sc=", int64(opts.SimCycles), "tr=", int64(opts.Trials), "seed=", opts.Seed,
+		"tol=", pol.Tolerance, "nf=", pol.NoFallback, "rungs=", strings.Join(pol.Rungs, ","))
+	v, err := s.do(ctx, key, func(ctx context.Context) (any, error) {
+		callOpts := opts
+		callOpts.Rec = obs.From(ctx)
+		if callOpts.WarmBasis == nil && ov.Digest() != s.cc.Overlay().Digest() {
+			callOpts.WarmBasis = s.baseBasis(opts.Core)
+		}
+		return engine.SolveCertifiedOverlay(ctx, name, ov, callOpts, pol)
+	})
+	// Unlike the other queries, a failed certified solve still carries
+	// evidence — the trail and, for a certified infeasibility, the
+	// validated witness — so the partial result rides along with err.
+	res, _ := v.(*engine.Result)
+	return res, err
 }
 
 // MinTc runs the exact Algorithm MLP against the overlay, memoized and
@@ -255,27 +311,32 @@ func (s *Session) baseBasis(opts core.Options) *lp.Basis {
 
 func (s *Session) checkOverlay(ov core.DelayOverlay) error {
 	if !ov.Valid() {
-		return fmt.Errorf("session: zero overlay (start from Session.Overlay)")
+		return ErrZeroOverlay
 	}
 	if ov.Base() != s.cc {
-		return fmt.Errorf("session: overlay belongs to a different snapshot")
+		return ErrSnapshotMismatch
 	}
 	return nil
 }
 
 // do answers key from the cache, joins an identical in-flight
 // computation, or runs fn — whichever applies. Errors are returned to
-// every waiter but never cached: a later identical query retries.
+// every waiter; by default they are never cached (a later identical
+// query retries), and even under Config.CacheErrors a context abort or
+// a recovered panic never poisons the LRU. A panic inside fn is
+// converted into an error at this boundary — the flight is always
+// resolved, so joined waiters cannot hang.
 func (s *Session) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
 	rec := obs.From(ctx)
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
 		s.lru.MoveToFront(el)
-		v := el.Value.(*entry).val
+		e := el.Value.(*entry)
+		v, err := e.val, e.err
 		s.mu.Unlock()
 		s.rec.Add(obs.SessionHits, 1)
 		rec.Add(obs.SessionHits, 1)
-		return v, nil
+		return v, err
 	}
 	if f, ok := s.flight[key]; ok {
 		s.mu.Unlock()
@@ -296,11 +357,11 @@ func (s *Session) do(ctx context.Context, key string, fn func(context.Context) (
 	s.rec.Add(obs.SessionMisses, 1)
 	rec.Add(obs.SessionMisses, 1)
 
-	f.val, f.err = fn(ctx)
+	f.val, f.err = s.runFlight(ctx, rec, fn)
 	s.mu.Lock()
 	delete(s.flight, key)
-	if f.err == nil && s.maxSize > 0 {
-		s.items[key] = s.lru.PushFront(&entry{key: key, val: f.val})
+	if (f.err == nil || (s.cacheErrs && cachableError(f.err))) && s.maxSize > 0 {
+		s.items[key] = s.lru.PushFront(&entry{key: key, val: f.val, err: f.err})
 		for s.lru.Len() > s.maxSize {
 			old := s.lru.Back()
 			s.lru.Remove(old)
@@ -310,6 +371,32 @@ func (s *Session) do(ctx context.Context, key string, fn func(context.Context) (
 	s.mu.Unlock()
 	close(f.done)
 	return f.val, f.err
+}
+
+// runFlight executes the flight leader's computation with panic
+// containment: a panic becomes an *engine.PanicError (stack captured,
+// obs.PanicsRecovered counted) instead of unwinding with the session
+// lock state inconsistent and the flight unresolved.
+func (s *Session) runFlight(ctx context.Context, rec *obs.Rec, fn func(context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.rec.Add(obs.PanicsRecovered, 1)
+			rec.Add(obs.PanicsRecovered, 1)
+			err = &engine.PanicError{Engine: "session", Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(ctx)
+}
+
+// cachableError reports whether a failure describes the query itself
+// (deterministic, safe to memoize under Config.CacheErrors) rather
+// than the particular call (cancellation, deadline, recovered panic).
+func cachableError(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *engine.PanicError
+	return !errors.As(err, &pe)
 }
 
 // solveKey canonicalizes a query into a cache key: the query kind, the

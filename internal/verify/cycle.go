@@ -1,0 +1,96 @@
+package verify
+
+import "math"
+
+// RatioArc is one difference constraint of an MCR witness cycle,
+// x[To] >= x[From] + A + B·Tc, in the engine-agnostic form this
+// package checks (internal/mcr's CycleArc converts 1:1).
+type RatioArc struct {
+	From, To string
+	A, B     float64
+}
+
+// closed reports whether the arcs form one closed cycle, in either
+// walk orientation (head-to-tail or tail-to-head), checking node names
+// arc by arc.
+func closed(arcs []RatioArc) bool {
+	n := len(arcs)
+	if n == 0 {
+		return false
+	}
+	forward, backward := true, true
+	for k := 0; k < n; k++ {
+		next := arcs[(k+1)%n]
+		if arcs[k].To != next.From {
+			forward = false
+		}
+		if arcs[k].From != next.To {
+			backward = false
+		}
+	}
+	return forward || backward
+}
+
+// cycleSums accumulates the cycle's fixed delay ΣA and boundary
+// crossing ΣB with compensated summation.
+func cycleSums(arcs []RatioArc) (sumA, sumB float64) {
+	var a, b ksum
+	for _, arc := range arcs {
+		a.add(arc.A)
+		b.add(arc.B)
+	}
+	return a.value(), b.value()
+}
+
+// CriticalCycle certifies an MCR optimality witness: the arcs must
+// form a closed cycle of difference constraints whose accumulated
+// fixed delay ΣA over −ΣB cycle-boundary crossings forces
+// Tc >= ΣA/(−ΣB), with that ratio equal (within tolerance, relative
+// to Tc) to the claimed cycle time. Together with a Feasible
+// certificate of the returned schedule at the same Tc, this proves
+// optimality: the schedule achieves a bound no schedule can beat.
+//
+// Summing each arc's constraint x[To] − x[From] >= A + B·Tc around
+// the cycle telescopes the potentials away, leaving 0 >= ΣA + ΣB·Tc —
+// so any feasible assignment needs Tc >= ΣA/(−ΣB) when ΣB < 0.
+func CriticalCycle(arcs []RatioArc, tc, tol float64) *Certificate {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	cert := &Certificate{Kind: "cycle", Tol: tol, DualityGap: math.NaN()}
+	if !closed(arcs) {
+		cert.add("cycle closure", math.Inf(1), tol)
+		return cert
+	}
+	cert.add("cycle closure", 0, tol)
+	sumA, sumB := cycleSums(arcs)
+	// The cycle must actually cross backwards (ΣB <= -tol, i.e.
+	// strictly negative) for the ratio to bound Tc.
+	cert.add("cycle crossings", sumB+tol, 0)
+	if sumB < 0 {
+		ratio := sumA / -sumB
+		cert.add("cycle ratio", math.Abs(ratio-tc)/(1+math.Abs(tc)), tol)
+	}
+	return cert
+}
+
+// InfeasibleCycle certifies an MCR infeasibility witness: a closed
+// cycle that needs strictly positive fixed delay (ΣA > 0) while
+// crossing no net cycle boundary (ΣB >= 0). Telescoping as in
+// CriticalCycle leaves 0 >= ΣA + ΣB·Tc, which no nonnegative Tc can
+// satisfy — the constraint system is infeasible at any cycle time.
+func InfeasibleCycle(arcs []RatioArc, tol float64) *Certificate {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	cert := &Certificate{Kind: "infeasible", Tol: tol, DualityGap: math.NaN()}
+	if !closed(arcs) {
+		cert.add("cycle closure", math.Inf(1), tol)
+		return cert
+	}
+	cert.add("cycle closure", 0, tol)
+	sumA, sumB := cycleSums(arcs)
+	cert.add("cycle crossings", -sumB, tol)
+	cert.add("cycle gain", tol-sumA, 0)
+	return cert
+}

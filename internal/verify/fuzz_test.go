@@ -1,0 +1,94 @@
+package verify_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/verify"
+)
+
+var fuzzBase struct {
+	once sync.Once
+	c    *core.Circuit
+	r    *core.Result
+	err  error
+}
+
+func fuzzSolve(t testing.TB) (*core.Circuit, *core.Result) {
+	fuzzBase.once.Do(func() {
+		fuzzBase.c = circuits.Example1(80)
+		fuzzBase.r, fuzzBase.err = core.MinTc(fuzzBase.c, core.Options{})
+	})
+	if fuzzBase.err != nil {
+		t.Fatalf("MinTc: %v", fuzzBase.err)
+	}
+	return fuzzBase.c, fuzzBase.r
+}
+
+// FuzzCertificateChecker throws arbitrary perturbations of a genuine
+// optimum at the checkers and pins three properties: they never panic,
+// the unperturbed optimum always certifies, and anything that does
+// certify is confirmed feasible by the exact analysis (CheckTc, whose
+// tolerance core.Eps is looser than the certification tolerance).
+func FuzzCertificateChecker(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 0)
+	f.Add(1e-3, 0.0, 0.0, 1)
+	f.Add(0.0, -2.5, 0.0, 3)
+	f.Add(0.0, 0.0, 7.5, 2)
+	f.Add(-1.0, 1e-12, 0.0, 5)
+	f.Add(math.Inf(1), 0.0, 0.0, 0)
+	f.Add(math.NaN(), math.NaN(), math.NaN(), -1)
+	f.Fuzz(func(t *testing.T, dTc, dD, dDual float64, idx int) {
+		c, r := fuzzSolve(t)
+		pick := func(n int) int {
+			if n == 0 {
+				return 0
+			}
+			i := idx % n
+			if i < 0 {
+				i += n
+			}
+			return i
+		}
+
+		sched := r.Schedule.Clone()
+		sched.Tc += dTc
+		d := append([]float64(nil), r.D...)
+		if len(d) > 0 {
+			d[pick(len(d))] += dD
+		}
+		cert := verify.Feasible(c, core.Options{}, sched, d, 0)
+		if dTc == 0 && dD == 0 && !cert.Certified() {
+			t.Fatalf("unperturbed optimum rejected: %s", cert)
+		}
+		if cert.Certified() {
+			an, err := core.CheckTc(c, sched, core.Options{})
+			if err != nil {
+				t.Fatalf("CheckTc on certified schedule: %v", err)
+			}
+			if !an.Feasible {
+				t.Errorf("certified at %g but CheckTc finds %d violations (dTc=%g dD=%g)",
+					cert.Tol, len(an.Violations), dTc, dD)
+			}
+		}
+
+		sol := *r.LPSol
+		sol.Dual = append([]float64(nil), r.LPSol.Dual...)
+		if len(sol.Dual) > 0 {
+			sol.Dual[pick(len(sol.Dual))] += dDual
+		}
+		opt := verify.Optimality(r.LP, &sol, 0)
+		if dDual == 0 && !opt.Certified() {
+			t.Fatalf("unperturbed LP optimum rejected: %s", opt)
+		}
+
+		// A perturbed dual vector reinterpreted as a Farkas ray must
+		// never certify infeasibility of this feasible program.
+		if inf := verify.Infeasible(r.LP, sol.Dual, 0); inf.Certified() {
+			t.Errorf("feasible program certified infeasible (dDual=%g idx=%d)", dDual, idx)
+		}
+	})
+}

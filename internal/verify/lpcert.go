@@ -1,0 +1,187 @@
+package verify
+
+import (
+	"math"
+
+	"mintc/internal/lp"
+)
+
+// problemScale returns the magnitude scale of a problem (largest
+// coefficient / RHS / objective magnitude, at least 1), used to make
+// residual tolerances relative.
+func problemScale(p *lp.Problem) float64 {
+	scale := 1.0
+	for j := 0; j < p.NumVars(); j++ {
+		if v := math.Abs(p.ObjCoef(j)); v > scale {
+			scale = v
+		}
+	}
+	for i := 0; i < p.NumConstraints(); i++ {
+		row := p.Constraint(i)
+		for _, t := range row.Terms {
+			if v := math.Abs(t.Coef); v > scale {
+				scale = v
+			}
+		}
+		if v := math.Abs(row.RHS); v > scale {
+			scale = v
+		}
+	}
+	return scale
+}
+
+// Optimality certifies an LP optimum by weak duality, independently of
+// the solver that produced it: the reported duals must be sign-correct
+// and dual-feasible (reduced cost of every variable nonnegative for
+// the minimization), and the compensated primal objective c·x must
+// match the dual objective y·b. Any feasible primal point is bounded
+// below by any dual-feasible y's objective, so a closed gap proves x
+// optimal without re-running any simplex.
+//
+// Primal feasibility of x itself is the model checker's job (Feasible
+// re-checks the rows in model terms); Optimality covers the bound.
+func Optimality(p *lp.Problem, sol *lp.Solution, tol float64) *Certificate {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	cert := &Certificate{Kind: "optimal", Tol: tol, DualityGap: math.NaN()}
+	if sol == nil || sol.Status != lp.Optimal || len(sol.X) != p.NumVars() || len(sol.Dual) != p.NumConstraints() {
+		cert.add("solution shape", math.Inf(1), tol)
+		return cert
+	}
+	scale := problemScale(p)
+	rtol := tol * scale
+
+	// Dual sign conditions: with Dual[i] = d(Obj)/d(b_i) for the
+	// minimization, a LE row's dual is <= 0 and a GE row's is >= 0.
+	worst := math.Inf(-1)
+	for i := 0; i < p.NumConstraints(); i++ {
+		y := sol.Dual[i]
+		switch p.Constraint(i).Rel {
+		case lp.LE:
+			worst = math.Max(worst, y)
+		case lp.GE:
+			worst = math.Max(worst, -y)
+		}
+	}
+	cert.add("dual signs", worst, rtol)
+
+	// Dual feasibility: reduced costs c_j − y·A_j >= 0 for every
+	// variable (x >= 0). Columns are accumulated by one compensated
+	// scatter pass over the rows.
+	red := make([]ksum, p.NumVars())
+	for i := 0; i < p.NumConstraints(); i++ {
+		y := sol.Dual[i]
+		if y == 0 {
+			continue
+		}
+		for _, t := range p.Constraint(i).Terms {
+			red[t.Var].add(y * t.Coef)
+		}
+	}
+	worst = math.Inf(-1)
+	for j := range red {
+		worst = math.Max(worst, red[j].value()-p.ObjCoef(j))
+	}
+	if len(red) > 0 {
+		cert.add("dual feasibility", worst, rtol)
+	}
+
+	// Weak duality: compensated primal c·x versus dual y·b.
+	var primal, dual ksum
+	for j := 0; j < p.NumVars(); j++ {
+		if cj := p.ObjCoef(j); cj != 0 {
+			primal.add(cj * sol.X[j])
+		}
+	}
+	for i := 0; i < p.NumConstraints(); i++ {
+		if y := sol.Dual[i]; y != 0 {
+			dual.add(y * p.Constraint(i).RHS)
+		}
+	}
+	gap := math.Abs(primal.value() - dual.value())
+	cert.DualityGap = gap
+	cert.add("duality gap", gap, rtol*(1+math.Abs(primal.value())/scale))
+	return cert
+}
+
+// Infeasible validates a Farkas infeasibility certificate against the
+// raw constraint rows: the ray must be sign-correct per relation
+// (<= 0 on LE rows, >= 0 on GE rows, free on EQ), must combine the
+// rows into an aggregate with no positive coefficient on any
+// (nonnegative) variable, and must strictly separate the RHS —
+// ray·b > 0. Any x >= 0 satisfying the rows would then contradict
+// 0 >= ray·(Ax) against ray·b > 0, so the system is infeasible
+// regardless of which solver produced the ray.
+//
+// The ray is normalized to unit infinity norm before checking, making
+// the tolerance meaningful for arbitrarily scaled certificates.
+func Infeasible(p *lp.Problem, ray []float64, tol float64) *Certificate {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	cert := &Certificate{Kind: "infeasible", Tol: tol, DualityGap: math.NaN()}
+	if len(ray) != p.NumConstraints() || len(ray) == 0 {
+		cert.add("ray shape", math.Inf(1), tol)
+		return cert
+	}
+	norm := 0.0
+	for _, v := range ray {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			cert.add("ray finite", math.Inf(1), tol)
+			return cert
+		}
+		norm = math.Max(norm, math.Abs(v))
+	}
+	if norm == 0 {
+		cert.add("ray nonzero", math.Inf(1), tol)
+		return cert
+	}
+	y := make([]float64, len(ray))
+	for i, v := range ray {
+		y[i] = v / norm
+	}
+	scale := problemScale(p)
+	rtol := tol * scale
+
+	// Sign conditions per relation.
+	worst := math.Inf(-1)
+	for i := 0; i < p.NumConstraints(); i++ {
+		switch p.Constraint(i).Rel {
+		case lp.LE:
+			worst = math.Max(worst, y[i])
+		case lp.GE:
+			worst = math.Max(worst, -y[i])
+		}
+	}
+	cert.add("ray signs", worst, rtol)
+
+	// Aggregate column coefficients: Σ_i y_i·a_ij <= 0 for every j.
+	col := make([]ksum, p.NumVars())
+	for i := 0; i < p.NumConstraints(); i++ {
+		if y[i] == 0 {
+			continue
+		}
+		for _, t := range p.Constraint(i).Terms {
+			col[t.Var].add(y[i] * t.Coef)
+		}
+	}
+	worst = math.Inf(-1)
+	for j := range col {
+		worst = math.Max(worst, col[j].value())
+	}
+	if len(col) > 0 {
+		cert.add("ray columns", worst, rtol)
+	}
+
+	// Strict separation: ray·b > 0, by a margin that dominates the
+	// column residual so roundoff cannot fake infeasibility.
+	var gain ksum
+	for i := 0; i < p.NumConstraints(); i++ {
+		if y[i] != 0 {
+			gain.add(y[i] * p.Constraint(i).RHS)
+		}
+	}
+	cert.add("ray separation", rtol-gain.value(), 0)
+	return cert
+}

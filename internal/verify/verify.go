@@ -1,0 +1,433 @@
+// Package verify independently re-checks solver answers.
+//
+// Every solver in this repository ultimately claims one of two things:
+// a feasible optimum — a clock schedule (Tc, s, T) and departures D
+// satisfying the paper's constraints C1–C4 and L1–L3 — or
+// infeasibility, for which the SMO formulation always has a finite
+// witness (a Farkas ray of the P2 rows, or a positive-delay
+// zero-crossing cycle in the MCR constraint graph). This package
+// checks those claims with deliberately boring code: straight loops
+// over the model, Neumaier-compensated sums, and the reference
+// recurrence (core.Arrive / core.DepartLatch) as the only shared
+// compute path. It never calls a solver, never touches the compiled
+// kernels, and never trusts intermediate solver state beyond the
+// certificate it is asked to validate — so a bug in the simplex, the
+// kernel layer, or the MCR worklist cannot hide from it.
+//
+// The engine-layer degradation supervisor consults these checkers
+// after every solve and falls down its ladder when a certificate is
+// rejected; see internal/engine.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mintc/internal/core"
+)
+
+// DefaultTol is the certification tolerance: feasibility residuals of
+// a certified result are below this bound.
+const DefaultTol = 1e-9
+
+// Check is one verified clause of a certificate: a constraint family
+// (or certificate property) with the worst residual found. A residual
+// is the signed magnitude of the worst violation — zero or negative
+// means the clause holds exactly; OK means it holds within the
+// clause's tolerance.
+type Check struct {
+	Name     string
+	Residual float64
+	OK       bool
+}
+
+// Certificate is the outcome of independently re-checking one solver
+// answer. Kind says what was certified: "feasible" (a schedule and
+// departures satisfy C1–C4/L1–L3), "optimal" (feasible + LP duality
+// gap), "infeasible" (a validated Farkas ray), or "cycle" (a
+// validated MCR critical/infeasible cycle).
+type Certificate struct {
+	Kind string
+	// Tol is the tolerance residuals were compared against (the L2
+	// fixpoint clause uses max(Tol, core.Eps); see Feasible).
+	Tol float64
+	// Checks lists every clause examined, in check order.
+	Checks []Check
+	// MaxResidual is the largest residual across all clauses.
+	MaxResidual float64
+	// DualityGap is |primal − dual| from the LP optimality check; NaN
+	// when no LP certificate was available.
+	DualityGap float64
+}
+
+// Certified reports whether every clause of the certificate holds.
+func (c *Certificate) Certified() bool {
+	if c == nil {
+		return false
+	}
+	for _, ch := range c.Checks {
+		if !ch.OK {
+			return false
+		}
+	}
+	return len(c.Checks) > 0
+}
+
+// Failed returns the clauses that did not hold.
+func (c *Certificate) Failed() []Check {
+	var out []Check
+	for _, ch := range c.Checks {
+		if !ch.OK {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// String renders a one-line verdict, e.g.
+// "certified feasible (12 checks, max residual 3.2e-12)".
+func (c *Certificate) String() string {
+	if c == nil {
+		return "no certificate"
+	}
+	verdict := "certified"
+	if !c.Certified() {
+		verdict = "REJECTED"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s (%d checks, max residual %.3g", verdict, c.Kind, len(c.Checks), c.MaxResidual)
+	if !math.IsNaN(c.DualityGap) {
+		fmt.Fprintf(&b, ", duality gap %.3g", c.DualityGap)
+	}
+	b.WriteString(")")
+	if failed := c.Failed(); len(failed) > 0 {
+		for _, ch := range failed {
+			fmt.Fprintf(&b, "; %s residual %.3g", ch.Name, ch.Residual)
+		}
+	}
+	return b.String()
+}
+
+// add records one clause, compared against the given tolerance.
+func (c *Certificate) add(name string, residual, tol float64) {
+	ok := residual <= tol && !math.IsNaN(residual)
+	c.Checks = append(c.Checks, Check{Name: name, Residual: residual, OK: ok})
+	if math.IsNaN(residual) || residual > c.MaxResidual {
+		c.MaxResidual = residual
+	}
+}
+
+// Merge combines certificates into one under a new kind: clause lists
+// concatenate in order, the overall tolerance is the loosest of the
+// parts, MaxResidual spans all clauses, and the duality gap is taken
+// from the first part that reports one. The engine supervisor uses it
+// to staple a model-feasibility certificate to the engine's optimality
+// evidence (LP duality gap or MCR critical cycle).
+func Merge(kind string, parts ...*Certificate) *Certificate {
+	out := &Certificate{Kind: kind, DualityGap: math.NaN()}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if p.Tol > out.Tol {
+			out.Tol = p.Tol
+		}
+		for _, ch := range p.Checks {
+			out.Checks = append(out.Checks, ch)
+			if math.IsNaN(ch.Residual) || ch.Residual > out.MaxResidual {
+				out.MaxResidual = ch.Residual
+			}
+		}
+		if math.IsNaN(out.DualityGap) && !math.IsNaN(p.DualityGap) {
+			out.DualityGap = p.DualityGap
+		}
+	}
+	return out
+}
+
+// ksum is a Neumaier-compensated accumulator: the running sum plus a
+// separate compensation term capturing the low-order bits lost by each
+// addition. Certificate arithmetic uses it everywhere sums of more
+// than two terms occur, so the checker's own roundoff stays far below
+// the certification tolerance.
+type ksum struct{ s, c float64 }
+
+func (k *ksum) add(v float64) {
+	t := k.s + v
+	if math.Abs(k.s) >= math.Abs(v) {
+		k.c += (k.s - t) + v
+	} else {
+		k.c += (v - t) + k.s
+	}
+	k.s = t
+}
+
+func (k *ksum) value() float64 { return k.s + k.c }
+
+// sum2 returns the compensated sum of its arguments.
+func sum2(vs ...float64) float64 {
+	var k ksum
+	for _, v := range vs {
+		k.add(v)
+	}
+	return k.value()
+}
+
+// sigma mirrors Options.sigma (unexported in core): the per-phase skew
+// margin, 0 when PhaseSkew is unset or out of range.
+func sigma(opts core.Options, p int) float64 {
+	if p < 0 || p >= len(opts.PhaseSkew) {
+		return 0
+	}
+	return opts.PhaseSkew[p]
+}
+
+// cshift is the paper's C matrix for 0-based phases: C_pq = 1 iff
+// p >= q (recomputed here rather than read from the circuit so the
+// checker does not depend on cached matrices).
+func cshift(p, q int) float64 {
+	if p >= q {
+		return 1
+	}
+	return 0
+}
+
+// arcWeight recomputes the margin-adjusted transfer weight of path
+// pidx with compensated summation — the same five terms as
+// core.ArcWeight, summed independently.
+func arcWeight(c *core.Circuit, opts core.Options, pidx int) float64 {
+	p := c.Paths()[pidx]
+	pj, pi := c.Sync(p.From).Phase, c.Sync(p.To).Phase
+	return sum2(c.Sync(p.From).DQ, p.Delay, opts.Skew, sigma(opts, pj), sigma(opts, pi))
+}
+
+// Feasible independently certifies a claimed solution of the timing
+// problem: the schedule (Tc, s, T) and departures d must satisfy the
+// clock constraints C1–C4, the latch constraints L1/L2R/L3, the
+// flip-flop rows, the optional extension rows implied by opts
+// (MinPhaseWidth, FixedTc, DesignForHold), and the L2 steady-state
+// fixpoint. d may be nil (engines that report only a schedule): the
+// checker then computes the least fixpoint itself by iterating the
+// reference recurrence.
+//
+// All inequality clauses are checked at tol; the fixpoint equality
+// clause is checked at max(tol, core.Eps) because the MLP departure
+// slide itself only converges to core.Eps — the inequalities, which
+// are what feasibility and Theorem 1 optimality rest on, stay at the
+// certification tolerance.
+//
+// For overlay solves pass the materialized circuit
+// (DelayOverlay.Materialize), so effective delays are read without any
+// kernel involvement.
+func Feasible(c *core.Circuit, opts core.Options, sched *core.Schedule, d []float64, tol float64) *Certificate {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	cert := &Certificate{Kind: "feasible", Tol: tol, DualityGap: math.NaN()}
+	k, l := c.K(), c.L()
+	if sched == nil || sched.K() != k {
+		cert.add("schedule shape", math.Inf(1), tol)
+		return cert
+	}
+	if d != nil && len(d) != l {
+		cert.add("departure shape", math.Inf(1), tol)
+		return cert
+	}
+	for _, v := range append(append([]float64{sched.Tc}, sched.S...), sched.T...) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			cert.add("schedule finite", math.Inf(1), tol)
+			return cert
+		}
+	}
+
+	if d == nil {
+		fp, residual := fixpoint(c, opts, sched)
+		if fp == nil {
+			cert.add("L2 fixpoint convergence", residual, tol)
+			return cert
+		}
+		d = fp
+	}
+
+	// C4 nonnegativity: Tc, s, T, D >= 0.
+	worst := -sched.Tc
+	for i := 0; i < k; i++ {
+		worst = math.Max(worst, math.Max(-sched.S[i], -sched.T[i]))
+	}
+	for i := 0; i < l; i++ {
+		worst = math.Max(worst, -d[i])
+	}
+	cert.add("C4/L3 nonnegativity", worst, tol)
+
+	// C1 periodicity: T_i <= Tc, s_i <= Tc.
+	worst = math.Inf(-1)
+	for i := 0; i < k; i++ {
+		worst = math.Max(worst, math.Max(sched.T[i]-sched.Tc, sched.S[i]-sched.Tc))
+	}
+	cert.add("C1 periodicity", worst, tol)
+
+	// C2 phase order: s_i <= s_{i+1}.
+	worst = math.Inf(-1)
+	for i := 0; i+1 < k; i++ {
+		worst = math.Max(worst, sched.S[i]-sched.S[i+1])
+	}
+	if k > 1 {
+		cert.add("C2 phase order", worst, tol)
+	}
+
+	// C3 nonoverlap with margins: for K_ij = 1,
+	// s_i − s_j − T_j + C_ji·Tc >= MinSeparation + σ_i + σ_j.
+	km := c.KMatrix()
+	worst = math.Inf(-1)
+	any := false
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if km[i][j] == 0 {
+				continue
+			}
+			any = true
+			lhs := sum2(sched.S[i], -sched.S[j], -sched.T[j], cshift(j, i)*sched.Tc)
+			rhs := sum2(opts.MinSeparation, sigma(opts, i), sigma(opts, j))
+			worst = math.Max(worst, rhs-lhs)
+		}
+	}
+	if any {
+		cert.add("C3 nonoverlap", worst, tol)
+	}
+
+	// Extension rows implied by the options.
+	if opts.MinPhaseWidth > 0 {
+		worst = math.Inf(-1)
+		for i := 0; i < k; i++ {
+			worst = math.Max(worst, opts.MinPhaseWidth-sched.T[i])
+		}
+		cert.add("min phase width", worst, tol)
+	}
+	if opts.FixedTc > 0 {
+		cert.add("fixed Tc", math.Abs(sched.Tc-opts.FixedTc), tol)
+	}
+
+	// L1 latch setup D_i + ΔDC_i + margins <= T_{p_i}; FF departures
+	// pinned to the triggering edge.
+	worstSetup, worstFF := math.Inf(-1), math.Inf(-1)
+	haveLatch, haveFF := false, false
+	for i := 0; i < l; i++ {
+		s := c.Sync(i)
+		if s.Kind == core.FlipFlop {
+			haveFF = true
+			worstFF = math.Max(worstFF, math.Abs(d[i]))
+			continue
+		}
+		haveLatch = true
+		lhs := sum2(d[i], s.Setup, opts.Skew, sigma(opts, s.Phase))
+		worstSetup = math.Max(worstSetup, lhs-sched.T[s.Phase])
+	}
+	if haveLatch {
+		cert.add("L1 latch setup", worstSetup, tol)
+	}
+	if haveFF {
+		cert.add("FF departure", worstFF, tol)
+	}
+
+	// Per-arc propagation: latch destinations must satisfy the relaxed
+	// L2R inequality, FF destinations the setup-before-trigger row.
+	worst, worstFFsu := math.Inf(-1), math.Inf(-1)
+	anyL2, anyFFsu := false, false
+	for pidx, p := range c.Paths() {
+		j, i := p.From, p.To
+		pj, pi := c.Sync(j).Phase, c.Sync(i).Phase
+		w := arcWeight(c, opts, pidx)
+		shift := sched.PhaseShift(pj, pi)
+		if c.Sync(i).Kind == core.Latch {
+			anyL2 = true
+			// D_i >= D_j + w + S_{p_j p_i}
+			worst = math.Max(worst, sum2(d[j], w, shift, -d[i]))
+		} else {
+			anyFFsu = true
+			// D_j + w + S_{p_j p_i} + ΔDC_i <= 0
+			worstFFsu = math.Max(worstFFsu, sum2(d[j], w, shift, c.Sync(i).Setup))
+		}
+	}
+	if anyL2 {
+		cert.add("L2R propagation", worst, tol)
+	}
+	if anyFFsu {
+		cert.add("FF setup", worstFFsu, tol)
+	}
+
+	// Optional conservative hold rows (Options.DesignForHold): earliest
+	// launch at the source phase opening must clear the capture edge by
+	// the hold time over every fanin path.
+	if opts.DesignForHold {
+		worst = math.Inf(-1)
+		anyHold := false
+		for pidx, p := range c.Paths() {
+			i := p.To
+			hold := c.Sync(i).Hold
+			if hold <= 0 {
+				continue
+			}
+			anyHold = true
+			j := p.From
+			pj, pi := c.Sync(j).Phase, c.Sync(i).Phase
+			lhs := sum2(sched.S[pj], -sched.S[pi], (1-cshift(pj, pi))*sched.Tc)
+			if c.Sync(i).Kind == core.Latch {
+				lhs = sum2(lhs, -sched.T[pi])
+			}
+			rhs := sum2(hold, -c.Sync(j).DQ, -c.Paths()[pidx].MinDelay, opts.Skew, sigma(opts, pj), sigma(opts, pi))
+			worst = math.Max(worst, rhs-lhs)
+		}
+		if anyHold {
+			cert.add("hold", worst, tol)
+		}
+	}
+
+	// L2 fixpoint: one application of the reference recurrence must
+	// reproduce d (to the slide's own convergence tolerance).
+	fixTol := math.Max(tol, core.Eps)
+	worst = math.Inf(-1)
+	dep := func(j int) float64 { return d[j] }
+	weight := func(pidx int) float64 { return arcWeight(c, opts, pidx) }
+	for i := 0; i < l; i++ {
+		a := core.Arrive(c, i, dep, weight, sched.PhaseShift)
+		worst = math.Max(worst, math.Abs(d[i]-core.DepartLatch(c, i, a)))
+	}
+	if l > 0 {
+		cert.add("L2 fixpoint", worst, fixTol)
+	}
+	return cert
+}
+
+// fixpoint computes the least fixpoint of the propagation operator by
+// Jacobi iteration of the reference recurrence from zero, for engines
+// that report only a schedule. Returns (nil, residual) when the
+// iteration fails to settle — a schedule admitting no periodic steady
+// state (positive loop), reported as a failed convergence clause.
+func fixpoint(c *core.Circuit, opts core.Options, sched *core.Schedule) ([]float64, float64) {
+	l := c.L()
+	d := make([]float64, l)
+	next := make([]float64, l)
+	weight := func(pidx int) float64 { return arcWeight(c, opts, pidx) }
+	// The operator is monotone from zero and, on a feasible schedule,
+	// converges within one pass per constraint-graph depth; the cap is
+	// generous and divergence grows without bound long before it.
+	limit := 4*l + 64
+	residual := math.Inf(1)
+	for iter := 0; iter < limit; iter++ {
+		dep := func(j int) float64 { return d[j] }
+		residual = 0
+		for i := 0; i < l; i++ {
+			a := core.Arrive(c, i, dep, weight, sched.PhaseShift)
+			next[i] = core.DepartLatch(c, i, a)
+			if delta := math.Abs(next[i] - d[i]); delta > residual {
+				residual = delta
+			}
+		}
+		d, next = next, d
+		if residual <= 1e-12 {
+			return d, residual
+		}
+	}
+	return nil, residual
+}

@@ -1,0 +1,207 @@
+package verify_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/verify"
+)
+
+func solveExample1(t testing.TB) (*core.Circuit, *core.Result) {
+	t.Helper()
+	c := circuits.Example1(80)
+	r, err := core.MinTc(c, core.Options{})
+	if err != nil {
+		t.Fatalf("MinTc: %v", err)
+	}
+	return c, r
+}
+
+func TestFeasibleCertifiesMLPOptimum(t *testing.T) {
+	c, r := solveExample1(t)
+	cert := verify.Feasible(c, core.Options{}, r.Schedule, r.D, 0)
+	if !cert.Certified() {
+		t.Fatalf("clean optimum rejected: %s", cert)
+	}
+	if len(cert.Checks) < 5 {
+		t.Errorf("suspiciously few clauses checked: %d", len(cert.Checks))
+	}
+	// The checker must also reproduce the departure fixpoint on its own.
+	cert = verify.Feasible(c, core.Options{}, r.Schedule, nil, 0)
+	if !cert.Certified() {
+		t.Fatalf("self-computed fixpoint rejected: %s", cert)
+	}
+}
+
+func TestOptimalityCertifiesLPSolution(t *testing.T) {
+	_, r := solveExample1(t)
+	cert := verify.Optimality(r.LP, r.LPSol, 0)
+	if !cert.Certified() {
+		t.Fatalf("clean LP optimum rejected: %s", cert)
+	}
+	if math.IsNaN(cert.DualityGap) || cert.DualityGap > 1e-6 {
+		t.Errorf("duality gap = %g, want tiny", cert.DualityGap)
+	}
+}
+
+func TestFeasibleRejectsShrunkenTc(t *testing.T) {
+	c, r := solveExample1(t)
+	bad := r.Schedule.Clone()
+	bad.Tc *= 0.99
+	if cert := verify.Feasible(c, core.Options{}, bad, nil, 0); cert.Certified() {
+		t.Fatalf("shrunken Tc certified: %s", cert)
+	}
+}
+
+func TestFeasibleRejectsPerturbedDepartures(t *testing.T) {
+	c, r := solveExample1(t)
+	bad := append([]float64(nil), r.D...)
+	bad[0] += 1
+	if cert := verify.Feasible(c, core.Options{}, r.Schedule, bad, 0); cert.Certified() {
+		t.Fatalf("perturbed departures certified: %s", cert)
+	}
+}
+
+func TestFeasibleRejectsShapeMismatch(t *testing.T) {
+	c, r := solveExample1(t)
+	if cert := verify.Feasible(c, core.Options{}, r.Schedule, []float64{1}, 0); cert.Certified() {
+		t.Fatal("wrong-length departure vector certified")
+	}
+	short := core.NewSchedule(1)
+	short.Tc = r.Schedule.Tc
+	if cert := verify.Feasible(c, core.Options{}, short, nil, 0); cert.Certified() {
+		t.Fatal("wrong-phase-count schedule certified")
+	}
+}
+
+func TestInfeasibleValidatesFarkasRay(t *testing.T) {
+	c := circuits.Example1(80)
+	opts := core.Options{FixedTc: 1} // far below the optimum
+	_, err := core.MinTc(c, opts)
+	if !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	var ie *core.InfeasibleError
+	if !errors.As(err, &ie) || len(ie.Ray) == 0 {
+		t.Fatalf("no Farkas ray on infeasible solve: %v", err)
+	}
+	prob, _, _ := core.BuildLP(c, opts)
+	cert := verify.Infeasible(prob, ie.Ray, 0)
+	if !cert.Certified() {
+		t.Fatalf("genuine Farkas ray rejected: %s", cert)
+	}
+
+	// A zeroed ray proves nothing.
+	if cert := verify.Infeasible(prob, make([]float64, prob.NumConstraints()), 0); cert.Certified() {
+		t.Fatal("zero ray certified")
+	}
+	// A sign-flipped ray violates the sign conditions.
+	flipped := make([]float64, len(ie.Ray))
+	for i, v := range ie.Ray {
+		flipped[i] = -v
+	}
+	if cert := verify.Infeasible(prob, flipped, 0); cert.Certified() {
+		t.Fatal("sign-flipped ray certified")
+	}
+	// A ray cannot certify a feasible system.
+	feasProb, _, _ := core.BuildLP(c, core.Options{})
+	if cert := verify.Infeasible(feasProb, ie.Ray, 0); cert.Certified() {
+		t.Fatalf("ray certified against a feasible system: %s", cert)
+	}
+}
+
+func TestCriticalCycle(t *testing.T) {
+	// x[b] >= x[a] + 30, x[a] >= x[b] + 30 − Tc: feasible iff Tc >= 60.
+	arcs := []verify.RatioArc{
+		{From: "a", To: "b", A: 30, B: 0},
+		{From: "b", To: "a", A: 30, B: -1},
+	}
+	if cert := verify.CriticalCycle(arcs, 60, 0); !cert.Certified() {
+		t.Fatalf("true critical cycle rejected: %s", cert)
+	}
+	if cert := verify.CriticalCycle(arcs, 59, 0); cert.Certified() {
+		t.Fatal("wrong Tc certified")
+	}
+	open := []verify.RatioArc{
+		{From: "a", To: "b", A: 30, B: 0},
+		{From: "c", To: "a", A: 30, B: -1},
+	}
+	if cert := verify.CriticalCycle(open, 60, 0); cert.Certified() {
+		t.Fatal("non-closed walk certified")
+	}
+	noCross := []verify.RatioArc{
+		{From: "a", To: "b", A: 30, B: 0},
+		{From: "b", To: "a", A: 30, B: 0},
+	}
+	if cert := verify.CriticalCycle(noCross, 60, 0); cert.Certified() {
+		t.Fatal("cycle without boundary crossings certified as critical")
+	}
+	if cert := verify.CriticalCycle(nil, 60, 0); cert.Certified() {
+		t.Fatal("empty arc list certified")
+	}
+}
+
+func TestInfeasibleCycle(t *testing.T) {
+	bad := []verify.RatioArc{
+		{From: "a", To: "b", A: 5, B: 0},
+		{From: "b", To: "a", A: 5, B: 0},
+	}
+	if cert := verify.InfeasibleCycle(bad, 0); !cert.Certified() {
+		t.Fatalf("true infeasibility witness rejected: %s", cert)
+	}
+	// A cycle that a large enough Tc resolves is not an infeasibility
+	// witness.
+	resolvable := []verify.RatioArc{
+		{From: "a", To: "b", A: 5, B: 0},
+		{From: "b", To: "a", A: 5, B: -1},
+	}
+	if cert := verify.InfeasibleCycle(resolvable, 0); cert.Certified() {
+		t.Fatal("Tc-resolvable cycle certified as infeasible")
+	}
+	// Zero gain proves nothing.
+	zero := []verify.RatioArc{
+		{From: "a", To: "b", A: 0, B: 0},
+		{From: "b", To: "a", A: 0, B: 0},
+	}
+	if cert := verify.InfeasibleCycle(zero, 0); cert.Certified() {
+		t.Fatal("zero-gain cycle certified")
+	}
+}
+
+func TestMergeCombinesClauses(t *testing.T) {
+	c, r := solveExample1(t)
+	feas := verify.Feasible(c, core.Options{}, r.Schedule, r.D, 0)
+	opt := verify.Optimality(r.LP, r.LPSol, 0)
+	m := verify.Merge("optimal", feas, opt, nil)
+	if !m.Certified() {
+		t.Fatalf("merged certificate rejected: %s", m)
+	}
+	if len(m.Checks) != len(feas.Checks)+len(opt.Checks) {
+		t.Errorf("merged %d clauses, want %d", len(m.Checks), len(feas.Checks)+len(opt.Checks))
+	}
+	if math.IsNaN(m.DualityGap) {
+		t.Error("merged certificate lost the duality gap")
+	}
+	if m.Kind != "optimal" {
+		t.Errorf("Kind = %q", m.Kind)
+	}
+}
+
+func TestCertificateString(t *testing.T) {
+	c, r := solveExample1(t)
+	cert := verify.Feasible(c, core.Options{}, r.Schedule, r.D, 0)
+	s := cert.String()
+	if s == "" || cert.Failed() != nil {
+		t.Fatalf("unexpected verdict %q (failed: %v)", s, cert.Failed())
+	}
+	var nilCert *verify.Certificate
+	if nilCert.Certified() {
+		t.Error("nil certificate certified")
+	}
+	if nilCert.String() != "no certificate" {
+		t.Errorf("nil String() = %q", nilCert.String())
+	}
+}

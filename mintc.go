@@ -44,6 +44,7 @@ import (
 	"mintc/internal/delay"
 	"mintc/internal/engine"
 	"mintc/internal/ettf"
+	"mintc/internal/lp"
 	"mintc/internal/mcr"
 	"mintc/internal/netex"
 	"mintc/internal/nrip"
@@ -52,6 +53,7 @@ import (
 	"mintc/internal/render"
 	"mintc/internal/session"
 	"mintc/internal/sim"
+	"mintc/internal/verify"
 )
 
 // Core model types, re-exported from the implementation packages. See
@@ -482,6 +484,77 @@ func Engines() []string { return engine.Names() }
 // of whatever progress was made.
 func SolveEngine(ctx context.Context, name string, c *Circuit, opts EngineOptions) (*EngineResult, error) {
 	return engine.Solve(ctx, name, c, opts)
+}
+
+// Reliability layer: certified solves. SolveEngineCertified runs an
+// engine through the degradation supervisor — every answer is
+// independently re-checked against the paper's constraint system
+// (compensated arithmetic, reference recurrence only), infeasibility
+// claims must present a machine-checkable witness, and a failing or
+// rejected solve falls down a ladder of increasingly independent
+// methods (warm start → cold sparse simplex → dense oracle → the
+// min-cycle-ratio engine) instead of returning unverified numbers.
+type (
+	// Certificate is the outcome of independently re-checking one
+	// solver answer: per-clause residuals, the overall verdict
+	// (Certificate.Certified), and the LP duality gap when available.
+	Certificate = verify.Certificate
+	// CertificateCheck is one verified clause of a Certificate.
+	CertificateCheck = verify.Check
+	// CertifyPolicy tunes a certified solve: tolerance, ladder rungs,
+	// fallback behavior.
+	CertifyPolicy = engine.Policy
+	// CertifyAttempt is one degradation-ladder rung recorded in
+	// EngineResult.Trail.
+	CertifyAttempt = engine.Attempt
+	// PanicError is a solver panic caught at the engine or session
+	// boundary and converted into an error (recovered value + stack).
+	PanicError = engine.PanicError
+)
+
+// Typed failure sentinels, matchable with errors.Is through every
+// layer (engines wrap causes with %w).
+var (
+	// ErrUnknownEngine reports an engine name absent from the registry.
+	ErrUnknownEngine = engine.ErrUnknownEngine
+	// ErrLadderExhausted reports a certified solve whose every ladder
+	// rung failed or was rejected by the checker.
+	ErrLadderExhausted = engine.ErrLadderExhausted
+	// ErrZeroOverlay reports a session query made with the zero
+	// DelayOverlay value.
+	ErrZeroOverlay = session.ErrZeroOverlay
+	// ErrSnapshotMismatch reports a session query whose overlay belongs
+	// to a different snapshot.
+	ErrSnapshotMismatch = session.ErrSnapshotMismatch
+	// ErrIterationLimit reports an LP solve that hit its pivot bound
+	// (almost always basis cycling on degenerate input).
+	ErrIterationLimit = lp.ErrIterationLimit
+	// ErrSingularBasis reports an LP basis that could not be factorized.
+	ErrSingularBasis = lp.ErrSingularBasis
+)
+
+// SolveEngineCertified runs the named engine on the circuit under the
+// degradation supervisor: the result arrives with a passing
+// Certificate (EngineResult.Certificate) and the Trail of ladder rungs
+// tried, or the error explains every failed attempt. A zero
+// CertifyPolicy certifies at 1e-9 and walks the engine's full ladder.
+func SolveEngineCertified(ctx context.Context, name string, c *Circuit, opts EngineOptions, pol CertifyPolicy) (*EngineResult, error) {
+	return engine.SolveCertified(ctx, name, c, opts, pol)
+}
+
+// SolveEngineCertifiedOverlay is SolveEngineCertified against a
+// snapshot overlay.
+func SolveEngineCertifiedOverlay(ctx context.Context, name string, ov DelayOverlay, opts EngineOptions, pol CertifyPolicy) (*EngineResult, error) {
+	return engine.SolveCertifiedOverlay(ctx, name, ov, opts, pol)
+}
+
+// VerifySchedule independently re-checks a schedule (and optional
+// departure vector) against the paper's constraint system C1–C4/L1–L3
+// with compensated arithmetic, sharing no code with the solvers beyond
+// the reference recurrence. A nil d makes the checker compute the
+// departure fixpoint itself. tol <= 0 means the 1e-9 default.
+func VerifySchedule(c *Circuit, opts Options, sched *Schedule, d []float64, tol float64) *Certificate {
+	return verify.Feasible(c, opts, sched, d, tol)
 }
 
 // Frozen model pipeline: a mutable builder Circuit is frozen into an

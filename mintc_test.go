@@ -2,6 +2,7 @@ package mintc_test
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -126,7 +127,7 @@ func TestPublicConstantsAndKinds(t *testing.T) {
 
 func TestPublicFixedTcInfeasible(t *testing.T) {
 	c := mintc.PaperExample1(80)
-	if _, err := mintc.MinTc(c, mintc.Options{FixedTc: 90}); err != mintc.ErrInfeasible {
+	if _, err := mintc.MinTc(c, mintc.Options{FixedTc: 90}); !errors.Is(err, mintc.ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
 }
