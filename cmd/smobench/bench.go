@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,6 +36,13 @@ type benchRecord struct {
 	// Reliability telemetry: each benchmark solve runs through the
 	// degradation supervisor, so every recorded Tc is independently
 	// certified and the certification cost is visible.
+	// Allocation telemetry: whole-process malloc deltas around the one
+	// certified solve this record describes (one solve per record, so
+	// per-op equals per-solve). The numbers the zero-alloc work is
+	// gated on.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+
 	Certified       bool      `json:"certified"`
 	VerifyNs        int64     `json:"verify_ns,omitempty"`
 	Fallbacks       int64     `json:"fallbacks,omitempty"`
@@ -77,6 +85,7 @@ func runBench(dir string, names []string, timeout time.Duration, trials int, xl 
 	suite := gen.Suite()
 	if xl {
 		suite = append(suite, gen.XLarge()...)
+		suite = append(suite, gen.Huge()...)
 	}
 	var files []string
 	for _, bm := range suite {
@@ -106,15 +115,20 @@ func benchOne(bm gen.Benchmark, name string, timeout time.Duration, trials int) 
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	res, err := engine.SolveCertified(ctx, name, bm.Circuit,
 		engine.Options{Seed: 1, Trials: trials}, engine.Policy{})
 	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
 	rec := benchRecord{
-		Engine:  name,
-		Circuit: bm.Name,
-		Latches: bm.Circuit.L(),
-		WallNs:  wall.Nanoseconds(),
+		Engine:      name,
+		Circuit:     bm.Name,
+		Latches:     bm.Circuit.L(),
+		WallNs:      wall.Nanoseconds(),
+		AllocsPerOp: int64(m1.Mallocs - m0.Mallocs),
+		BytesPerOp:  int64(m1.TotalAlloc - m0.TotalAlloc),
 	}
 	if res != nil {
 		rec.Tc = res.Tc

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 
 	"mintc/internal/experiments"
@@ -49,6 +50,7 @@ func main() {
 		xl      = flag.Bool("xl", false, "include the oversized (>=512-latch) workloads in -bench")
 		lpName  = flag.String("lp", "", "LP solver for every solve: revised (default) or dense")
 		profile = flag.String("profile", "", "write a CPU profile of the whole run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	flag.Parse()
 
@@ -72,6 +74,24 @@ func main() {
 		// forfeit the profile, which is fine for a diagnostics flag.
 		defer func() {
 			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		// Like -profile: written on successful completion, forfeited by
+		// os.Exit error paths. The GC beforehand makes the profile show
+		// live steady-state memory, not whatever garbage the last solve
+		// left behind.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "smobench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "smobench: %v\n", err)
+			}
 			f.Close()
 		}()
 	}

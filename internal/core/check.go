@@ -100,7 +100,10 @@ func checkTc(c *Circuit, ov *DelayOverlay, sched *Schedule, opts Options) (*Anal
 	// the MLP slide — so analysis and design agree exactly under
 	// Options.Skew/PhaseSkew.
 	kn := kernelFor(c, ov, opts)
-	shift := kn.ShiftTable(sched, nil)
+	sc := kn.getSlide()
+	defer kn.putSlide(sc)
+	sc.shift = kn.ShiftTable(sched, sc.shift)
+	shift := sc.shift
 	for i := 0; i < l; i++ {
 		if kn.FF[i] {
 			continue // FF departure is independent of arrivals

@@ -173,6 +173,36 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// The three RHS formulas below are the only places a path's delay
+// enters the LP — always through the right-hand side, never a
+// coefficient. buildLPOv evaluates them when generating rows, and the
+// delay sweep re-evaluates exactly the same functions to build
+// lp.RHSPatch variants, so the batched path cannot drift from the
+// row generator.
+
+// propagationRHS is the RHS of a latch-destination L2R row for path
+// pidx: the margin-adjusted arc weight ΔDQ_j + Δ_ji + margins.
+func propagationRHS(c *Circuit, ov *DelayOverlay, opts Options, pidx int) float64 {
+	return arcWeightOv(c, ov, opts, pidx)
+}
+
+// ffSetupRHS is the RHS of a flip-flop-destination FFsu row for path
+// pidx: −(setup + arc weight), the latest arrival meeting setup before
+// the triggering edge.
+func ffSetupRHS(c *Circuit, ov *DelayOverlay, opts Options, pidx int) float64 {
+	return -(c.Sync(c.Paths()[pidx].To).Setup + arcWeightOv(c, ov, opts, pidx))
+}
+
+// holdRHS is the RHS of a conservative hold row for path pidx (see
+// Options.DesignForHold): hold − ΔDQ_j − δmin + margins.
+func holdRHS(c *Circuit, ov *DelayOverlay, opts Options, pidx int) float64 {
+	path := c.Paths()[pidx]
+	j, i := path.From, path.To
+	pj, piph := c.Sync(j).Phase, c.Sync(i).Phase
+	_, minDelay := delayOf(c, ov, pidx)
+	return c.Sync(i).Hold - c.Sync(j).DQ - minDelay + opts.Skew + opts.sigma(pj) + opts.sigma(piph)
+}
+
 // cShift returns C_pq for 0-based phases: 1 when p >= q, else 0.
 func cShift(p, q int) float64 {
 	if p >= q {
@@ -320,7 +350,7 @@ func buildLPOv(c *Circuit, ov *DelayOverlay, opts Options) (*lp.Problem, *VarMap
 					{Var: vm.S[pj], Coef: -1},
 					{Var: vm.S[piph], Coef: 1},
 					{Var: vm.Tc, Coef: cji},
-				}, lp.GE, arcWeightOv(c, ov, opts, pi))
+				}, lp.GE, propagationRHS(c, ov, opts, pi))
 		case FlipFlop:
 			addRow(RowInfo{Kind: RowFFSetup, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("FFsu.%s->%s", c.SyncName(j), c.SyncName(i))},
 				[]lp.Term{
@@ -328,7 +358,7 @@ func buildLPOv(c *Circuit, ov *DelayOverlay, opts Options) (*lp.Problem, *VarMap
 					{Var: vm.S[pj], Coef: 1},
 					{Var: vm.S[piph], Coef: -1},
 					{Var: vm.Tc, Coef: -cji},
-				}, lp.LE, -(c.Sync(i).Setup + arcWeightOv(c, ov, opts, pi)))
+				}, lp.LE, ffSetupRHS(c, ov, opts, pi))
 		}
 	}
 
@@ -357,10 +387,8 @@ func buildLPOv(c *Circuit, ov *DelayOverlay, opts Options) (*lp.Problem, *VarMap
 			if c.Sync(i).Kind == Latch {
 				terms = append(terms, lp.Term{Var: vm.T[piph], Coef: -1})
 			}
-			_, minDelay := delayOf(c, ov, pi)
-			rhs := hold - c.Sync(j).DQ - minDelay + opts.Skew + opts.sigma(pj) + opts.sigma(piph)
 			addRow(RowInfo{Kind: RowHold, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("hold.%s->%s", c.SyncName(j), c.SyncName(i))},
-				terms, lp.GE, rhs)
+				terms, lp.GE, holdRHS(c, ov, opts, pi))
 		}
 	}
 

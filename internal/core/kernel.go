@@ -71,6 +71,9 @@ type Kernel struct {
 	// corrupt concurrent readers. Derive a private kernel through a
 	// DelayOverlay instead.
 	frozen bool
+	// shared holds the scratch pool and lazy fanout CSR, common to this
+	// kernel and every overlay-derived copy (see kernelShared).
+	shared *kernelShared
 }
 
 // CompileKernel flattens the circuit under the given margin options.
@@ -101,6 +104,7 @@ func CompileKernel(c *Circuit, opts Options) *Kernel {
 		c:         c,
 		opts:      opts,
 		k:         c.K(),
+		shared:    &kernelShared{},
 	}
 	a := int32(0)
 	for i := 0; i < l; i++ {

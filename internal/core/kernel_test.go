@@ -191,7 +191,7 @@ func BenchmarkSlideDepartures(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(d, d0)
-				if _, _, err := slideDepartures(ctx, c, kn, shift, d, opts); err != nil {
+				if _, _, err := slideDepartures(ctx, c, kn, shift, d, opts, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -134,7 +134,7 @@ func MinTcLex(c *Circuit, opts Options, sec Secondary) (*Result, error) {
 	}
 	kn := CompileKernel(c, opts)
 	shift := kn.ShiftTable(sched, nil)
-	iters, relax, err := slideDepartures(context.Background(), c, kn, shift, d, opts)
+	iters, relax, err := slideDepartures(context.Background(), c, kn, shift, d, opts, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -97,7 +97,7 @@ func MaxMarginSchedule(c *Circuit, opts Options, tc float64) (*MarginResult, err
 	// departures earlier loosens setup).
 	kn := CompileKernel(c, opts)
 	shift := kn.ShiftTable(sched, nil)
-	if _, _, err := slideDepartures(context.Background(), c, kn, shift, d, opts); err != nil {
+	if _, _, err := slideDepartures(context.Background(), c, kn, shift, d, opts, nil); err != nil {
 		return nil, err
 	}
 	return &MarginResult{Margin: sol.X[m], Schedule: sched, D: d}, nil

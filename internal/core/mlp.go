@@ -165,6 +165,12 @@ func recordLPStats(rec *obs.Rec, sol *lp.Solution) {
 		rec.Add(obs.LPWarmStarts, 1)
 		rec.Add(obs.LPWarmPivots, int64(st.WarmPivots))
 	}
+	if st.ScratchReused {
+		rec.Add(obs.ScratchReuses, 1)
+	}
+	if st.ScratchGrows > 0 {
+		rec.Add(obs.ScratchGrows, int64(st.ScratchGrows))
+	}
 	if st.AssembleTime > 0 {
 		rec.AddStage("lp.assemble", st.AssembleTime)
 	}
@@ -254,11 +260,14 @@ func minTcCtxWarm(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Option
 	// the snapshot's cached kernel (plus the overlay's edits) for
 	// frozen ones.
 	kn := kernelFor(c, ov, opts)
-	shift := kn.ShiftTable(sched, nil)
+	sc := kn.getSlide()
+	defer kn.putSlide(sc)
+	sc.shift = kn.ShiftTable(sched, sc.shift)
+	shift := sc.shift
 	var iters, relax int
 	err = rec.Phase(ctx, "slide", func(ctx context.Context) error {
 		var serr error
-		iters, relax, serr = slideDepartures(ctx, c, kn, shift, d, opts)
+		iters, relax, serr = slideDepartures(ctx, c, kn, shift, d, opts, sc)
 		rec.Add(obs.SlideIterations, int64(iters))
 		rec.Add(obs.Relaxations, int64(relax))
 		return serr
@@ -308,8 +317,13 @@ func maxUpdateIter(c *Circuit, opts Options) int {
 // plain indexed max-accumulate — rather than the closure-based
 // reference recurrence; kernel_test.go proves the two agree
 // bit-for-bit. The caller supplies the kernel and its schedule shift
-// table so overlay solves reuse the snapshot's cached compile.
-func slideDepartures(ctx context.Context, c *Circuit, kn *Kernel, shift, d []float64, opts Options) (iters, relaxations int, err error) {
+// table so overlay solves reuse the snapshot's cached compile, and
+// (optionally) a slide scratch so repeated solves reuse the Jacobi
+// and worklist buffers; nil sc allocates fresh ones.
+func slideDepartures(ctx context.Context, c *Circuit, kn *Kernel, shift, d []float64, opts Options, sc *slideScratch) (iters, relaxations int, err error) {
+	if sc == nil {
+		sc = new(slideScratch)
+	}
 	limit := maxUpdateIter(c, opts)
 	switch opts.Update {
 	case GaussSeidel:
@@ -333,19 +347,29 @@ func slideDepartures(ctx context.Context, c *Circuit, kn *Kernel, shift, d []flo
 		}
 	case EventDriven:
 		// Worklist algorithm: recompute a synchronizer only when one
-		// of its fanin departures changed.
-		fanout := make([][]int32, c.L())
-		for _, p := range c.Paths() {
-			fanout[p.From] = append(fanout[p.From], int32(p.To))
+		// of its fanin departures changed. The structural fanout CSR is
+		// cached on the kernel; the worklist is a pooled ring buffer —
+		// each synchronizer is in the list at most once, so capacity L
+		// suffices — with pooled membership flags. FIFO order matches
+		// the old slice-backed queue, so relaxation order (and results)
+		// are unchanged.
+		l := c.L()
+		fanStart, fanTo := kn.fanoutCSR()
+		if cap(sc.inList) < l {
+			sc.inList = make([]bool, l)
 		}
-		inList := make([]bool, c.L())
-		var queue []int32
-		for i := range d {
-			queue = append(queue, int32(i))
+		inList := sc.inList[:l]
+		if cap(sc.queue) < l {
+			sc.queue = make([]int32, l)
+		}
+		queue := sc.queue[:l]
+		for i := range inList {
+			queue[i] = int32(i)
 			inList[i] = true
 		}
-		steps := limit * (c.L() + 1)
-		for len(queue) > 0 {
+		head, n := 0, l
+		steps := limit * (l + 1)
+		for n > 0 {
 			if steps--; steps < 0 {
 				return iters, relaxations, ErrNoConvergence
 			}
@@ -354,8 +378,11 @@ func slideDepartures(ctx context.Context, c *Circuit, kn *Kernel, shift, d []flo
 					return relaxations, relaxations, err
 				}
 			}
-			i := queue[0]
-			queue = queue[1:]
+			i := queue[head]
+			if head++; head == l {
+				head = 0
+			}
+			n--
 			inList[i] = false
 			nv := kn.Depart(int(i), d, shift)
 			if math.Abs(nv-d[i]) <= Eps {
@@ -363,16 +390,24 @@ func slideDepartures(ctx context.Context, c *Circuit, kn *Kernel, shift, d []flo
 			}
 			d[i] = nv
 			relaxations++
-			for _, t := range fanout[i] {
+			for _, t := range fanTo[fanStart[i]:fanStart[i+1]] {
 				if !inList[t] {
 					inList[t] = true
-					queue = append(queue, t)
+					tail := head + n
+					if tail >= l {
+						tail -= l
+					}
+					queue[tail] = t
+					n++
 				}
 			}
 		}
 		return relaxations, relaxations, nil
 	default: // Jacobi, as in the paper's listing
-		next := make([]float64, len(d))
+		if cap(sc.next) < len(d) {
+			sc.next = make([]float64, len(d))
+		}
+		next := sc.next[:len(d)]
 		for m := 0; m < limit; m++ {
 			if err := ctx.Err(); err != nil {
 				return iters, relaxations, err

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // DelayOverlay is a cheap copy-on-write set of what-if path-delay
@@ -149,13 +148,24 @@ func (o DelayOverlay) Digest() uint64 {
 	if len(o.edits) == 0 {
 		return h
 	}
-	idx := make([]int, 0, len(o.edits))
-	for k := range o.edits {
-		idx = append(idx, int(k))
+	// Sort the edit keys on a stack buffer (insertion sort): overlays
+	// hold a handful of edits and Digest sits on the session cache's
+	// hot path, where sort.Ints' interface conversion would allocate.
+	var buf [16]int32
+	idx := buf[:0]
+	if len(o.edits) > len(buf) {
+		idx = make([]int32, 0, len(o.edits))
 	}
-	sort.Ints(idx)
+	for k := range o.edits {
+		idx = append(idx, k)
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 	for _, pidx := range idx {
-		e := o.edits[int32(pidx)]
+		e := o.edits[pidx]
 		mix(uint64(pidx))
 		mix(math.Float64bits(e.delay))
 		mix(math.Float64bits(e.minDelay))

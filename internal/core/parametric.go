@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -29,7 +30,8 @@ func (s DelaySegment) TcAt(d float64) float64 {
 // the delay of path pathIndex swept over [from, to], by repeatedly
 // solving the LP and extending each segment to the end of its basis's
 // RHS validity range (classic one-parameter RHS parametrics). The
-// circuit is restored to its original delay before returning.
+// circuit is never mutated: it is frozen once and each probe delay is
+// layered over the snapshot as an overlay edit.
 //
 // The number of LP solves equals the number of segments plus the
 // degenerate steps, not the number of sample points — on Example 1 the
@@ -41,18 +43,41 @@ func ParametricDelay(c *Circuit, opts Options, pathIndex int, from, to float64) 
 	if !(from >= 0) || to < from {
 		return nil, fmt.Errorf("core: invalid delay range [%g, %g]", from, to)
 	}
-	orig := c.Paths()[pathIndex].Delay
-	defer c.SetPathDelay(pathIndex, orig)
+	cc, err := c.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return ParametricDelayCompiled(cc, opts, pathIndex, from, to)
+}
+
+// ParametricDelayCompiled is ParametricDelay against an already-frozen
+// snapshot. Each segment's solve runs cold on purpose: the walk probes
+// 1e-6 past each breakpoint, exactly where a warm-started dual simplex
+// may legally stop on the previous basis (primal-feasible within
+// tolerance) and report the old segment's duals and validity range —
+// derailing the slope/extent logic for no measurable saving, since the
+// whole walk costs segments-plus-degenerate-steps solves (three for
+// Example 1's Fig. 7 curve).
+func ParametricDelayCompiled(cc *Compiled, opts Options, pathIndex int, from, to float64) ([]DelaySegment, error) {
+	if pathIndex < 0 || pathIndex >= len(cc.c.Paths()) {
+		return nil, fmt.Errorf("core: path index %d out of range", pathIndex)
+	}
+	if !(from >= 0) || to < from {
+		return nil, fmt.Errorf("core: invalid delay range [%g, %g]", from, to)
+	}
 
 	const (
 		step        = 1e-6 // progress past a breakpoint
 		maxSegments = 1000
 	)
 	var segs []DelaySegment
+	// Chained With calls compose the MinDelay clamp exactly like the
+	// sequential SetPathDelay walk this loop used to perform.
+	ov := cc.Overlay()
 	cur := from
 	for len(segs) < maxSegments {
-		c.SetPathDelay(pathIndex, cur)
-		r, err := MinTc(c, opts)
+		ov = ov.With(pathIndex, cur)
+		r, err := MinTcOverlayCtx(context.Background(), ov, opts)
 		if err != nil {
 			return segs, fmt.Errorf("core: parametric solve at Δ=%g: %w", cur, err)
 		}

@@ -1,0 +1,62 @@
+package core
+
+import "sync"
+
+// slideScratch is the per-solve working state of the MLP departure
+// slide and the CheckTc fixpoint: the k×k schedule shift table, the
+// Jacobi double buffer, and the event-driven worklist (ring buffer
+// plus membership flags). Instances are recycled through the kernel's
+// shared pool (kernelShared), so repeated solves over one frozen
+// snapshot allocate nothing here at steady state. Every buffer is
+// either fully overwritten before use (shift, next, queue, inList) or
+// returned in a cleared state, so a recycled scratch is
+// indistinguishable from a fresh one — slide results stay bit-identical
+// either way (enforced by the noscratch differential tests).
+type slideScratch struct {
+	shift  []float64 // k×k schedule shift table
+	next   []float64 // Jacobi double buffer
+	inList []bool    // event-driven worklist membership
+	queue  []int32   // event-driven worklist ring buffer
+}
+
+// kernelShared is the mutable state shared by a compiled kernel and
+// every overlay-derived copy of it: the scratch pool (all derived
+// kernels see the same circuit, so scratch sizes match) and the
+// lazily built structural fanout CSR used by the event-driven slide.
+// It lives behind a pointer so Kernel values stay copyable (withOverlay
+// copies the struct) without duplicating locks.
+type kernelShared struct {
+	slides sync.Pool // of *slideScratch
+
+	fanOnce  sync.Once
+	fanStart []int32 // CSR offsets: fanout of sync i is fanTo[fanStart[i]:fanStart[i+1]]
+	fanTo    []int32
+}
+
+// fanoutCSR returns the structural fanout adjacency of the kernel's
+// circuit in CSR form, built once per kernelShared. Arcs appear in
+// path-index order within each source — the same order the event-driven
+// slide's per-source append loop used to produce — so worklist
+// traversal order (and therefore bit-identical results) is preserved.
+func (kn *Kernel) fanoutCSR() (start, to []int32) {
+	sh := kn.shared
+	sh.fanOnce.Do(func() {
+		l := kn.L()
+		paths := kn.c.Paths()
+		s := make([]int32, l+1)
+		for _, p := range paths {
+			s[p.From+1]++
+		}
+		for i := 0; i < l; i++ {
+			s[i+1] += s[i]
+		}
+		t := make([]int32, len(paths))
+		pos := make([]int32, l)
+		for _, p := range paths {
+			t[s[p.From]+pos[p.From]] = int32(p.To)
+			pos[p.From]++
+		}
+		sh.fanStart, sh.fanTo = s, t
+	})
+	return sh.fanStart, sh.fanTo
+}

@@ -1,0 +1,10 @@
+//go:build noscratch
+
+package core
+
+// noscratch build: every solve gets fresh slide scratch, giving the
+// differential baseline for the pooled paths' bit-identity contract.
+
+func (kn *Kernel) getSlide() *slideScratch { return new(slideScratch) }
+
+func (kn *Kernel) putSlide(*slideScratch) {}

@@ -1,0 +1,26 @@
+//go:build !noscratch
+
+package core
+
+// getSlide acquires a slide scratch from the kernel's shared pool.
+// Frozen snapshot kernels are cached per (snapshot, options), so
+// repeated overlay solves recycle the same scratch states. Build with
+// -tags noscratch to disable recycling for differential testing.
+func (kn *Kernel) getSlide() *slideScratch {
+	if kn.shared == nil {
+		return new(slideScratch)
+	}
+	s, _ := kn.shared.slides.Get().(*slideScratch)
+	if s == nil {
+		s = new(slideScratch)
+	}
+	return s
+}
+
+// putSlide returns a scratch to the pool. Callers must not retain any
+// view into its buffers past this point.
+func (kn *Kernel) putSlide(s *slideScratch) {
+	if kn.shared != nil {
+		kn.shared.slides.Put(s)
+	}
+}

@@ -38,16 +38,125 @@ func SweepDelays(c *Circuit, opts Options, pathIndex int, values []float64) ([]f
 // snapshot, sharing it across workers with zero copies. Callers that
 // sweep several paths (or several value lists) over the same circuit
 // freeze once and fan out from here.
+//
+// A delay edit moves only the right-hand sides of the rows generated
+// from the edited path, never the row structure, so the whole sweep
+// shares ONE linear program: the base LP is built and solved once,
+// and each worker answers a contiguous chunk of values through
+// lp.SolveBatch, which amortizes a single basis factorization across
+// many right-hand sides with a batched multi-RHS FTRAN. Each Tc is
+// bit-identical to what a per-value warm-started solve would return
+// (the batch solver's contract); values that fall outside the shared
+// basis fall back to individual warm solves inside SolveBatch. The
+// departure slide is skipped — it adjusts D below the LP point but
+// can never change the optimal cycle time, which is all a sweep
+// reports.
 func SweepDelaysCompiled(cc *Compiled, opts Options, pathIndex int, values []float64) ([]float64, []error) {
 	tcs := make([]float64, len(values))
 	errs := make([]error, len(values))
-	if pathIndex < 0 || pathIndex >= len(cc.c.Paths()) {
-		err := fmt.Errorf("core: path index %d out of range", pathIndex)
+	fail := func(err error) ([]float64, []error) {
 		for i := range errs {
 			errs[i] = err
 		}
 		return tcs, errs
 	}
+	if pathIndex < 0 || pathIndex >= len(cc.c.Paths()) {
+		return fail(fmt.Errorf("core: path index %d out of range", pathIndex))
+	}
+	if err := opts.Validate(); err != nil {
+		return fail(err)
+	}
+	if err := opts.validatePhaseSkew(cc.c); err != nil {
+		return fail(err)
+	}
+	if len(values) == 0 {
+		return tcs, errs
+	}
+
+	base := cc.Overlay()
+	prob, vm, rows := buildLPOv(cc.c, &base, opts)
+	// The rows a delay edit on pathIndex reaches: its L2R (or FFsu)
+	// propagation row and, under DesignForHold, its hold row. Their
+	// RHS formulas are shared with buildLPOv (constraints.go), so the
+	// patches below reproduce exactly what rebuilding the LP against
+	// the edited overlay would generate.
+	type patchRow struct {
+		row  int
+		kind RowKind
+	}
+	var prows []patchRow
+	for ri, info := range rows {
+		if info.Path != pathIndex {
+			continue
+		}
+		switch info.Kind {
+		case RowPropagation, RowFFSetup, RowHold:
+			prows = append(prows, patchRow{ri, info.Kind})
+		}
+	}
+
+	ctx := context.Background()
+	// Solve the base program once so every worker's batch warm-starts
+	// from the shared optimal basis instead of paying a cold solve.
+	// Failures here are not fatal: SolveBatch handles a nil basis.
+	var warm *lp.Basis
+	if sol, err := lp.SolveCtx(ctx, prob); err == nil && sol.Status == lp.Optimal {
+		warm = sol.Basis()
+	}
+
+	solveChunk := func(lo, hi int) {
+		variants := make([][]lp.RHSPatch, 0, hi-lo)
+		valid := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			ov, err := withChecked(base, pathIndex, values[i])
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			patches := make([]lp.RHSPatch, len(prows))
+			for k, pr := range prows {
+				var rhs float64
+				switch pr.kind {
+				case RowPropagation:
+					rhs = propagationRHS(cc.c, &ov, opts, pathIndex)
+				case RowFFSetup:
+					rhs = ffSetupRHS(cc.c, &ov, opts, pathIndex)
+				default: // RowHold
+					rhs = holdRHS(cc.c, &ov, opts, pathIndex)
+				}
+				patches[k] = lp.RHSPatch{Row: pr.row, RHS: rhs}
+			}
+			variants = append(variants, patches)
+			valid = append(valid, i)
+		}
+		if len(valid) == 0 {
+			return
+		}
+		_, outs, err := lp.SolveBatch(ctx, prob, variants, warm)
+		if err != nil {
+			err = fmt.Errorf("core: LP solve failed: %w", err)
+			for _, i := range valid {
+				if errs[i] == nil {
+					errs[i] = err
+				}
+			}
+			return
+		}
+		for vi, i := range valid {
+			sol := outs[vi]
+			switch {
+			case sol == nil:
+				errs[i] = fmt.Errorf("core: LP solve failed: missing batch solution")
+			case sol.Status == lp.Infeasible:
+				errs[i] = &InfeasibleError{Ray: sol.FarkasRay}
+			case sol.Status == lp.Unbounded:
+				errs[i] = fmt.Errorf("core: LP unexpectedly unbounded")
+			default:
+				tcs[i] = sol.X[vm.Tc]
+			}
+		}
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(values) {
 		workers = len(values)
@@ -55,40 +164,19 @@ func SweepDelaysCompiled(cc *Compiled, opts Options, pathIndex int, values []flo
 	if workers < 1 {
 		workers = 1
 	}
-	base := cc.Overlay()
+	chunk := (len(values) + workers - 1) / workers
 	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	for lo := 0; lo < len(values); lo += chunk {
+		hi := lo + chunk
+		if hi > len(values) {
+			hi = len(values)
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			// Consecutive sweep values differ only in one delay, which the
-			// LP sees as an RHS edit: each worker chains the basis from its
-			// previous solve into the next one, so all solves after the
-			// first are dual-simplex warm re-solves.
-			var warm *lp.Basis
-			for i := range next {
-				ov, err := withChecked(base, pathIndex, values[i])
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				r, err := MinTcOverlayWarmCtx(context.Background(), ov, opts, warm)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				if b := r.LPBasis(); b != nil {
-					warm = b
-				}
-				tcs[i] = r.Schedule.Tc
-			}
-		}()
+			solveChunk(lo, hi)
+		}(lo, hi)
 	}
-	for i := range values {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return tcs, errs
 }

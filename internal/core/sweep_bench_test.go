@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"mintc/internal/core"
+)
+
+// benchRing builds a two-phase ring of n latches (mirroring the
+// gen.Ring suite member without importing gen, which would cycle) plus
+// one chord path latch 0 → latch n/2. The sweep varies the CHORD's
+// delay over a range where it never becomes critical: that is the
+// sweep/statistical-timing shape the batched FTRAN targets — the
+// optimal basis survives every right-hand-side variant, so SolveBatch
+// answers each one closed-form from the shared factorization. (When
+// the swept path IS the binding structure, every variant needs dual
+// pivots and both paths below degenerate to one warm solve per value.)
+func benchRing(b *testing.B, n int) *core.Compiled {
+	b.Helper()
+	c := core.NewCircuit(2)
+	for i := 0; i < n; i++ {
+		c.AddLatch("", i%2, 1, 2)
+	}
+	for i := 0; i < n; i++ {
+		c.AddPath(i, (i+1)%n, 30)
+	}
+	c.AddPath(0, n/2, 12) // the swept chord, index n
+	cc, err := c.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cc
+}
+
+func sweepValues(n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 5 + float64(i)*30/float64(n)
+	}
+	return vals
+}
+
+// BenchmarkSweepBatchedFTRAN measures SweepDelaysCompiled: one LP
+// assembly and one basis factorization serve every right-hand-side
+// variant through the batched FTRAN extraction (lp.SolveBatch), with
+// per-variant dual-simplex fallback only where the basis stops being
+// feasible. Compare against BenchmarkSweepPerSolveBaseline — the
+// acceptance gate pins the batched path at >= 1.5x that throughput.
+func BenchmarkSweepBatchedFTRAN(b *testing.B) {
+	cc := benchRing(b, 512)
+	values := sweepValues(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tcs, errs := core.SweepDelaysCompiled(cc, core.Options{}, 512, values)
+		for j := range errs {
+			if errs[j] != nil {
+				b.Fatal(errs[j])
+			}
+		}
+		_ = tcs
+	}
+}
+
+// BenchmarkSweepPerSolveBaseline is the pre-batching reference: the
+// same sweep as one independent warm-started solve per value (assemble
+// + factor + dual simplex each time), the way a caller without
+// SolveBatch would write it.
+func BenchmarkSweepPerSolveBaseline(b *testing.B) {
+	cc := benchRing(b, 512)
+	values := sweepValues(64)
+	ctx := context.Background()
+	base, err := core.MinTcOverlayCtx(ctx, cc.Overlay(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := base.LPBasis()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range values {
+			r, err := core.MinTcOverlayWarmCtx(ctx, cc.Overlay().With(512, v), core.Options{}, warm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = r.Schedule.Tc
+		}
+	}
+}

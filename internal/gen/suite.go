@@ -98,6 +98,24 @@ func XLarge() []Benchmark {
 	}
 }
 
+// Huge returns the 10k-latch workloads that measure the allocation
+// and layout work at the scale the roadmap targets: a 10000-latch
+// two-phase ring with a known optimum and a 10000-synchronizer random
+// circuit. Kept out of Suite AND XLarge — only the explicitly opted-in
+// sweeps (smobench -xl) pay for them.
+func Huge() []Benchmark {
+	const ringDQ, ringSetup, ringDelay = 2.0, 1.0, 30.0
+	r, err := Ring(2, 10000, ringSetup, ringDQ, func(int) float64 { return ringDelay })
+	if err != nil {
+		panic(err) // 10000 is a multiple of 2 by construction
+	}
+	rng := rand.New(rand.NewSource(505))
+	return []Benchmark{
+		{Name: "ring-2x10k", Circuit: r, OptimalTc: 2 * (ringDQ + ringDelay)},
+		{Name: "rand-huge-10k", Circuit: randomOfSize(rng, 10000)},
+	}
+}
+
 func ringName(n int) string {
 	switch n {
 	case 8:

@@ -428,6 +428,7 @@ func TestSimpleCyclesWeightsMatchEdges(t *testing.T) {
 }
 
 func BenchmarkSCC(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	g := New(1000)
 	for e := 0; e < 4000; e++ {
@@ -440,6 +441,7 @@ func BenchmarkSCC(b *testing.B) {
 }
 
 func BenchmarkLongestPathsFrom(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(2))
 	g := New(500)
 	for e := 0; e < 2000; e++ {

@@ -6,19 +6,28 @@ import (
 	"mintc/internal/faultinject"
 )
 
-// luEta holds one product-form update: after a pivot at basis position
-// pos with transformed entering column w, the new basis inverse is
-// E^-1 B^-1 where applying E^-1 to a position-indexed vector x is
+// The eta file holds one product-form update per pivot: after a pivot
+// at basis position pos with transformed entering column w, the new
+// basis inverse is E^-1 B^-1 where applying E^-1 to a position-indexed
+// vector x is
 //
 //	x[pos] /= diag
 //	x[idx[k]] -= vals[k] * x[pos]
 //
-// and applying its transpose (for BTRAN) is the reverse.
-type luEta struct {
-	pos  int32
-	diag float64
-	idx  []int32
-	vals []float64
+// and applying its transpose (for BTRAN) is the reverse. Etas are
+// stored structure-of-arrays: per-eta scalars in etaPos/etaDiag and
+// the off-diagonal entries of all etas concatenated in etaIdx/etaVals,
+// delimited by the etaStart prefix offsets (eta i owns
+// etaIdx[etaStart[i]:etaStart[i+1]]). One flat layout instead of a
+// slice of per-eta structs keeps FTRAN/BTRAN walking contiguous
+// memory and lets the whole file recycle through the solve arena
+// without per-pivot allocations.
+
+// frame is one explicit-stack entry of the symbolic reach DFS: a row
+// plus a cursor into its L column.
+type frame struct {
+	row int32
+	e   int32
 }
 
 // basisLU is an invertible representation of the current basis matrix
@@ -52,33 +61,41 @@ type basisLU struct {
 	pinv []int32 // row -> step
 	q    []int32 // step -> basis position
 
-	etas   []luEta
-	etaNnz int
-	luNnz  int
+	// Eta file, SoA (see package comment above).
+	etaPos   []int32
+	etaDiag  []float64
+	etaStart []int32 // len nEtas()+1 once any eta exists; prefix offsets
+	etaIdx   []int32
+	etaVals  []float64
+	etaNnz   int
+	luNnz    int
 
 	// scratch for factorization and solves
 	x       []float64
 	visited []int32
 	vstamp  int32
-	stack   []int32
 	topo    []int32
+	fstack  []frame // reach DFS stack
+	order   []int32 // factorize: column elimination order
+	bcnt    []int32 // factorize: counting-sort buckets
+	colIdx  []int32 // factorize: gathered basis column
+	colVal  []float64
 	zk      []float64
 
 	refactors int64 // refactorization count since construction
 }
 
-func newBasisLU(m int) *basisLU {
-	return &basisLU{
-		m:       m,
-		p:       make([]int32, m),
-		pinv:    make([]int32, m),
-		q:       make([]int32, m),
-		x:       make([]float64, m),
-		visited: make([]int32, m),
-		stack:   make([]int32, 0, m),
-		topo:    make([]int32, 0, m),
-		zk:      make([]float64, m),
-	}
+// nEtas returns the number of eta updates in the file.
+func (b *basisLU) nEtas() int { return len(b.etaPos) }
+
+// clearEtas empties the eta file, keeping capacity.
+func (b *basisLU) clearEtas() {
+	b.etaPos = b.etaPos[:0]
+	b.etaDiag = b.etaDiag[:0]
+	b.etaStart = b.etaStart[:0]
+	b.etaIdx = b.etaIdx[:0]
+	b.etaVals = b.etaVals[:0]
+	b.etaNnz = 0
 }
 
 // factorize rebuilds the LU decomposition of the basis described by
@@ -98,34 +115,56 @@ func (b *basisLU) factorize(st *store, basis []int32) error {
 	b.ui = b.ui[:0]
 	b.ux = b.ux[:0]
 	b.ud = b.ud[:0]
-	b.etas = b.etas[:0]
-	b.etaNnz = 0
+	b.clearEtas()
 	for i := range b.pinv {
 		b.pinv[i] = -1
+	}
+	// Recycled arenas keep the visited stamps monotone across solves;
+	// rewind before the int32 stamp space could wrap.
+	if b.vstamp > math.MaxInt32-int32(m)-1 {
+		for i := range b.visited {
+			b.visited[i] = 0
+		}
+		b.vstamp = 0
 	}
 
 	// Column elimination order: nnz ascending, stable on position
 	// (counting sort; nnz is tiny for SMO columns).
-	order := make([]int32, 0, m)
 	maxNnz := 1
 	for _, id := range basis {
 		if c := st.colNnz(id); c > maxNnz {
 			maxNnz = c
 		}
 	}
-	buckets := make([][]int32, maxNnz+1)
+	if cap(b.bcnt) < maxNnz+1 {
+		b.bcnt = make([]int32, maxNnz+1)
+	}
+	bcnt := b.bcnt[:maxNnz+1]
+	for i := range bcnt {
+		bcnt[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		bcnt[st.colNnz(basis[i])]++
+	}
+	var off int32
+	for c := range bcnt {
+		n := bcnt[c]
+		bcnt[c] = off
+		off += n
+	}
+	if cap(b.order) < m {
+		b.order = make([]int32, m)
+	}
+	order := b.order[:m]
 	for i := 0; i < m; i++ {
 		c := st.colNnz(basis[i])
-		buckets[c] = append(buckets[c], int32(i))
-	}
-	for _, bk := range buckets {
-		order = append(order, bk...)
+		order[bcnt[c]] = int32(i)
+		bcnt[c]++
 	}
 
-	var colIdx []int32
-	var colVal []float64
 	for step, jpos := range order {
-		colIdx, colVal = st.appendCol(basis[jpos], colIdx[:0], colVal[:0])
+		b.colIdx, b.colVal = st.appendCol(basis[jpos], b.colIdx[:0], b.colVal[:0])
+		colIdx, colVal := b.colIdx, b.colVal
 
 		// Symbolic: reach of the column's rows through finished L
 		// columns, in topological order.
@@ -212,13 +251,9 @@ func (b *basisLU) reach(r int32) {
 	if b.visited[r] == b.vstamp {
 		return
 	}
-	// Each stack frame is a row; we emulate recursion with an explicit
-	// per-row cursor into its L column.
-	type frame struct {
-		row int32
-		e   int32
-	}
-	stack := make([]frame, 0, 16)
+	// Each stack frame is a row with an explicit per-row cursor into
+	// its L column, emulating recursion.
+	stack := b.fstack[:0]
 	b.visited[r] = b.vstamp
 	stack = append(stack, frame{row: r})
 	for len(stack) > 0 {
@@ -243,6 +278,7 @@ func (b *basisLU) reach(r int32) {
 			stack = stack[:len(stack)-1]
 		}
 	}
+	b.fstack = stack[:0]
 }
 
 // ftran solves B w = v. v is dense and row-indexed; the result is
@@ -278,15 +314,77 @@ func (b *basisLU) ftran(v, out []float64) {
 		out[b.q[k]] = b.zk[k]
 	}
 	// Eta file, oldest first.
-	for i := range b.etas {
-		et := &b.etas[i]
-		xr := out[et.pos] / et.diag
-		out[et.pos] = xr
+	for i := 0; i < len(b.etaPos); i++ {
+		pos := b.etaPos[i]
+		xr := out[pos] / b.etaDiag[i]
+		out[pos] = xr
 		if xr == 0 {
 			continue
 		}
-		for j, p := range et.idx {
-			out[p] -= et.vals[j] * xr
+		for j := b.etaStart[i]; j < b.etaStart[i+1]; j++ {
+			out[b.etaIdx[j]] -= b.etaVals[j] * xr
+		}
+	}
+}
+
+// ftranN solves B w_j = v_j for each of the k dense row-indexed
+// vectors in vs, writing position-indexed results into outs; zs
+// supplies one m-length scratch vector per RHS. Per-vector arithmetic
+// is performed in exactly the order ftran would use, so each result is
+// bit-identical to a standalone ftran of the same vector — the win is
+// one pass over the L/U/eta index structure shared by all k vectors
+// instead of k passes. Every v_j is left zeroed for reuse.
+func (b *basisLU) ftranN(vs, outs, zs [][]float64) {
+	m, n := b.m, len(vs)
+	for k := 0; k < m; k++ {
+		p := b.p[k]
+		lo, hi := b.lp[k], b.lp[k+1]
+		for j := 0; j < n; j++ {
+			v := vs[j]
+			xv := v[p]
+			if xv == 0 {
+				continue
+			}
+			for e := lo; e < hi; e++ {
+				v[b.li[e]] -= b.lx[e] * xv
+			}
+		}
+	}
+	for k := m - 1; k >= 0; k-- {
+		r := b.p[k]
+		lo, hi := b.up[k], b.up[k+1]
+		for j := 0; j < n; j++ {
+			v := vs[j]
+			zk := v[r] / b.ud[k]
+			v[r] = 0
+			zs[j][k] = zk
+			if zk == 0 {
+				continue
+			}
+			for e := lo; e < hi; e++ {
+				v[b.p[b.ui[e]]] -= b.ux[e] * zk
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		out, z := outs[j], zs[j]
+		for k := 0; k < m; k++ {
+			out[b.q[k]] = z[k]
+		}
+	}
+	for i := 0; i < len(b.etaPos); i++ {
+		pos := b.etaPos[i]
+		lo, hi := b.etaStart[i], b.etaStart[i+1]
+		for j := 0; j < n; j++ {
+			out := outs[j]
+			xr := out[pos] / b.etaDiag[i]
+			out[pos] = xr
+			if xr == 0 {
+				continue
+			}
+			for e := lo; e < hi; e++ {
+				out[b.etaIdx[e]] -= b.etaVals[e] * xr
+			}
 		}
 	}
 }
@@ -297,13 +395,13 @@ func (b *basisLU) ftran(v, out []float64) {
 func (b *basisLU) btran(c, out []float64) {
 	m := b.m
 	// Eta transposes, newest first.
-	for i := len(b.etas) - 1; i >= 0; i-- {
-		et := &b.etas[i]
-		acc := c[et.pos]
-		for j, p := range et.idx {
-			acc -= et.vals[j] * c[p]
+	for i := len(b.etaPos) - 1; i >= 0; i-- {
+		pos := b.etaPos[i]
+		acc := c[pos]
+		for j := b.etaStart[i]; j < b.etaStart[i+1]; j++ {
+			acc -= b.etaVals[j] * c[b.etaIdx[j]]
 		}
-		c[et.pos] = acc / et.diag
+		c[pos] = acc / b.etaDiag[i]
 	}
 	// U^T solve forward over steps (entries reference earlier steps).
 	for k := 0; k < m; k++ {
@@ -332,24 +430,29 @@ func (b *basisLU) btran(c, out []float64) {
 // whose transformed entering column (B^-1 A_q, position-indexed) is w.
 // w is not retained.
 func (b *basisLU) update(pos int32, w []float64) {
-	et := luEta{pos: pos, diag: w[pos]}
+	if len(b.etaStart) == 0 {
+		b.etaStart = append(b.etaStart, 0)
+	}
+	start := len(b.etaIdx)
 	for i, v := range w {
 		if int32(i) == pos {
 			continue
 		}
 		if math.Abs(v) > 1e-12 {
-			et.idx = append(et.idx, int32(i))
-			et.vals = append(et.vals, v)
+			b.etaIdx = append(b.etaIdx, int32(i))
+			b.etaVals = append(b.etaVals, v)
 		}
 	}
-	b.etaNnz += len(et.idx)
-	b.etas = append(b.etas, et)
+	b.etaPos = append(b.etaPos, pos)
+	b.etaDiag = append(b.etaDiag, w[pos])
+	b.etaStart = append(b.etaStart, int32(len(b.etaIdx)))
+	b.etaNnz += len(b.etaIdx) - start
 }
 
 // needRefactor reports whether the eta file has grown past the point
 // where refactorizing is cheaper (and more accurate) than applying it.
 func (b *basisLU) needRefactor() bool {
-	if len(b.etas) >= 64 {
+	if b.nEtas() >= 64 {
 		return true
 	}
 	return b.etaNnz > 2*(b.luNnz+b.m)

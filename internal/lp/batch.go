@@ -1,0 +1,285 @@
+package lp
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"mintc/internal/faultinject"
+)
+
+// RHSPatch replaces one constraint row's right-hand side. A slice of
+// patches describes one variant program in a SolveBatch call; rows not
+// mentioned keep the base problem's RHS.
+type RHSPatch struct {
+	Row int
+	RHS float64
+}
+
+// batchWidth is how many variant right-hand sides one ftranN pass
+// carries. Wide enough to amortize the L/U index walks, narrow enough
+// that the flat vector block stays cache-resident at SMO row counts.
+const batchWidth = 8
+
+// SolveBatch solves the base problem p (warm-started from warm when
+// usable) and then k RHS-only variants of it, amortizing one basis
+// factorization across the whole batch. This is the sweep/parametric
+// fast path: SMO delay edits enter the LP only through RHS values, so
+// the base optimum's reduced costs — which depend on the basis and
+// costs alone, never the RHS — remain optimal for every variant whose
+// re-solved basic values stay feasible. Those variants are answered
+// closed-form from one batched multi-RHS FTRAN (xB = B⁻¹·rhs) with
+// zero pivots, bit-identical to what a warm-started SolveCtxFrom of
+// the patched problem would return; variants that leave the base
+// basis (infeasible basic values, sign-flipped rows, or a non-optimal
+// base) fall back transparently to an individual warm-started solve.
+//
+// The returned variant Solutions carry the shared base duals and
+// basis, their own X/Obj/Slack, and no RHSRange (ranging costs O(m²)
+// per variant and sweep callers do not read it; run a full SolveCtx on
+// a variant of interest to get it). The base Solution is complete.
+//
+// An out-of-range patch row is a programming error and fails the
+// whole call. A nil error with a non-Optimal base status still solves
+// every variant (cold) — feasibility can differ between variants.
+func SolveBatch(ctx context.Context, p *Problem, variants [][]RHSPatch, warm *Basis) (*Solution, []*Solution, error) {
+	m := len(p.rows)
+	for _, patches := range variants {
+		for _, pc := range patches {
+			if pc.Row < 0 || pc.Row >= m {
+				return nil, nil, fmt.Errorf("lp: SolveBatch patch row %d out of range (m=%d)", pc.Row, m)
+			}
+		}
+	}
+	outs := make([]*Solution, len(variants))
+
+	// The dense oracle and zero-variable programs have no batched
+	// path; solve everything individually so the solver knob and the
+	// trivial-program conventions stay authoritative.
+	if wantDense(ctx) || len(p.names) == 0 {
+		base, err := SolveCtxFrom(ctx, p, warm)
+		if err != nil {
+			return base, outs, err
+		}
+		err = solveVariantsFallback(ctx, p, variants, outs, base.Basis(), nil)
+		return base, outs, err
+	}
+
+	if faultinject.Fire("lp.warm") != nil {
+		warm = nil // injected unusable-basis fault: force the cold path
+	}
+	if warm != nil && (warm.m != m || warm.n != len(p.names)) {
+		warm = nil
+	}
+
+	ar := getArena()
+	defer ar.release()
+	base, r, err := solveRevisedArena(ctx, p, warm, ar)
+	if err != nil {
+		return base, outs, err
+	}
+	if base.Status != Optimal {
+		err = solveVariantsFallback(ctx, p, variants, outs, nil, nil)
+		return base, outs, err
+	}
+	// extract left the eta file empty (it refactorizes before reading
+	// the solution out), r.y holding the phase-2 duals and r.cB the
+	// phase-2 costs; the closed-form variant extraction below relies on
+	// exactly that state.
+	st := r.st
+	feasTol := 1e-7 * (1 + st.scale)
+	baseBasis := base.Basis()
+
+	var fallback []int // variant indices needing an individual solve
+	for lo := 0; lo < len(variants); lo += batchWidth {
+		if err := ctx.Err(); err != nil {
+			return base, outs, err
+		}
+		hi := lo + batchWidth
+		if hi > len(variants) {
+			hi = len(variants)
+		}
+		k := hi - lo
+		vecs := ar.batchVectors(3*k, st.m)
+		vs, xbs, zs := vecs[:k], vecs[k:2*k], vecs[2*k:]
+
+		// Build each variant's normalized RHS. assemble flips a row's
+		// sign when its RHS is negative; a patch that crosses zero
+		// would change the row's normalization (coefficients and
+		// relation included), so only sign-preserving patches reuse the
+		// base factorization.
+		live := 0
+		idx := make([]int, 0, k)
+		for vi := lo; vi < hi; vi++ {
+			ok := true
+			for _, pc := range variants[vi] {
+				if (p.rows[pc.Row].RHS < 0) != (pc.RHS < 0) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				fallback = append(fallback, vi)
+				continue
+			}
+			v := vs[live]
+			copy(v, st.rhs)
+			for _, pc := range variants[vi] {
+				v[pc.Row] = st.rowSign[pc.Row] * pc.RHS
+			}
+			idx = append(idx, vi)
+			live++
+		}
+		if live == 0 {
+			continue
+		}
+		r.lu.ftranN(vs[:live], xbs[:live], zs[:live])
+
+		for j := 0; j < live; j++ {
+			vi := idx[j]
+			xb := xbs[j]
+			if !variantFeasible(r, xb, feasTol) {
+				fallback = append(fallback, vi)
+				continue
+			}
+			outs[vi] = r.extractVariant(p, variants[vi], xb, base)
+		}
+	}
+
+	err = solveVariantsFallback(ctx, p, variants, outs, baseBasis, fallback)
+	return base, outs, err
+}
+
+// variantFeasible reports whether the re-solved basic values keep the
+// base basis usable for a variant: primal feasible within tolerance
+// and no leftover basic artificial above tolerance (such an artificial
+// means this basis cannot certify the variant's feasibility; phase 1
+// must decide).
+func variantFeasible(r *revised, xb []float64, feasTol float64) bool {
+	for _, v := range xb {
+		if v < -feasTol {
+			return false
+		}
+	}
+	for i, id := range r.basis {
+		if r.st.isArtificial(id) && xb[i] > feasTol {
+			return false
+		}
+	}
+	return true
+}
+
+// extractVariant reads a variant solution out of the base basis and
+// its re-solved basic values, mirroring extract's conventions exactly
+// (perturbation hook, zero snapping, slack clamping) so the result is
+// bit-identical to a zero-pivot warm re-solve of the patched problem.
+func (r *revised) extractVariant(p *Problem, patches []RHSPatch, xb []float64, base *Solution) *Solution {
+	st := r.st
+	x := make([]float64, st.n)
+	for i, id := range r.basis {
+		if int(id) < st.n {
+			v := faultinject.Perturb("lp.extract.x", xb[i])
+			if math.Abs(v) < zeroSnap {
+				v = 0
+			}
+			x[id] = v
+		}
+	}
+	var objVal float64
+	for j, cj := range p.obj {
+		objVal += cj * x[j]
+	}
+	dual := make([]float64, st.m)
+	copy(dual, base.Dual)
+	enc := make([]int32, st.m)
+	copy(enc, r.basis)
+
+	stats := SolveStats{
+		Nnz:           st.nnz,
+		WarmStarted:   true,
+		ScratchReused: base.Stats.ScratchReused,
+	}
+	return &Solution{
+		Status: Optimal,
+		Obj:    objVal,
+		X:      x,
+		Dual:   dual,
+		Slack:  clampSlacks(rowSlacksPatched(p, x, patches)),
+		Pivots: base.Pivots,
+		Stats:  stats,
+		basis:  enc,
+	}
+}
+
+// rowSlacksPatched is rowSlacks against patched RHS values. Patched
+// rows are recomputed from scratch in rowSlacks' exact operation
+// order (not adjusted by an RHS delta, which would reassociate the
+// arithmetic and break last-bit identity with a patched-problem
+// solve).
+func rowSlacksPatched(p *Problem, x []float64, patches []RHSPatch) []float64 {
+	s := rowSlacks(p, x)
+	for _, pc := range patches {
+		r := p.rows[pc.Row]
+		var lhs float64
+		for _, t := range r.Terms {
+			if x != nil {
+				lhs += t.Coef * x[t.Var]
+			}
+		}
+		switch r.Rel {
+		case LE:
+			s[pc.Row] = pc.RHS - lhs
+		case GE:
+			s[pc.Row] = lhs - pc.RHS
+		default:
+			s[pc.Row] = 0
+		}
+	}
+	return s
+}
+
+// solveVariantsFallback runs an individual (warm-started when a basis
+// is given) solve for each listed variant index — or for every variant
+// still nil in outs when which is nil — by patching the base problem's
+// rows. Row slices are shared with the base problem; only the RHS
+// values differ.
+func solveVariantsFallback(ctx context.Context, p *Problem, variants [][]RHSPatch, outs []*Solution, warm *Basis, which []int) error {
+	solveOne := func(vi int) error {
+		pv := patchedProblem(p, variants[vi])
+		sol, err := SolveCtxFrom(ctx, pv, warm)
+		if err != nil {
+			return err
+		}
+		outs[vi] = sol
+		return nil
+	}
+	if which != nil {
+		for _, vi := range which {
+			if err := solveOne(vi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for vi := range variants {
+		if outs[vi] != nil {
+			continue
+		}
+		if err := solveOne(vi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// patchedProblem returns a shallow variant of p with patched row RHS
+// values. Rows are copied at the slice level; Terms, names and obj are
+// shared read-only with the base problem.
+func patchedProblem(p *Problem, patches []RHSPatch) *Problem {
+	rows := make([]Constraint, len(p.rows))
+	copy(rows, p.rows)
+	for _, pc := range patches {
+		rows[pc.Row].RHS = pc.RHS
+	}
+	return &Problem{names: p.names, obj: p.obj, rows: rows}
+}

@@ -1,0 +1,260 @@
+package lp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// smoLikeProblem builds a small SMO-shaped program: minimize tc
+// subject to GE propagation-style rows and LE setup-style rows whose
+// RHS values a sweep would patch.
+func smoLikeProblem(nv int, rng *rand.Rand) *Problem {
+	p := &Problem{}
+	tc := p.AddVar("tc", 1)
+	vars := make([]int, nv)
+	for i := range vars {
+		vars[i] = p.AddVar("d", 0)
+	}
+	for i, v := range vars {
+		// d_i + tc >= rhs (propagation-like)
+		p.AddConstraint("ge", []Term{{v, 1}, {tc, 1}}, GE, 10+20*rng.Float64())
+		// d_i - tc <= rhs (setup-like)
+		p.AddConstraint("le", []Term{{v, 1}, {tc, -1}}, LE, 5+10*rng.Float64())
+		if i > 0 {
+			p.AddConstraint("chain", []Term{{v, 1}, {vars[i-1], -1}}, LE, 3+rng.Float64())
+		}
+	}
+	return p
+}
+
+func sameSolution(t *testing.T, tag string, got, want *Solution) {
+	t.Helper()
+	if got.Status != want.Status {
+		t.Fatalf("%s: status %v, want %v", tag, got.Status, want.Status)
+	}
+	if got.Status != Optimal {
+		return
+	}
+	if got.Obj != want.Obj {
+		t.Errorf("%s: obj %v != %v", tag, got.Obj, want.Obj)
+	}
+	for j := range want.X {
+		if got.X[j] != want.X[j] {
+			t.Fatalf("%s: X[%d] = %v, want %v", tag, j, got.X[j], want.X[j])
+		}
+	}
+	for i := range want.Dual {
+		if got.Dual[i] != want.Dual[i] {
+			t.Fatalf("%s: Dual[%d] = %v, want %v", tag, i, got.Dual[i], want.Dual[i])
+		}
+	}
+	for i := range want.Slack {
+		if got.Slack[i] != want.Slack[i] {
+			t.Fatalf("%s: Slack[%d] = %v, want %v", tag, i, got.Slack[i], want.Slack[i])
+		}
+	}
+}
+
+// TestSolveBatchMatchesWarmSolves checks the batched fast path against
+// its specification: every variant solution must be bit-identical to a
+// warm-started individual solve of the patched problem (modulo the
+// documented missing RHSRange).
+func TestSolveBatchMatchesWarmSolves(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		p := smoLikeProblem(3+rng.Intn(6), rng)
+		m := len(p.rows)
+
+		var variants [][]RHSPatch
+		for v := 0; v < 12; v++ {
+			var patches []RHSPatch
+			for n := 1 + rng.Intn(2); n > 0; n-- {
+				row := rng.Intn(m)
+				patches = append(patches, RHSPatch{Row: row, RHS: p.rows[row].RHS + 30*rng.Float64() - 10})
+			}
+			variants = append(variants, patches)
+		}
+
+		base, outs, err := SolveBatch(ctx, p, variants, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want0, err := SolveCtx(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSolution(t, "base", base, want0)
+
+		warm := base.Basis()
+		for vi, patches := range variants {
+			pv := patchedProblem(p, patches)
+			want, err := SolveCtxFrom(ctx, pv, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSolution(t, "variant", outs[vi], want)
+		}
+	}
+}
+
+// TestSolveBatchSignFlip forces patches that cross an RHS sign change
+// (which alters row normalization) and checks the fallback still
+// matches individual solves.
+func TestSolveBatchSignFlip(t *testing.T) {
+	ctx := context.Background()
+	p := &Problem{}
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 2)
+	p.AddConstraint("a", []Term{{x, 1}, {y, 1}}, GE, 4)
+	p.AddConstraint("b", []Term{{x, 1}, {y, -1}}, LE, -1) // negative base RHS
+	variants := [][]RHSPatch{
+		{{Row: 1, RHS: 2}},  // sign flip: fallback
+		{{Row: 1, RHS: -3}}, // sign preserved: batched
+		{{Row: 0, RHS: -2}}, // sign flip on row 0
+	}
+	base, outs, err := SolveBatch(ctx, p, variants, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := base.Basis()
+	for vi, patches := range variants {
+		want, err := SolveCtxFrom(ctx, patchedProblem(p, patches), warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSolution(t, "variant", outs[vi], want)
+	}
+}
+
+// TestSolveBatchInfeasibleVariant drives one variant infeasible and
+// checks it reports Infeasible with a Farkas ray while its siblings
+// stay optimal.
+func TestSolveBatchInfeasibleVariant(t *testing.T) {
+	ctx := context.Background()
+	p := &Problem{}
+	x := p.AddVar("x", 1)
+	p.AddConstraint("lo", []Term{{x, 1}}, GE, 1)
+	p.AddConstraint("hi", []Term{{x, 1}}, LE, 10)
+	variants := [][]RHSPatch{
+		{{Row: 0, RHS: 20}}, // x >= 20 contradicts x <= 10
+		{{Row: 0, RHS: 5}},
+	}
+	_, outs, err := SolveBatch(ctx, p, variants, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Status != Infeasible {
+		t.Fatalf("variant 0 status %v, want Infeasible", outs[0].Status)
+	}
+	if outs[0].FarkasRay == nil {
+		t.Error("infeasible variant missing Farkas ray")
+	}
+	if outs[1].Status != Optimal || outs[1].X[0] != 5 {
+		t.Errorf("variant 1 = %+v, want optimal x=5", outs[1])
+	}
+}
+
+// TestSolveBatchBadRow checks the programming-error contract.
+func TestSolveBatchBadRow(t *testing.T) {
+	p := &Problem{}
+	p.AddVar("x", 1)
+	p.AddConstraint("r", []Term{{0, 1}}, GE, 1)
+	if _, _, err := SolveBatch(context.Background(), p, [][]RHSPatch{{{Row: 5, RHS: 1}}}, nil); err == nil {
+		t.Fatal("out-of-range patch row accepted")
+	}
+}
+
+// TestScratchReuseBitIdentical solves the same programs repeatedly and
+// demands bit-identical solutions whether the arena is fresh (first
+// lap) or recycled, including across interleaved shapes that force the
+// arena to rebind to different sizes.
+func TestScratchReuseBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	probs := []*Problem{
+		smoLikeProblem(4, rng),
+		smoLikeProblem(17, rng),
+		smoLikeProblem(2, rng),
+	}
+	var first []*Solution
+	reuses := 0
+	for lap := 0; lap < 4; lap++ {
+		for pi, p := range probs {
+			sol, err := SolveCtx(ctx, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lap == 0 {
+				first = append(first, sol)
+				continue
+			}
+			sameSolution(t, "reuse", sol, first[pi])
+			for i := range first[pi].RHSRange {
+				if sol.RHSRange[i] != first[pi].RHSRange[i] {
+					t.Fatalf("RHSRange[%d] = %v, want %v", i, sol.RHSRange[i], first[pi].RHSRange[i])
+				}
+			}
+			if sol.Stats.ScratchReused {
+				reuses++
+			} else if poolEnabled && !raceEnabled {
+				// Under -race, sync.Pool drops a fraction of Puts at
+				// random (see race_on_test.go), so only the aggregate
+				// check below applies there.
+				t.Error("repeat solve did not reuse a scratch arena")
+			}
+		}
+	}
+	if poolEnabled && reuses == 0 {
+		t.Error("no repeat solve ever reused a scratch arena")
+	}
+}
+
+// TestFtranNMatchesFtran drives the batched kernel directly against
+// serial ftran calls on the final factorization of a solved program.
+func TestFtranNMatchesFtran(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := smoLikeProblem(9, rng)
+	ar := getArena()
+	defer ar.release()
+	sol, r, err := solveRevisedArena(context.Background(), p, nil, ar)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("setup solve: %v %v", sol.Status, err)
+	}
+	m := r.st.m
+	const k = 5
+	vecs := ar.batchVectors(3*k, m)
+	vs, outs, zs := vecs[:k], vecs[k:2*k], vecs[2*k:]
+	ref := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		ref[j] = make([]float64, m)
+		serial := make([]float64, m)
+		for i := 0; i < m; i++ {
+			vs[j][i] = rng.NormFloat64()
+			serial[i] = vs[j][i]
+		}
+		r.lu.ftran(serial, ref[j])
+		for i := 0; i < m; i++ {
+			serial[i] = vs[j][i] // rebuild, ftran consumed it
+		}
+		copy(vs[j], serial)
+	}
+	r.lu.ftranN(vs, outs, zs)
+	for j := 0; j < k; j++ {
+		for i := 0; i < m; i++ {
+			if outs[j][i] != ref[j][i] {
+				t.Fatalf("ftranN[%d][%d] = %v, want %v", j, i, outs[j][i], ref[j][i])
+			}
+		}
+		for i := 0; i < m; i++ {
+			if vs[j][i] != 0 {
+				t.Fatalf("ftranN left v[%d][%d] = %v, want 0", j, i, vs[j][i])
+			}
+		}
+	}
+	if math.IsNaN(sol.Obj) {
+		t.Fatal("unexpected NaN objective")
+	}
+}

@@ -294,6 +294,14 @@ type SolveStats struct {
 	AssembleTime time.Duration
 	FactorTime   time.Duration
 	PivotTime    time.Duration
+	// ScratchReused reports that the solve ran on a recycled scratch
+	// arena instead of freshly allocated working memory (always false
+	// under -tags noscratch).
+	ScratchReused bool
+	// ScratchGrows counts scratch buffers that had to be (re)grown
+	// during the solve — zero at steady state, when every buffer
+	// already fits the problem shape.
+	ScratchGrows int
 }
 
 // Errors returned by Solve.

@@ -483,6 +483,7 @@ func TestPivotCountReported(t *testing.T) {
 }
 
 func BenchmarkSolveDense50x100(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(3))
 	var p Problem
 	const nv, nr = 50, 100

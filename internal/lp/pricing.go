@@ -27,14 +27,6 @@ const (
 	fullScanLimit = 512
 )
 
-func newPricer(st *store) *pricer {
-	return &pricer{
-		st:     st,
-		cand:   make([]int32, 0, priceListSize),
-		scores: make([]float64, 0, priceListSize),
-	}
-}
-
 // reset discards the candidate list (phase switches and drive-out
 // change the duals too much for stale candidates to be useful).
 func (pr *pricer) reset() { pr.cand = pr.cand[:0] }

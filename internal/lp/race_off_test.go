@@ -1,0 +1,7 @@
+//go:build !race
+
+package lp
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_on_test.go for why pool-reuse assertions relax under -race.
+const raceEnabled = false

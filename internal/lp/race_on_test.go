@@ -1,0 +1,9 @@
+//go:build race
+
+package lp
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// -race, sync.Pool deliberately drops a fraction of Puts at random to
+// widen race coverage, so tests must not demand that every repeat
+// solve lands on a recycled arena.
+const raceEnabled = true

@@ -34,26 +34,22 @@ type revised struct {
 	stats  SolveStats
 }
 
-func newRevised(st *store) *revised {
-	m := st.m
-	r := &revised{
-		st:    st,
-		lu:    newBasisLU(m),
-		pr:    newPricer(st),
-		basis: make([]int32, m),
-		where: make([]int32, st.numCols()),
-		xB:    make([]float64, m),
-		cB:    make([]float64, m),
-		y:     make([]float64, m),
-		y2:    make([]float64, m),
-		v:     make([]float64, m),
-		c:     make([]float64, m),
-		w:     make([]float64, m),
-	}
+// resetCold restores the solver state a fresh newRevised-style setup
+// would have, used when an abandoned warm attempt falls back to a cold
+// start on the same arena: nonbasic maps, the self-cleaning FTRAN/
+// BTRAN inputs and the pricer candidate list are reset; xB, cB and the
+// LU are fully rebuilt by coldBasis/refactorize anyway. Pivot and
+// stats counters are left to the caller (the cold start inherits the
+// abandoned attempt's counts).
+func (r *revised) resetCold() {
 	for i := range r.where {
 		r.where[i] = -1
 	}
-	return r
+	for i := range r.v {
+		r.v[i] = 0
+		r.c[i] = 0
+	}
+	r.pr.reset()
 }
 
 // solveRevised runs the sparse revised simplex. With a nil warm basis
@@ -63,12 +59,23 @@ func newRevised(st *store) *revised {
 // basis cannot be used. Returns the same Solution shape, statuses and
 // error conventions as the dense oracle.
 func solveRevised(ctx context.Context, p *Problem, warm *Basis) (*Solution, error) {
+	ar := getArena()
+	defer ar.release()
+	sol, _, err := solveRevisedArena(ctx, p, warm, ar)
+	return sol, err
+}
+
+// solveRevisedArena is solveRevised running on an explicit scratch
+// arena. The returned *revised stays valid (pointing into the arena)
+// until the arena is released; SolveBatch keeps using it for batched
+// variant re-solves after the base solve finishes.
+func solveRevisedArena(ctx context.Context, p *Problem, warm *Basis, ar *arena) (*Solution, *revised, error) {
 	tA := time.Now()
-	st, err := assemble(ctx, p)
+	st, err := assemble(ctx, p, ar)
 	if err != nil {
-		return &Solution{}, err
+		return &Solution{}, nil, err
 	}
-	r := newRevised(st)
+	r := ar.revisedFor(st)
 	r.stats.Nnz = st.nnz
 	r.stats.AssembleTime = time.Since(tA)
 
@@ -78,9 +85,11 @@ func solveRevised(ctx context.Context, p *Problem, warm *Basis) (*Solution, erro
 		r.stats.PivotTime = d
 	}
 	if sol != nil {
+		r.stats.ScratchReused = ar.reused
+		r.stats.ScratchGrows = ar.grows
 		sol.Stats = r.stats
 	}
-	return sol, err
+	return sol, r, err
 }
 
 func (r *revised) run(ctx context.Context, p *Problem, warm *Basis) (*Solution, error) {
@@ -93,9 +102,7 @@ func (r *revised) run(ctx context.Context, p *Problem, warm *Basis) (*Solution, 
 		}
 		// Fall through to a cold start with fresh state, preserving the
 		// counters of the abandoned warm attempt.
-		pv, stc := r.pivots, r.stats
-		*r = *newRevised(r.st)
-		r.pivots, r.stats = pv, stc
+		r.resetCold()
 	}
 
 	if err := r.coldBasis(); err != nil {
@@ -381,7 +388,7 @@ func (r *revised) driveOutArtificials(ctx context.Context) error {
 // slacks, ranging and the canonical basis are read out.
 func (r *revised) extract(ctx context.Context, p *Problem) (*Solution, error) {
 	st := r.st
-	if len(r.lu.etas) > 0 {
+	if r.lu.nEtas() > 0 {
 		if err := r.refactor(); err != nil {
 			return &Solution{Pivots: r.pivots}, err
 		}

@@ -1,0 +1,16 @@
+//go:build noscratch
+
+package lp
+
+// noscratch build: every solve gets a fresh arena and nothing is
+// recycled, giving a differential baseline for the pooled paths'
+// bit-identity contract.
+
+// poolEnabled reports the build flavor to differential tests.
+const poolEnabled = false
+
+func getArena() *arena {
+	return new(arena)
+}
+
+func (a *arena) release() {}

@@ -1,0 +1,27 @@
+//go:build !noscratch
+
+package lp
+
+import "sync"
+
+// arenaPool recycles solve arenas across solves. Build with
+// -tags noscratch to disable pooling (every solve on a fresh arena)
+// for differential testing of the bit-identity contract.
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// poolEnabled reports the build flavor to differential tests.
+const poolEnabled = true
+
+// getArena acquires a solve arena, recording whether it is a recycled
+// one and zeroing the per-solve growth counter.
+func getArena() *arena {
+	a := arenaPool.Get().(*arena)
+	a.reused = a.used
+	a.used = true
+	a.grows = 0
+	return a
+}
+
+// release returns the arena to the pool. Callers must not retain any
+// view into arena memory past this point.
+func (a *arena) release() { arenaPool.Put(a) }

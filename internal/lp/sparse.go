@@ -46,36 +46,35 @@ type store struct {
 	nnz   int     // structural nonzeros
 }
 
-// assemble builds the store from a problem. Large programs are
-// assembled in O(nnz); the context is polled every few rows so
-// cancellation stays prompt.
-func assemble(ctx context.Context, p *Problem) (*store, error) {
+// assemble builds the store from a problem into the arena's store
+// slot, reusing its buffers. Large programs are assembled in O(nnz);
+// the context is polled every few rows so cancellation stays prompt.
+func assemble(ctx context.Context, p *Problem, ar *arena) (*store, error) {
 	m := len(p.rows)
 	n := len(p.names)
-	st := &store{
-		m:         m,
-		n:         n,
-		obj:       make([]float64, n),
-		rhs:       make([]float64, m),
-		rowSign:   make([]float64, m),
-		slackSign: make([]float64, m),
-		colPtr:    make([]int32, n+1),
-		scale:     1,
-	}
+	st := &ar.st
+	st.m, st.n = m, n
+	st.obj = growF64(ar, &st.obj, n)
+	st.rhs = growF64(ar, &st.rhs, m)
+	st.rowSign = growF64(ar, &st.rowSign, m)
+	st.slackSign = growF64(ar, &st.slackSign, m)
+	st.colPtr = growI32(ar, &st.colPtr, n+1)
+	st.scale = 1
 	copy(st.obj, p.obj)
 
 	// Pass 1: accumulate repeated terms within each row, count column
 	// entries, and record normalization. Row entries are merged through
-	// a stamped dense workspace so repeats cost O(1).
-	acc := make([]float64, n)
-	stamp := make([]int, n)
-	type rowEnt struct {
-		row  int32
-		col  int32
-		coef float64
+	// a stamped dense workspace so repeats cost O(1); the stamp and
+	// count workspaces are zeroed on reuse (stale stamps from an
+	// earlier solve could collide with this solve's row marks).
+	acc := growF64(ar, &ar.acc, n)
+	stamp := growInts(ar, &ar.stamp, n)
+	counts := growI32(ar, &ar.counts, n)
+	for i := 0; i < n; i++ {
+		stamp[i] = 0
+		counts[i] = 0
 	}
-	ents := make([]rowEnt, 0, 4*m)
-	counts := make([]int32, n)
+	ents := ar.ents[:0]
 	for i, r := range p.rows {
 		if i&127 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -133,6 +132,8 @@ func assemble(ctx context.Context, p *Problem) (*store, error) {
 		}
 	}
 
+	ar.ents = ents // retain grown capacity for the next solve
+
 	// Pass 2: prefix sums and CSC fill (entries arrive row-major, so
 	// each column's rows end up sorted ascending).
 	var total int32
@@ -142,9 +143,9 @@ func assemble(ctx context.Context, p *Problem) (*store, error) {
 	}
 	st.colPtr[n] = total
 	st.nnz = int(total)
-	st.rowIdx = make([]int32, total)
-	st.vals = make([]float64, total)
-	next := make([]int32, n)
+	st.rowIdx = growI32(ar, &st.rowIdx, int(total))
+	st.vals = growF64(ar, &st.vals, int(total))
+	next := growI32(ar, &ar.next, n)
 	copy(next, st.colPtr[:n])
 	for _, e := range ents {
 		k := next[e.col]
@@ -154,7 +155,7 @@ func assemble(ctx context.Context, p *Problem) (*store, error) {
 	}
 
 	// Per-column tolerances from column magnitudes and objective.
-	st.colTol = make([]float64, n)
+	st.colTol = growF64(ar, &st.colTol, n)
 	for j := 0; j < n; j++ {
 		if j&127 == 0 {
 			if err := ctx.Err(); err != nil {

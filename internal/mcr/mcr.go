@@ -57,10 +57,23 @@ type builder struct {
 	outStart []int32 // CSR row index into outEdge, len n+1
 	outEdge  []int32 // edge indices grouped by source node
 	dist     []float64
-	pred     []int32 // predecessor edge index, or -1
-	inq      []bool
-	queue    []int32 // current-round worklist
-	queue2   []int32 // next-round worklist (swapped each round)
+	pred     []int32  // predecessor edge index, or -1
+	inq      []uint64 // worklist-membership bitset, one bit per node
+	queue    []int32  // current-round worklist
+	queue2   []int32  // next-round worklist (swapped each round)
+	// Epoch-stamped visit marks shared by bestWitness (walk ids) and
+	// probeDense's cycle extraction (path positions): a node is
+	// "visited" iff wgen[v] == wepoch, so clearing between calls is a
+	// counter bump instead of an O(n) wipe (with an O(n) reset only at
+	// the uint32 wrap).
+	wepoch uint32
+	wgen   []uint32
+	wmark  []int32 // bestWitness: id of the walk that visited the node
+	wpos   []int32 // probeDense: position of the node along the cycle walk
+	// Dense-probe scratch (the reference fallback), kept separate from
+	// dist/pred so a fallback never corrupts the warm-start potentials.
+	ddist []float64
+	dpred []int32
 	// distValid reports that dist holds finite potentials from a
 	// previous probe, usable as a warm start (any finite start is
 	// sound for feasibility: solutions of a difference-constraint
@@ -262,9 +275,33 @@ func (b *builder) ensureScratch() {
 	}
 	b.dist = make([]float64, n)
 	b.pred = make([]int32, n)
-	b.inq = make([]bool, n)
+	b.inq = make([]uint64, (n+63)/64)
 	b.queue = make([]int32, 0, n)
 	b.queue2 = make([]int32, 0, n)
+	b.wgen = make([]uint32, n)
+	b.wmark = make([]int32, n)
+	b.wpos = make([]int32, n)
+	b.ddist = make([]float64, n)
+	b.dpred = make([]int32, n)
+}
+
+// inQueue / setInQueue / clearInQueue are the worklist-membership
+// bitset accessors (one cache line covers 512 nodes; the per-probe
+// reset is an O(n/64) word wipe).
+func (b *builder) inQueue(v int) bool   { return b.inq[v>>6]&(1<<uint(v&63)) != 0 }
+func (b *builder) setInQueue(v int)     { b.inq[v>>6] |= 1 << uint(v&63) }
+func (b *builder) clearInQueue(v int32) { b.inq[v>>6] &^= 1 << uint(v&63) }
+
+// bumpEpoch starts a fresh visit epoch for the wgen stamps.
+func (b *builder) bumpEpoch() uint32 {
+	if b.wepoch == math.MaxUint32 {
+		for i := range b.wgen {
+			b.wgen[i] = 0
+		}
+		b.wepoch = 0
+	}
+	b.wepoch++
+	return b.wepoch
 }
 
 // probe decides feasibility of the difference-constraint system at
@@ -293,7 +330,9 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 	n := b.n
 	for i := 0; i < n; i++ {
 		b.pred[i] = -1
-		b.inq[i] = false
+	}
+	for i := range b.inq {
+		b.inq[i] = 0
 	}
 	if !warm || !b.distValid {
 		for i := range b.dist {
@@ -323,8 +362,8 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 			b.dist[e.to] = d
 			b.pred[e.to] = int32(ei)
 			relaxations++
-			if !b.inq[e.to] {
-				b.inq[e.to] = true
+			if !b.inQueue(e.to) {
+				b.setInQueue(e.to)
 				cur = append(cur, int32(e.to))
 			}
 		}
@@ -378,7 +417,7 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 				return nil, nil, err
 			}
 			for _, u := range cur {
-				b.inq[u] = false
+				b.clearInQueue(u)
 			}
 			for ei := range b.edges {
 				e := &b.edges[ei]
@@ -389,15 +428,15 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 					b.dist[e.to] = d
 					b.pred[e.to] = int32(ei)
 					relaxations++
-					if !b.inq[e.to] {
-						b.inq[e.to] = true
+					if !b.inQueue(e.to) {
+						b.setInQueue(e.to)
 						next = append(next, int32(e.to))
 					}
 				}
 			}
 		} else {
 			for _, u := range cur {
-				b.inq[u] = false
+				b.clearInQueue(u)
 				if pops++; pops&1023 == 0 {
 					if err := ctx.Err(); err != nil {
 						return nil, nil, err
@@ -411,8 +450,8 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 						b.dist[e.to] = d
 						b.pred[e.to] = ei
 						relaxations++
-						if !b.inq[e.to] {
-							b.inq[e.to] = true
+						if !b.inQueue(e.to) {
+							b.setInQueue(e.to)
 							next = append(next, int32(e.to))
 						}
 					}
@@ -435,14 +474,12 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 // scan is O(n). Returns nil when no cycle certifies (the caller falls
 // back to the dense probe).
 func (b *builder) bestWitness(ctx context.Context, tc float64) ([]edge, error) {
-	mark := make([]int32, b.n)
-	for i := range mark {
-		mark[i] = -1
-	}
+	ep := b.bumpEpoch()
+	gen, mark := b.wgen, b.wmark
 	var best []edge
 	bestScore := math.Inf(-1)
 	for s := 0; s < b.n; s++ {
-		if mark[s] != -1 {
+		if gen[s] == ep {
 			continue
 		}
 		if s&255 == 255 {
@@ -453,7 +490,8 @@ func (b *builder) bestWitness(ctx context.Context, tc float64) ([]edge, error) {
 		// Follow pred until the walk dies, merges into an earlier walk,
 		// or closes on itself (a fresh cycle).
 		v := s
-		for v >= 0 && mark[v] == -1 {
+		for v >= 0 && gen[v] != ep {
+			gen[v] = ep
 			mark[v] = int32(s)
 			if ei := b.pred[v]; ei < 0 {
 				v = -1
@@ -495,8 +533,9 @@ func (b *builder) bestWitness(ctx context.Context, tc float64) ([]edge, error) {
 // oracle for the worklist-vs-dense property tests. The context is
 // polled once per pass and during cycle extraction.
 func (b *builder) probeDense(ctx context.Context, tc float64) (dist []float64, witness []edge, err error) {
-	dist = make([]float64, b.n)
-	pred := make([]int, b.n) // index into b.edges, or -1
+	b.ensureScratch()
+	dist = b.ddist // separate from b.dist: a fallback must not clobber warm potentials
+	pred := b.dpred
 	for i := range dist {
 		dist[i] = math.Inf(-1)
 		pred[i] = -1
@@ -511,7 +550,7 @@ func (b *builder) probeDense(ctx context.Context, tc float64) (dist []float64, w
 			w := e.a + e.b*tc
 			if d := dist[e.from] + w; d > dist[e.to]+eps {
 				dist[e.to] = d
-				pred[e.to] = ei
+				pred[e.to] = int32(ei)
 				changed = e.to
 			}
 		}
@@ -541,7 +580,8 @@ func (b *builder) probeDense(ctx context.Context, tc float64) (dist []float64, w
 		}
 		v = b.edges[pred[v]].from
 	}
-	seen := make(map[int]int)
+	ep := b.bumpEpoch()
+	gen, pos := b.wgen, b.wpos
 	var path []edge
 	cur := v
 	for {
@@ -550,12 +590,13 @@ func (b *builder) probeDense(ctx context.Context, tc float64) (dist []float64, w
 				return nil, nil, err
 			}
 		}
-		if at, ok := seen[cur]; ok {
-			// path[at:] runs backwards along the cycle.
-			cyc := append([]edge(nil), path[at:]...)
+		if gen[cur] == ep {
+			// path[pos[cur]:] runs backwards along the cycle.
+			cyc := append([]edge(nil), path[pos[cur]:]...)
 			return nil, cyc, nil
 		}
-		seen[cur] = len(path)
+		gen[cur] = ep
+		pos[cur] = int32(len(path))
 		ei := pred[cur]
 		if ei < 0 {
 			// Shouldn't happen: cycle nodes always have predecessors.

@@ -84,6 +84,13 @@ const (
 	// PanicsRecovered counts solver panics caught at the engine
 	// boundary and converted to typed errors.
 	PanicsRecovered
+	// ScratchReuses counts LP solves that ran on a recycled scratch
+	// arena (zero-allocation steady state) rather than a fresh one.
+	ScratchReuses
+	// ScratchGrows counts scratch-arena buffer reallocations — nonzero
+	// only while an arena warms up to a new problem shape; a steady
+	// workload should drive this to zero.
+	ScratchGrows
 
 	numCounters
 )
@@ -127,6 +134,10 @@ func (c Counter) String() string {
 		return "fallbacks"
 	case PanicsRecovered:
 		return "panics_recovered"
+	case ScratchReuses:
+		return "scratch_reuses"
+	case ScratchGrows:
+		return "scratch_grows"
 	}
 	return fmt.Sprintf("counter_%d", int(c))
 }

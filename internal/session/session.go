@@ -30,9 +30,6 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
-	"strconv"
-	"strings"
-
 	"sync"
 
 	"mintc/internal/core"
@@ -80,8 +77,8 @@ type Session struct {
 
 	mu     sync.Mutex
 	lru    *list.List // front = most recently used; element value is *entry
-	items  map[string]*list.Element
-	flight map[string]*flight
+	items  map[cacheKey]*list.Element
+	flight map[cacheKey]*flight
 
 	// seeds holds, per options shape, the optimal LP basis of the
 	// UNEDITED snapshot's solve, computed lazily once and used to
@@ -94,7 +91,7 @@ type Session struct {
 	// "most recently solved basis" cache would break at degenerate
 	// optima (same vertex, different basis, different RHS ranges).
 	seedMu sync.Mutex
-	seeds  map[string]*baseSeed
+	seeds  map[cacheKey]*baseSeed
 }
 
 // baseSeed computes one options shape's base-overlay basis at most once.
@@ -104,7 +101,7 @@ type baseSeed struct {
 }
 
 type entry struct {
-	key string
+	key cacheKey
 	val any
 	err error // non-nil only under Config.CacheErrors
 }
@@ -131,9 +128,9 @@ func New(cc *core.Compiled, cfg Config) *Session {
 		cacheErrs: cfg.CacheErrors,
 		rec:       obs.New(),
 		lru:       list.New(),
-		items:     make(map[string]*list.Element),
-		flight:    make(map[string]*flight),
-		seeds:     make(map[string]*baseSeed),
+		items:     make(map[cacheKey]*list.Element),
+		flight:    make(map[cacheKey]*flight),
+		seeds:     make(map[cacheKey]*baseSeed),
 	}
 }
 
@@ -169,8 +166,17 @@ func (s *Session) Solve(ctx context.Context, name string, ov core.DelayOverlay, 
 	// Workers is excluded from the key: Monte-Carlo results are
 	// bit-identical for every worker count. Rec is per-call plumbing,
 	// not an input.
-	key := solveKey("engine/"+name, ov.Digest(), &opts.Core, opts.Schedule,
-		"sc=", int64(opts.SimCycles), "tr=", int64(opts.Trials), "seed=", opts.Seed)
+	key := solveKey(qEngine, name, ov.Digest(), &opts.Core, opts.Schedule)
+	key.simCycles = int64(opts.SimCycles)
+	key.trials = int64(opts.Trials)
+	key.seed = opts.Seed
+	rec := obs.From(ctx)
+	if v, err, ok := s.lookup(key, rec); ok {
+		if err != nil {
+			return nil, err
+		}
+		return v.(*engine.Result), nil
+	}
 	v, err := s.do(ctx, key, func(ctx context.Context) (any, error) {
 		callOpts := opts
 		callOpts.Rec = obs.From(ctx)
@@ -197,9 +203,22 @@ func (s *Session) SolveCertified(ctx context.Context, name string, ov core.Delay
 	if err := s.checkOverlay(ov); err != nil {
 		return nil, err
 	}
-	key := solveKey("certified/"+name, ov.Digest(), &opts.Core, opts.Schedule,
-		"sc=", int64(opts.SimCycles), "tr=", int64(opts.Trials), "seed=", opts.Seed,
-		"tol=", pol.Tolerance, "nf=", pol.NoFallback, "rungs=", strings.Join(pol.Rungs, ","))
+	key := solveKey(qCertified, name, ov.Digest(), &opts.Core, opts.Schedule)
+	key.simCycles = int64(opts.SimCycles)
+	key.trials = int64(opts.Trials)
+	key.seed = opts.Seed
+	key.tol = math.Float64bits(pol.Tolerance)
+	key.noFallback = pol.NoFallback
+	h := fnvInt(key.varH, len(pol.Rungs))
+	for _, r := range pol.Rungs {
+		h = fnvString(h, r)
+	}
+	key.varH = h
+	rec := obs.From(ctx)
+	if v, err, ok := s.lookup(key, rec); ok {
+		res, _ := v.(*engine.Result)
+		return res, err
+	}
 	v, err := s.do(ctx, key, func(ctx context.Context) (any, error) {
 		callOpts := opts
 		callOpts.Rec = obs.From(ctx)
@@ -222,7 +241,14 @@ func (s *Session) MinTc(ctx context.Context, ov core.DelayOverlay, opts core.Opt
 	if err := s.checkOverlay(ov); err != nil {
 		return nil, err
 	}
-	key := solveKey("mintc", ov.Digest(), &opts, nil)
+	key := solveKey(qMinTc, "", ov.Digest(), &opts, nil)
+	rec := obs.From(ctx)
+	if v, err, ok := s.lookup(key, rec); ok {
+		if err != nil {
+			return nil, err
+		}
+		return v.(*core.Result), nil
+	}
 	v, err := s.do(ctx, key, func(ctx context.Context) (any, error) {
 		var warm *lp.Basis
 		if ov.Digest() != s.cc.Overlay().Digest() {
@@ -247,7 +273,14 @@ func (s *Session) CheckTc(ctx context.Context, ov core.DelayOverlay, sched *core
 	if sched == nil {
 		return nil, fmt.Errorf("session: CheckTc needs a schedule")
 	}
-	key := solveKey("checktc", ov.Digest(), &opts, sched)
+	key := solveKey(qCheckTc, "", ov.Digest(), &opts, sched)
+	rec := obs.From(ctx)
+	if v, err, ok := s.lookup(key, rec); ok {
+		if err != nil {
+			return nil, err
+		}
+		return v.(*core.Analysis), nil
+	}
 	v, err := s.do(ctx, key, func(context.Context) (any, error) {
 		return core.CheckTcOverlay(ov, sched, opts)
 	})
@@ -290,7 +323,7 @@ func (s *Session) Reoptimize(ctx context.Context, ov core.DelayOverlay, pathInde
 // hit/miss accounting or evict user entries. A failed or non-optimal
 // base solve leaves a nil seed and every overlay solve cold-starts.
 func (s *Session) baseBasis(opts core.Options) *lp.Basis {
-	shape := solveKey("mintc", 0, &opts, nil)
+	shape := solveKey(qMinTc, "", 0, &opts, nil)
 	s.seedMu.Lock()
 	sd, ok := s.seeds[shape]
 	if !ok {
@@ -319,6 +352,28 @@ func (s *Session) checkOverlay(ov core.DelayOverlay) error {
 	return nil
 }
 
+// lookup answers key from the cache alone: the zero-allocation fast
+// path every query method tries before even constructing its solve
+// closure. ok reports a hit (counted in both recorders); a miss counts
+// nothing and holds no state — the caller falls through to do, which
+// re-checks the cache and the flight table under the same lock, so a
+// result that lands between the two checks is still found there.
+func (s *Session) lookup(key cacheKey, rec *obs.Rec) (any, error, bool) {
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, nil, false
+	}
+	s.lru.MoveToFront(el)
+	e := el.Value.(*entry)
+	v, err := e.val, e.err
+	s.mu.Unlock()
+	s.rec.Add(obs.SessionHits, 1)
+	rec.Add(obs.SessionHits, 1)
+	return v, err, true
+}
+
 // do answers key from the cache, joins an identical in-flight
 // computation, or runs fn — whichever applies. Errors are returned to
 // every waiter; by default they are never cached (a later identical
@@ -326,7 +381,7 @@ func (s *Session) checkOverlay(ov core.DelayOverlay) error {
 // a recovered panic never poisons the LRU. A panic inside fn is
 // converted into an error at this boundary — the flight is always
 // resolved, so joined waiters cannot hang.
-func (s *Session) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
+func (s *Session) do(ctx context.Context, key cacheKey, fn func(context.Context) (any, error)) (any, error) {
 	rec := obs.From(ctx)
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
@@ -399,55 +454,104 @@ func cachableError(err error) bool {
 	return !errors.As(err, &pe)
 }
 
-// solveKey canonicalizes a query into a cache key: the query kind, the
-// overlay's canonical digest, every semantically relevant core option
-// in fixed order, the schedule's exact values when one participates,
-// and any engine-specific trailing fields.
-func solveKey(kind string, digest uint64, co *core.Options, sched *core.Schedule, extra ...any) string {
-	var b strings.Builder
-	b.WriteString(kind)
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatUint(digest, 16))
-	b.WriteByte('|')
-	fbits := func(v float64) {
-		b.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
-		b.WriteByte(',')
+// queryKind discriminates the session's query families inside a
+// cacheKey.
+type queryKind uint8
+
+const (
+	qEngine queryKind = iota + 1
+	qCertified
+	qMinTc
+	qCheckTc
+)
+
+// cacheKey is the comparable canonical form of a query — the map key
+// of the memoization cache, the flight table, and the warm-seed table.
+// A plain value struct (no strings built per query) keeps the cache
+// fast path allocation-free: every fixed-size input is inlined
+// bit-exactly, and only the variable-length inputs — PhaseSkew, the
+// schedule's phase vectors, a certified policy's rung list — fold into
+// varH through 64-bit FNV-1a (length-prefixed per field, so no
+// concatenation ambiguity; a collision needs two distinct queries
+// agreeing on every inline field AND a 1-in-2⁶⁴ hash match).
+type cacheKey struct {
+	kind   queryKind
+	name   string // engine name for qEngine/qCertified; "" otherwise
+	digest uint64 // overlay canonical digest
+
+	// core.Options scalars, inlined as exact bit patterns.
+	minPhaseWidth, minSeparation, skew, fixedTc uint64
+	update                                      int32
+	maxUpdateIter                               int32
+	designForHold                               bool
+
+	// varH folds the variable-length inputs (see type comment).
+	varH uint64
+
+	// Engine- and policy-specific scalars (zero for core queries).
+	simCycles, trials int64
+	seed              int64
+	tol               uint64 // Float64bits(Policy.Tolerance)
+	noFallback        bool
+}
+
+// solveKey canonicalizes the inputs every query shares: the query
+// kind, the overlay's canonical digest, every semantically relevant
+// core option, and the schedule's exact values when one participates.
+// Callers add their engine-specific scalars to the returned value.
+func solveKey(kind queryKind, name string, digest uint64, co *core.Options, sched *core.Schedule) cacheKey {
+	k := cacheKey{
+		kind:          kind,
+		name:          name,
+		digest:        digest,
+		minPhaseWidth: math.Float64bits(co.MinPhaseWidth),
+		minSeparation: math.Float64bits(co.MinSeparation),
+		skew:          math.Float64bits(co.Skew),
+		fixedTc:       math.Float64bits(co.FixedTc),
+		update:        int32(co.Update),
+		maxUpdateIter: int32(co.MaxUpdateIter),
+		designForHold: co.DesignForHold,
 	}
-	fbits(co.MinPhaseWidth)
-	fbits(co.MinSeparation)
-	fbits(co.Skew)
-	fbits(co.FixedTc)
-	b.WriteString(strconv.Itoa(int(co.Update)))
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(co.MaxUpdateIter))
-	b.WriteByte(',')
-	if co.DesignForHold {
-		b.WriteByte('h')
-	}
-	b.WriteByte('|')
+	h := fnvInt(fnvOffset, len(co.PhaseSkew))
 	for _, v := range co.PhaseSkew {
-		fbits(v)
+		h = fnvU64(h, math.Float64bits(v))
 	}
-	b.WriteByte('|')
 	if sched != nil {
-		fbits(sched.Tc)
+		h = fnvU64(h, math.Float64bits(sched.Tc))
+		h = fnvInt(h, len(sched.S))
 		for _, v := range sched.S {
-			fbits(v)
+			h = fnvU64(h, math.Float64bits(v))
 		}
+		h = fnvInt(h, len(sched.T))
 		for _, v := range sched.T {
-			fbits(v)
+			h = fnvU64(h, math.Float64bits(v))
 		}
 	}
-	for _, e := range extra {
-		switch v := e.(type) {
-		case string:
-			b.WriteString(v)
-		case int64:
-			b.WriteString(strconv.FormatInt(v, 10))
-			b.WriteByte('|')
-		default:
-			fmt.Fprintf(&b, "%v|", v)
-		}
+	k.varH = h
+	return k
+}
+
+// 64-bit FNV-1a, open-coded so key construction stays free of any
+// hash.Hash allocation.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
 	}
-	return b.String()
+	return h
+}
+
+func fnvInt(h uint64, v int) uint64 { return fnvU64(h, uint64(v)) }
+
+func fnvString(h uint64, s string) uint64 {
+	h = fnvInt(h, len(s))
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
 }

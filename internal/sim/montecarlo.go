@@ -126,7 +126,16 @@ func runMonteCarloCtx(ctx context.Context, c *core.Circuit, kn *core.Kernel, ord
 	// Trial-invariant setup, hoisted out of the trial loop: the
 	// compiled kernel (Base/Span give each arc's sampled weight as
 	// Base + u·Span with a single uniform draw), the phase evaluation
-	// order, and the per-synchronizer phase openings.
+	// order, and the per-synchronizer phase openings. All campaign
+	// buffers come from a pooled arena (see campaignScratch for the
+	// reuse-safety argument); putCampaign runs after wg.Wait, so no
+	// worker can still hold a buffer when it returns to the pool.
+	rec := obs.From(ctx)
+	sc := getCampaign()
+	defer putCampaign(sc)
+	if sc.work != nil {
+		rec.Add(obs.ScratchReuses, 1)
+	}
 	l := c.L()
 	if kn == nil {
 		kn = core.CompileKernel(c, core.Options{})
@@ -134,29 +143,41 @@ func runMonteCarloCtx(ctx context.Context, c *core.Circuit, kn *core.Kernel, ord
 	if order == nil {
 		order = phaseOrder(c)
 	}
-	open0 := make([]float64, l)
+	if cap(sc.open0) < l {
+		sc.open0 = make([]float64, l)
+	}
+	open0 := sc.open0[:l]
 	for i := 0; i < l; i++ {
 		open0[i] = sched.S[c.Sync(i).Phase]
 	}
 
 	// One sub-seed per trial, drawn from the caller's rng in trial
 	// order — the only rng use, so results are scheduling-independent.
-	seeds := make([]int64, cfg.Trials)
+	if cap(sc.seeds) < cfg.Trials {
+		sc.seeds = make([]int64, cfg.Trials)
+	}
+	seeds := sc.seeds[:cfg.Trials]
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
 
-	rec := obs.From(ctx)
-	partials := make([]MCResult, workers)
+	if cap(sc.partials) < workers {
+		sc.partials = make([]MCResult, workers)
+	}
+	partials := sc.partials[:workers]
+	if cap(sc.work) < workers*2*l {
+		sc.work = make([]float64, workers*2*l)
+	}
+	work := sc.work[:workers*2*l]
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		partials[w].WorstSlack = math.Inf(1)
+		partials[w] = MCResult{WorstSlack: math.Inf(1)}
 		wg.Add(1)
-		go func(out *MCResult) {
+		prev := work[w*2*l : w*2*l+l : w*2*l+l]
+		cur := work[w*2*l+l : (w+1)*2*l : (w+1)*2*l]
+		go func(out *MCResult, prev, cur []float64) {
 			defer wg.Done()
-			prev := make([]float64, l)
-			cur := make([]float64, l)
 			for ctx.Err() == nil {
 				t := int(next.Add(1)) - 1
 				if t >= cfg.Trials {
@@ -165,7 +186,7 @@ func runMonteCarloCtx(ctx context.Context, c *core.Circuit, kn *core.Kernel, ord
 				trng := trialRNG(seeds[t])
 				mcTrial(ctx, c, kn, sched, cfg, order, open0, &trng, prev, cur, rec, out)
 			}
-		}(&partials[w])
+		}(&partials[w], prev, cur)
 	}
 	wg.Wait()
 

@@ -1,0 +1,19 @@
+package sim
+
+// campaignScratch holds the per-campaign allocations of a Monte-Carlo
+// run — the trial-invariant tables and every worker's wavefront
+// buffers — so repeated campaigns (session queries, sweeps, benchmark
+// loops) reuse one arena instead of re-allocating per call. Reuse is
+// bit-safe: open0, seeds, and partials are fully overwritten before
+// use; a trial initializes prev completely at its cold start, and cur
+// is never read before written within a cycle (a same-cycle arc's
+// source has a strictly earlier phase, hence is evaluated first).
+type campaignScratch struct {
+	open0    []float64 // per-synchronizer phase openings
+	seeds    []int64   // one sub-seed per trial
+	partials []MCResult
+	// work backs every worker's prev/cur wavefront pair: worker w owns
+	// work[w·2l : (w+1)·2l), carved into two full-capacity slices so an
+	// overrun in one cannot silently spill into its neighbor.
+	work []float64
+}

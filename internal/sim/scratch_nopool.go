@@ -1,0 +1,11 @@
+//go:build noscratch
+
+package sim
+
+// noscratch build: every Monte-Carlo campaign gets fresh buffers,
+// giving the differential baseline for the pooled path's bit-identity
+// contract.
+
+func getCampaign() *campaignScratch { return new(campaignScratch) }
+
+func putCampaign(*campaignScratch) {}

@@ -1,0 +1,20 @@
+//go:build !noscratch
+
+package sim
+
+import "sync"
+
+// campaignPool recycles campaign arenas across Monte-Carlo runs. The
+// pool is package-global rather than per-kernel because a campaign's
+// buffer sizes depend on (circuit, Trials, Workers), all of which the
+// arena re-checks and grows on acquisition anyway.
+var campaignPool sync.Pool
+
+func getCampaign() *campaignScratch {
+	if sc, ok := campaignPool.Get().(*campaignScratch); ok && sc != nil {
+		return sc
+	}
+	return new(campaignScratch)
+}
+
+func putCampaign(sc *campaignScratch) { campaignPool.Put(sc) }
