@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -42,14 +43,25 @@ type benchRecord struct {
 	// gated on.
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Decomposition telemetry (zero for the monolithic engines): how
+	// many strongly connected components the circuit has, how many were
+	// actually solved, and how many took the closed-form fast path.
+	Components         int64 `json:"components_total,omitempty"`
+	ComponentsResolved int64 `json:"components_resolved,omitempty"`
+	DecompFastPaths    int64 `json:"decomp_fastpaths,omitempty"`
 
-	Certified       bool      `json:"certified"`
-	VerifyNs        int64     `json:"verify_ns,omitempty"`
-	Fallbacks       int64     `json:"fallbacks,omitempty"`
-	VerifyFailures  int64     `json:"verify_failures,omitempty"`
-	PanicsRecovered int64     `json:"panics_recovered,omitempty"`
-	Error           string    `json:"error,omitempty"`
-	Stats           obs.Stats `json:"stats"`
+	Certified       bool  `json:"certified"`
+	VerifyNs        int64 `json:"verify_ns,omitempty"`
+	Fallbacks       int64 `json:"fallbacks,omitempty"`
+	VerifyFailures  int64 `json:"verify_failures,omitempty"`
+	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
+	// TimeoutS is set (to the -timeout budget, in seconds) when the
+	// solve hit its deadline: a structured field tools can filter on,
+	// instead of a bare error string a human would have to parse. Error
+	// stays empty for timeouts.
+	TimeoutS float64   `json:"timeout_s,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Stats    obs.Stats `json:"stats"`
 }
 
 // parseEngines resolves a comma-separated -engines flag value against
@@ -71,28 +83,63 @@ func parseEngines(engines string) ([]string, error) {
 	return names, nil
 }
 
+// knownSlow lists the (engine, circuit) pairs whose monolithic solves
+// take minutes to hours at the 10k/100k scales: the LP-based baselines
+// and the cycle-accurate simulator past 10k latches, and everything
+// except the decomposed path at 100k. A default sweep skips them so
+// -xl never stumbles into a multi-hour solve; -xxl opts into running
+// whatever the -engines list asks for anyway.
+var knownSlow = map[string]bool{}
+
+func init() {
+	huge := []string{"ring-2x10k", "rand-huge-10k"}
+	xxl := []string{"ring-2x100k", "rand-100k"}
+	for _, c := range huge {
+		for _, e := range []string{"ettf", "nrip", "sim"} {
+			knownSlow[e+"/"+c] = true
+		}
+	}
+	for _, c := range xxl {
+		for _, e := range []string{"ettf", "nrip", "sim", "mcr"} {
+			knownSlow[e+"/"+c] = true
+		}
+	}
+}
+
 // runBench solves every suite circuit with each requested engine —
 // through the degradation supervisor, so every Tc is certified — and
 // writes one JSON record per run into dir. An engine failing on one
-// circuit is recorded in that circuit's JSON, not fatal to the sweep.
-// trials > 0 makes the "sim" engine follow its deterministic run with a
-// Monte-Carlo campaign of that many randomized trials, so the
-// "montecarlo" stage appears in the records.
-func runBench(dir string, names []string, timeout time.Duration, trials int, xl bool) ([]string, error) {
+// circuit is recorded in that circuit's JSON, not fatal to the sweep;
+// a solve that hits the -timeout deadline records the budget in the
+// structured timeout_s field. trials > 0 makes the "sim" engine follow
+// its deterministic run with a Monte-Carlo campaign of that many
+// randomized trials, so the "montecarlo" stage appears in the records.
+func runBench(dir string, names []string, timeout time.Duration, trials int, xl, xxl bool) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	suite := gen.Suite()
-	if xl {
+	if xl || xxl {
 		suite = append(suite, gen.XLarge()...)
 		suite = append(suite, gen.Huge()...)
+	}
+	if xxl {
+		suite = append(suite, gen.XXL()...)
 	}
 	var files []string
 	for _, bm := range suite {
 		for _, name := range names {
+			if !xxl && knownSlow[name+"/"+bm.Name] {
+				fmt.Printf("skipped %s/%s (known-slow pair; pass -xxl to run it)\n", bm.Name, name)
+				continue
+			}
 			rec, err := benchOne(bm, name, timeout, trials)
 			if err != nil {
-				rec.Error = err.Error()
+				if errors.Is(err, context.DeadlineExceeded) {
+					rec.TimeoutS = timeout.Seconds()
+				} else {
+					rec.Error = err.Error()
+				}
 			}
 			path := filepath.Join(dir, fmt.Sprintf("BENCH_%s_%s.json", bm.Name, name))
 			blob, merr := json.MarshalIndent(rec, "", "  ")
@@ -140,6 +187,9 @@ func benchOne(bm gen.Benchmark, name string, timeout time.Duration, trials int) 
 		rec.LPPivotNs = res.Stats.Stage("lp.pivot").Nanoseconds()
 		rec.LPNnz = res.Stats.Counter(obs.LPNnz)
 		rec.LPRefactorizations = res.Stats.Counter(obs.LPRefactorizations)
+		rec.Components = res.Stats.Counter(obs.ComponentsTotal)
+		rec.ComponentsResolved = res.Stats.Counter(obs.ComponentsResolved)
+		rec.DecompFastPaths = res.Stats.Counter(obs.DecompFastPaths)
 		rec.Certified = res.Certificate.Certified()
 		rec.VerifyNs = res.Stats.Stage("verify").Nanoseconds()
 		rec.Fallbacks = res.Stats.Counter(obs.Fallbacks)

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// runCompare reads two sets of BENCH_*.json records (each argument is a
+// directory of records, or a single record file) and renders a
+// wall-clock ratio table keyed by circuit/engine: the before/after view
+// of a performance change. Runs present on only one side are listed
+// separately; timed-out runs show their budget instead of a ratio. The
+// summary line is the geometric mean speedup over the comparable runs.
+func runCompare(oldPath, newPath string) (string, error) {
+	oldRecs, err := loadRecords(oldPath)
+	if err != nil {
+		return "", err
+	}
+	newRecs, err := loadRecords(newPath)
+	if err != nil {
+		return "", err
+	}
+
+	keys := make([]string, 0, len(oldRecs))
+	for k := range oldRecs {
+		if _, ok := newRecs[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %12s %12s %9s\n", "circuit/engine", "old", "new", "speedup")
+	logSum, n := 0.0, 0
+	for _, k := range keys {
+		o, nw := oldRecs[k], newRecs[k]
+		ocell, ncell := wallCell(o), wallCell(nw)
+		ratio := "n/a"
+		if o.TimeoutS == 0 && nw.TimeoutS == 0 && o.Error == "" && nw.Error == "" && nw.WallNs > 0 {
+			r := float64(o.WallNs) / float64(nw.WallNs)
+			ratio = fmt.Sprintf("%8.2fx", r)
+			logSum += math.Log(r)
+			n++
+		}
+		fmt.Fprintf(&b, "%-32s %12s %12s %9s\n", k, ocell, ncell, ratio)
+	}
+	if n > 0 {
+		fmt.Fprintf(&b, "geomean speedup over %d comparable runs: %.2fx\n", n, math.Exp(logSum/float64(n)))
+	}
+	for k := range oldRecs {
+		if _, ok := newRecs[k]; !ok {
+			fmt.Fprintf(&b, "only in old: %s\n", k)
+		}
+	}
+	for k := range newRecs {
+		if _, ok := oldRecs[k]; !ok {
+			fmt.Fprintf(&b, "only in new: %s\n", k)
+		}
+	}
+	return b.String(), nil
+}
+
+// wallCell formats one record's wall clock for the table, or the
+// structured failure that preempted it.
+func wallCell(r benchRecord) string {
+	switch {
+	case r.TimeoutS > 0:
+		return fmt.Sprintf("timeout %gs", r.TimeoutS)
+	case r.Error != "":
+		return "error"
+	default:
+		return fmt.Sprintf("%.3fs", float64(r.WallNs)/1e9)
+	}
+}
+
+// loadRecords reads benchmark records from a directory of BENCH_*.json
+// files or from one such file, keyed by circuit/engine.
+func loadRecords(path string) (map[string]benchRecord, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	files := []string{path}
+	if fi.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no BENCH_*.json records in %s", path)
+		}
+	}
+	recs := make(map[string]benchRecord, len(files))
+	for _, f := range files {
+		blob, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var r benchRecord
+		if err := json.Unmarshal(blob, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		if r.Circuit == "" || r.Engine == "" {
+			return nil, fmt.Errorf("%s: not a benchmark record (missing circuit/engine)", f)
+		}
+		recs[r.Circuit+"/"+r.Engine] = r
+	}
+	return recs, nil
+}

@@ -6,14 +6,18 @@
 //	smobench -table 1        # Table I
 //	smobench -claims         # the quantitative §IV-V side claims
 //	smobench -bench out/     # machine-readable engine benchmarks (JSON)
+//	smobench -compare old new # wall-clock ratio table between two record sets
 //
 // The -bench mode sweeps the internal/gen benchmark suite through the
 // engine registry and writes one BENCH_<circuit>_<engine>.json per run
 // (cycle time, wall-clock, pivot/iteration counters, stage timings).
 // Every benchmark solve runs through the degradation supervisor, so
 // each record also carries the certification verdict, the "verify"
-// stage cost and the fallback/verify-failure/panic counters.
-// Restrict the sweep with -engines and bound each solve with -timeout.
+// stage cost and the fallback/verify-failure/panic counters. A solve
+// that hits -timeout records the budget in the structured timeout_s
+// field. Restrict the sweep with -engines and bound each solve with
+// -timeout; -xl adds the 512/10k workloads, -xxl adds the 100k ones
+// and overrides the known-slow (engine, circuit) skip table.
 //
 // EXPERIMENTS.md records this command's output next to the paper's
 // numbers.
@@ -48,6 +52,9 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-solve deadline for -bench (0 = none)")
 		trials  = flag.Int("trials", 0, "Monte-Carlo trials for the sim engine during -bench (0 = skip MC)")
 		xl      = flag.Bool("xl", false, "include the oversized (>=512-latch) workloads in -bench")
+		xxl     = flag.Bool("xxl", false, "include the 100k-synchronizer workloads in -bench and run even the known-slow (engine, circuit) pairs")
+		compare = flag.Bool("compare", false, "compare two benchmark record sets: smobench -compare old new (directories of BENCH_*.json, or single records)")
+		sweepB  = flag.String("sweepbench", "", "write decomposed-vs-monolithic delay-sweep throughput records (SWEEP_*.json) into this directory")
 		lpName  = flag.String("lp", "", "LP solver for every solve: revised (default) or dense")
 		profile = flag.String("profile", "", "write a CPU profile of the whole run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
@@ -101,6 +108,28 @@ func main() {
 		err error
 	)
 	switch {
+	case *compare:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "smobench: -compare needs exactly two arguments: old and new record sets")
+			os.Exit(2)
+		}
+		out, cerr := runCompare(flag.Arg(0), flag.Arg(1))
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "smobench: %v\n", cerr)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	case *sweepB != "":
+		files, serr := runSweepBench(*sweepB)
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "smobench: %v\n", serr)
+			os.Exit(1)
+		}
+		return
 	case *bench != "":
 		// Resolve -engines before any benchmarking work so a typo in
 		// the engine list fails fast instead of surfacing mid-sweep.
@@ -109,7 +138,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "smobench: %v\n", perr)
 			os.Exit(2)
 		}
-		files, berr := runBench(*bench, names, *timeout, *trials, *xl)
+		files, berr := runBench(*bench, names, *timeout, *trials, *xl, *xxl)
 		if berr != nil {
 			fmt.Fprintf(os.Stderr, "smobench: %v\n", berr)
 			os.Exit(1)

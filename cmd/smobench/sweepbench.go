@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mintc/internal/core"
+	"mintc/internal/decomp"
+	"mintc/internal/gen"
+	"mintc/internal/obs"
+)
+
+// sweepRecord is the machine-readable result of one decomposed-vs-
+// monolithic delay-sweep comparison, written as SWEEP_<circuit>.json.
+// The same (path, values) sweep runs through the monolithic batched
+// simplex path (core.SweepDelaysCompiled) and through the decomposed
+// path (decomp.Sweep: re-solve the dirty component, warm global coupling
+// probe per value); Speedup is monolithic wall over decomposed wall,
+// and ComponentsResolved verifies only the edited path's component was
+// re-solved — Components per priming pass plus one per sweep value.
+type sweepRecord struct {
+	Circuit            string  `json:"circuit"`
+	Latches            int     `json:"latches"`
+	PathIndex          int     `json:"path_index"`
+	Values             int     `json:"values"`
+	MonolithicWallNs   int64   `json:"monolithic_wall_ns"`
+	DecomposedWallNs   int64   `json:"decomposed_wall_ns"`
+	Speedup            float64 `json:"speedup"`
+	Components         int64   `json:"components_total"`
+	ComponentsResolved int64   `json:"components_resolved"`
+	// MaxRelDiff is the largest |monolithic − decomposed| / (1 + |monolithic|)
+	// over the sweep — the parity check riding along with the timing.
+	MaxRelDiff float64 `json:"max_rel_diff"`
+}
+
+// runSweepBench measures the decomposed sweep against the monolithic
+// one on the canonical multi-component workloads (gen.Banks) and
+// writes one JSON record per circuit into dir.
+func runSweepBench(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, w := range []struct {
+		name   string
+		nb, n  int
+		values int
+	}{
+		{"banks-8x250", 8, 250, 40},
+		{"banks-16x125", 16, 124, 40},
+	} {
+		c := gen.Banks(w.nb, w.n, 1, 2, 30)
+		rec, err := sweepOne(w.name, c, w.values)
+		if err != nil {
+			return files, fmt.Errorf("%s: %w", w.name, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("SWEEP_%s.json", w.name))
+		blob, merr := json.MarshalIndent(rec, "", "  ")
+		if merr != nil {
+			return files, merr
+		}
+		if werr := os.WriteFile(path, append(blob, '\n'), 0o644); werr != nil {
+			return files, werr
+		}
+		files = append(files, path)
+	}
+	return files, nil
+}
+
+func sweepOne(name string, c *core.Circuit, nValues int) (sweepRecord, error) {
+	cc, err := c.Freeze()
+	if err != nil {
+		return sweepRecord{}, err
+	}
+	// Sweep the first arc of the first bank across a range that crosses
+	// the point where that bank becomes the binding one, so the optimum
+	// actually moves and both sides do real re-solves.
+	const pathIndex = 0
+	values := make([]float64, nValues)
+	for i := range values {
+		values[i] = 80 * float64(i) / float64(nValues-1)
+	}
+	opts := core.Options{}
+
+	start := time.Now()
+	monoTcs, monoErrs := core.SweepDelaysCompiled(cc, opts, pathIndex, values)
+	monoWall := time.Since(start)
+
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	start = time.Now()
+	decTcs, decErrs := decomp.SweepCtx(ctx, cc, opts, pathIndex, values, decomp.Config{})
+	decWall := time.Since(start)
+
+	out := sweepRecord{
+		Circuit:          name,
+		Latches:          c.L(),
+		PathIndex:        pathIndex,
+		Values:           nValues,
+		MonolithicWallNs: monoWall.Nanoseconds(),
+		DecomposedWallNs: decWall.Nanoseconds(),
+	}
+	if decWall > 0 {
+		out.Speedup = float64(monoWall) / float64(decWall)
+	}
+	stats := rec.Snapshot()
+	out.Components = stats.Counter(obs.ComponentsTotal)
+	out.ComponentsResolved = stats.Counter(obs.ComponentsResolved)
+	for i := range values {
+		if monoErrs[i] != nil || decErrs[i] != nil {
+			return out, fmt.Errorf("value %d: monolithic err %v, decomposed err %v", i, monoErrs[i], decErrs[i])
+		}
+		if d := math.Abs(monoTcs[i]-decTcs[i]) / (1 + math.Abs(monoTcs[i])); d > out.MaxRelDiff {
+			out.MaxRelDiff = d
+		}
+	}
+	if out.MaxRelDiff > 1e-9 {
+		return out, fmt.Errorf("sweep parity broken: max rel diff %g", out.MaxRelDiff)
+	}
+	return out, nil
+}

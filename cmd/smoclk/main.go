@@ -11,8 +11,8 @@
 //	smoclk -f circuit.smo -diagram -svg out.svg
 //
 // Every solve goes through the unified engine layer, so any registered
-// engine is selectable by name (-engine mlp|mcr|nrip|ettf|sim; "lp" is
-// an alias for mlp), can be bounded in time (-timeout 50ms aborts with
+// engine is selectable by name (-engine mlp|mcr|decomp|nrip|ettf|sim;
+// "lp" is an alias for mlp), can be bounded in time (-timeout 50ms aborts with
 // the partial progress reported), and can stream a structured JSONL
 // trace of counters and stages (-trace solve.jsonl). -stats prints the
 // solve's counters and stage timings. -certify routes the solve
@@ -46,7 +46,7 @@ func main() {
 	var (
 		file     = flag.String("f", "", "circuit description file (.smo); '-' for stdin")
 		check    = flag.String("check", "", "schedule file: verify instead of optimize")
-		engine   = flag.String("engine", "lp", "solver engine: mlp (aka lp), mcr, nrip, ettf or sim")
+		engine   = flag.String("engine", "lp", "solver engine: mlp (aka lp), mcr, decomp, nrip, ettf or sim")
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (e.g. 50ms, 2s)")
 		trace    = flag.String("trace", "", "stream a structured JSONL solve trace to this file")
 		stats    = flag.Bool("stats", false, "print solve statistics (counters and stage timings)")
@@ -196,10 +196,14 @@ func run(file string, cfg config) error {
 		if err != nil {
 			return err
 		}
-		if dump && res.Engine == "mlp" {
-			r := res.Detail.(*mintc.Result)
-			fmt.Println("\ngenerated linear program:")
-			fmt.Print(r.LP.String())
+		if dump {
+			// The mlp engine reports the decomposed result (no single
+			// monolithic LP to print) above its size threshold, so gate
+			// on the detail type, not the engine name.
+			if r, ok := res.Detail.(*mintc.Result); ok {
+				fmt.Println("\ngenerated linear program:")
+				fmt.Print(r.LP.String())
+			}
 		}
 		sched, d = res.Schedule, res.D
 	}
@@ -308,8 +312,14 @@ func runEngine(c *mintc.Circuit, cfg config) (*mintc.EngineResult, error) {
 	}
 	switch name {
 	case "mlp":
-		r := res.Detail.(*mintc.Result)
-		fmt.Print(r.Report())
+		switch r := res.Detail.(type) {
+		case *mintc.Result:
+			fmt.Print(r.Report())
+		case *mintc.DecompResult:
+			printDecomp(r) // large circuit: mlp routed through the decomposed solver
+		}
+	case "decomp":
+		printDecomp(res.Detail.(*mintc.DecompResult))
 	case "mcr":
 		r := res.Detail.(*mintc.MCRResult)
 		fmt.Printf("optimal Tc = %.6g (min-cycle-ratio engine, %d probes)\n", r.Tc, r.Probes)
@@ -349,6 +359,17 @@ func runEngine(c *mintc.Circuit, cfg config) (*mintc.EngineResult, error) {
 		fmt.Printf("stats: %s\n", res.Stats)
 	}
 	return res, nil
+}
+
+// printDecomp reports the decomposed solver's result: the certified
+// optimum plus the per-component breakdown.
+func printDecomp(r *mintc.DecompResult) {
+	fmt.Printf("optimal Tc = %.6g (decomposed: %d components, %d re-solved, %d closed-form, %d probes)\n",
+		r.Tc, r.Components, r.Resolved, r.FastPaths, r.Probes)
+	if len(r.CriticalArcs) > 0 {
+		fmt.Printf("critical cycle: %d arcs, ratio %.6g\n", len(r.CriticalArcs), r.CriticalRatio)
+	}
+	fmt.Println(r.Schedule)
 }
 
 // printCertificate reports the independent checker's verdict, the LP

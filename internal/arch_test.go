@@ -25,6 +25,7 @@ var allowed = map[string][]string{
 	"core":        {"graph", "lp", "obs"},
 	"verify":      {"core", "lp"},
 	"mcr":         {"core", "graph", "obs"},
+	"decomp":      {"core", "lp", "mcr", "obs"},
 	"ettf":        {"core", "lp", "obs"},
 	"nrip":        {"core", "ettf", "obs"},
 	"agrawal":     {"core"},
@@ -34,8 +35,8 @@ var allowed = map[string][]string{
 	"netex":       {"core", "delay"},
 	"gen":         {"core", "delay", "netex", "circuits"},
 	"circuits":    {"core"},
-	"engine":      {"core", "ettf", "lp", "mcr", "nrip", "obs", "sim", "verify"},
-	"session":     {"core", "engine", "lp", "obs"},
+	"engine":      {"core", "decomp", "ettf", "lp", "mcr", "nrip", "obs", "sim", "verify"},
+	"session":     {"core", "decomp", "engine", "lp", "obs"},
 	"experiments": {"agrawal", "circuits", "core", "ettf", "gen", "lp", "mcr", "nrip", "render"},
 }
 

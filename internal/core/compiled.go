@@ -39,6 +39,7 @@ type Compiled struct {
 	kmat       [][]int
 	maxFanin   int
 	phaseOrder []int
+	part       *Partition
 
 	// kernels caches one frozen Kernel per distinct margin set
 	// (Skew/PhaseSkew are folded into the arc weights; no other option
@@ -76,6 +77,7 @@ func (c *Circuit) Freeze() (*Compiled, error) {
 	sort.SliceStable(cc.phaseOrder, func(a, b int) bool {
 		return cc.c.Sync(cc.phaseOrder[a]).Phase < cc.c.Sync(cc.phaseOrder[b]).Phase
 	})
+	cc.part = newPartition(cc.c)
 	return cc, nil
 }
 

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"mintc/internal/lp"
+)
+
+// BuildLPComponent assembles the restriction of the paper's program P2
+// to one latch-graph component: every clock row (C1 periodicity, C2
+// ordering, C3 nonoverlap, optional min-width and fixed-Tc) plus the
+// setup/FF-departure rows of the component's member synchronizers and
+// the propagation/FF-setup/hold rows of its intra-component paths,
+// with delays read through the overlay. Cross-component arcs are
+// omitted — they belong to the global coupling phase, not to any
+// component subsystem.
+//
+// Because the component's rows are a subset of BuildLP's rows (with
+// identical coefficients and right-hand sides), the subproblem's
+// optimal Tc is a lower bound on the full circuit's: any globally
+// feasible point restricts to a feasible point here. The decomposed
+// solver (internal/decomp) maximizes these bounds over all components
+// and then certifies the result against the full system.
+//
+// The returned VarMap maps D by the member's position in
+// Partition.Members(ci) — not by global synchronizer index — since the
+// subproblem only carries the component's departures. RowInfo Sync and
+// Path fields remain global indices.
+func BuildLPComponent(cc *Compiled, ov DelayOverlay, opts Options, ci int) (*lp.Problem, *VarMap, []RowInfo) {
+	c := cc.c
+	pt := cc.part
+	members := pt.Members(ci)
+	k := c.K()
+	p := &lp.Problem{}
+	vm := &VarMap{S: make([]int, k), T: make([]int, k), D: make([]int, len(members))}
+	var rows []RowInfo
+
+	vm.Tc = p.AddVar("Tc", 1)
+	for i := 0; i < k; i++ {
+		vm.S[i] = p.AddVar("s."+c.PhaseName(i), 0)
+	}
+	for i := 0; i < k; i++ {
+		vm.T[i] = p.AddVar("T."+c.PhaseName(i), 0)
+	}
+	// dvar maps a member's global index to its LP variable.
+	dvar := make(map[int]int, len(members))
+	for li, gi := range members {
+		v := p.AddVar("D."+c.SyncName(int(gi)), 0)
+		vm.D[li] = v
+		dvar[int(gi)] = v
+	}
+
+	addRow := func(info RowInfo, terms []lp.Term, rel lp.Rel, rhs float64) {
+		p.AddConstraint(info.Name, terms, rel, rhs)
+		rows = append(rows, info)
+	}
+
+	// Clock rows, identical to BuildLP.
+	for i := 0; i < k; i++ {
+		addRow(RowInfo{Kind: RowPeriodicity, Phase: i, Sync: -1, Path: -1, Name: fmt.Sprintf("C1.T.%s", c.PhaseName(i))},
+			[]lp.Term{{Var: vm.T[i], Coef: 1}, {Var: vm.Tc, Coef: -1}}, lp.LE, 0)
+		addRow(RowInfo{Kind: RowPeriodicity, Phase: i, Sync: -1, Path: -1, Name: fmt.Sprintf("C1.s.%s", c.PhaseName(i))},
+			[]lp.Term{{Var: vm.S[i], Coef: 1}, {Var: vm.Tc, Coef: -1}}, lp.LE, 0)
+	}
+	for i := 0; i+1 < k; i++ {
+		addRow(RowInfo{Kind: RowPhaseOrder, Phase: i, Sync: -1, Path: -1, Name: fmt.Sprintf("C2.%s<=%s", c.PhaseName(i), c.PhaseName(i+1))},
+			[]lp.Term{{Var: vm.S[i], Coef: 1}, {Var: vm.S[i+1], Coef: -1}}, lp.LE, 0)
+	}
+	km := cc.kmat
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if km[i][j] == 0 {
+				continue
+			}
+			addRow(RowInfo{Kind: RowNonOverlap, Phase: i, Sync: -1, Path: -1, Name: fmt.Sprintf("C3.%s->%s", c.PhaseName(i), c.PhaseName(j))},
+				[]lp.Term{
+					{Var: vm.S[i], Coef: 1},
+					{Var: vm.S[j], Coef: -1},
+					{Var: vm.T[j], Coef: -1},
+					{Var: vm.Tc, Coef: cShift(j, i)},
+				}, lp.GE, opts.MinSeparation+opts.sigma(i)+opts.sigma(j))
+		}
+	}
+	if opts.MinPhaseWidth > 0 {
+		for i := 0; i < k; i++ {
+			addRow(RowInfo{Kind: RowMinWidth, Phase: i, Sync: -1, Path: -1, Name: fmt.Sprintf("minW.%s", c.PhaseName(i))},
+				[]lp.Term{{Var: vm.T[i], Coef: 1}}, lp.GE, opts.MinPhaseWidth)
+		}
+	}
+	if opts.FixedTc > 0 {
+		addRow(RowInfo{Kind: RowFixedTc, Phase: -1, Sync: -1, Path: -1, Name: "Tc.fixed"},
+			[]lp.Term{{Var: vm.Tc, Coef: 1}}, lp.EQ, opts.FixedTc)
+	}
+
+	// Member synchronizer rows (L1 / FF departure).
+	for _, gi := range members {
+		i := int(gi)
+		s := c.Sync(i)
+		switch s.Kind {
+		case Latch:
+			addRow(RowInfo{Kind: RowSetup, Phase: -1, Sync: i, Path: -1, Name: fmt.Sprintf("L1.%s", c.SyncName(i))},
+				[]lp.Term{{Var: dvar[i], Coef: 1}, {Var: vm.T[s.Phase], Coef: -1}}, lp.LE, -(s.Setup + opts.Skew + opts.sigma(s.Phase)))
+		case FlipFlop:
+			addRow(RowInfo{Kind: RowFFDeparture, Phase: -1, Sync: i, Path: -1, Name: fmt.Sprintf("FF.D.%s", c.SyncName(i))},
+				[]lp.Term{{Var: dvar[i], Coef: 1}}, lp.EQ, 0)
+		}
+	}
+
+	// Intra-component propagation rows (L2R / FF setup).
+	for _, pi32 := range pt.CompPaths(ci) {
+		pi := int(pi32)
+		path := c.Paths()[pi]
+		j, i := path.From, path.To
+		pj, piph := c.Sync(j).Phase, c.Sync(i).Phase
+		cji := cShift(pj, piph)
+		switch c.Sync(i).Kind {
+		case Latch:
+			addRow(RowInfo{Kind: RowPropagation, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("L2R.%s->%s", c.SyncName(j), c.SyncName(i))},
+				[]lp.Term{
+					{Var: dvar[i], Coef: 1},
+					{Var: dvar[j], Coef: -1},
+					{Var: vm.S[pj], Coef: -1},
+					{Var: vm.S[piph], Coef: 1},
+					{Var: vm.Tc, Coef: cji},
+				}, lp.GE, propagationRHS(c, &ov, opts, pi))
+		case FlipFlop:
+			addRow(RowInfo{Kind: RowFFSetup, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("FFsu.%s->%s", c.SyncName(j), c.SyncName(i))},
+				[]lp.Term{
+					{Var: dvar[j], Coef: 1},
+					{Var: vm.S[pj], Coef: 1},
+					{Var: vm.S[piph], Coef: -1},
+					{Var: vm.Tc, Coef: -cji},
+				}, lp.LE, ffSetupRHS(c, &ov, opts, pi))
+		}
+	}
+
+	// Intra-component hold rows.
+	if opts.DesignForHold {
+		for _, pi32 := range pt.CompPaths(ci) {
+			pi := int(pi32)
+			path := c.Paths()[pi]
+			i := path.To
+			if c.Sync(i).Hold <= 0 {
+				continue
+			}
+			j := path.From
+			pj, piph := c.Sync(j).Phase, c.Sync(i).Phase
+			oneMinusC := 1 - cShift(pj, piph)
+			terms := []lp.Term{
+				{Var: vm.S[pj], Coef: 1},
+				{Var: vm.S[piph], Coef: -1},
+				{Var: vm.Tc, Coef: oneMinusC},
+			}
+			if c.Sync(i).Kind == Latch {
+				terms = append(terms, lp.Term{Var: vm.T[piph], Coef: -1})
+			}
+			addRow(RowInfo{Kind: RowHold, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("hold.%s->%s", c.SyncName(j), c.SyncName(i))},
+				terms, lp.GE, holdRHS(c, &ov, opts, pi))
+		}
+	}
+
+	return p, vm, rows
+}

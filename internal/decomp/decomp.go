@@ -1,0 +1,419 @@
+// Package decomp solves the minimum-cycle-time problem by latch-graph
+// SCC decomposition: per-component subproblems solved independently
+// (and cached, and re-solved incrementally), then coupled by one
+// global witness-jumping pass that certifies — or repairs — the
+// combined answer against the full constraint system.
+//
+// The paper's constraint system couples synchronizers only along
+// combinational paths, so every latch-graph cycle lies inside exactly
+// one strongly connected component (core.Partition). A component's
+// subsystem — the clock rows plus the members' rows and the
+// intra-component arcs — is a subset of the full system's rows, which
+// makes its optimum Tc_i a sound lower bound on the circuit's optimum:
+// any globally feasible point restricts to a subsystem-feasible point.
+// The converse is NOT true: max_i Tc_i is not the answer, because
+// constraint-graph cycles may thread through the shared clock nodes
+// across components (a feedforward pipeline with all-singleton
+// components still couples stages through phase separations). The
+// global phase closes that gap exactly: starting the full-graph Lawler
+// iteration at the candidate max_i Tc_i, a feasible first probe proves
+// the candidate optimal (feasible + lower bound = optimal), and an
+// infeasible one jumps witness by witness to the true optimum — the
+// identical fixpoint the monolithic solver reaches, so decomposition
+// never changes the answer, only the work.
+//
+// The work is where the payoff is: component subproblems solve in
+// parallel, single-latch acyclic components collapse to a closed-form
+// bound with no LP and no probe, unchanged components are answered
+// from a digest-keyed cache (State), and a delay edit dirties exactly
+// the component containing the edited arc — the incremental re-solve
+// the session layer and the sweep driver exploit.
+package decomp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mintc/internal/core"
+	"mintc/internal/lp"
+	"mintc/internal/mcr"
+	"mintc/internal/obs"
+)
+
+// Config tunes the decomposed solver. The zero value is ready to use.
+type Config struct {
+	// Workers bounds the component-solving pool (0 = GOMAXPROCS).
+	Workers int
+	// LPCutoff is the component size (member count) up to which the
+	// subproblem is solved by the sparse simplex on the component LP
+	// (warm-started from the component's cached base basis); larger
+	// components use the subsystem min-cycle-ratio solver, whose
+	// witness cycles double as optimality certificates. 0 selects the
+	// default; negative disables the LP backend entirely.
+	LPCutoff int
+}
+
+// DefaultLPCutoff is the default component-size ceiling for the LP
+// backend. Small components produce small LPs where a warm dual
+// simplex re-solve beats graph assembly; past a few dozen members the
+// probe-based solver wins and also yields witness cycles.
+const DefaultLPCutoff = 48
+
+func (cfg Config) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (cfg Config) lpCutoff() int {
+	switch {
+	case cfg.LPCutoff > 0:
+		return cfg.LPCutoff
+	case cfg.LPCutoff < 0:
+		return 0
+	}
+	return DefaultLPCutoff
+}
+
+// Result is the outcome of a decomposed solve. Tc, Schedule and D
+// match the monolithic solvers'; the remaining fields report the
+// decomposition's shape and how much of it was actually re-solved.
+type Result struct {
+	// Tc is the minimum feasible cycle time (or the pinned FixedTc).
+	Tc float64
+	// Schedule is the least optimal clock schedule, extracted by the
+	// global coupling phase over the full constraint graph.
+	Schedule *core.Schedule
+	// D holds every synchronizer's departure time.
+	D []float64
+	// CriticalArcs is the machine-checkable optimality witness: a
+	// constraint cycle of ratio Tc, produced by the global phase when
+	// it jumps, or inherited from the binding component (including the
+	// synthesized setup loop of a closed-form singleton) when the
+	// candidate is certified on the first probe. Empty when no
+	// ratio-bearing cycle binds (Tc forced to 0 or pinned by FixedTc).
+	CriticalArcs []mcr.CycleArc
+	// CriticalRatio is A/(−B) of that cycle (== Tc when it binds).
+	CriticalRatio float64
+	// Components is the number of latch-graph components.
+	Components int
+	// Resolved counts components whose subproblem actually ran this
+	// solve; the rest were closed-form singletons or cache hits.
+	Resolved int
+	// FastPaths counts closed-form singleton components.
+	FastPaths int
+	// CompTc holds every component's subsystem optimum (the lower
+	// bounds whose max seeded the global phase), indexed by component.
+	CompTc []float64
+	// Probes counts the global phase's Bellman–Ford probes.
+	Probes int
+}
+
+// compAnswer is one component subproblem's outcome: the subsystem
+// optimum and, when a ratio-bearing cycle binds it, the witness cycle
+// (whose node names are shared with the full constraint graph, so it
+// certifies the global answer whenever the candidate wins).
+type compAnswer struct {
+	tc    float64
+	ratio float64
+	arcs  []mcr.CycleArc
+}
+
+// Solve computes the circuit's minimum cycle time over the overlay's
+// delays by component decomposition. st may be nil (no caching); a
+// shared *State memoizes per-component answers across solves, keyed by
+// each component's delay digest, so repeated solves after localized
+// edits re-solve only the dirty components. The answer is the same as
+// the monolithic solvers' (core.MinTc / mcr.Solve) up to solver
+// tolerance; only the work differs.
+func Solve(ctx context.Context, ov core.DelayOverlay, opts core.Options, cfg Config, st *State) (*Result, error) {
+	if !ov.Valid() {
+		return nil, fmt.Errorf("decomp: zero DelayOverlay (start from Compiled.Overlay)")
+	}
+	cc := ov.Base()
+	if err := opts.ValidateFor(cc.Circuit()); err != nil {
+		return nil, err
+	}
+	rec := obs.From(ctx)
+	pt := cc.Partition()
+	nc := pt.NumComponents()
+	rec.Add(obs.ComponentsTotal, int64(nc))
+
+	var answers []compAnswer
+	var resolved, fastPaths int64
+	err := rec.Phase(ctx, "decomp.components", func(ctx context.Context) error {
+		var err error
+		answers, resolved, fastPaths, err = solveAllComponents(ctx, ov, opts, cfg, st)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Add(obs.ComponentsResolved, resolved)
+	rec.Add(obs.DecompFastPaths, fastPaths)
+
+	// Candidate lower bound and the binding component's witness (ties
+	// break to the lowest component for determinism).
+	cand, arg := 0.0, -1
+	compTc := make([]float64, nc)
+	for ci := range answers {
+		compTc[ci] = answers[ci].tc
+		if answers[ci].tc > cand {
+			cand, arg = answers[ci].tc, ci
+		}
+	}
+
+	res := &Result{
+		Components: nc,
+		Resolved:   int(resolved),
+		FastPaths:  int(fastPaths),
+		CompTc:     compTc,
+	}
+	err = rec.Phase(ctx, "decomp.couple", func(ctx context.Context) error {
+		g, err := mcr.NewSolverOverlay(ov, opts)
+		if err != nil {
+			return err
+		}
+		gres, err := g.SolveFromCtx(ctx, cand)
+		if err != nil {
+			return err
+		}
+		res.Tc = gres.Tc
+		res.Schedule = gres.Schedule
+		res.D = gres.D
+		res.Probes = gres.Probes
+		res.CriticalArcs = gres.CriticalArcs
+		res.CriticalRatio = gres.CriticalRatio
+		if len(res.CriticalArcs) == 0 && arg >= 0 && len(answers[arg].arcs) > 0 &&
+			ratioMatches(answers[arg].ratio, res.Tc) {
+			// The candidate was certified on the first probe, so the
+			// global phase never saw a witness — but the binding
+			// component's cycle is one: its arcs are constraints of the
+			// full graph and its ratio equals the answer.
+			res.CriticalArcs = answers[arg].arcs
+			res.CriticalRatio = answers[arg].ratio
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ratioMatches reports that a component witness ratio equals the final
+// answer to certificate tolerance (relative, as verify.CriticalCycle
+// measures it).
+func ratioMatches(ratio, tc float64) bool {
+	d := ratio - tc
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+abs(tc))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// solveAllComponents answers every component subproblem across a
+// bounded worker pool, returning per-component answers plus the
+// resolved / fast-path tallies. Errors select deterministically (the
+// lowest failing component wins) so concurrent runs report the same
+// failure.
+func solveAllComponents(ctx context.Context, ov core.DelayOverlay, opts core.Options, cfg Config, st *State) (answers []compAnswer, resolved, fastPaths int64, err error) {
+	pt := ov.Base().Partition()
+	nc := pt.NumComponents()
+	answers = make([]compAnswer, nc)
+	errs := make([]error, nc)
+	workers := cfg.workers()
+	if workers > nc {
+		workers = nc
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	var next int64
+	var mu sync.Mutex // guards resolved/fastPaths
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var nRes, nFast int64
+			for {
+				ci := int(atomic.AddInt64(&next, 1)) - 1
+				if ci >= nc {
+					break
+				}
+				if ctx.Err() != nil {
+					errs[ci] = ctx.Err()
+					continue
+				}
+				ans, ran, err := solveComponent(ctx, ov, opts, cfg, st, ci)
+				if err != nil {
+					errs[ci] = err
+					continue
+				}
+				answers[ci] = ans
+				if ran {
+					nRes++
+				}
+				if pt.Trivial(ci) {
+					nFast++
+				}
+			}
+			mu.Lock()
+			resolved += nRes
+			fastPaths += nFast
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, 0, 0, e
+		}
+	}
+	return answers, resolved, fastPaths, nil
+}
+
+// solveComponent answers one component subproblem: closed form for
+// trivial singletons, the cached answer when the component's delay
+// digest is known, otherwise an actual subsystem solve (LP for small
+// components, min-cycle-ratio for large ones). ran reports whether a
+// solve actually executed (the Resolved metric).
+func solveComponent(ctx context.Context, ov core.DelayOverlay, opts core.Options, cfg Config, st *State, ci int) (ans compAnswer, ran bool, err error) {
+	cc := ov.Base()
+	c := cc.Circuit()
+	pt := cc.Partition()
+	if pt.Trivial(ci) {
+		// Closed form: no intra-component arc means no delay
+		// dependence, so neither caching nor solving is worth it.
+		sync := int(pt.Members(ci)[0])
+		tc := core.TrivialComponentBound(c, opts, sync)
+		ans = compAnswer{tc: tc, ratio: tc}
+		if tc > 0 {
+			ans.arcs = trivialWitness(c, sync, tc)
+		}
+		return ans, false, nil
+	}
+	dig := ov.ComponentDigest(ci)
+	if st != nil {
+		if cached, ok := st.lookup(dig); ok {
+			return cached, false, nil
+		}
+	}
+	// Per-component solves drop FixedTc: pinning the cycle time is a
+	// property of the full system (the subsystem bound may legitimately
+	// sit below the pin), enforced by the global coupling phase.
+	compOpts := opts
+	compOpts.FixedTc = 0
+	cut := cfg.lpCutoff()
+	if n := len(pt.Members(ci)); n <= cut {
+		ans, err = solveComponentLP(ctx, ov, compOpts, st, ci, dig)
+		if err == nil {
+			if st != nil {
+				st.store(dig, ans)
+			}
+			return ans, true, nil
+		}
+		if ctx.Err() != nil {
+			return ans, true, err
+		}
+		// A degenerate LP outcome (infeasible, unbounded, lost basis)
+		// falls through to the probe solver, which produces a typed
+		// witness-cycle error that is valid for the full system.
+	}
+	s, err := mcr.NewComponentSolver(ov, compOpts, pt.Members(ci))
+	if err != nil {
+		return ans, true, err
+	}
+	mres, err := s.MinTcFromCtx(ctx, 0)
+	if err != nil {
+		return ans, true, err
+	}
+	ans = compAnswer{tc: mres.Tc, ratio: mres.CriticalRatio, arcs: mres.CriticalArcs}
+	if st != nil {
+		st.store(dig, ans)
+	}
+	return ans, true, nil
+}
+
+// solveComponentLP answers a small component through the sparse
+// simplex. For determinism under concurrent cache sharing the warm
+// start is always the component's BASE basis — the optimal basis of
+// the component LP over the snapshot's own delays — never whichever
+// basis some other overlay left behind: the answer for a digest is
+// then a pure function of (snapshot, digest, options), independent of
+// solve order, which is what lets State memoize it. The base basis is
+// computed (and cached) on first need; RHS-only edits keep it dual
+// feasible, so the warm re-solve is typically a handful of pivots.
+func solveComponentLP(ctx context.Context, ov core.DelayOverlay, opts core.Options, st *State, ci int, dig uint64) (compAnswer, error) {
+	cc := ov.Base()
+	baseDig := cc.Overlay().ComponentDigest(ci)
+	var warm *lp.Basis
+	if st != nil && dig != baseDig {
+		warm = st.basis(ci)
+		if warm == nil {
+			baseAns, b, err := solveCompLPCold(ctx, cc.Overlay(), opts, ci)
+			if err != nil {
+				return compAnswer{}, err
+			}
+			st.storeBasis(ci, b)
+			st.store(baseDig, baseAns)
+			warm = b
+		}
+	}
+	prob, vm, _ := core.BuildLPComponent(cc, ov, opts, ci)
+	sol, err := lp.SolveCtxFrom(ctx, prob, warm)
+	if err != nil {
+		return compAnswer{}, err
+	}
+	if sol.Status != lp.Optimal {
+		return compAnswer{}, fmt.Errorf("decomp: component %d LP status %v", ci, sol.Status)
+	}
+	if st != nil && dig == baseDig {
+		st.storeBasis(ci, sol.Basis())
+	}
+	return compAnswer{tc: sol.X[vm.Tc], ratio: sol.X[vm.Tc]}, nil
+}
+
+// solveCompLPCold solves a component LP over the snapshot's own delays
+// from scratch, returning the answer and the optimal basis.
+func solveCompLPCold(ctx context.Context, base core.DelayOverlay, opts core.Options, ci int) (compAnswer, *lp.Basis, error) {
+	prob, vm, _ := core.BuildLPComponent(base.Base(), base, opts, ci)
+	sol, err := lp.SolveCtx(ctx, prob)
+	if err != nil {
+		return compAnswer{}, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return compAnswer{}, nil, fmt.Errorf("decomp: component %d base LP status %v", ci, sol.Status)
+	}
+	return compAnswer{tc: sol.X[vm.Tc], ratio: sol.X[vm.Tc]}, sol.Basis(), nil
+}
+
+// trivialWitness synthesizes the setup-loop witness of a closed-form
+// latch singleton: u_i → e_p carries the setup row (A = bound), e_p →
+// s_p the phase-width periodicity (B = −1), s_p → u_i the departure
+// bound L3. The node names match the constraint-graph names the
+// min-cycle-ratio builders use, so the cycle reads as a full-system
+// certificate.
+func trivialWitness(c *core.Circuit, sync int, bound float64) []mcr.CycleArc {
+	p := c.Sync(sync).Phase
+	u := "u." + c.SyncName(sync)
+	e := "e." + c.PhaseName(p)
+	s := "s." + c.PhaseName(p)
+	return []mcr.CycleArc{
+		{From: u, To: e, A: bound, B: 0},
+		{From: e, To: s, A: 0, B: -1},
+		{From: s, To: u, A: 0, B: 0},
+	}
+}

@@ -1,0 +1,87 @@
+package decomp
+
+import (
+	"sync"
+
+	"mintc/internal/lp"
+)
+
+// State memoizes per-component answers across decomposed solves of
+// ONE frozen snapshot under ONE option set. Two kinds of entries:
+//
+//   - answers, keyed by component delay digest
+//     (core.DelayOverlay.ComponentDigest): the subsystem optimum and
+//     its witness cycle. A digest covers exactly the delays the
+//     component's subsystem reads, so overlays that edit other
+//     components hit the same entries — that is the incremental
+//     re-solve: only dirty components miss.
+//   - base simplex bases, keyed by component: the optimal basis of
+//     the component LP over the snapshot's own delays, the fixed warm
+//     start every edited re-solve of that component uses.
+//
+// Because each stored value is a pure function of (snapshot, options,
+// digest) — LP re-solves always warm from the base basis, probe
+// solves always start cold — concurrent solves racing on the same key
+// compute identical values, so the cache never makes results depend
+// on solve order. The session layer relies on this for its
+// concurrent-equals-serial guarantee.
+//
+// A State must not be shared across snapshots or option sets: digests
+// do not cover either. The session layer keys its States the same way
+// it keys its result cache.
+type State struct {
+	mu    sync.Mutex
+	comps map[uint64]compAnswer
+	bases map[int]*lp.Basis
+}
+
+// NewState returns an empty per-(snapshot, options) component cache.
+func NewState() *State {
+	return &State{
+		comps: make(map[uint64]compAnswer),
+		bases: make(map[int]*lp.Basis),
+	}
+}
+
+// Entries reports the number of cached component answers (test and
+// observability hook).
+func (st *State) Entries() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.comps)
+}
+
+func (st *State) lookup(dig uint64) (compAnswer, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ans, ok := st.comps[dig]
+	return ans, ok
+}
+
+func (st *State) store(dig uint64, ans compAnswer) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.comps[dig]; !ok {
+		st.comps[dig] = ans
+	}
+}
+
+func (st *State) basis(ci int) *lp.Basis {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bases[ci]
+}
+
+func (st *State) storeBasis(ci int, b *lp.Basis) {
+	if b == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.bases[ci]; !ok {
+		st.bases[ci] = b
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"mintc/internal/core"
+	"mintc/internal/decomp"
 	"mintc/internal/ettf"
 	"mintc/internal/mcr"
 	"mintc/internal/nrip"
@@ -15,18 +16,38 @@ import (
 func init() {
 	Register(mlpSolver{})
 	Register(mcrSolver{})
+	Register(decompSolver{})
 	Register(nripSolver{})
 	Register(ettfSolver{})
 	Register(simSolver{})
 }
 
+// DecompThreshold is the synchronizer count at which the "mlp" engine
+// stops running the monolithic LP and routes through the decomposed
+// solver instead: past a few thousand latches a cold simplex solve
+// takes minutes while the decomposed per-component pass plus a global
+// coupling probe takes seconds, for the same (certified) answer. The
+// explicit "decomp" engine ignores the threshold and always
+// decomposes.
+const DecompThreshold = 4096
+
 // mlpSolver runs the paper's Algorithm MLP (LP solve + departure
-// slide) — the exact optimum.
+// slide) — the exact optimum. Above DecompThreshold synchronizers the
+// answer comes from the decomposed solver (the LP is the bottleneck,
+// not the model; the optimum is the same), with the engine's Detail
+// switching to *decomp.Result accordingly.
 type mlpSolver struct{}
 
 func (mlpSolver) Name() string { return "mlp" }
 
 func (mlpSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error) {
+	if c.L() >= DecompThreshold {
+		cc, err := c.Freeze()
+		if err != nil {
+			return nil, err
+		}
+		return decompSolve(ctx, cc.Overlay(), opts)
+	}
 	r, err := core.MinTcCtx(ctx, c, opts.Core)
 	if err != nil {
 		return nil, err
@@ -35,11 +56,42 @@ func (mlpSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Res
 }
 
 func (mlpSolver) SolveOverlay(ctx context.Context, ov core.DelayOverlay, opts Options) (*Result, error) {
+	if ov.Base().L() >= DecompThreshold {
+		return decompSolve(ctx, ov, opts)
+	}
 	r, err := core.MinTcOverlayWarmCtx(ctx, ov, opts.Core, opts.WarmBasis)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Tc: r.Schedule.Tc, Schedule: r.Schedule, D: r.D, Detail: r}, nil
+}
+
+// decompSolver is the SCC-decomposed solver as an explicit engine:
+// per-component subproblems (closed-form, LP or min-cycle-ratio) in
+// parallel, then one global coupling pass that certifies or repairs
+// the combined bound — the incremental/100k-scale path.
+type decompSolver struct{}
+
+func (decompSolver) Name() string { return "decomp" }
+
+func (decompSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error) {
+	cc, err := c.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return decompSolve(ctx, cc.Overlay(), opts)
+}
+
+func (decompSolver) SolveOverlay(ctx context.Context, ov core.DelayOverlay, opts Options) (*Result, error) {
+	return decompSolve(ctx, ov, opts)
+}
+
+func decompSolve(ctx context.Context, ov core.DelayOverlay, opts Options) (*Result, error) {
+	r, err := decomp.Solve(ctx, ov, opts.Core, decomp.Config{Workers: opts.Workers}, opts.DecompState)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tc: r.Tc, Schedule: r.Schedule, D: r.D, Detail: r}, nil
 }
 
 // mcrSolver runs the min-cycle-ratio formulation — the same optimum by

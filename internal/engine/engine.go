@@ -1,8 +1,9 @@
 // Package engine unifies the repository's cycle-time solvers behind a
 // single cancellable, instrumented interface. Each solver — the exact
 // Algorithm MLP (core), the min-cycle-ratio formulation (mcr), the
-// NRIP reconstruction (nrip), the edge-triggered baseline (ettf), and
-// the dynamic simulator (sim) — registers itself under a stable name,
+// SCC-decomposed incremental solver (decomp), the NRIP reconstruction
+// (nrip), the edge-triggered baseline (ettf), and the dynamic
+// simulator (sim) — registers itself under a stable name,
 // so the façade and the command-line tools can select an engine by
 // string without knowing any engine package directly.
 //
@@ -30,6 +31,7 @@ import (
 	"sync"
 
 	"mintc/internal/core"
+	"mintc/internal/decomp"
 	"mintc/internal/lp"
 	"mintc/internal/obs"
 	"mintc/internal/verify"
@@ -76,9 +78,10 @@ type Options struct {
 	Trials int
 	// Seed seeds the Monte-Carlo RNG (only read when Trials > 0).
 	Seed int64
-	// Workers bounds the Monte-Carlo worker pool (0 = GOMAXPROCS, 1 =
-	// sequential). The result is identical for any value; only read by
-	// "sim" when Trials > 0.
+	// Workers bounds the engines' worker pools (0 = GOMAXPROCS, 1 =
+	// sequential): the Monte-Carlo trials of "sim" (when Trials > 0)
+	// and the per-component solves of "decomp". The result is
+	// identical for any value; only the wall clock changes.
 	Workers int
 	// Rec, when non-nil, receives the solve's counters and stage
 	// timings (use obs.Rec.SetSink for a live trace). When nil, Run
@@ -90,6 +93,14 @@ type Options struct {
 	// by "mlp" through SolveOverlay; the degradation ladder clears it
 	// when it retreats to a cold rung.
 	WarmBasis *lp.Basis
+	// DecompState, when non-nil, is the per-component answer cache the
+	// "decomp" engine (and "mlp" above DecompThreshold) reuses across
+	// solves of the same snapshot under the same core options: repeat
+	// solves after localized delay edits then re-solve only the dirty
+	// components. Callers (the session layer) must key the state
+	// exactly like a result cache — one per (snapshot, core options)
+	// pair — since component digests cover neither.
+	DecompState *decomp.State
 }
 
 // Result is the engine-independent view of a solve.
@@ -122,8 +133,9 @@ type Result struct {
 	// produced it. Nil for plain Solve/Run calls.
 	Trail []Attempt
 	// Detail is the engine's native result (*core.Result, *mcr.Result,
-	// *nrip.Result, *ettf.Result, or *SimDetail) for callers that need
-	// engine-specific reporting.
+	// *decomp.Result, *nrip.Result, *ettf.Result, or *SimDetail) for
+	// callers that need engine-specific reporting. Note the "mlp"
+	// engine reports *decomp.Result above DecompThreshold.
 	Detail any
 }
 

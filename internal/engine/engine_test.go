@@ -12,8 +12,8 @@ import (
 	"mintc/internal/obs"
 )
 
-func TestRegistryHasAllFiveEngines(t *testing.T) {
-	want := []string{"ettf", "mcr", "mlp", "nrip", "sim"}
+func TestRegistryHasAllEngines(t *testing.T) {
+	want := []string{"decomp", "ettf", "mcr", "mlp", "nrip", "sim"}
 	got := engine.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mintc/internal/core"
+	"mintc/internal/decomp"
 	"mintc/internal/lp"
 	"mintc/internal/mcr"
 	"mintc/internal/obs"
@@ -37,7 +38,8 @@ type Policy struct {
 	// Rungs, when non-empty, replaces the engine's default ladder with
 	// exactly these rungs, in order. Valid names per engine: "mlp" has
 	// "warm", "sparse", "dense" and "mcr"; "mcr" has "primary" and
-	// "mlp"; every other engine has "primary" only.
+	// "mlp"; "decomp" has "primary" and "mcr"; every other engine has
+	// "primary" only.
 	Rungs []string
 	// OnRung, when non-nil, is called immediately before each rung's
 	// solve starts — a hook for tests and progress reporting.
@@ -82,6 +84,7 @@ func keepOpts(ctx context.Context, o Options) (context.Context, Options) { retur
 //	     simplex → dense tableau oracle → the mcr engine, a different
 //	     algorithm entirely;
 //	mcr: primary → the mlp engine;
+//	decomp: primary → the monolithic mcr engine (cache dropped);
 //	nrip/ettf/sim: primary only (their answers have no second source).
 func ladderFor(name string, overlay bool, opts Options, pol Policy) ([]rung, error) {
 	known := map[string]rung{}
@@ -113,6 +116,20 @@ func ladderFor(name string, overlay bool, opts Options, pol Policy) ([]rung, err
 			return lp.WithSolver(ctx, "revised"), o
 		}}
 		def = []string{"primary", "mlp"}
+	case "decomp":
+		// The decomposed solver degrades to the monolithic
+		// min-cycle-ratio engine: the same answer with none of the
+		// partitioning machinery (and no size cliff — decomp's fallback
+		// must stay viable at the scales decomp exists for, which rules
+		// out the monolithic LP).
+		known["primary"] = rung{"primary", "decomp", func(ctx context.Context, o Options) (context.Context, Options) {
+			return ctx, o
+		}}
+		known["mcr"] = rung{"mcr", "mcr", func(ctx context.Context, o Options) (context.Context, Options) {
+			o.DecompState = nil
+			return ctx, o
+		}}
+		def = []string{"primary", "mcr"}
 	default:
 		known["primary"] = rung{"primary", name, keepOpts}
 		def = []string{"primary"}
@@ -297,6 +314,13 @@ func certifyResult(c *core.Circuit, copts core.Options, res *Result, tol float64
 		}
 		return feas
 	case *mcr.Result:
+		feas := verify.Feasible(c, copts, res.Schedule, res.D, tol)
+		if len(det.CriticalArcs) > 0 {
+			cyc := verify.CriticalCycle(ratioArcs(det.CriticalArcs), res.Tc, tol)
+			return verify.Merge("optimal", feas, cyc)
+		}
+		return feas
+	case *decomp.Result:
 		feas := verify.Feasible(c, copts, res.Schedule, res.D, tol)
 		if len(det.CriticalArcs) > 0 {
 			cyc := verify.CriticalCycle(ratioArcs(det.CriticalArcs), res.Tc, tol)

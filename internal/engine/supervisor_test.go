@@ -24,7 +24,7 @@ func TestCertifiedSuiteAllEngines(t *testing.T) {
 		if testing.Short() && b.Circuit.L() > 64 {
 			continue
 		}
-		for _, name := range []string{"mlp", "mcr", "nrip", "ettf", "sim"} {
+		for _, name := range []string{"mlp", "mcr", "decomp", "nrip", "ettf", "sim"} {
 			if name == "sim" && b.Circuit.L() > 64 {
 				continue // simulation of the XL circuits is a benchmark, not a test
 			}
@@ -40,7 +40,7 @@ func TestCertifiedSuiteAllEngines(t *testing.T) {
 				if len(res.Trail) != 1 || !res.Trail[0].Certified {
 					t.Fatalf("trail = %+v, want one certified attempt", res.Trail)
 				}
-				if b.OptimalTc > 0 && (name == "mlp" || name == "mcr") {
+				if b.OptimalTc > 0 && (name == "mlp" || name == "mcr" || name == "decomp") {
 					if math.Abs(res.Tc-b.OptimalTc) > 1e-6*(1+b.OptimalTc) {
 						t.Errorf("Tc = %g, want %g", res.Tc, b.OptimalTc)
 					}

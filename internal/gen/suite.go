@@ -116,6 +116,63 @@ func Huge() []Benchmark {
 	}
 }
 
+// XXL returns the 100k-synchronizer workloads — the scale the
+// decomposed solver (internal/decomp) exists for. Only smobench -xxl
+// runs them; every engine × circuit pair here is also in smobench's
+// known-slow skip table so a plain -xl sweep never stumbles into a
+// multi-hour monolithic solve.
+func XXL() []Benchmark {
+	const ringDQ, ringSetup, ringDelay = 2.0, 1.0, 30.0
+	r, err := Ring(2, 100000, ringSetup, ringDQ, func(int) float64 { return ringDelay })
+	if err != nil {
+		panic(err) // 100000 is a multiple of 2 by construction
+	}
+	rng := rand.New(rand.NewSource(606))
+	return []Benchmark{
+		{Name: "ring-2x100k", Circuit: r, OptimalTc: 2 * (ringDQ + ringDelay)},
+		{Name: "rand-100k", Circuit: randomOfSize(rng, 100000)},
+	}
+}
+
+// Banks builds nb disconnected two-phase rings of n latches each in a
+// single circuit — the canonical multi-component workload for the
+// decomposed solvers: the latch graph has exactly nb strongly
+// connected components and no cross-component arcs, so an incremental
+// re-solve after one delay edit touches one bank. Bank i's ring arcs
+// all carry delay baseDelay+i, making the last bank the binding one:
+// Tc* = 2·(DQ + baseDelay + nb − 1), with every earlier bank's bound
+// strictly below it. Panics if n is odd (the two-phase ring needs an
+// even loop).
+func Banks(nb, n int, setup, dq, baseDelay float64) *core.Circuit {
+	if n%2 != 0 {
+		panic("gen: Banks needs an even ring length")
+	}
+	c := core.NewCircuit(2)
+	for b := 0; b < nb; b++ {
+		first := b * n
+		for i := 0; i < n; i++ {
+			c.AddLatch("", i%2, setup, dq)
+		}
+		for i := 0; i < n; i++ {
+			c.AddPath(first+i, first+(i+1)%n, baseDelay+float64(b))
+		}
+	}
+	return c
+}
+
+// BanksOptimalTc is the analytic optimum of Banks(nb, n, ...): the
+// binding bank's uniform ring crosses n/2 phase boundaries per lap, so
+// its ratio is 2·(DQ+d); the single-arc setup bound DQ+d+setup wins
+// only for tiny delays.
+func BanksOptimalTc(nb int, setup, dq, baseDelay float64) float64 {
+	d := baseDelay + float64(nb-1)
+	tc := 2 * (dq + d)
+	if arc := dq + d + setup; arc > tc {
+		tc = arc
+	}
+	return tc
+}
+
 func ringName(n int) string {
 	switch n {
 	case 8:

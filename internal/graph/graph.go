@@ -169,6 +169,32 @@ func (g *Graph) SCC() (components [][]int, comp []int) {
 	return components, comp
 }
 
+// Condense computes the SCC partition together with the condensation
+// DAG: dag[c] lists the distinct successor components of component c
+// (no self-edges, no duplicates, ascending). Components keep SCC's
+// reverse topological order, so every entry of dag[c] is < c.
+func (g *Graph) Condense() (components [][]int, comp []int, dag [][]int) {
+	components, comp = g.SCC()
+	dag = make([][]int, len(components))
+	seen := make([]int, len(components))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for c := len(components) - 1; c >= 0; c-- {
+		for _, v := range components[c] {
+			for _, e := range g.out[v] {
+				d := comp[e.To]
+				if d != c && seen[d] != c {
+					seen[d] = c
+					dag[c] = append(dag[c], d)
+				}
+			}
+		}
+		sort.Ints(dag[c])
+	}
+	return components, comp, dag
+}
+
 // TopoSort returns a topological order of the nodes, or ok=false if the
 // graph contains a cycle.
 func (g *Graph) TopoSort() (order []int, ok bool) {

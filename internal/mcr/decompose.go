@@ -1,0 +1,71 @@
+package mcr
+
+import (
+	"context"
+
+	"mintc/internal/core"
+)
+
+// NewSolverOverlay compiles the full constraint graph with path delays
+// read through a snapshot overlay — the overlay-native counterpart of
+// NewSolver, used by the decomposed solver's global coupling phase. The
+// snapshot is already validated (Freeze), so only the options are
+// checked. SetDelay edits layer on top of the overlay's delays.
+func NewSolverOverlay(ov core.DelayOverlay, opts core.Options) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	c := ov.Base().Circuit()
+	return newSolverOn(newBuilderSub(c, opts, &ov, nil), opts, &ov), nil
+}
+
+// NewComponentSolver compiles the restriction of the constraint system
+// to one latch-graph component: the clock rows plus the member
+// synchronizers' rows and the intra-component path arcs, with delays
+// read through the overlay. Because the subsystem's constraints are a
+// subset of the full system's, its optimal cycle time is a sound lower
+// bound on the circuit's — the bound the decomposed solver maximizes
+// over components. members is the component's synchronizer set
+// (core.Partition.Members).
+func NewComponentSolver(ov core.DelayOverlay, opts core.Options, members []int32) (*Solver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	c := ov.Base().Circuit()
+	inComp := make([]bool, c.L())
+	for _, m := range members {
+		inComp[m] = true
+	}
+	return newSolverOn(newBuilderSub(c, opts, &ov, inComp), opts, &ov), nil
+}
+
+// SolveFromCtx runs the witness-jumping loop starting from a
+// caller-supplied cycle-time lower bound (any sound bound; the
+// decomposed solver passes the max over per-component optima). If the
+// system is feasible at the bound, the bound is returned as the
+// optimum — feasible + lower bound = optimal — with a cold extraction
+// probe producing the canonical least schedule.
+func (s *Solver) SolveFromCtx(ctx context.Context, lower float64) (*Result, error) {
+	return solveFrom(ctx, s.b, s.opts, lower, true, false)
+}
+
+// MinTcFromCtx is SolveFromCtx without schedule extraction: the result
+// carries Tc (and the witness cycle when one binds) but nil Schedule
+// and D, skipping the cold re-probe entirely. Sweeps use it — they
+// report cycle times only.
+func (s *Solver) MinTcFromCtx(ctx context.Context, lower float64) (*Result, error) {
+	return solveFrom(ctx, s.b, s.opts, lower, false, false)
+}
+
+// MinTcFromWarmCtx is MinTcFromCtx with the first probe warm-started
+// from the potentials the previous solve on this Solver left behind.
+// Warm potentials are sound starting points for the Bellman–Ford
+// feasibility probe at any tc (shift invariance of difference
+// constraints), so the verdict — and the optimum the jumps converge
+// to, within the probe tolerance — is unchanged; only the
+// touched-node count is. Sweeps use it for every point after the
+// first: successive sweep points move one edge weight, so the
+// previous potentials already satisfy almost the whole graph.
+func (s *Solver) MinTcFromWarmCtx(ctx context.Context, lower float64) (*Result, error) {
+	return solveFrom(ctx, s.b, s.opts, lower, false, true)
+}

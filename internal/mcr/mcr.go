@@ -49,6 +49,11 @@ type builder struct {
 	// pathEdge[p] is the index of the constraint edge carrying path
 	// p's worst-case delay (for incremental delay updates).
 	pathEdge []int
+	// holdEdge[p] is the index of path p's conservative hold edge, or
+	// -1 (no DesignForHold, Hold <= 0, or path excluded). Solver's
+	// SetDelay repairs it alongside pathEdge, since the hold constant
+	// carries the MinDelay clamp min(MinDelay, delay).
+	holdEdge []int
 
 	// Worklist-probe scratch, allocated on first probe and reused
 	// across probes and across Solver solves on the same builder. The
@@ -150,6 +155,19 @@ const eps = 1e-9
 
 // newBuilder assembles the difference-constraint graph for circuit c.
 func newBuilder(c *core.Circuit, opts core.Options) *builder {
+	return newBuilderSub(c, opts, nil, nil)
+}
+
+// newBuilderSub is the generalized graph assembly shared by the full
+// solver and the decomposed per-component solvers: path delays are
+// read through an optional overlay (nil = the circuit's own delays),
+// and an optional membership mask restricts the system to a subset of
+// synchronizers — only member syncs get departure nodes and rows, and
+// only paths with both endpoints in the subset get constraint edges
+// (clock rows are always emitted; they are shared by every subsystem).
+// With inComp == nil and ov == nil the graph is bit-identical to the
+// original monolithic builder. pathEdge[p] is -1 for excluded paths.
+func newBuilderSub(c *core.Circuit, opts core.Options, ov *core.DelayOverlay, inComp []bool) *builder {
 	k, l := c.K(), c.L()
 	b := &builder{c: c, opts: opts}
 	alloc := func(name string) int {
@@ -157,6 +175,14 @@ func newBuilder(c *core.Circuit, opts core.Options) *builder {
 		b.n++
 		b.names = append(b.names, name)
 		return id
+	}
+	member := func(i int) bool { return inComp == nil || inComp[i] }
+	delayOf := func(pidx int) (d, min float64) {
+		if ov != nil {
+			return ov.Delay(pidx), ov.MinDelay(pidx)
+		}
+		p := c.Paths()[pidx]
+		return p.Delay, p.MinDelay
 	}
 	b.z = alloc("origin")
 	b.s = make([]int, k)
@@ -167,7 +193,11 @@ func newBuilder(c *core.Circuit, opts core.Options) *builder {
 	}
 	b.u = make([]int, l)
 	for i := 0; i < l; i++ {
-		b.u[i] = alloc("u." + c.SyncName(i))
+		if member(i) {
+			b.u[i] = alloc("u." + c.SyncName(i))
+		} else {
+			b.u[i] = -1
+		}
 	}
 	add := func(from, to int, a, bTc float64) {
 		b.edges = append(b.edges, edge{from: from, to: to, a: a, b: bTc})
@@ -197,6 +227,9 @@ func newBuilder(c *core.Circuit, opts core.Options) *builder {
 		}
 	}
 	for i, sy := range c.Syncs() {
+		if !member(i) {
+			continue
+		}
 		p := sy.Phase
 		// L3: u_i >= s_p.
 		add(b.s[p], b.u[i], 0, 0)
@@ -210,16 +243,32 @@ func newBuilder(c *core.Circuit, opts core.Options) *builder {
 		}
 	}
 	b.pathEdge = make([]int, len(c.Paths()))
+	b.holdEdge = make([]int, len(c.Paths()))
+	for pidx := range b.holdEdge {
+		b.holdEdge[pidx] = -1
+	}
 	for pidx, path := range c.Paths() {
 		j, i := path.From, path.To
+		if !member(j) || !member(i) {
+			b.pathEdge[pidx] = -1
+			continue
+		}
 		pj, pi := c.Sync(j).Phase, c.Sync(i).Phase
 		cji := 0.0
 		if pj >= pi {
 			cji = 1
 		}
 		// Same margin-adjusted transfer weight as the LP's L2R rows and
-		// the analysis fixpoint.
-		w := core.ArcWeight(c, opts, pidx)
+		// the analysis fixpoint, with the delay read through the overlay
+		// (DelayOverlay.ArcWeight sums the same five terms in the same
+		// order as core.ArcWeight, so the no-edit case is bit-identical).
+		_, minDelay := delayOf(pidx)
+		var w float64
+		if ov != nil {
+			w = ov.ArcWeight(opts, pidx)
+		} else {
+			w = core.ArcWeight(c, opts, pidx)
+		}
 		b.pathEdge[pidx] = len(b.edges)
 		switch c.Sync(i).Kind {
 		case core.Latch:
@@ -232,12 +281,13 @@ func newBuilder(c *core.Circuit, opts core.Options) *builder {
 		// Conservative hold rows, mirroring core.BuildLP exactly:
 		// s_pj − [e_pi (latch) | s_pi (FF)] >= K − (1−C)·Tc.
 		if opts.DesignForHold && c.Sync(i).Hold > 0 {
-			kconst := c.Sync(i).Hold - c.Sync(j).DQ - path.MinDelay +
+			kconst := c.Sync(i).Hold - c.Sync(j).DQ - minDelay +
 				opts.Skew + sigma(opts, pj) + sigma(opts, pi)
 			from := b.e[pi]
 			if c.Sync(i).Kind == core.FlipFlop {
 				from = b.s[pi]
 			}
+			b.holdEdge[pidx] = len(b.edges)
 			add(from, b.s[pj], kconst, -(1 - cji))
 		}
 	}
@@ -656,10 +706,27 @@ func SolveCtx(ctx context.Context, c *core.Circuit, opts core.Options) (*Result,
 // solveWith runs the witness-jumping loop on an already-built
 // constraint graph (shared by SolveCtx and Solver.Solve).
 func solveWith(ctx context.Context, b *builder, opts core.Options) (*Result, error) {
+	return solveFrom(ctx, b, opts, 0, true, false)
+}
+
+// solveFrom is the witness-jumping loop starting from a caller-supplied
+// cycle-time lower bound. Any sound lower bound is admissible (the
+// decomposed solver passes the max over per-component optima): if the
+// first probe at the bound is feasible, the bound is the optimum —
+// feasible + lower bound = optimal — and otherwise the Lawler jumps
+// proceed exactly as from zero, converging to the same maximum cycle
+// ratio. With extract == false the cold extraction re-probe is skipped
+// and the result carries Tc and the witness cycle but no schedule or
+// departures — the mode sweeps use, since they report Tc only. With
+// firstWarm == true even the first probe reuses the potentials left by
+// the previous solve on the same builder; any finite potentials are
+// admissible starting points for the Bellman–Ford feasibility probe
+// (shift invariance), so this changes cost, never answers.
+func solveFrom(ctx context.Context, b *builder, opts core.Options, lower float64, extract, firstWarm bool) (*Result, error) {
 	rec := obs.From(ctx)
 	res := &Result{}
-	tc := 0.0
-	if opts.FixedTc > 0 {
+	tc := lower
+	if opts.FixedTc > tc {
 		tc = opts.FixedTc
 	}
 	var lastWitness []edge
@@ -676,27 +743,32 @@ func solveWith(ctx context.Context, b *builder, opts core.Options) (*Result, err
 		// extraction re-probe at the final (feasible) tc — roughly what
 		// a single cold probe would have cost anyway, amortized over
 		// every intermediate probe turned near-free.
-		warm := iter > 0
+		warm := iter > 0 || firstWarm
 		dist, witness, err := b.probe(ctx, tc, warm)
 		if err != nil {
 			return nil, err
 		}
 		if witness == nil {
-			if warm {
-				// Warm potentials certify feasibility but are not the
-				// canonical least solution; re-probe cold so the
-				// extracted schedule is the least one in the lattice.
-				res.Probes++
-				rec.Add(obs.Probes, 1)
-				dist, witness, err = b.probe(ctx, tc, false)
-				if err != nil {
-					return nil, err
+			if !extract {
+				res.Tc = tc
+				b.setWitness(res, lastWitness)
+			} else {
+				if warm {
+					// Warm potentials certify feasibility but are not the
+					// canonical least solution; re-probe cold so the
+					// extracted schedule is the least one in the lattice.
+					res.Probes++
+					rec.Add(obs.Probes, 1)
+					dist, witness, err = b.probe(ctx, tc, false)
+					if err != nil {
+						return nil, err
+					}
+					if witness != nil {
+						return nil, fmt.Errorf("mcr: cold re-probe found a witness at feasible tc=%g", tc)
+					}
 				}
-				if witness != nil {
-					return nil, fmt.Errorf("mcr: cold re-probe found a witness at feasible tc=%g", tc)
-				}
+				b.extract(res, tc, dist, lastWitness)
 			}
-			b.extract(res, tc, dist, lastWitness)
 			if opts.FixedTc > 0 && tc > opts.FixedTc+eps {
 				return nil, fmt.Errorf("mcr: requested Tc %g below minimum %g", opts.FixedTc, tc)
 			}
@@ -807,22 +879,32 @@ func (b *builder) extract(res *Result, tc float64, dist []float64, witness []edg
 	res.Schedule = sched
 	res.D = make([]float64, c.L())
 	for i := 0; i < c.L(); i++ {
+		if b.u[i] < 0 {
+			continue // excluded from the subsystem; departure undefined
+		}
 		res.D[i] = dist[b.u[i]] - dist[b.s[c.Sync(i).Phase]]
 	}
-	if witness != nil {
-		var sumA, sumB float64
-		for _, e := range witness {
-			res.CriticalLoop = append(res.CriticalLoop, b.names[e.to])
-			sumA += e.a
-			sumB += e.b
-		}
-		if sumB < -eps {
-			res.CriticalRatio = sumA / (-sumB)
-		}
-		res.criticalA = sumA
-		res.criticalB = sumB
-		res.CriticalArcs = b.cycleArcs(witness)
+	b.setWitness(res, witness)
+}
+
+// setWitness fills the result's critical-cycle fields from a witness
+// (no-op when nil).
+func (b *builder) setWitness(res *Result, witness []edge) {
+	if witness == nil {
+		return
 	}
+	var sumA, sumB float64
+	for _, e := range witness {
+		res.CriticalLoop = append(res.CriticalLoop, b.names[e.to])
+		sumA += e.a
+		sumB += e.b
+	}
+	if sumB < -eps {
+		res.CriticalRatio = sumA / (-sumB)
+	}
+	res.criticalA = sumA
+	res.criticalB = sumB
+	res.CriticalArcs = b.cycleArcs(witness)
 }
 
 // cycleArcs renders a witness cycle into exported arcs with node

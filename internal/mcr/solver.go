@@ -11,14 +11,21 @@ import (
 // the constraint graph is built once and worst-case path delays may be
 // updated in place between solves — the design-side analogue of
 // core.Evaluator. The circuit's structure (synchronizers, paths, and
-// every option other than the delays) is fixed at construction;
-// MinDelay-dependent hold rows keep their construction-time values.
+// every option other than the delays) is fixed at construction.
 type Solver struct {
 	b    *builder
 	opts core.Options
 	// baseA[p] is the affine constant of path p's edge minus the
 	// worst-case delay, so SetDelay is a single write.
 	baseA []float64
+	// holdBaseA[p] and consMin[p] are the construction-time affine
+	// constant and best-case delay of path p's hold edge (when one
+	// exists): SetDelay repairs the hold constant with the same
+	// MinDelay clamp DelayOverlay.With applies — the effective
+	// best-case delay is min(construction MinDelay, new delay), so the
+	// repaired constant is holdBaseA + (consMin − clamped).
+	holdBaseA []float64
+	consMin   []float64
 }
 
 // NewSolver compiles the circuit once for repeated solves.
@@ -29,21 +36,62 @@ func NewSolver(c *core.Circuit, opts core.Options) (*Solver, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	b := newBuilder(c, opts)
-	s := &Solver{b: b, opts: opts, baseA: make([]float64, len(c.Paths()))}
-	for p, ei := range b.pathEdge {
-		s.baseA[p] = b.edges[ei].a - c.Paths()[p].Delay
+	return newSolverOn(newBuilder(c, opts), opts, nil), nil
+}
+
+// newSolverOn wraps a built constraint graph, recording the per-path
+// base constants SetDelay repairs. Delays (and best-case delays) are
+// read through ov when non-nil, else from the circuit.
+func newSolverOn(b *builder, opts core.Options, ov *core.DelayOverlay) *Solver {
+	c := b.c
+	s := &Solver{
+		b:         b,
+		opts:      opts,
+		baseA:     make([]float64, len(c.Paths())),
+		holdBaseA: make([]float64, len(c.Paths())),
+		consMin:   make([]float64, len(c.Paths())),
 	}
-	return s, nil
+	for p, ei := range b.pathEdge {
+		if ei < 0 {
+			continue // outside the subsystem; SetDelay panics on it
+		}
+		d, min := c.Paths()[p].Delay, c.Paths()[p].MinDelay
+		if ov != nil {
+			d, min = ov.Delay(p), ov.MinDelay(p)
+		}
+		s.baseA[p] = b.edges[ei].a - d
+		if hi := b.holdEdge[p]; hi >= 0 {
+			s.holdBaseA[p] = b.edges[hi].a
+			s.consMin[p] = min
+		}
+	}
+	return s
 }
 
 // SetDelay updates path p's worst-case delay for subsequent solves
-// (the underlying circuit is not modified).
+// (the underlying circuit is not modified). When the path carries a
+// conservative hold edge, its best-case delay is clamped to
+// min(construction MinDelay, d) — the same composition
+// DelayOverlay.With and Circuit.SetPathDelay apply — and the hold
+// constant repaired accordingly. On a component solver
+// (NewComponentSolver) only intra-component paths may be edited; the
+// rest are not part of the subsystem and panic.
 func (s *Solver) SetDelay(p int, d float64) {
 	if p < 0 || p >= len(s.baseA) {
 		panic(fmt.Sprintf("mcr: Solver.SetDelay path %d out of range", p))
 	}
-	s.b.edges[s.b.pathEdge[p]].a = s.baseA[p] + d
+	ei := s.b.pathEdge[p]
+	if ei < 0 {
+		panic(fmt.Sprintf("mcr: Solver.SetDelay path %d is outside this solver's subsystem", p))
+	}
+	s.b.edges[ei].a = s.baseA[p] + d
+	if hi := s.b.holdEdge[p]; hi >= 0 {
+		m := s.consMin[p]
+		if d < m {
+			m = d
+		}
+		s.b.edges[hi].a = s.holdBaseA[p] + (s.consMin[p] - m)
+	}
 }
 
 // Solve computes the optimal cycle time for the current delays.

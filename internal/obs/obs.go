@@ -91,6 +91,17 @@ const (
 	// only while an arena warms up to a new problem shape; a steady
 	// workload should drive this to zero.
 	ScratchGrows
+	// ComponentsTotal counts latch-graph components examined by
+	// decomposed solves (the denominator of the incremental-work ratio).
+	ComponentsTotal
+	// ComponentsResolved counts components actually re-solved by
+	// decomposed solves — the rest were answered from per-component
+	// caches. An incremental re-solve after one delay edit should
+	// resolve exactly the dirty component.
+	ComponentsResolved
+	// DecompFastPaths counts single-synchronizer acyclic components
+	// answered by the closed-form bound, with no LP and no probe.
+	DecompFastPaths
 
 	numCounters
 )
@@ -138,6 +149,12 @@ func (c Counter) String() string {
 		return "scratch_reuses"
 	case ScratchGrows:
 		return "scratch_grows"
+	case ComponentsTotal:
+		return "components_total"
+	case ComponentsResolved:
+		return "components_resolved"
+	case DecompFastPaths:
+		return "decomp_fastpaths"
 	}
 	return fmt.Sprintf("counter_%d", int(c))
 }

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"mintc/internal/core"
+	"mintc/internal/decomp"
 	"mintc/internal/engine"
 	"mintc/internal/lp"
 	"mintc/internal/obs"
@@ -92,6 +93,17 @@ type Session struct {
 	// optima (same vertex, different basis, different RHS ranges).
 	seedMu sync.Mutex
 	seeds  map[cacheKey]*baseSeed
+
+	// decompStates holds, per options shape, the decomposed solver's
+	// per-component answer cache, shared by every "decomp" (and
+	// above-threshold "mlp") solve of this snapshot: a session that
+	// wiggles one delay and re-asks re-solves only the dirty components.
+	// Sharing is safe for the same reason the seed is — decomp results
+	// are pure functions of (snapshot, options, overlay digest) no
+	// matter what the state holds — so query arrival order still cannot
+	// change any answer.
+	decompMu     sync.Mutex
+	decompStates map[cacheKey]*decomp.State
 }
 
 // baseSeed computes one options shape's base-overlay basis at most once.
@@ -123,14 +135,15 @@ func New(cc *core.Compiled, cfg Config) *Session {
 		size = 0
 	}
 	return &Session{
-		cc:        cc,
-		maxSize:   size,
-		cacheErrs: cfg.CacheErrors,
-		rec:       obs.New(),
-		lru:       list.New(),
-		items:     make(map[cacheKey]*list.Element),
-		flight:    make(map[cacheKey]*flight),
-		seeds:     make(map[cacheKey]*baseSeed),
+		cc:           cc,
+		maxSize:      size,
+		cacheErrs:    cfg.CacheErrors,
+		rec:          obs.New(),
+		lru:          list.New(),
+		items:        make(map[cacheKey]*list.Element),
+		flight:       make(map[cacheKey]*flight),
+		seeds:        make(map[cacheKey]*baseSeed),
+		decompStates: make(map[cacheKey]*decomp.State),
 	}
 }
 
@@ -180,6 +193,9 @@ func (s *Session) Solve(ctx context.Context, name string, ov core.DelayOverlay, 
 	v, err := s.do(ctx, key, func(ctx context.Context) (any, error) {
 		callOpts := opts
 		callOpts.Rec = obs.From(ctx)
+		if callOpts.DecompState == nil {
+			callOpts.DecompState = s.decompState(opts.Core)
+		}
 		return engine.SolveOverlay(ctx, name, ov, callOpts)
 	})
 	if err != nil {
@@ -224,6 +240,9 @@ func (s *Session) SolveCertified(ctx context.Context, name string, ov core.Delay
 		callOpts.Rec = obs.From(ctx)
 		if callOpts.WarmBasis == nil && ov.Digest() != s.cc.Overlay().Digest() {
 			callOpts.WarmBasis = s.baseBasis(opts.Core)
+		}
+		if callOpts.DecompState == nil {
+			callOpts.DecompState = s.decompState(opts.Core)
 		}
 		return engine.SolveCertifiedOverlay(ctx, name, ov, callOpts, pol)
 	})
@@ -340,6 +359,26 @@ func (s *Session) baseBasis(opts core.Options) *lp.Basis {
 		}
 	})
 	return sd.b
+}
+
+// decompState returns the decomposed solver's per-component answer
+// cache for one options shape, creating it on first use. Like
+// baseBasis, it is internal plumbing outside the result cache. FixedTc
+// is normalized out of the shape: the decomposed solver strips it from
+// the per-component subproblems (the global coupling pass enforces it),
+// so component answers are shared across fixed-Tc variants of the same
+// options.
+func (s *Session) decompState(opts core.Options) *decomp.State {
+	opts.FixedTc = 0
+	shape := solveKey(qMinTc, "", 0, &opts, nil)
+	s.decompMu.Lock()
+	defer s.decompMu.Unlock()
+	st, ok := s.decompStates[shape]
+	if !ok {
+		st = decomp.NewState()
+		s.decompStates[shape] = st
+	}
+	return st
 }
 
 func (s *Session) checkOverlay(ov core.DelayOverlay) error {

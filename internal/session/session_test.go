@@ -254,3 +254,53 @@ func BenchmarkSessionSolveEngine(b *testing.B) {
 		b.Fatal("repeated engine solves produced no cache hits")
 	}
 }
+
+// TestSessionDecompStateIncremental pins the session's decomp-state
+// wiring: the per-component answer cache is shared across "decomp"
+// solves of the same snapshot and options shape, so after a localized
+// delay edit only the edited path's component is re-solved — visible
+// in the per-query components_resolved counter.
+func TestSessionDecompStateIncremental(t *testing.T) {
+	// Three disconnected banks: 3 components, all non-trivial.
+	s, err := session.Freeze(gen.Banks(3, 8, 1, 2, 30), session.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := func(ov core.DelayOverlay) int64 {
+		rec := obs.New()
+		ctx := obs.With(context.Background(), rec)
+		res, err := s.Solve(ctx, "decomp", ov, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Engine != "decomp" {
+			t.Fatalf("engine = %q", res.Engine)
+		}
+		return rec.Snapshot().Counter(obs.ComponentsResolved)
+	}
+	if got := resolved(s.Overlay()); got != 3 {
+		t.Fatalf("base solve resolved %d components, want 3", got)
+	}
+	// Edit one path inside bank 0 (path 0 is bank 0's first arc): the
+	// second solve is a cache miss on the result layer (new digest) but
+	// re-solves only the dirty component.
+	if got := resolved(s.Overlay().With(0, 55)); got != 1 {
+		t.Fatalf("edited solve resolved %d components, want 1", got)
+	}
+	// Asking again is a session cache hit: nothing re-solved at all.
+	if got := resolved(s.Overlay().With(0, 55)); got != 0 {
+		t.Fatalf("repeat solve resolved %d components, want 0 (cache hit)", got)
+	}
+	// Parity against the monolithic engine on the edited overlay.
+	dec, err := s.Solve(context.Background(), "decomp", s.Overlay().With(0, 55), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := s.Solve(context.Background(), "mcr", s.Overlay().With(0, 55), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := dec.Tc - mono.Tc; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("decomp Tc %.12g != mcr Tc %.12g", dec.Tc, mono.Tc)
+	}
+}
