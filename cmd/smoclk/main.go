@@ -70,6 +70,7 @@ func main() {
 		mcTrials = flag.Int("montecarlo", 0, "run N Monte-Carlo trials with per-cycle delay variation")
 		holdOpt  = flag.Bool("hold", false, "design with conservative hold constraints (elements with hold > 0)")
 		marginTc = flag.Float64("margin", 0, "at this cycle time, maximize the worst setup margin instead of minimizing Tc")
+		objectiv = flag.String("objective", "", "schedule objective at the -tc cycle time: margin (maximize worst setup margin), width (minimize total phase width) or skew (maximize tolerated extra clock skew); runs through the engine layer, so -engine, -certify and -trace apply")
 		dotOut   = flag.String("dot", "", "write the circuit graph in Graphviz DOT format to this file")
 	)
 	flag.Parse()
@@ -85,6 +86,23 @@ func main() {
 		gnl: *gnl, model: *model, toploops: *toploops, dotOut: *dotOut, mcTrials: *mcTrials, marginTc: *marginTc,
 		timeout: *timeout, trace: *trace, stats: *stats, certify: *certify,
 		opts: mintc.Options{MinPhaseWidth: *minWidth, MinSeparation: *minSep, Skew: *skew, FixedTc: *fixedTc, DesignForHold: *holdOpt},
+	}
+	if *objectiv != "" {
+		if *fixedTc <= 0 {
+			fmt.Fprintf(os.Stderr, "smoclk: -objective %s requires -tc (the cycle time to design the schedule at)\n", *objectiv)
+			os.Exit(2)
+		}
+		switch *objectiv {
+		case "margin":
+			cfg.opts.Objective = mintc.MaxMarginAtTc(*fixedTc)
+		case "width":
+			cfg.opts.Objective = mintc.MinPhaseWidthAtTc(*fixedTc)
+		case "skew":
+			cfg.opts.Objective = mintc.MaxSkewBudgetAtTc(*fixedTc)
+		default:
+			fmt.Fprintf(os.Stderr, "smoclk: unknown -objective %q (want margin, width or skew)\n", *objectiv)
+			os.Exit(2)
+		}
 	}
 	if err := run(*file, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "smoclk: %v\n", err)
@@ -310,39 +328,37 @@ func runEngine(c *mintc.Circuit, cfg config) (*mintc.EngineResult, error) {
 		}
 		return nil, err
 	}
-	switch name {
-	case "mlp":
-		switch r := res.Detail.(type) {
-		case *mintc.Result:
-			fmt.Print(r.Report())
-		case *mintc.DecompResult:
-			printDecomp(r) // large circuit: mlp routed through the decomposed solver
+	// Dispatch on the detail type, not the requested engine: the
+	// certified path may have fallen down the degradation ladder onto a
+	// different engine (e.g. a schedule objective asked of mcr is
+	// answered by the LP rung), and the trail below reports how.
+	switch r := res.Detail.(type) {
+	case *mintc.Result:
+		fmt.Print(r.Report())
+		if !r.Objective.IsMinTc() {
+			fmt.Printf("objective %s achieved: %.6g\n", r.Objective, r.ObjectiveValue)
 		}
-	case "decomp":
-		printDecomp(res.Detail.(*mintc.DecompResult))
-	case "mcr":
-		r := res.Detail.(*mintc.MCRResult)
+	case *mintc.DecompResult:
+		printDecomp(r) // large circuit: mlp routed through the decomposed solver
+	case *mintc.MCRResult:
 		fmt.Printf("optimal Tc = %.6g (min-cycle-ratio engine, %d probes)\n", r.Tc, r.Probes)
 		if len(r.CriticalLoop) > 0 {
 			fmt.Printf("critical loop: %v (ratio %.6g)\n", r.CriticalLoop, r.CriticalRatio)
 			fmt.Print(r.Explain())
 		}
 		fmt.Println(r.Schedule)
-	case "nrip":
-		r := res.Detail.(*mintc.NRIPResult)
+	case *mintc.NRIPResult:
 		fmt.Printf("NRIP engine: Tc = %.6g (edge-triggered start %.6g, borrowing gain %.6g)\n",
 			r.Schedule.Tc, r.EdgeTriggeredTc, r.BorrowingGain)
 		fmt.Println(r.Schedule)
-	case "ettf":
-		r := res.Detail.(*mintc.EdgeTriggeredResult)
+	case *mintc.EdgeTriggeredResult:
 		fmt.Printf("edge-triggered engine: Tc = %.6g (%d constraints, %d pivots)\n",
 			r.Schedule.Tc, r.NumConstraints, r.Pivots)
 		fmt.Println(r.Schedule)
-	case "sim":
-		det := res.Detail.(*mintc.SimDetail)
+	case *mintc.SimDetail:
 		fmt.Printf("sim engine: simulated the MLP-optimal schedule, Tc = %.6g\n", res.Tc)
 		fmt.Println(res.Schedule)
-		tr := det.Trace
+		tr := r.Trace
 		switch {
 		case len(tr.Violations) > 0:
 			fmt.Printf("simulation: %d violations (first: %s)\n", len(tr.Violations), tr.Violations[0])

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mintc"
+)
+
+// edgePipelineSMO mirrors examples/edge_pipeline.smo: a two-phase loop
+// mixing latches and flip-flops with unbalanced stage delays, where
+// conversion buys a real borrowing gain (edge-triggered Tc 17, latch
+// optimum 15).
+const edgePipelineSMO = `
+clock 2
+latch L1 phase 1 setup 0.5 dq 1
+ff    F2 phase 2 setup 0.5 cq 1
+latch L3 phase 1 setup 0.5 dq 1
+ff    F4 phase 2 setup 0.5 cq 1
+path L1 -> F2 delay 12
+path F2 -> L3 delay 2
+path L3 -> F4 delay 9
+path F4 -> L1 delay 2
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	var buf strings.Builder
+	b := make([]byte, 4096)
+	for {
+		n, err := r.Read(b)
+		buf.Write(b[:n])
+		if err != nil {
+			break
+		}
+	}
+	return buf.String(), ferr
+}
+
+func TestRunConvertsAndCertifies(t *testing.T) {
+	in := writeTemp(t, "edge.smo", edgePipelineSMO)
+	outC := filepath.Join(t.TempDir(), "latched.smo")
+	outS := filepath.Join(t.TempDir(), "clock.smo")
+	got, err := capture(t, func() error {
+		return run(in, config{objective: "margin", outFile: outC, schedFile: outS})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, got)
+	}
+	for _, want := range []string{
+		"edge-triggered baseline: Tc = 17",
+		"latch-optimal: Tc = 15",
+		"2 flip-flops split",
+		"certified: ok",
+		"checkTc: PASS",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "REJECTED") {
+		t.Errorf("a certificate was rejected:\n%s", got)
+	}
+	// The written circuit must round-trip through the parser as a pure
+	// latch design on the doubled clock.
+	f, err := os.Open(outC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lc, err := mintc.ParseCircuit(f)
+	if err != nil {
+		t.Fatalf("written circuit does not parse: %v", err)
+	}
+	if lc.K() != 4 || lc.L() != 6 {
+		t.Errorf("written circuit: K=%d L=%d, want 4 phases and 6 latches", lc.K(), lc.L())
+	}
+	for _, s := range lc.Syncs() {
+		if s.Kind != mintc.Latch {
+			t.Errorf("written circuit still has a non-latch synchronizer %q", s.Name)
+		}
+	}
+	if fi, err := os.Stat(outS); err != nil || fi.Size() == 0 {
+		t.Errorf("schedule file not written: %v", err)
+	}
+}
+
+func TestRunScheduleObjectives(t *testing.T) {
+	in := writeTemp(t, "edge.smo", edgePipelineSMO)
+	for _, tt := range []struct {
+		objective string
+		tc        float64
+		noun      string
+	}{
+		{"width", 16, "total phase width"},
+		{"skew", 17, "tolerated extra skew"},
+		{"margin", 0, "worst setup margin"}, // default target: the baseline
+	} {
+		got, err := capture(t, func() error {
+			return run(in, config{objective: tt.objective, targetTc: tt.tc})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v\noutput:\n%s", tt.objective, err, got)
+		}
+		if !strings.Contains(got, tt.noun) || !strings.Contains(got, "checkTc: PASS") {
+			t.Errorf("%s: output missing %q or the checkTc verdict:\n%s", tt.objective, tt.noun, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeTemp(t, "edge.smo", edgePipelineSMO)
+	if _, err := capture(t, func() error {
+		return run(in, config{objective: "margin", targetTc: 10}) // below the latch optimum 15
+	}); err == nil || !strings.Contains(err.Error(), "below the latch-optimal minimum") {
+		t.Errorf("sub-minimum target: err = %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run(in, config{objective: "fastest"})
+	}); err == nil || !strings.Contains(err.Error(), "unknown -objective") {
+		t.Errorf("unknown objective: err = %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run(filepath.Join(t.TempDir(), "missing.smo"), config{objective: "margin"})
+	}); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -32,15 +32,24 @@ func BuildLPComponent(cc *Compiled, ov DelayOverlay, opts Options, ci int) (*lp.
 	members := pt.Members(ci)
 	k := c.K()
 	p := &lp.Problem{}
-	vm := &VarMap{S: make([]int, k), T: make([]int, k), D: make([]int, len(members))}
+	vm := &VarMap{S: make([]int, k), T: make([]int, k), D: make([]int, len(members)), Obj: -1}
 	var rows []RowInfo
 
-	vm.Tc = p.AddVar("Tc", 1)
+	obj := opts.Objective
+	tcCoef := 1.0
+	if !obj.IsMinTc() {
+		tcCoef = 0
+	}
+	tCoef := 0.0
+	if obj.Kind == ObjMinPhaseWidth {
+		tCoef = 1
+	}
+	vm.Tc = p.AddVar("Tc", tcCoef)
 	for i := 0; i < k; i++ {
 		vm.S[i] = p.AddVar("s."+c.PhaseName(i), 0)
 	}
 	for i := 0; i < k; i++ {
-		vm.T[i] = p.AddVar("T."+c.PhaseName(i), 0)
+		vm.T[i] = p.AddVar("T."+c.PhaseName(i), tCoef)
 	}
 	// dvar maps a member's global index to its LP variable.
 	dvar := make(map[int]int, len(members))
@@ -48,6 +57,24 @@ func BuildLPComponent(cc *Compiled, ov DelayOverlay, opts Options, ci int) (*lp.
 		v := p.AddVar("D."+c.SyncName(int(gi)), 0)
 		vm.D[li] = v
 		dvar[int(gi)] = v
+	}
+	if name := obj.auxVarName(); name != "" {
+		vm.Obj = p.AddVar(name, -1)
+	}
+	fixedTc := obj.effectiveFixedTc(opts.FixedTc)
+
+	// Objective-slack splicing, mirroring buildLPOv exactly.
+	setupSlack := func(terms []lp.Term) []lp.Term {
+		if vm.Obj >= 0 {
+			terms = append(terms, lp.Term{Var: vm.Obj, Coef: 1})
+		}
+		return terms
+	}
+	skewSlack := func(terms []lp.Term) []lp.Term {
+		if obj.Kind == ObjMinSkewBudget {
+			terms = append(terms, lp.Term{Var: vm.Obj, Coef: -1})
+		}
+		return terms
 	}
 
 	addRow := func(info RowInfo, terms []lp.Term, rel lp.Rel, rhs float64) {
@@ -87,9 +114,9 @@ func BuildLPComponent(cc *Compiled, ov DelayOverlay, opts Options, ci int) (*lp.
 				[]lp.Term{{Var: vm.T[i], Coef: 1}}, lp.GE, opts.MinPhaseWidth)
 		}
 	}
-	if opts.FixedTc > 0 {
+	if fixedTc > 0 {
 		addRow(RowInfo{Kind: RowFixedTc, Phase: -1, Sync: -1, Path: -1, Name: "Tc.fixed"},
-			[]lp.Term{{Var: vm.Tc, Coef: 1}}, lp.EQ, opts.FixedTc)
+			[]lp.Term{{Var: vm.Tc, Coef: 1}}, lp.EQ, fixedTc)
 	}
 
 	// Member synchronizer rows (L1 / FF departure).
@@ -99,7 +126,7 @@ func BuildLPComponent(cc *Compiled, ov DelayOverlay, opts Options, ci int) (*lp.
 		switch s.Kind {
 		case Latch:
 			addRow(RowInfo{Kind: RowSetup, Phase: -1, Sync: i, Path: -1, Name: fmt.Sprintf("L1.%s", c.SyncName(i))},
-				[]lp.Term{{Var: dvar[i], Coef: 1}, {Var: vm.T[s.Phase], Coef: -1}}, lp.LE, -(s.Setup + opts.Skew + opts.sigma(s.Phase)))
+				setupSlack([]lp.Term{{Var: dvar[i], Coef: 1}, {Var: vm.T[s.Phase], Coef: -1}}), lp.LE, -(s.Setup + opts.Skew + opts.sigma(s.Phase)))
 		case FlipFlop:
 			addRow(RowInfo{Kind: RowFFDeparture, Phase: -1, Sync: i, Path: -1, Name: fmt.Sprintf("FF.D.%s", c.SyncName(i))},
 				[]lp.Term{{Var: dvar[i], Coef: 1}}, lp.EQ, 0)
@@ -116,21 +143,21 @@ func BuildLPComponent(cc *Compiled, ov DelayOverlay, opts Options, ci int) (*lp.
 		switch c.Sync(i).Kind {
 		case Latch:
 			addRow(RowInfo{Kind: RowPropagation, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("L2R.%s->%s", c.SyncName(j), c.SyncName(i))},
-				[]lp.Term{
+				skewSlack([]lp.Term{
 					{Var: dvar[i], Coef: 1},
 					{Var: dvar[j], Coef: -1},
 					{Var: vm.S[pj], Coef: -1},
 					{Var: vm.S[piph], Coef: 1},
 					{Var: vm.Tc, Coef: cji},
-				}, lp.GE, propagationRHS(c, &ov, opts, pi))
+				}), lp.GE, propagationRHS(c, &ov, opts, pi))
 		case FlipFlop:
 			addRow(RowInfo{Kind: RowFFSetup, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("FFsu.%s->%s", c.SyncName(j), c.SyncName(i))},
-				[]lp.Term{
+				setupSlack([]lp.Term{
 					{Var: dvar[j], Coef: 1},
 					{Var: vm.S[pj], Coef: 1},
 					{Var: vm.S[piph], Coef: -1},
 					{Var: vm.Tc, Coef: -cji},
-				}, lp.LE, ffSetupRHS(c, &ov, opts, pi))
+				}), lp.LE, ffSetupRHS(c, &ov, opts, pi))
 		}
 	}
 
@@ -155,7 +182,7 @@ func BuildLPComponent(cc *Compiled, ov DelayOverlay, opts Options, ci int) (*lp.
 				terms = append(terms, lp.Term{Var: vm.T[piph], Coef: -1})
 			}
 			addRow(RowInfo{Kind: RowHold, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("hold.%s->%s", c.SyncName(j), c.SyncName(i))},
-				terms, lp.GE, holdRHS(c, &ov, opts, pi))
+				skewSlack(terms), lp.GE, holdRHS(c, &ov, opts, pi))
 		}
 	}
 

@@ -68,6 +68,10 @@ type VarMap struct {
 	S  []int // per phase
 	T  []int // per phase
 	D  []int // per synchronizer
+	// Obj is the objective slack variable added by schedule objectives
+	// (ObjMaxMargin's margin, ObjMinSkewBudget's allowance), or -1 when
+	// the active objective adds none.
+	Obj int
 }
 
 // Options tunes constraint generation and the MLP algorithm.
@@ -104,6 +108,10 @@ type Options struct {
 	// FixedTc, when positive, pins the cycle time (analysis of a given
 	// clock frequency rather than optimization).
 	FixedTc float64
+	// Objective selects what the design LP optimizes. The zero value
+	// minimizes Tc (the paper's problem); schedule objectives optimize
+	// the waveforms at Objective.FixedTc. See the Objective type.
+	Objective Objective
 	// Update selects the departure-update strategy of Algorithm MLP's
 	// steps 3–5. The default is Jacobi, as in the paper's listing.
 	Update UpdateMode
@@ -170,7 +178,7 @@ func (o Options) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown update mode %d", int(o.Update))
 	}
-	return nil
+	return o.Objective.validate(o.FixedTc)
 }
 
 // The three RHS formulas below are the only places a path's delay
@@ -237,9 +245,14 @@ func (o Options) validatePhaseSkew(c *Circuit) error {
 }
 
 // BuildLP assembles the paper's linear program P2 (problem "Modified
-// Optimal Cycle Time"): minimize Tc subject to the clock constraints
-// C1–C4 and the latch constraints L1, L2R, L3. Nonnegativity (C4, L3)
-// is implicit in the solver's x >= 0 convention.
+// Optimal Cycle Time"): by default minimize Tc subject to the clock
+// constraints C1–C4 and the latch constraints L1, L2R, L3.
+// Nonnegativity (C4, L3) is implicit in the solver's x >= 0 convention.
+//
+// Options.Objective swaps the cost vector (and, for the margin and
+// skew-budget objectives, appends one slack variable to the setup-type
+// rows) without changing the constraint census; the zero objective
+// reproduces the legacy min-Tc LP bit for bit.
 //
 // The returned RowInfo slice parallels the LP's constraint rows.
 func BuildLP(c *Circuit, opts Options) (*lp.Problem, *VarMap, []RowInfo) {
@@ -254,18 +267,51 @@ func buildLPOv(c *Circuit, ov *DelayOverlay, opts Options) (*lp.Problem, *VarMap
 	k := c.K()
 	l := c.L()
 	p := &lp.Problem{}
-	vm := &VarMap{S: make([]int, k), T: make([]int, k), D: make([]int, l)}
+	vm := &VarMap{S: make([]int, k), T: make([]int, k), D: make([]int, l), Obj: -1}
 	var rows []RowInfo
 
-	vm.Tc = p.AddVar("Tc", 1) // objective: minimize Tc
+	obj := opts.Objective
+	tcCoef := 1.0 // objective: minimize Tc
+	if !obj.IsMinTc() {
+		tcCoef = 0 // schedule objectives pin Tc via the fixed-Tc row
+	}
+	tCoef := 0.0
+	if obj.Kind == ObjMinPhaseWidth {
+		tCoef = 1 // objective: minimize sum(T_i)
+	}
+	vm.Tc = p.AddVar("Tc", tcCoef)
 	for i := 0; i < k; i++ {
 		vm.S[i] = p.AddVar("s."+c.PhaseName(i), 0)
 	}
 	for i := 0; i < k; i++ {
-		vm.T[i] = p.AddVar("T."+c.PhaseName(i), 0)
+		vm.T[i] = p.AddVar("T."+c.PhaseName(i), tCoef)
 	}
 	for i := 0; i < l; i++ {
 		vm.D[i] = p.AddVar("D."+c.SyncName(i), 0)
+	}
+	if name := obj.auxVarName(); name != "" {
+		// Maximize the slack: minimize its negation.
+		vm.Obj = p.AddVar(name, -1)
+	}
+	fixedTc := obj.effectiveFixedTc(opts.FixedTc)
+
+	// setupSlack appends the objective slack to a setup-type LE row
+	// (L1 latch setup, FF setup): both the margin and the skew-budget
+	// objectives tighten those by the slack value.
+	setupSlack := func(terms []lp.Term) []lp.Term {
+		if vm.Obj >= 0 {
+			terms = append(terms, lp.Term{Var: vm.Obj, Coef: 1})
+		}
+		return terms
+	}
+	// skewSlack appends the objective slack to a GE row tightened by
+	// uniform skew (L2R propagation, hold): only the skew-budget
+	// allowance enters those, exactly where Options.Skew does.
+	skewSlack := func(terms []lp.Term) []lp.Term {
+		if obj.Kind == ObjMinSkewBudget {
+			terms = append(terms, lp.Term{Var: vm.Obj, Coef: -1})
+		}
+		return terms
 	}
 
 	addRow := func(info RowInfo, terms []lp.Term, rel lp.Rel, rhs float64) {
@@ -313,10 +359,10 @@ func buildLPOv(c *Circuit, ov *DelayOverlay, opts Options) (*lp.Problem, *VarMap
 		}
 	}
 
-	// Optional fixed cycle time.
-	if opts.FixedTc > 0 {
+	// Optional fixed cycle time (schedule objectives always pin it).
+	if fixedTc > 0 {
 		addRow(RowInfo{Kind: RowFixedTc, Phase: -1, Sync: -1, Path: -1, Name: "Tc.fixed"},
-			[]lp.Term{{Var: vm.Tc, Coef: 1}}, lp.EQ, opts.FixedTc)
+			[]lp.Term{{Var: vm.Tc, Coef: 1}}, lp.EQ, fixedTc)
 	}
 
 	// L1 setup for level-sensitive latches: D_i + ΔDC_i <= T_{p_i}.
@@ -325,7 +371,7 @@ func buildLPOv(c *Circuit, ov *DelayOverlay, opts Options) (*lp.Problem, *VarMap
 		switch s.Kind {
 		case Latch:
 			addRow(RowInfo{Kind: RowSetup, Phase: -1, Sync: i, Path: -1, Name: fmt.Sprintf("L1.%s", c.SyncName(i))},
-				[]lp.Term{{Var: vm.D[i], Coef: 1}, {Var: vm.T[s.Phase], Coef: -1}}, lp.LE, -(s.Setup + opts.Skew + opts.sigma(s.Phase)))
+				setupSlack([]lp.Term{{Var: vm.D[i], Coef: 1}, {Var: vm.T[s.Phase], Coef: -1}}), lp.LE, -(s.Setup + opts.Skew + opts.sigma(s.Phase)))
 		case FlipFlop:
 			addRow(RowInfo{Kind: RowFFDeparture, Phase: -1, Sync: i, Path: -1, Name: fmt.Sprintf("FF.D.%s", c.SyncName(i))},
 				[]lp.Term{{Var: vm.D[i], Coef: 1}}, lp.EQ, 0)
@@ -344,21 +390,21 @@ func buildLPOv(c *Circuit, ov *DelayOverlay, opts Options) (*lp.Problem, *VarMap
 		switch c.Sync(i).Kind {
 		case Latch:
 			addRow(RowInfo{Kind: RowPropagation, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("L2R.%s->%s", c.SyncName(j), c.SyncName(i))},
-				[]lp.Term{
+				skewSlack([]lp.Term{
 					{Var: vm.D[i], Coef: 1},
 					{Var: vm.D[j], Coef: -1},
 					{Var: vm.S[pj], Coef: -1},
 					{Var: vm.S[piph], Coef: 1},
 					{Var: vm.Tc, Coef: cji},
-				}, lp.GE, propagationRHS(c, ov, opts, pi))
+				}), lp.GE, propagationRHS(c, ov, opts, pi))
 		case FlipFlop:
 			addRow(RowInfo{Kind: RowFFSetup, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("FFsu.%s->%s", c.SyncName(j), c.SyncName(i))},
-				[]lp.Term{
+				setupSlack([]lp.Term{
 					{Var: vm.D[j], Coef: 1},
 					{Var: vm.S[pj], Coef: 1},
 					{Var: vm.S[piph], Coef: -1},
 					{Var: vm.Tc, Coef: -cji},
-				}, lp.LE, ffSetupRHS(c, ov, opts, pi))
+				}), lp.LE, ffSetupRHS(c, ov, opts, pi))
 		}
 	}
 
@@ -388,7 +434,7 @@ func buildLPOv(c *Circuit, ov *DelayOverlay, opts Options) (*lp.Problem, *VarMap
 				terms = append(terms, lp.Term{Var: vm.T[piph], Coef: -1})
 			}
 			addRow(RowInfo{Kind: RowHold, Phase: -1, Sync: i, Path: pi, Name: fmt.Sprintf("hold.%s->%s", c.SyncName(j), c.SyncName(i))},
-				terms, lp.GE, holdRHS(c, ov, opts, pi))
+				skewSlack(terms), lp.GE, holdRHS(c, ov, opts, pi))
 		}
 	}
 

@@ -1,0 +1,112 @@
+package core
+
+import "fmt"
+
+// Conversion is the outcome of ConvertToLatches: the rewritten
+// all-latch circuit plus the index maps tying it back to the original.
+type Conversion struct {
+	// Circuit is the converted circuit: 2k phases, latches only.
+	Circuit *Circuit
+	// In[i] is the converted-circuit synchronizer that captures the
+	// fanin of original synchronizer i (the master latch for a
+	// flip-flop, the latch itself otherwise).
+	In []int
+	// Out[i] is the converted-circuit synchronizer that launches the
+	// fanout of original synchronizer i (the slave latch for a
+	// flip-flop, the latch itself otherwise).
+	Out []int
+	// FFs is the number of flip-flops that were split into
+	// master/slave pairs.
+	FFs int
+}
+
+// ConvertToLatches rewrites an edge-triggered (or mixed) circuit into
+// an equivalent pure level-sensitive latch circuit, opening every
+// flip-flop boundary to cycle stealing — the design transformation the
+// paper's evaluation motivates: the same logic, re-clocked with
+// transparent latches, runs at the latch-optimal cycle time instead of
+// the edge-triggered one.
+//
+// The clock is doubled: original phase p (0-based) becomes the pair
+// (2p, 2p+1), named after the original phase with "a"/"b" suffixes.
+// Each flip-flop on phase p splits into its classical master/slave
+// realization:
+//
+//   - a master latch on phase 2p carrying the flip-flop's setup and
+//     hold (data must be stable before the master closes — the edge);
+//     its ΔDQ is the model minimum, the setup time itself;
+//   - a slave latch on phase 2p+1 carrying the flip-flop's
+//     clock-to-output delay as its ΔDQ (the output appears after the
+//     edge, i.e. after the slave opens) with zero setup;
+//   - a zero-delay path from master to slave.
+//
+// With the schedule pinned so phase 2p+1 opens exactly when 2p closes
+// and neither is transparent long, the pair behaves exactly like the
+// original edge-triggered element — so the converted circuit's optimal
+// cycle time never exceeds the edge-triggered baseline. Freed to pick
+// any 2k-phase schedule, the optimizer recovers whatever borrowing the
+// logic permits.
+//
+// Pass-through latches keep their parameters and move to phase 2p+1
+// (the "active" half of their original phase, aligned with the slave
+// outputs launched on the same original phase). Combinational paths
+// are preserved verbatim between Out[From] and In[To].
+func ConvertToLatches(c *Circuit) (*Conversion, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: ConvertToLatches: %w", err)
+	}
+	k := c.K()
+	out := NewCircuit(2 * k)
+	for p := 0; p < k; p++ {
+		out.SetPhaseName(2*p, c.PhaseName(p)+"a")
+		out.SetPhaseName(2*p+1, c.PhaseName(p)+"b")
+	}
+	conv := &Conversion{
+		Circuit: out,
+		In:      make([]int, c.L()),
+		Out:     make([]int, c.L()),
+	}
+	for i := 0; i < c.L(); i++ {
+		s := c.Sync(i)
+		switch s.Kind {
+		case FlipFlop:
+			master := out.AddSync(Synchronizer{
+				Name:  c.SyncName(i) + ".m",
+				Phase: 2 * s.Phase,
+				Kind:  Latch,
+				Setup: s.Setup,
+				DQ:    s.Setup, // model minimum: ΔDQ >= ΔDC
+				Hold:  s.Hold,
+			})
+			slave := out.AddSync(Synchronizer{
+				Name:  c.SyncName(i) + ".s",
+				Phase: 2*s.Phase + 1,
+				Kind:  Latch,
+				Setup: 0,
+				DQ:    s.DQ, // the flip-flop's clock-to-output delay
+			})
+			out.AddPathFull(Path{From: master, To: slave, Delay: 0, MinDelay: 0, Label: "ms"})
+			conv.In[i], conv.Out[i] = master, slave
+			conv.FFs++
+		case Latch:
+			s.Phase = 2*s.Phase + 1
+			idx := out.AddSync(s)
+			conv.In[i], conv.Out[i] = idx, idx
+		default:
+			return nil, fmt.Errorf("core: ConvertToLatches: synchronizer %d (%s) has unknown kind %v",
+				i, c.SyncName(i), s.Kind)
+		}
+	}
+	for _, p := range c.Paths() {
+		np := p
+		np.From, np.To = conv.Out[p.From], conv.In[p.To]
+		out.AddPathFull(np)
+	}
+	if c.Meta != nil {
+		out.Meta = make(map[string]string, len(c.Meta))
+		for key, v := range c.Meta {
+			out.Meta[key] = v
+		}
+	}
+	return conv, nil
+}

@@ -23,6 +23,9 @@ func (r *Result) TryReoptimizeDual(pathIndex int, newDelay float64) (tc float64,
 	if newDelay < 0 {
 		return 0, false, fmt.Errorf("core: negative delay %g", newDelay)
 	}
+	if err := requireMinTc("Reoptimize", r.Options); err != nil {
+		return 0, false, err
+	}
 	row, sign, err := delayRow(r, pathIndex)
 	if err != nil {
 		return 0, false, err

@@ -63,6 +63,9 @@ func (s Secondary) String() string {
 // The returned Result carries the tie-broken schedule; its cycle time
 // equals MinTc's.
 func MinTcLex(c *Circuit, opts Options, sec Secondary) (*Result, error) {
+	if err := requireMinTc("MinTcLex", opts); err != nil {
+		return nil, err
+	}
 	first, err := MinTc(c, opts)
 	if err != nil {
 		return nil, err

@@ -1,10 +1,7 @@
 package core
 
 import (
-	"context"
 	"fmt"
-
-	"mintc/internal/lp"
 )
 
 // MarginResult is the outcome of MaxMarginSchedule.
@@ -29,76 +26,23 @@ type MarginResult struct {
 // tc must be at least the circuit's minimum cycle time (ErrInfeasible
 // otherwise). At tc == Tc* the margin is 0 by definition of the
 // optimum.
+//
+// This is a thin wrapper over the first-class objective layer:
+// MinTcCtx with Options.Objective = MaxMarginAt(tc). Use the objective
+// directly (or the engine/session layers) for certified results.
 func MaxMarginSchedule(c *Circuit, opts Options, tc float64) (*MarginResult, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if err := opts.validatePhaseSkew(c); err != nil {
-		return nil, err
-	}
 	if tc <= 0 {
 		return nil, fmt.Errorf("core: cycle time %g must be positive", tc)
 	}
 	opts2 := opts
-	opts2.FixedTc = tc
-	prob, vm, rows := BuildLP(c, opts2)
-	prob.ClearObjective()
-	m := prob.AddVar("margin", -1) // maximize
-
-	// Tighten every setup-type row by the margin variable:
-	//   L1 (latch): D_i − T_p <= −setup        → + m on the left
-	//   FF setup:   arrival-expr <= −(setup+…) → + m on the left
-	// Adding m to the LHS of a <= row demands slack of at least m.
-	// The lp.Problem API is append-only, so rebuild the program with
-	// the margin baked into those rows.
-	prob2 := &lp.Problem{}
-	for v := 0; v < prob.NumVars(); v++ {
-		coef := 0.0
-		if v == m {
-			coef = -1
-		}
-		prob2.AddVar(prob.VarName(v), coef)
+	opts2.FixedTc = 0
+	opts2.Objective = MaxMarginAt(tc)
+	if opts.FixedTc > 0 && opts.FixedTc != tc {
+		return nil, fmt.Errorf("core: MaxMarginSchedule at Tc = %g conflicts with Options.FixedTc = %g", tc, opts.FixedTc)
 	}
-	for i := 0; i < prob.NumConstraints(); i++ {
-		r := prob.Constraint(i)
-		terms := append([]lp.Term(nil), r.Terms...)
-		if rows[i].Kind == RowSetup || rows[i].Kind == RowFFSetup {
-			terms = append(terms, lp.Term{Var: m, Coef: 1})
-		}
-		prob2.AddConstraint(r.Name, terms, r.Rel, r.RHS)
-	}
-
-	sol, err := lp.Solve(prob2)
+	res, err := MinTc(c, opts2)
 	if err != nil {
-		return nil, fmt.Errorf("core: margin solve failed: %w", err)
-	}
-	switch sol.Status {
-	case lp.Infeasible:
-		return nil, ErrInfeasible
-	case lp.Unbounded:
-		return nil, fmt.Errorf("core: margin LP unexpectedly unbounded")
-	}
-
-	k := c.K()
-	sched := NewSchedule(k)
-	sched.Tc = sol.X[vm.Tc]
-	for i := 0; i < k; i++ {
-		sched.S[i] = sol.X[vm.S[i]]
-		sched.T[i] = sol.X[vm.T[i]]
-	}
-	d := make([]float64, c.L())
-	for i := range d {
-		d[i] = sol.X[vm.D[i]]
-	}
-	// Slide to exact propagation times; margins only improve (moving
-	// departures earlier loosens setup).
-	kn := CompileKernel(c, opts)
-	shift := kn.ShiftTable(sched, nil)
-	if _, _, err := slideDepartures(context.Background(), c, kn, shift, d, opts, nil); err != nil {
 		return nil, err
 	}
-	return &MarginResult{Margin: sol.X[m], Schedule: sched, D: d}, nil
+	return &MarginResult{Margin: res.ObjectiveValue, Schedule: res.Schedule, D: res.D}, nil
 }

@@ -48,6 +48,15 @@ type Result struct {
 	// overlay's shared snapshot view and must not be mutated;
 	// Reoptimize then works purely on overlays.
 	Overlay DelayOverlay
+	// Objective is the optimization goal the solve ran under (copied
+	// from Options.Objective; the zero value is plain min-Tc).
+	Objective Objective
+	// ObjectiveValue is the achieved optimum in the objective's own
+	// units: the cycle time for ObjMinTc, the worst setup margin for
+	// ObjMaxMargin, the total phase width sum(T_i) for
+	// ObjMinPhaseWidth, and the tolerated uniform skew allowance for
+	// ObjMinSkewBudget.
+	ObjectiveValue float64
 }
 
 // LPBasis returns the optimal simplex basis of the solve's LP, for
@@ -223,6 +232,11 @@ func minTcCtxWarm(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Option
 	case lp.Infeasible:
 		return nil, &InfeasibleError{Ray: sol.FarkasRay}
 	case lp.Unbounded:
+		if !opts.Objective.IsMinTc() {
+			// A margin/budget slack with no setup-type row to bound it
+			// (no latches or flip-flops with fanin) grows without limit.
+			return nil, fmt.Errorf("core: objective %s is unbounded: no setup constraint limits the slack", opts.Objective)
+		}
 		// Minimizing a nonnegative variable cannot be unbounded.
 		return nil, fmt.Errorf("core: LP unexpectedly unbounded")
 	}
@@ -239,6 +253,18 @@ func minTcCtxWarm(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Option
 		d[i] = sol.X[vm.D[i]]
 	}
 
+	obj := opts.Objective
+	objVal := sched.Tc
+	switch obj.Kind {
+	case ObjMaxMargin, ObjMinSkewBudget:
+		objVal = sol.X[vm.Obj]
+	case ObjMinPhaseWidth:
+		objVal = 0
+		for i := 0; i < k; i++ {
+			objVal += sched.T[i]
+		}
+	}
+
 	res := &Result{
 		Schedule:       sched,
 		NumConstraints: prob.NumConstraints(),
@@ -249,6 +275,8 @@ func minTcCtxWarm(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Option
 		Vars:           vm,
 		Circuit:        c,
 		Options:        opts,
+		Objective:      obj,
+		ObjectiveValue: objVal,
 	}
 	if ov != nil {
 		res.Overlay = *ov
@@ -259,7 +287,16 @@ func minTcCtxWarm(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Option
 	// through a compiled kernel — a fresh compile for builder circuits,
 	// the snapshot's cached kernel (plus the overlay's edits) for
 	// frozen ones.
-	kn := kernelFor(c, ov, opts)
+	//
+	// The skew-budget objective slides under the *tightened* operator
+	// (Skew increased by the achieved allowance): the certified claim
+	// is that the schedule still closes timing with that much extra
+	// skew, so the departures must be that operator's fixpoint.
+	slideOpts := opts
+	if obj.Kind == ObjMinSkewBudget && objVal > 0 {
+		slideOpts.Skew += objVal
+	}
+	kn := kernelFor(c, ov, slideOpts)
 	sc := kn.getSlide()
 	defer kn.putSlide(sc)
 	sc.shift = kn.ShiftTable(sched, sc.shift)
@@ -267,7 +304,7 @@ func minTcCtxWarm(ctx context.Context, c *Circuit, ov *DelayOverlay, opts Option
 	var iters, relax int
 	err = rec.Phase(ctx, "slide", func(ctx context.Context) error {
 		var serr error
-		iters, relax, serr = slideDepartures(ctx, c, kn, shift, d, opts, sc)
+		iters, relax, serr = slideDepartures(ctx, c, kn, shift, d, slideOpts, sc)
 		rec.Add(obs.SlideIterations, int64(iters))
 		rec.Add(obs.Relaxations, int64(relax))
 		return serr

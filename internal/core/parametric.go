@@ -65,6 +65,9 @@ func ParametricDelayCompiled(cc *Compiled, opts Options, pathIndex int, from, to
 	if !(from >= 0) || to < from {
 		return nil, fmt.Errorf("core: invalid delay range [%g, %g]", from, to)
 	}
+	if err := requireMinTc("ParametricDelay", opts); err != nil {
+		return nil, err
+	}
 
 	const (
 		step        = 1e-6 // progress past a breakpoint

@@ -1,0 +1,286 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"mintc/internal/core"
+	"mintc/internal/gen"
+	"mintc/internal/lp"
+)
+
+// This file pins the objective-layer refactor to the pre-refactor LP
+// builder: with the default (min-Tc) objective, constraint generation
+// and the full solve must stay BIT-IDENTICAL to the seed
+// implementation. seedBuildLP below is a frozen copy of the original
+// buildLPOv (inlined helpers and all) — do not "fix" or modernize it;
+// its whole value is that it does not change when the live builder
+// does.
+
+func seedSigma(opts core.Options, p int) float64 {
+	if p < 0 || p >= len(opts.PhaseSkew) {
+		return 0
+	}
+	return opts.PhaseSkew[p]
+}
+
+func seedCShift(p, q int) float64 {
+	if p >= q {
+		return 1
+	}
+	return 0
+}
+
+// seedArcWeight is the frozen ΔDQ_j + Δ_ji + Skew + σ_{p_j} + σ_{p_i}.
+func seedArcWeight(c *core.Circuit, opts core.Options, pidx int) float64 {
+	p := c.Paths()[pidx]
+	pj, pi := c.Sync(p.From).Phase, c.Sync(p.To).Phase
+	return c.Sync(p.From).DQ + p.Delay + opts.Skew + seedSigma(opts, pj) + seedSigma(opts, pi)
+}
+
+// seedBuildLP is the frozen pre-refactor builder.
+func seedBuildLP(c *core.Circuit, opts core.Options) *lp.Problem {
+	k := c.K()
+	l := c.L()
+	p := &lp.Problem{}
+	tc := p.AddVar("Tc", 1)
+	s := make([]int, k)
+	tw := make([]int, k)
+	d := make([]int, l)
+	for i := 0; i < k; i++ {
+		s[i] = p.AddVar("s."+c.PhaseName(i), 0)
+	}
+	for i := 0; i < k; i++ {
+		tw[i] = p.AddVar("T."+c.PhaseName(i), 0)
+	}
+	for i := 0; i < l; i++ {
+		d[i] = p.AddVar("D."+c.SyncName(i), 0)
+	}
+
+	for i := 0; i < k; i++ {
+		p.AddConstraint(fmt.Sprintf("C1.T.%s", c.PhaseName(i)),
+			[]lp.Term{{Var: tw[i], Coef: 1}, {Var: tc, Coef: -1}}, lp.LE, 0)
+		p.AddConstraint(fmt.Sprintf("C1.s.%s", c.PhaseName(i)),
+			[]lp.Term{{Var: s[i], Coef: 1}, {Var: tc, Coef: -1}}, lp.LE, 0)
+	}
+	for i := 0; i+1 < k; i++ {
+		p.AddConstraint(fmt.Sprintf("C2.%s<=%s", c.PhaseName(i), c.PhaseName(i+1)),
+			[]lp.Term{{Var: s[i], Coef: 1}, {Var: s[i+1], Coef: -1}}, lp.LE, 0)
+	}
+	km := c.KMatrix()
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if km[i][j] == 0 {
+				continue
+			}
+			p.AddConstraint(fmt.Sprintf("C3.%s->%s", c.PhaseName(i), c.PhaseName(j)),
+				[]lp.Term{
+					{Var: s[i], Coef: 1},
+					{Var: s[j], Coef: -1},
+					{Var: tw[j], Coef: -1},
+					{Var: tc, Coef: seedCShift(j, i)},
+				}, lp.GE, opts.MinSeparation+seedSigma(opts, i)+seedSigma(opts, j))
+		}
+	}
+	if opts.MinPhaseWidth > 0 {
+		for i := 0; i < k; i++ {
+			p.AddConstraint(fmt.Sprintf("minW.%s", c.PhaseName(i)),
+				[]lp.Term{{Var: tw[i], Coef: 1}}, lp.GE, opts.MinPhaseWidth)
+		}
+	}
+	if opts.FixedTc > 0 {
+		p.AddConstraint("Tc.fixed", []lp.Term{{Var: tc, Coef: 1}}, lp.EQ, opts.FixedTc)
+	}
+	for i, sy := range c.Syncs() {
+		switch sy.Kind {
+		case core.Latch:
+			p.AddConstraint(fmt.Sprintf("L1.%s", c.SyncName(i)),
+				[]lp.Term{{Var: d[i], Coef: 1}, {Var: tw[sy.Phase], Coef: -1}},
+				lp.LE, -(sy.Setup + opts.Skew + seedSigma(opts, sy.Phase)))
+		case core.FlipFlop:
+			p.AddConstraint(fmt.Sprintf("FF.D.%s", c.SyncName(i)),
+				[]lp.Term{{Var: d[i], Coef: 1}}, lp.EQ, 0)
+		}
+	}
+	for pi, path := range c.Paths() {
+		j, i := path.From, path.To
+		pj, piph := c.Sync(j).Phase, c.Sync(i).Phase
+		cji := seedCShift(pj, piph)
+		switch c.Sync(i).Kind {
+		case core.Latch:
+			p.AddConstraint(fmt.Sprintf("L2R.%s->%s", c.SyncName(j), c.SyncName(i)),
+				[]lp.Term{
+					{Var: d[i], Coef: 1},
+					{Var: d[j], Coef: -1},
+					{Var: s[pj], Coef: -1},
+					{Var: s[piph], Coef: 1},
+					{Var: tc, Coef: cji},
+				}, lp.GE, seedArcWeight(c, opts, pi))
+		case core.FlipFlop:
+			p.AddConstraint(fmt.Sprintf("FFsu.%s->%s", c.SyncName(j), c.SyncName(i)),
+				[]lp.Term{
+					{Var: d[j], Coef: 1},
+					{Var: s[pj], Coef: 1},
+					{Var: s[piph], Coef: -1},
+					{Var: tc, Coef: -cji},
+				}, lp.LE, -(c.Sync(i).Setup + seedArcWeight(c, opts, pi)))
+		}
+	}
+	if opts.DesignForHold {
+		for _, path := range c.Paths() {
+			i := path.To
+			hold := c.Sync(i).Hold
+			if hold <= 0 {
+				continue
+			}
+			j := path.From
+			pj, piph := c.Sync(j).Phase, c.Sync(i).Phase
+			oneMinusC := 1 - seedCShift(pj, piph)
+			terms := []lp.Term{
+				{Var: s[pj], Coef: 1},
+				{Var: s[piph], Coef: -1},
+				{Var: tc, Coef: oneMinusC},
+			}
+			if c.Sync(i).Kind == core.Latch {
+				terms = append(terms, lp.Term{Var: tw[piph], Coef: -1})
+			}
+			p.AddConstraint(fmt.Sprintf("hold.%s->%s", c.SyncName(j), c.SyncName(i)),
+				terms, lp.GE,
+				c.Sync(i).Hold-c.Sync(j).DQ-path.MinDelay+opts.Skew+seedSigma(opts, pj)+seedSigma(opts, piph))
+		}
+	}
+	return p
+}
+
+// requireSameLP compares two problems bit for bit: variable census
+// (names and objective coefficients) and row census (names, terms,
+// relations, right-hand sides).
+func requireSameLP(t *testing.T, want, got *lp.Problem) {
+	t.Helper()
+	if want.NumVars() != got.NumVars() {
+		t.Fatalf("variable count diverged: seed %d, live %d", want.NumVars(), got.NumVars())
+	}
+	for v := 0; v < want.NumVars(); v++ {
+		if want.VarName(v) != got.VarName(v) {
+			t.Fatalf("var %d name diverged: seed %q, live %q", v, want.VarName(v), got.VarName(v))
+		}
+		if math.Float64bits(want.ObjCoef(v)) != math.Float64bits(got.ObjCoef(v)) {
+			t.Fatalf("var %d (%s) objective coefficient diverged: seed %v, live %v",
+				v, want.VarName(v), want.ObjCoef(v), got.ObjCoef(v))
+		}
+	}
+	if want.NumConstraints() != got.NumConstraints() {
+		t.Fatalf("row count diverged: seed %d, live %d", want.NumConstraints(), got.NumConstraints())
+	}
+	for r := 0; r < want.NumConstraints(); r++ {
+		wr, gr := want.Constraint(r), got.Constraint(r)
+		if wr.Name != gr.Name || wr.Rel != gr.Rel {
+			t.Fatalf("row %d diverged: seed %s(%v), live %s(%v)", r, wr.Name, wr.Rel, gr.Name, gr.Rel)
+		}
+		if math.Float64bits(wr.RHS) != math.Float64bits(gr.RHS) {
+			t.Fatalf("row %d (%s) RHS diverged: seed %v, live %v", r, wr.Name, wr.RHS, gr.RHS)
+		}
+		if len(wr.Terms) != len(gr.Terms) {
+			t.Fatalf("row %d (%s) term count diverged: seed %d, live %d", r, wr.Name, len(wr.Terms), len(gr.Terms))
+		}
+		for ti := range wr.Terms {
+			if wr.Terms[ti].Var != gr.Terms[ti].Var ||
+				math.Float64bits(wr.Terms[ti].Coef) != math.Float64bits(gr.Terms[ti].Coef) {
+				t.Fatalf("row %d (%s) term %d diverged: seed %+v, live %+v",
+					r, wr.Name, ti, wr.Terms[ti], gr.Terms[ti])
+			}
+		}
+	}
+}
+
+// withHolds rebuilds a circuit with a hold requirement on every
+// synchronizer and a distinct MinDelay on every path, so the
+// DesignForHold row family is exercised.
+func withHolds(c *core.Circuit) *core.Circuit {
+	out := core.NewCircuit(c.K())
+	for p := 0; p < c.K(); p++ {
+		out.SetPhaseName(p, c.PhaseName(p))
+	}
+	for _, s := range c.Syncs() {
+		s.Hold = 0.3
+		out.AddSync(s)
+	}
+	for _, p := range c.Paths() {
+		p.MinDelay = p.Delay * 0.5
+		out.AddPathFull(p)
+	}
+	return out
+}
+
+// optionVariants returns the generation-option sets the parity claim
+// covers for a circuit with k phases.
+func optionVariants(k int) map[string]core.Options {
+	skews := make([]float64, k)
+	for i := range skews {
+		skews[i] = 0.125 * float64(i+1)
+	}
+	return map[string]core.Options{
+		"zero":    {},
+		"margins": {MinPhaseWidth: 2, MinSeparation: 0.5, Skew: 0.25},
+		"fixedTc": {FixedTc: 1 << 12},
+		"skews":   {PhaseSkew: skews},
+		"hold":    {DesignForHold: true, Skew: 0.125},
+	}
+}
+
+// TestMinTcLPBitwiseParity regenerates every benchmark-suite LP under
+// the default objective and requires it to match the frozen seed
+// builder bit for bit, across every generation-option family.
+func TestMinTcLPBitwiseParity(t *testing.T) {
+	for _, bm := range gen.Suite() {
+		for name, opts := range optionVariants(bm.Circuit.K()) {
+			c := bm.Circuit
+			if name == "hold" {
+				c = withHolds(c)
+			}
+			prob, _, _ := core.BuildLP(c, opts)
+			requireSameLP(t, seedBuildLP(c, opts), prob)
+		}
+	}
+}
+
+// TestMinTcSolveBitwiseParity solves the frozen seed LP and the live
+// min-Tc path on every suite member and requires the optimal cycle
+// time and clock schedule to agree bit for bit — the refactor must not
+// move the LP onto a different optimal vertex.
+func TestMinTcSolveBitwiseParity(t *testing.T) {
+	for _, bm := range gen.Suite() {
+		for oi, opts := range []core.Options{{}, {MinPhaseWidth: 2, MinSeparation: 0.5, Skew: 0.25}} {
+			res, err := core.MinTc(bm.Circuit, opts)
+			if err != nil {
+				t.Fatalf("%s: MinTc: %v", bm.Name, err)
+			}
+			sol, err := lp.SolveCtxFrom(context.Background(), seedBuildLP(bm.Circuit, opts), nil)
+			if err != nil {
+				t.Fatalf("%s: seed LP solve: %v", bm.Name, err)
+			}
+			if sol.Status != lp.Optimal {
+				t.Fatalf("%s: seed LP status %v", bm.Name, sol.Status)
+			}
+			if math.Float64bits(sol.X[0]) != math.Float64bits(res.Schedule.Tc) {
+				t.Fatalf("%s: Tc diverged: seed %v, live %v", bm.Name, sol.X[0], res.Schedule.Tc)
+			}
+			k := bm.Circuit.K()
+			for i := 0; i < k; i++ {
+				if math.Float64bits(sol.X[1+i]) != math.Float64bits(res.Schedule.S[i]) {
+					t.Fatalf("%s: s[%d] diverged: seed %v, live %v", bm.Name, i, sol.X[1+i], res.Schedule.S[i])
+				}
+				if math.Float64bits(sol.X[1+k+i]) != math.Float64bits(res.Schedule.T[i]) {
+					t.Fatalf("%s: T[%d] diverged: seed %v, live %v", bm.Name, i, sol.X[1+k+i], res.Schedule.T[i])
+				}
+			}
+			// The analytic optimum is only an oracle for the paper's
+			// plain model (no extra margins).
+			if oi == 0 && bm.OptimalTc > 0 && math.Abs(res.Schedule.Tc-bm.OptimalTc) > 1e-9 {
+				t.Fatalf("%s: Tc %v does not match the analytic optimum %v", bm.Name, res.Schedule.Tc, bm.OptimalTc)
+			}
+		}
+	}
+}

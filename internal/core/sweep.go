@@ -66,6 +66,9 @@ func SweepDelaysCompiled(cc *Compiled, opts Options, pathIndex int, values []flo
 	if err := opts.Validate(); err != nil {
 		return fail(err)
 	}
+	if err := requireMinTc("SweepDelays", opts); err != nil {
+		return fail(err)
+	}
 	if err := opts.validatePhaseSkew(cc.c); err != nil {
 		return fail(err)
 	}

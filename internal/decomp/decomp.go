@@ -138,6 +138,11 @@ func Solve(ctx context.Context, ov core.DelayOverlay, opts core.Options, cfg Con
 	if err := opts.ValidateFor(cc.Circuit()); err != nil {
 		return nil, err
 	}
+	if !opts.Objective.IsMinTc() {
+		// The component lower-bound/coupling argument is a min-Tc
+		// argument; schedule objectives solve monolithically via the LP.
+		return nil, fmt.Errorf("decomp: objective %s is not supported (min-Tc only)", opts.Objective)
+	}
 	rec := obs.From(ctx)
 	pt := cc.Partition()
 	nc := pt.NumComponents()

@@ -41,7 +41,10 @@ type mlpSolver struct{}
 func (mlpSolver) Name() string { return "mlp" }
 
 func (mlpSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Result, error) {
-	if c.L() >= DecompThreshold {
+	// Schedule objectives (max-margin, min-phase-width, skew-budget)
+	// always run the monolithic LP: the decomposed solver's
+	// lower-bound/coupling argument only applies to min-Tc.
+	if c.L() >= DecompThreshold && opts.Core.Objective.IsMinTc() {
 		cc, err := c.Freeze()
 		if err != nil {
 			return nil, err
@@ -56,7 +59,7 @@ func (mlpSolver) Solve(ctx context.Context, c *core.Circuit, opts Options) (*Res
 }
 
 func (mlpSolver) SolveOverlay(ctx context.Context, ov core.DelayOverlay, opts Options) (*Result, error) {
-	if ov.Base().L() >= DecompThreshold {
+	if ov.Base().L() >= DecompThreshold && opts.Core.Objective.IsMinTc() {
 		return decompSolve(ctx, ov, opts)
 	}
 	r, err := core.MinTcOverlayWarmCtx(ctx, ov, opts.Core, opts.WarmBasis)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mintc/internal/circuits"
+	"mintc/internal/core"
 	"mintc/internal/engine"
 	"mintc/internal/faultinject"
 	"mintc/internal/lp"
@@ -127,6 +128,57 @@ func TestLadderRejectsCorruptedResult(t *testing.T) {
 	}
 	if got := res.Stats.Counter(obs.VerifyFailures); got < 1 {
 		t.Errorf("verify_failures = %d, want >= 1", got)
+	}
+}
+
+// TestScheduleObjectivesRejectCorruptedResult: each schedule objective
+// (max-margin, min-phase-width, min-skew-budget) must survive the same
+// silent-corruption attack as min-Tc: the wobbled sparse answer is
+// rejected by the objective-aware certificate and the dense rung — no
+// mcr rung exists for these objectives — re-derives the clean optimum.
+func TestScheduleObjectivesRejectCorruptedResult(t *testing.T) {
+	c := circuits.GaAsMIPS()
+	const fixedTc = 5 // above the GaAs optimum 4.4, so the pin is feasible
+	for _, tt := range []struct {
+		name string
+		obj  core.Objective
+	}{
+		{"max-margin", core.MaxMarginAt(fixedTc)},
+		{"min-phase-width", core.MinPhaseWidthAt(fixedTc)},
+		{"min-skew-budget", core.MinSkewBudgetAt(fixedTc)},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			faultinject.Reset()
+			opts := engine.Options{Core: core.Options{Objective: tt.obj}}
+			clean, err := engine.SolveCertified(context.Background(), "mlp", c, opts, engine.Policy{})
+			if err != nil {
+				t.Fatalf("clean solve: %v", err)
+			}
+			if !clean.Certificate.Certified() {
+				t.Fatalf("clean certificate rejected: %s", clean.Certificate)
+			}
+			want := clean.Detail.(*core.Result).ObjectiveValue
+
+			defer faultinject.Reset()
+			faultinject.SetPerturb("lp.extract.x", func(v float64) float64 { return v + 1e-7*math.Cos(1000*v) })
+			res, err := engine.SolveCertified(context.Background(), "mlp", c, opts, engine.Policy{})
+			if err != nil {
+				t.Fatalf("ladder did not recover from corruption: %v", err)
+			}
+			if res.Trail[0].Rejected == "" {
+				t.Fatalf("trail[0] = %+v, want a rejected certificate clause on the sparse rung", res.Trail[0])
+			}
+			if last := res.Trail[len(res.Trail)-1]; last.Rung != "dense" || !last.Certified {
+				t.Fatalf("trail = %+v, want a certified dense rescue", res.Trail)
+			}
+			if !res.Certificate.Certified() {
+				t.Fatalf("fallback result not certified: %s", res.Certificate)
+			}
+			got := res.Detail.(*core.Result).ObjectiveValue
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("faulted %s value = %g, clean value = %g", tt.name, got, want)
+			}
+		})
 	}
 }
 

@@ -37,9 +37,9 @@ type Policy struct {
 	NoFallback bool
 	// Rungs, when non-empty, replaces the engine's default ladder with
 	// exactly these rungs, in order. Valid names per engine: "mlp" has
-	// "warm", "sparse", "dense" and "mcr"; "mcr" has "primary" and
-	// "mlp"; "decomp" has "primary" and "mcr"; every other engine has
-	// "primary" only.
+	// "warm", "sparse", "dense" and "mcr"; "mcr" has "primary", "mlp"
+	// and "dense"; "decomp" has "primary", "mcr", "mlp" and "dense";
+	// every other engine has "primary" only.
 	Rungs []string
 	// OnRung, when non-nil, is called immediately before each rung's
 	// solve starts — a hook for tests and progress reporting.
@@ -86,7 +86,14 @@ func keepOpts(ctx context.Context, o Options) (context.Context, Options) { retur
 //	mcr: primary → the mlp engine;
 //	decomp: primary → the monolithic mcr engine (cache dropped);
 //	nrip/ettf/sim: primary only (their answers have no second source).
+//
+// Schedule objectives (Options.Core.Objective other than min-Tc) exist
+// only in the LP formulation, so the ladders bypass the cycle-ratio
+// rungs: mlp drops its final mcr rung, and the mcr and decomp engines
+// route straight to the LP path (sparse → dense) instead of running a
+// primary that would only reject the objective.
 func ladderFor(name string, overlay bool, opts Options, pol Policy) ([]rung, error) {
+	schedObj := !opts.Core.Objective.IsMinTc()
 	known := map[string]rung{}
 	var def []string
 	switch name {
@@ -109,13 +116,23 @@ func ladderFor(name string, overlay bool, opts Options, pol Policy) ([]rung, err
 		} else {
 			def = []string{"sparse", "dense", "mcr"}
 		}
+		if schedObj {
+			def = def[:len(def)-1] // no mcr rung for schedule objectives
+		}
 	case "mcr":
 		known["primary"] = rung{"primary", "mcr", keepOpts}
 		known["mlp"] = rung{"mlp", "mlp", func(ctx context.Context, o Options) (context.Context, Options) {
 			o.WarmBasis = nil
 			return lp.WithSolver(ctx, "revised"), o
 		}}
+		known["dense"] = rung{"dense", "mlp", func(ctx context.Context, o Options) (context.Context, Options) {
+			o.WarmBasis = nil
+			return lp.WithSolver(ctx, "dense"), o
+		}}
 		def = []string{"primary", "mlp"}
+		if schedObj {
+			def = []string{"mlp", "dense"}
+		}
 	case "decomp":
 		// The decomposed solver degrades to the monolithic
 		// min-cycle-ratio engine: the same answer with none of the
@@ -129,7 +146,20 @@ func ladderFor(name string, overlay bool, opts Options, pol Policy) ([]rung, err
 			o.DecompState = nil
 			return ctx, o
 		}}
+		known["mlp"] = rung{"mlp", "mlp", func(ctx context.Context, o Options) (context.Context, Options) {
+			o.WarmBasis = nil
+			o.DecompState = nil
+			return lp.WithSolver(ctx, "revised"), o
+		}}
+		known["dense"] = rung{"dense", "mlp", func(ctx context.Context, o Options) (context.Context, Options) {
+			o.WarmBasis = nil
+			o.DecompState = nil
+			return lp.WithSolver(ctx, "dense"), o
+		}}
 		def = []string{"primary", "mcr"}
+		if schedObj {
+			def = []string{"mlp", "dense"}
+		}
 	default:
 		known["primary"] = rung{"primary", name, keepOpts}
 		def = []string{"primary"}
@@ -308,8 +338,20 @@ func firstFailed(cert *verify.Certificate) string {
 func certifyResult(c *core.Circuit, copts core.Options, res *Result, tol float64) *verify.Certificate {
 	switch det := res.Detail.(type) {
 	case *core.Result:
-		feas := verify.Feasible(c, copts, res.Schedule, res.D, tol)
+		// Feasibility is checked under the objective's verification
+		// options: schedule objectives pin FixedTc, and the skew-budget
+		// objective folds the achieved allowance into Skew — certifying
+		// exactly the claim "timing still closes with that much skew".
+		fopts := det.Objective.FeasibilityOptions(copts, det.ObjectiveValue)
+		feas := verify.Feasible(c, fopts, res.Schedule, res.D, tol)
+		if !det.Objective.IsMinTc() {
+			feas = verify.Merge("feasible", feas,
+				verify.ObjectiveAchieved(c, copts, det.Objective, det.ObjectiveValue, res.Schedule, res.D, tol))
+		}
 		if det.LP != nil && det.LPSol != nil {
+			// Optimality re-derives dual feasibility and the duality gap
+			// against the LP's own cost vector, so every objective's
+			// optimum is certified against the costs it optimized.
 			return verify.Merge("optimal", feas, verify.Optimality(det.LP, det.LPSol, tol))
 		}
 		return feas
@@ -328,7 +370,11 @@ func certifyResult(c *core.Circuit, copts core.Options, res *Result, tol float64
 		}
 		return feas
 	default:
-		return verify.Feasible(c, copts, res.Schedule, nil, math.Max(tol, core.Eps))
+		// Heuristic/validating engines report only a schedule. Under a
+		// schedule objective the pinned cycle time is still checked
+		// (FeasibilityOptions with a zero achieved value adds no skew).
+		fopts := copts.Objective.FeasibilityOptions(copts, 0)
+		return verify.Feasible(c, fopts, res.Schedule, nil, math.Max(tol, core.Eps))
 	}
 }
 

@@ -72,6 +72,9 @@ func MinTcCtx(ctx context.Context, c *core.Circuit, opts core.Options) (*Result,
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if !opts.Objective.IsMinTc() {
+		return nil, fmt.Errorf("ettf: objective %s is not supported (min-Tc only)", opts.Objective)
+	}
 	rec := obs.From(ctx)
 	if rec == nil {
 		rec = obs.New()

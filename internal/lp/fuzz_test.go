@@ -136,6 +136,20 @@ func FuzzSolveSparseVsDense(f *testing.F) {
 			f.Add(b)
 		}
 	}
+	// The schedule-objective LP shapes: max-margin adds a slack column
+	// threaded through every setup-type row (negated objective), and
+	// min-phase-width re-costs the fixed-Tc system onto the T columns —
+	// both exercise cost vectors the min-Tc seeds never produce.
+	for _, obj := range []core.Objective{core.MaxMarginAt(6), core.MinPhaseWidthAt(6)} {
+		p, _, _ := core.BuildLP(circuits.GaAsMIPS(), core.Options{Objective: obj})
+		if b := encodeProblem(p); b != nil {
+			f.Add(b)
+		}
+		p, _, _ = core.BuildLP(circuits.Example1(80), core.Options{Objective: core.Objective{Kind: obj.Kind, FixedTc: 100}})
+		if b := encodeProblem(p); b != nil {
+			f.Add(b)
+		}
+	}
 	// One seed per status.
 	feas := &lp.Problem{}
 	x0 := feas.AddVar("x0", 1)

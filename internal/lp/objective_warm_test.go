@@ -1,0 +1,197 @@
+// Warm-start behaviour under objective-only edits: the schedule
+// objectives (min-phase-width at a fixed Tc) reuse the min-Tc
+// constraint system with a different cost vector, so a basis from the
+// min-Tc solve is primal feasible for the re-solve and phase 2 should
+// finish in a handful of pivots. When the RHS moved too and the old
+// basis is no longer dual feasible for the NEW costs, the warm path
+// must abandon the basis and fall back to a cold solve silently.
+package lp_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/lp"
+)
+
+const gaasFixedTc = 5 // above the GaAs optimum 4.4, so the pin is feasible
+
+// buildGaAsObj returns the GaAs MIPS LP at the pinned cycle time under
+// the given objective, with path 0 scaled by f.
+func buildGaAsObj(t *testing.T, f float64, obj core.Objective) (*lp.Problem, *core.VarMap) {
+	t.Helper()
+	c := circuits.GaAsMIPS()
+	if f != 1 {
+		c.SetPathDelay(0, c.Paths()[0].Delay*f)
+	}
+	opts := core.Options{Objective: obj}
+	if obj.IsMinTc() {
+		opts.FixedTc = gaasFixedTc
+	}
+	p, vm, _ := core.BuildLP(c, opts)
+	return p, vm
+}
+
+// TestWarmObjectiveOnlyEdit pins the objective-edit warm start: after
+// re-costing the min-Tc-at-fixed-Tc LP to minimize total phase width
+// (same rows, same RHS, new objective), the old optimal basis is
+// primal feasible and the warm re-solve must report WarmStarted, agree
+// with the cold solve, and spend far fewer pivots.
+func TestWarmObjectiveOnlyEdit(t *testing.T) {
+	ctx := context.Background()
+	base, _ := buildGaAsObj(t, 1, core.Objective{})
+	first, err := lp.SolveCtx(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != lp.Optimal {
+		t.Fatalf("status %v", first.Status)
+	}
+	basis := first.Basis()
+	if basis == nil {
+		t.Fatal("optimal solve returned nil basis")
+	}
+
+	width, _ := buildGaAsObj(t, 1, core.MinPhaseWidthAt(gaasFixedTc))
+	if base.NumVars() != width.NumVars() || base.NumConstraints() != width.NumConstraints() {
+		t.Fatalf("objective edit changed the LP shape: %dx%d vs %dx%d",
+			base.NumConstraints(), base.NumVars(), width.NumConstraints(), width.NumVars())
+	}
+	cold, err := lp.SolveCtx(ctx, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reWidth, _ := buildGaAsObj(t, 1, core.MinPhaseWidthAt(gaasFixedTc))
+	warm, err := lp.SolveCtxFrom(ctx, reWidth, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != lp.Optimal {
+		t.Fatalf("warm status %v", warm.Status)
+	}
+	if !warm.Stats.WarmStarted {
+		t.Fatal("objective-only edit did not warm-start")
+	}
+	if math.Abs(warm.Obj-cold.Obj) > 1e-9 {
+		t.Fatalf("warm optimum %v != cold optimum %v", warm.Obj, cold.Obj)
+	}
+	if warm.Pivots > cold.Pivots/2 {
+		t.Fatalf("warm solve used %d pivots, cold used %d — the basis was not exploited", warm.Pivots, cold.Pivots)
+	}
+	t.Logf("objective-only edit: cold %d pivots, warm %d", cold.Pivots, warm.Pivots)
+}
+
+// TestSetObjCoefMatchesObjectiveBuild pins the re-costing API itself:
+// ClearObjective + SetObjCoef on the min-Tc problem must reproduce the
+// cost vector of a fresh min-phase-width build exactly, and the warm
+// re-solve of the hand-edited problem must reach the same optimum.
+func TestSetObjCoefMatchesObjectiveBuild(t *testing.T) {
+	ctx := context.Background()
+	edited, vm := buildGaAsObj(t, 1, core.Objective{})
+	first, err := lp.SolveCtx(ctx, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := first.Basis()
+
+	// Re-cost in place: min Tc -> min sum(T).
+	edited.ClearObjective()
+	for _, v := range vm.T {
+		edited.SetObjCoef(v, 1)
+	}
+	want, _ := buildGaAsObj(t, 1, core.MinPhaseWidthAt(gaasFixedTc))
+	for v := 0; v < want.NumVars(); v++ {
+		if math.Float64bits(edited.ObjCoef(v)) != math.Float64bits(want.ObjCoef(v)) {
+			t.Fatalf("ObjCoef(%d) = %v after SetObjCoef, objective build has %v",
+				v, edited.ObjCoef(v), want.ObjCoef(v))
+		}
+	}
+
+	warm, err := lp.SolveCtxFrom(ctx, edited, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := lp.SolveCtx(ctx, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != lp.Optimal || math.Abs(warm.Obj-cold.Obj) > 1e-9 {
+		t.Fatalf("re-costed warm solve: status %v obj %v, want optimal obj %v", warm.Status, warm.Obj, cold.Obj)
+	}
+}
+
+// TestWarmObjectiveAndRHSEdit pins the safety side: when the RHS moved
+// (a delay grew 50%) AND the costs changed, the old basis is primal
+// infeasible and generally not dual feasible for the new costs, so the
+// warm path must either repair it or abandon it for a cold solve — and
+// in every case end at the true optimum of the edited program.
+func TestWarmObjectiveAndRHSEdit(t *testing.T) {
+	ctx := context.Background()
+	base, _ := buildGaAsObj(t, 1, core.Objective{})
+	first, err := lp.SolveCtx(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := first.Basis()
+
+	edited, _ := buildGaAsObj(t, 1.5, core.MinPhaseWidthAt(gaasFixedTc))
+	cold, err := lp.SolveCtx(ctx, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != lp.Optimal {
+		t.Fatalf("cold status %v", cold.Status)
+	}
+	reEdited, _ := buildGaAsObj(t, 1.5, core.MinPhaseWidthAt(gaasFixedTc))
+	warm, err := lp.SolveCtxFrom(ctx, reEdited, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != lp.Optimal {
+		t.Fatalf("warm status %v", warm.Status)
+	}
+	if math.Abs(warm.Obj-cold.Obj) > 1e-9 {
+		t.Fatalf("warm optimum %v != cold optimum %v after objective+RHS edit", warm.Obj, cold.Obj)
+	}
+	t.Logf("objective+RHS edit: warm-started=%v, cold %d pivots, warm %d",
+		warm.Stats.WarmStarted, cold.Pivots, warm.Pivots)
+}
+
+// TestWarmShapeMismatchFallsBackCold pins the documented contract that
+// a basis of the wrong shape is silently discarded: the max-margin
+// build adds one aux variable, so a min-Tc basis cannot seed it and
+// the solve must cold-start yet stay correct.
+func TestWarmShapeMismatchFallsBackCold(t *testing.T) {
+	ctx := context.Background()
+	base, _ := buildGaAsObj(t, 1, core.Objective{})
+	first, err := lp.SolveCtx(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := first.Basis()
+
+	margin, _ := buildGaAsObj(t, 1, core.MaxMarginAt(gaasFixedTc))
+	if margin.NumVars() != base.NumVars()+1 {
+		t.Fatalf("max-margin build has %d vars, want %d (one aux)", margin.NumVars(), base.NumVars()+1)
+	}
+	warm, err := lp.SolveCtxFrom(ctx, margin, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != lp.Optimal {
+		t.Fatalf("status %v", warm.Status)
+	}
+	if warm.Stats.WarmStarted {
+		t.Fatal("a shape-mismatched basis must not warm-start")
+	}
+	cold, err := lp.SolveCtx(ctx, margin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.Obj-cold.Obj) > 1e-9 {
+		t.Fatalf("fallback optimum %v != cold optimum %v", warm.Obj, cold.Obj)
+	}
+}

@@ -678,6 +678,11 @@ func SolveCtx(ctx context.Context, c *core.Circuit, opts core.Options) (*Result,
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if !opts.Objective.IsMinTc() {
+		// The cycle-ratio formulation has no notion of alternate cost
+		// vectors; the supervisor routes schedule objectives to the LP.
+		return nil, fmt.Errorf("mcr: objective %s is not supported (min-Tc only)", opts.Objective)
+	}
 	rec := obs.From(ctx)
 	if rec == nil {
 		rec = obs.New()

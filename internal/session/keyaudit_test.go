@@ -1,0 +1,162 @@
+package session
+
+import (
+	"reflect"
+	"testing"
+
+	"mintc/internal/core"
+	"mintc/internal/engine"
+)
+
+// The session's memoization correctness rests on one invariant: every
+// input that can change a query's answer must be folded into cacheKey.
+// A field added to engine.Options or core.Options and forgotten here is
+// a silent stale-cache bug — two queries differing only in that field
+// would collide on one cached result. These tests freeze the field
+// census: adding a field without classifying it below fails the build's
+// tests, forcing an explicit decision (hash it, or document why it
+// cannot affect results).
+
+// engineOptionsHashed lists engine.Options fields folded into cacheKey
+// by Session.Solve/SolveCertified.
+var engineOptionsHashed = map[string]bool{
+	"Core":      true, // via solveKey (see coreOptionsHashed)
+	"Schedule":  true, // via solveKey's varH (Tc, S, T bit patterns)
+	"SimCycles": true,
+	"Trials":    true,
+	"Seed":      true,
+}
+
+// engineOptionsExempt lists engine.Options fields deliberately NOT
+// hashed, with the invariant that makes the exemption safe.
+var engineOptionsExempt = map[string]string{
+	"Workers":     "results are bit-identical for every worker count (parallel Monte-Carlo and decomp merge deterministically)",
+	"Rec":         "per-call observability plumbing; never an input to the answer",
+	"WarmBasis":   "warm starts are result-invariant by the lp solver's contract (identical optimum, cold fallback otherwise)",
+	"DecompState": "a pure-function memo keyed by content digest; answers match the stateless solve bit for bit",
+}
+
+// coreOptionsHashed lists core.Options fields folded into cacheKey by
+// solveKey. Every core option is semantically relevant, so there is no
+// exempt list: a new field lands here AND in solveKey, or the test
+// fails.
+var coreOptionsHashed = map[string]bool{
+	"MinPhaseWidth": true,
+	"MinSeparation": true,
+	"Skew":          true,
+	"PhaseSkew":     true, // varH
+	"DesignForHold": true,
+	"FixedTc":       true,
+	"Objective":     true, // kind + pinned Tc
+	"Update":        true,
+	"MaxUpdateIter": true,
+}
+
+func TestCacheKeyClassifiesEveryEngineOptionsField(t *testing.T) {
+	typ := reflect.TypeOf(engine.Options{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		_, h := engineOptionsHashed[name]
+		_, e := engineOptionsExempt[name]
+		switch {
+		case h && e:
+			t.Errorf("engine.Options.%s is classified both hashed and exempt", name)
+		case !h && !e:
+			t.Errorf("engine.Options.%s is not classified: fold it into cacheKey (Session.Solve/SolveCertified) and engineOptionsHashed, or document its exemption in engineOptionsExempt", name)
+		}
+	}
+	for name := range engineOptionsHashed {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("engineOptionsHashed lists %s, which engine.Options no longer has", name)
+		}
+	}
+	for name := range engineOptionsExempt {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("engineOptionsExempt lists %s, which engine.Options no longer has", name)
+		}
+	}
+}
+
+func TestCacheKeyClassifiesEveryCoreOptionsField(t *testing.T) {
+	typ := reflect.TypeOf(core.Options{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if !coreOptionsHashed[name] {
+			t.Errorf("core.Options.%s is not hashed: fold it into solveKey and coreOptionsHashed", name)
+		}
+	}
+	for name := range coreOptionsHashed {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("coreOptionsHashed lists %s, which core.Options no longer has", name)
+		}
+	}
+}
+
+// mutated returns a copy of the zero core.Options with one field set to
+// a non-zero value, so the wiring test below can prove each field
+// actually perturbs the key (classification alone would not catch a
+// field listed in coreOptionsHashed but forgotten in solveKey).
+func mutated(t *testing.T, name string) core.Options {
+	t.Helper()
+	var o core.Options
+	f := reflect.ValueOf(&o).Elem().FieldByName(name)
+	if !f.IsValid() {
+		t.Fatalf("no core.Options field %s", name)
+	}
+	switch f.Kind() {
+	case reflect.Float64:
+		f.SetFloat(1.25)
+	case reflect.Bool:
+		f.SetBool(true)
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		f.SetInt(3)
+	case reflect.Slice:
+		f.Set(reflect.ValueOf([]float64{0.5}))
+	case reflect.Struct:
+		if f.Type() == reflect.TypeOf(core.Objective{}) {
+			f.Set(reflect.ValueOf(core.MaxMarginAt(2)))
+			break
+		}
+		t.Fatalf("core.Options.%s: no mutation rule for struct type %v — add one", name, f.Type())
+	default:
+		t.Fatalf("core.Options.%s: no mutation rule for kind %v — add one", name, f.Kind())
+	}
+	return o
+}
+
+func TestSolveKeyDistinguishesEveryCoreOptionsField(t *testing.T) {
+	var zero core.Options
+	base := solveKey(qMinTc, "", 0, &zero, nil)
+	typ := reflect.TypeOf(core.Options{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		o := mutated(t, name)
+		if k := solveKey(qMinTc, "", 0, &o, nil); k == base {
+			t.Errorf("core.Options.%s does not perturb the cache key: solveKey ignores it (stale-cache bug)", name)
+		}
+	}
+}
+
+// TestSolveKeyDistinguishesObjectiveVariants pins the objective fields
+// individually: two schedule objectives of different kinds, and the
+// same kind at different pinned cycle times, must never share a key.
+func TestSolveKeyDistinguishesObjectiveVariants(t *testing.T) {
+	mk := func(obj core.Objective) cacheKey {
+		o := core.Options{Objective: obj}
+		return solveKey(qMinTc, "", 0, &o, nil)
+	}
+	keys := []cacheKey{
+		mk(core.Objective{}),
+		mk(core.MaxMarginAt(30)),
+		mk(core.MaxMarginAt(40)),
+		mk(core.MinPhaseWidthAt(30)),
+		mk(core.MinSkewBudgetAt(30)),
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[i] == keys[j] {
+				t.Errorf("objective variants %d and %d share a cache key", i, j)
+			}
+		}
+	}
+}

@@ -370,6 +370,10 @@ func (s *Session) baseBasis(opts core.Options) *lp.Basis {
 // options.
 func (s *Session) decompState(opts core.Options) *decomp.State {
 	opts.FixedTc = 0
+	// The decomposed solver only ever runs min-Tc (schedule objectives
+	// bypass it), so the objective never reaches a component subproblem
+	// and is normalized out of the shape too.
+	opts.Objective = core.Objective{}
 	shape := solveKey(qMinTc, "", 0, &opts, nil)
 	s.decompMu.Lock()
 	defer s.decompMu.Unlock()
@@ -523,6 +527,8 @@ type cacheKey struct {
 	update                                      int32
 	maxUpdateIter                               int32
 	designForHold                               bool
+	objective                                   int32  // Objective.Kind
+	objFixedTc                                  uint64 // Float64bits(Objective.FixedTc)
 
 	// varH folds the variable-length inputs (see type comment).
 	varH uint64
@@ -550,6 +556,8 @@ func solveKey(kind queryKind, name string, digest uint64, co *core.Options, sche
 		update:        int32(co.Update),
 		maxUpdateIter: int32(co.MaxUpdateIter),
 		designForHold: co.DesignForHold,
+		objective:     int32(co.Objective.Kind),
+		objFixedTc:    math.Float64bits(co.Objective.FixedTc),
 	}
 	h := fnvInt(fnvOffset, len(co.PhaseSkew))
 	for _, v := range co.PhaseSkew {

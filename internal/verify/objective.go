@@ -1,0 +1,100 @@
+package verify
+
+import (
+	"math"
+
+	"mintc/internal/core"
+)
+
+// ObjectiveAchieved independently re-checks the objective-specific
+// claims of a schedule-objective solve (core.Options.Objective with a
+// kind other than ObjMinTc): the cycle time is pinned at the
+// objective's FixedTc, the achieved value is finite and nonnegative,
+// and the value is actually delivered by the schedule —
+//
+//   - ObjMaxMargin: every latch setup and flip-flop capture holds with
+//     at least `value` of slack under the nominal margins (the worst
+//     setup slack, recomputed from the model, is >= value);
+//   - ObjMinPhaseWidth: the total phase width sum(T_i) equals value;
+//   - ObjMinSkewBudget: the claim "the schedule still closes timing
+//     with Skew increased by value" is exactly model feasibility under
+//     the tightened options, which the supervisor certifies via
+//     Feasible(FeasibilityOptions(...)); here the value itself is
+//     validated (finite, nonnegative, Tc pinned).
+//
+// Optimality of the value (no schedule does better) is certified
+// separately against the LP's cost vector by Optimality — this checker
+// covers the primal side: the claimed value is real.
+//
+// opts are the solve's nominal options (the objective's own tightening
+// must NOT be pre-applied). Returns a certificate of kind "objective".
+func ObjectiveAchieved(c *core.Circuit, opts core.Options, obj core.Objective, value float64, sched *core.Schedule, d []float64, tol float64) *Certificate {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	cert := &Certificate{Kind: "objective", Tol: tol, DualityGap: math.NaN()}
+	if obj.IsMinTc() {
+		// Nothing objective-specific to certify: min-Tc optimality is
+		// the LP duality gap (or the MCR critical cycle).
+		return cert
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		cert.add("objective value finite", math.Inf(1), tol)
+		return cert
+	}
+	if sched == nil {
+		cert.add("objective schedule shape", math.Inf(1), tol)
+		return cert
+	}
+	cert.add("objective fixed Tc", math.Abs(sched.Tc-obj.FixedTc), tol)
+
+	switch obj.Kind {
+	case core.ObjMaxMargin:
+		// Nonnegative by construction (x >= 0 in the LP).
+		cert.add("objective margin nonnegative", -value, tol)
+		if d == nil || len(d) != c.L() {
+			cert.add("objective departure shape", math.Inf(1), tol)
+			return cert
+		}
+		cert.add("objective margin achieved", value-minSetupSlack(c, opts, sched, d), tol)
+	case core.ObjMinPhaseWidth:
+		var total ksum
+		for i := 0; i < sched.K(); i++ {
+			total.add(sched.T[i])
+		}
+		cert.add("objective phase width total", math.Abs(total.value()-value), tol)
+	case core.ObjMinSkewBudget:
+		cert.add("objective skew budget nonnegative", -value, tol)
+	default:
+		cert.add("objective kind known", math.Inf(1), tol)
+	}
+	return cert
+}
+
+// minSetupSlack recomputes, straight from the model, the worst-case
+// setup slack of (sched, d) under the nominal margins: for a latch i,
+// T_{p_i} − (D_i + Setup_i + Skew + σ_{p_i}); for a flip-flop capture
+// over path j→i, −(D_j + arcWeight + S_{p_j p_i} + Setup_i). +Inf when
+// the circuit has no setup-type constraint at all.
+func minSetupSlack(c *core.Circuit, opts core.Options, sched *core.Schedule, d []float64) float64 {
+	slack := math.Inf(1)
+	for i := 0; i < c.L(); i++ {
+		s := c.Sync(i)
+		if s.Kind != core.Latch {
+			continue
+		}
+		lhs := sum2(d[i], s.Setup, opts.Skew, sigma(opts, s.Phase))
+		slack = math.Min(slack, sched.T[s.Phase]-lhs)
+	}
+	for pidx, p := range c.Paths() {
+		i := p.To
+		if c.Sync(i).Kind != core.FlipFlop {
+			continue
+		}
+		j := p.From
+		pj, pi := c.Sync(j).Phase, c.Sync(i).Phase
+		lhs := sum2(d[j], arcWeight(c, opts, pidx), sched.PhaseShift(pj, pi), c.Sync(i).Setup)
+		slack = math.Min(slack, -lhs)
+	}
+	return slack
+}

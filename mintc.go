@@ -292,6 +292,63 @@ func MaxMarginSchedule(c *Circuit, opts Options, tc float64) (*MarginResult, err
 	return core.MaxMarginSchedule(c, opts, tc)
 }
 
+// Objective selects what a design-side solve optimizes. The zero value
+// minimizes the cycle time (the paper's design problem); the
+// constructors below fix the cycle time and optimize the schedule
+// instead. Set it in Options.Objective — every solve entry point
+// (MinTc, the engine layer, sessions) honors it, and certified solves
+// re-check the achieved value independently.
+type Objective = core.Objective
+
+// ObjectiveKind enumerates the design-side objectives.
+type ObjectiveKind = core.ObjectiveKind
+
+// Design-side objectives for Options.Objective.
+const (
+	// ObjMinTc minimizes the cycle time (the default).
+	ObjMinTc = core.ObjMinTc
+	// ObjMaxMargin fixes Tc and maximizes the worst setup margin.
+	ObjMaxMargin = core.ObjMaxMargin
+	// ObjMinPhaseWidth fixes Tc and minimizes the total phase width
+	// (narrowest clock pulses that still close timing).
+	ObjMinPhaseWidth = core.ObjMinPhaseWidth
+	// ObjMinSkewBudget fixes Tc and maximizes the uniform extra clock
+	// skew the schedule tolerates.
+	ObjMinSkewBudget = core.ObjMinSkewBudget
+)
+
+// MaxMarginAtTc returns the objective "fix the cycle time at tc,
+// maximize the worst setup margin".
+func MaxMarginAtTc(tc float64) Objective { return core.MaxMarginAt(tc) }
+
+// MinPhaseWidthAtTc returns the objective "fix the cycle time at tc,
+// minimize the total phase width".
+func MinPhaseWidthAtTc(tc float64) Objective { return core.MinPhaseWidthAt(tc) }
+
+// MaxSkewBudgetAtTc returns the objective "fix the cycle time at tc,
+// maximize the uniform extra skew allowance".
+func MaxSkewBudgetAtTc(tc float64) Objective { return core.MinSkewBudgetAt(tc) }
+
+// OptimizeSchedule solves the design problem under an explicit
+// objective: MinTc with opts.Objective set. The result's
+// ObjectiveValue field reports the achieved value (worst margin, total
+// phase width, or skew allowance).
+func OptimizeSchedule(c *Circuit, opts Options, obj Objective) (*Result, error) {
+	opts.Objective = obj
+	return core.MinTc(c, opts)
+}
+
+// Conversion is the outcome of ConvertToLatches: the all-latch circuit
+// plus index maps back to the original synchronizers.
+type Conversion = core.Conversion
+
+// ConvertToLatches rewrites an edge-triggered (or mixed) circuit into
+// an equivalent pure level-sensitive latch circuit on a doubled clock:
+// each flip-flop splits into its master/slave latch pair, opening the
+// boundary to cycle stealing. The converted circuit's optimal cycle
+// time never exceeds the edge-triggered baseline.
+func ConvertToLatches(c *Circuit) (*Conversion, error) { return core.ConvertToLatches(c) }
+
 // DelaySegment is one linear piece of Tc*(Δ) from ParametricDelay.
 type DelaySegment = core.DelaySegment
 
