@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -49,6 +50,14 @@ type benchRecord struct {
 	Components         int64 `json:"components_total,omitempty"`
 	ComponentsResolved int64 `json:"components_resolved,omitempty"`
 	DecompFastPaths    int64 `json:"decomp_fastpaths,omitempty"`
+	// Probe telemetry (the giant-SCC fast path): synchronous relaxation
+	// rounds, the subset fanned out across the chunked worker pool,
+	// individual edge relaxations, and probes that warm-started from
+	// persisted potentials instead of relaxing from scratch.
+	ProbeRounds         int64 `json:"probe_rounds,omitempty"`
+	ProbeParallelRounds int64 `json:"probe_parallel_rounds,omitempty"`
+	ProbeRelaxations    int64 `json:"probe_relaxations,omitempty"`
+	WarmPotentialHits   int64 `json:"warm_potential_hits,omitempty"`
 
 	Certified       bool  `json:"certified"`
 	VerifyNs        int64 `json:"verify_ns,omitempty"`
@@ -114,7 +123,7 @@ func init() {
 // structured timeout_s field. trials > 0 makes the "sim" engine follow
 // its deterministic run with a Monte-Carlo campaign of that many
 // randomized trials, so the "montecarlo" stage appears in the records.
-func runBench(dir string, names []string, timeout time.Duration, trials int, xl, xxl bool) ([]string, error) {
+func runBench(dir string, names []string, circuits string, timeout time.Duration, trials int, xl, xxl bool) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -125,6 +134,33 @@ func runBench(dir string, names []string, timeout time.Duration, trials int, xl,
 	}
 	if xxl {
 		suite = append(suite, gen.XXL()...)
+	}
+	if circuits != "" {
+		// -circuits narrows the sweep to named workloads (bench/sccscale
+		// regenerates just the two 100k records this way). Validated
+		// against the selected suite so a typo fails instead of silently
+		// benchmarking nothing.
+		want := make(map[string]bool)
+		for _, n := range strings.Split(circuits, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var kept []gen.Benchmark
+		for _, bm := range suite {
+			if want[bm.Name] {
+				kept = append(kept, bm)
+				delete(want, bm.Name)
+			}
+		}
+		if len(want) > 0 {
+			var missing []string
+			for n := range want {
+				missing = append(missing, n)
+			}
+			sort.Strings(missing)
+			return nil, fmt.Errorf("unknown circuit(s) %s (is the size tier enabled? -xl / -xxl)",
+				strings.Join(missing, ", "))
+		}
+		suite = kept
 	}
 	var files []string
 	for _, bm := range suite {
@@ -190,6 +226,10 @@ func benchOne(bm gen.Benchmark, name string, timeout time.Duration, trials int) 
 		rec.Components = res.Stats.Counter(obs.ComponentsTotal)
 		rec.ComponentsResolved = res.Stats.Counter(obs.ComponentsResolved)
 		rec.DecompFastPaths = res.Stats.Counter(obs.DecompFastPaths)
+		rec.ProbeRounds = res.Stats.Counter(obs.ProbeRounds)
+		rec.ProbeParallelRounds = res.Stats.Counter(obs.ProbeParallelRounds)
+		rec.ProbeRelaxations = res.Stats.Counter(obs.ProbeRelaxations)
+		rec.WarmPotentialHits = res.Stats.Counter(obs.WarmPotentialHits)
 		rec.Certified = res.Certificate.Certified()
 		rec.VerifyNs = res.Stats.Stage("verify").Nanoseconds()
 		rec.Fallbacks = res.Stats.Counter(obs.Fallbacks)

@@ -52,6 +52,27 @@ func runCompare(oldPath, newPath string) (string, error) {
 	if n > 0 {
 		fmt.Fprintf(&b, "geomean speedup over %d comparable runs: %.2fx\n", n, math.Exp(logSum/float64(n)))
 	}
+	// Probe telemetry, for runs where either side exercised the MCR
+	// probe: iteration-count changes (rounds, edge relaxations) are the
+	// mechanism behind a wall-clock ratio, and warm-potential hits show
+	// whether incremental re-solves actually engaged.
+	probeHeader := false
+	for _, k := range keys {
+		o, nw := oldRecs[k], newRecs[k]
+		if o.ProbeRounds == 0 && nw.ProbeRounds == 0 && o.WarmPotentialHits == 0 && nw.WarmPotentialHits == 0 {
+			continue
+		}
+		if !probeHeader {
+			fmt.Fprintf(&b, "\n%-32s %18s %22s %14s %12s\n",
+				"probe telemetry", "rounds", "relaxations", "par rounds", "warm hits")
+			probeHeader = true
+		}
+		fmt.Fprintf(&b, "%-32s %18s %22s %14s %12s\n", k,
+			counterCell(o.ProbeRounds, nw.ProbeRounds),
+			counterCell(o.ProbeRelaxations, nw.ProbeRelaxations),
+			counterCell(o.ProbeParallelRounds, nw.ProbeParallelRounds),
+			counterCell(o.WarmPotentialHits, nw.WarmPotentialHits))
+	}
 	for k := range oldRecs {
 		if _, ok := newRecs[k]; !ok {
 			fmt.Fprintf(&b, "only in old: %s\n", k)
@@ -63,6 +84,11 @@ func runCompare(oldPath, newPath string) (string, error) {
 		}
 	}
 	return b.String(), nil
+}
+
+// counterCell renders an old→new counter pair compactly.
+func counterCell(o, n int64) string {
+	return fmt.Sprintf("%d→%d", o, n)
 }
 
 // wallCell formats one record's wall clock for the table, or the

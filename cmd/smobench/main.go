@@ -49,6 +49,7 @@ func main() {
 		htmlTo  = flag.String("html", "", "write the artifact bundle plus a browsable index.html into this directory")
 		bench   = flag.String("bench", "", "write BENCH_<circuit>_<engine>.json benchmark records into this directory")
 		engines = flag.String("engines", "", "comma-separated engine names for -bench (default: all registered)")
+		circs   = flag.String("circuits", "", "comma-separated circuit names to restrict -bench to (default: the whole selected suite)")
 		timeout = flag.Duration("timeout", 0, "per-solve deadline for -bench (0 = none)")
 		trials  = flag.Int("trials", 0, "Monte-Carlo trials for the sim engine during -bench (0 = skip MC)")
 		xl      = flag.Bool("xl", false, "include the oversized (>=512-latch) workloads in -bench")
@@ -138,7 +139,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "smobench: %v\n", perr)
 			os.Exit(2)
 		}
-		files, berr := runBench(*bench, names, *timeout, *trials, *xl, *xxl)
+		files, berr := runBench(*bench, names, *circs, *timeout, *trials, *xl, *xxl)
 		if berr != nil {
 			fmt.Fprintf(os.Stderr, "smobench: %v\n", berr)
 			os.Exit(1)

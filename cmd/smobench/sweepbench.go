@@ -12,6 +12,7 @@ import (
 	"mintc/internal/core"
 	"mintc/internal/decomp"
 	"mintc/internal/gen"
+	"mintc/internal/mcr"
 	"mintc/internal/obs"
 )
 
@@ -36,6 +37,13 @@ type sweepRecord struct {
 	// MaxRelDiff is the largest |monolithic − decomposed| / (1 + |monolithic|)
 	// over the sweep — the parity check riding along with the timing.
 	MaxRelDiff float64 `json:"max_rel_diff"`
+	// Per-point baseline, measured on the giant-single-SCC workload:
+	// one cold monolithic MCR solve per value — the cost the
+	// parametric walk (monolithic side) and the witness-bound walk
+	// (decomposed side) exist to avoid. PerPointSpeedup is per-point
+	// wall over the *sweep* wall (min of the two sweep engines).
+	PerPointWallNs  int64   `json:"per_point_wall_ns,omitempty"`
+	PerPointSpeedup float64 `json:"per_point_speedup,omitempty"`
 }
 
 // runSweepBench measures the decomposed sweep against the monolithic
@@ -45,17 +53,27 @@ func runSweepBench(dir string) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	ring512, err := gen.Ring(2, 512, 1, 2, func(int) float64 { return 30 })
+	if err != nil {
+		return nil, err
+	}
 	var files []string
 	for _, w := range []struct {
-		name   string
-		nb, n  int
-		values int
+		name     string
+		circuit  *core.Circuit
+		values   int
+		perPoint bool
 	}{
-		{"banks-8x250", 8, 250, 40},
-		{"banks-16x125", 16, 124, 40},
+		{"banks-8x250", gen.Banks(8, 250, 1, 2, 30), 40, false},
+		{"banks-16x125", gen.Banks(16, 124, 1, 2, 30), 40, false},
+		// The giant-single-SCC workload: the whole ring is one
+		// component, so the decomposed sweep's only lever is the
+		// witness-bound walk and the monolithic side routes through the
+		// parametric-Tc walk. The per-point baseline rides along to
+		// show what either walk saves.
+		{"ring-2x512", ring512, 40, true},
 	} {
-		c := gen.Banks(w.nb, w.n, 1, 2, 30)
-		rec, err := sweepOne(w.name, c, w.values)
+		rec, err := sweepOne(w.name, w.circuit, w.values, w.perPoint)
 		if err != nil {
 			return files, fmt.Errorf("%s: %w", w.name, err)
 		}
@@ -72,7 +90,7 @@ func runSweepBench(dir string) ([]string, error) {
 	return files, nil
 }
 
-func sweepOne(name string, c *core.Circuit, nValues int) (sweepRecord, error) {
+func sweepOne(name string, c *core.Circuit, nValues int, perPoint bool) (sweepRecord, error) {
 	cc, err := c.Freeze()
 	if err != nil {
 		return sweepRecord{}, err
@@ -121,6 +139,32 @@ func sweepOne(name string, c *core.Circuit, nValues int) (sweepRecord, error) {
 	}
 	if out.MaxRelDiff > 1e-9 {
 		return out, fmt.Errorf("sweep parity broken: max rel diff %g", out.MaxRelDiff)
+	}
+	if perPoint {
+		base := cc.Overlay()
+		start = time.Now()
+		for i, v := range values {
+			s, err := mcr.NewSolverOverlay(base.With(pathIndex, v), opts)
+			if err != nil {
+				return out, err
+			}
+			res, err := s.SolveFromCtx(context.Background(), 0)
+			if err != nil {
+				return out, err
+			}
+			if d := math.Abs(monoTcs[i]-res.Tc) / (1 + math.Abs(monoTcs[i])); d > 1e-9 {
+				return out, fmt.Errorf("per-point parity broken at value %g: %g vs %g", v, res.Tc, monoTcs[i])
+			}
+		}
+		ppWall := time.Since(start)
+		out.PerPointWallNs = ppWall.Nanoseconds()
+		best := monoWall
+		if decWall < best {
+			best = decWall
+		}
+		if best > 0 {
+			out.PerPointSpeedup = float64(ppWall) / float64(best)
+		}
 	}
 	return out, nil
 }

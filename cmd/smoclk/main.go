@@ -382,6 +382,10 @@ func runEngine(c *mintc.Circuit, cfg config) (*mintc.EngineResult, error) {
 func printDecomp(r *mintc.DecompResult) {
 	fmt.Printf("optimal Tc = %.6g (decomposed: %d components, %d re-solved, %d closed-form, %d probes)\n",
 		r.Tc, r.Components, r.Resolved, r.FastPaths, r.Probes)
+	if r.ProbeRounds > 0 {
+		fmt.Printf("probe: %d relaxation rounds, %d fanned out across workers, %d warm-potential starts\n",
+			r.ProbeRounds, r.ProbeParallelRounds, r.WarmPotentialHits)
+	}
 	if len(r.CriticalArcs) > 0 {
 		fmt.Printf("critical cycle: %d arcs, ratio %.6g\n", len(r.CriticalArcs), r.CriticalRatio)
 	}

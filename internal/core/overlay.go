@@ -127,6 +127,28 @@ func (o DelayOverlay) Path(pidx int) Path {
 	return p
 }
 
+// EditedPaths returns the indices of the overlay's effectively edited
+// paths in increasing order (nil when the overlay matches its base —
+// With removes edits that restore base values, so an empty list is an
+// exact "overlay == snapshot" test). Incremental consumers that keep a
+// long-lived solver use it to reconcile the solver's delays against an
+// overlay: reset paths that left the edit set, apply the ones in it.
+func (o DelayOverlay) EditedPaths() []int32 {
+	if len(o.edits) == 0 {
+		return nil
+	}
+	idx := make([]int32, 0, len(o.edits))
+	for k := range o.edits {
+		idx = append(idx, k)
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
 // Digest returns a canonical 64-bit fingerprint of the overlay's
 // effective edits (FNV-1a over the sorted edit list). Two overlays
 // over the same snapshot digest equally iff they induce bit-identical

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"mintc/internal/lp"
@@ -39,18 +41,29 @@ func SweepDelays(c *Circuit, opts Options, pathIndex int, values []float64) ([]f
 // sweep several paths (or several value lists) over the same circuit
 // freeze once and fan out from here.
 //
-// A delay edit moves only the right-hand sides of the rows generated
-// from the edited path, never the row structure, so the whole sweep
-// shares ONE linear program: the base LP is built and solved once,
-// and each worker answers a contiguous chunk of values through
-// lp.SolveBatch, which amortizes a single basis factorization across
-// many right-hand sides with a batched multi-RHS FTRAN. Each Tc is
-// bit-identical to what a per-value warm-started solve would return
-// (the batch solver's contract); values that fall outside the shared
-// basis fall back to individual warm solves inside SolveBatch. The
-// departure slide is skipped — it adjusts D below the LP point but
-// can never change the optimal cycle time, which is all a sweep
-// reports.
+// Long plain min-Tc sweeps route through a parametric breakpoint walk
+// first: Tc*(Δ) is piecewise linear in one delay, so one solve per
+// linear piece the value list spans — each anchored at a requested
+// value, extended by its basis's certified RHS validity range —
+// answers every value by dual-slope extrapolation, the bulk-sweep
+// realization of the paper's parametric-programming proposal. The walk
+// declines option shapes whose RHS dependence on Δ is not an affine
+// 1:1 line (DesignForHold's MinDelay clamp, pinned FixedTc), short
+// value lists (a walk costs a few solves either way), degenerate
+// curves whose breakpoints are spaced finer than the values, and any
+// walk failure — all of which fall back to the batched-LP path below,
+// whose answers are bit-identical to per-value warm solves.
+//
+// In the batch path, a delay edit moves only the right-hand sides of
+// the rows generated from the edited path, never the row structure, so
+// the whole sweep shares ONE linear program: the base LP is built and
+// solved once, and each worker answers a contiguous chunk of values
+// through lp.SolveBatch, which amortizes a single basis factorization
+// across many right-hand sides with a batched multi-RHS FTRAN. Values
+// that fall outside the shared basis fall back to individual warm
+// solves inside SolveBatch. The departure slide is skipped — it
+// adjusts D below the LP point but can never change the optimal cycle
+// time, which is all a sweep reports.
 func SweepDelaysCompiled(cc *Compiled, opts Options, pathIndex int, values []float64) ([]float64, []error) {
 	tcs := make([]float64, len(values))
 	errs := make([]error, len(values))
@@ -75,7 +88,105 @@ func SweepDelaysCompiled(cc *Compiled, opts Options, pathIndex int, values []flo
 	if len(values) == 0 {
 		return tcs, errs
 	}
+	if !opts.DesignForHold && opts.FixedTc == 0 && len(values) >= minParametricSweep {
+		if sweepDelaysParametric(cc, opts, pathIndex, values, tcs, errs) {
+			return tcs, errs
+		}
+		for i := range errs {
+			tcs[i], errs[i] = 0, nil // discard any partial walk output
+		}
+	}
+	sweepDelaysBatch(cc, opts, pathIndex, values, tcs, errs)
+	return tcs, errs
+}
 
+// minParametricSweep is the value-count floor for routing a sweep
+// through the parametric walk: below it the walk's segment solves cost
+// about as much as batching the values outright.
+const minParametricSweep = 16
+
+// sweepDelaysParametric answers a sweep by a dual-slope breakpoint
+// walk over the requested values in ascending order: solve the LP at
+// the lowest unanswered value, read the delay row's dual (the slope
+// dTc/dΔ) and the basis's RHS validity range, and answer every value
+// that certified linear piece covers by extrapolation from the
+// exactly-solved anchor — Tc*(Δ) is exactly linear while the optimal
+// basis persists, so those answers match a per-value solve to LP
+// tolerance. Values past the piece get their own solve; the walk costs
+// one cold solve per linear piece the value list actually spans, never
+// the 1e-6 breakpoint crawl ParametricDelayCompiled pays to map the
+// whole curve (degenerate bases there can force a cold solve per
+// micro-step — on a 512-latch ring, ~20 solves where this walk needs
+// one or two).
+//
+// Invalid values receive the same per-value errors the batch path's
+// overlay validation produces. Returns false — with tcs/errs possibly
+// partially written — when a solve fails, the LP solution carries no
+// dual/range information, or the walk degenerates (two consecutive
+// solves whose validity ranges reached no further value: the
+// breakpoint spacing is finer than the value spacing, so walking would
+// approach one solve per value with nothing saved). The caller then
+// re-answers everything through the batch path, so a decline costs
+// only the handful of solves the walk made.
+func sweepDelaysParametric(cc *Compiled, opts Options, pathIndex int, values []float64, tcs []float64, errs []error) bool {
+	base := cc.Overlay()
+	order := make([]int, 0, len(values))
+	for i, v := range values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			if _, werr := withChecked(base, pathIndex, v); werr != nil {
+				errs[i] = werr
+				continue
+			}
+			return false // unreachable guard: validation drifted from With
+		}
+		order = append(order, i)
+	}
+	if len(order) == 0 {
+		return false // nothing valid to walk; batch emits the errors
+	}
+	sort.Slice(order, func(a, b int) bool { return values[order[a]] < values[order[b]] })
+
+	const maxMisses = 2
+	misses := 0
+	ctx := context.Background()
+	for k := 0; k < len(order); {
+		cur := values[order[k]]
+		r, err := MinTcOverlayCtx(ctx, base.With(pathIndex, cur), opts)
+		if err != nil {
+			return false
+		}
+		row, sign, err := delayRow(r, pathIndex)
+		if err != nil || r.LPSol == nil || row >= len(r.LPSol.Dual) || row >= len(r.LPSol.RHSRange) {
+			return false
+		}
+		slope := r.LPSol.Dual[row] * sign
+		rhsNow := r.LP.Constraint(row).RHS
+		rng := r.LPSol.RHSRange[row]
+		var hi float64
+		if sign > 0 {
+			hi = cur + (rng[1] - rhsNow)
+		} else {
+			hi = cur + (rhsNow - rng[0])
+		}
+		// The solved point itself, then everything the piece covers.
+		covered := 0
+		for k < len(order) && (values[order[k]] <= hi || values[order[k]] == cur) {
+			tcs[order[k]] = r.Schedule.Tc + slope*(values[order[k]]-cur)
+			k++
+			covered++
+		}
+		if covered > 1 {
+			misses = 0
+		} else if misses++; misses >= maxMisses {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepDelaysBatch is the batched-LP sweep: one program, one shared
+// warm basis, chunked multi-RHS solves across workers.
+func sweepDelaysBatch(cc *Compiled, opts Options, pathIndex int, values []float64, tcs []float64, errs []error) {
 	base := cc.Overlay()
 	prob, vm, rows := buildLPOv(cc.c, &base, opts)
 	// The rows a delay edit on pathIndex reaches: its L2R (or FFsu)
@@ -181,5 +292,4 @@ func SweepDelaysCompiled(cc *Compiled, opts Options, pathIndex int, values []flo
 		}(lo, hi)
 	}
 	wg.Wait()
-	return tcs, errs
 }

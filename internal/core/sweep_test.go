@@ -74,3 +74,70 @@ func TestCircuitClone(t *testing.T) {
 		t.Fatal("clone solves differently")
 	}
 }
+
+// TestSweepParametricMatchesBatch pins the parametric walk against the
+// batched-LP sweep directly (bypassing SweepDelaysCompiled's routing):
+// on the same value list — unsorted, with duplicates, spanning all
+// three segments of the Fig. 7 curve, plus invalid entries — the two
+// engines must agree to 1e-9 relative on every value and report
+// per-value errors for the same entries.
+func TestSweepParametricMatchesBatch(t *testing.T) {
+	cc, err := example1(0).Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var values []float64
+	for d := 155.0; d >= 0; d -= 2.5 { // descending: order must not matter
+		values = append(values, d)
+	}
+	values = append(values, 42, 42, -3, math.NaN(), math.Inf(1))
+	for _, opts := range []Options{{}, {Skew: 0.3}, {MinPhaseWidth: 4}} {
+		ptcs := make([]float64, len(values))
+		perrs := make([]error, len(values))
+		if !sweepDelaysParametric(cc, opts, 3, values, ptcs, perrs) {
+			t.Fatalf("opts %+v: parametric walk declined a plain min-Tc sweep", opts)
+		}
+		btcs := make([]float64, len(values))
+		berrs := make([]error, len(values))
+		sweepDelaysBatch(cc, opts, 3, values, btcs, berrs)
+		for i, v := range values {
+			if (perrs[i] == nil) != (berrs[i] == nil) {
+				t.Errorf("value %g: error mismatch: parametric %v vs batch %v", v, perrs[i], berrs[i])
+				continue
+			}
+			if perrs[i] != nil {
+				if perrs[i].Error() != berrs[i].Error() {
+					t.Errorf("value %g: error text differs: %q vs %q", v, perrs[i], berrs[i])
+				}
+				continue
+			}
+			if d := math.Abs(ptcs[i]-btcs[i]) / (1 + math.Abs(btcs[i])); d > 1e-9 {
+				t.Errorf("value %g: parametric %.12g vs batch %.12g (rel %.3g)", v, ptcs[i], btcs[i], d)
+			}
+		}
+	}
+}
+
+// TestSweepRoutesShortListsToBatch: below the parametric floor the
+// compiled sweep must not pay a walk — pinned here only through the
+// public answer staying exact for a 3-value list (the batch path), and
+// the routing constant staying in range.
+func TestSweepRoutesShortListsToBatch(t *testing.T) {
+	if minParametricSweep < 2 {
+		t.Fatalf("minParametricSweep = %d: routing floor degenerate", minParametricSweep)
+	}
+	cc, err := example1(0).Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{10, 80, 150}
+	tcs, errs := SweepDelaysCompiled(cc, Options{}, 3, values)
+	for i, v := range values {
+		if errs[i] != nil {
+			t.Fatalf("Δ41=%g: %v", v, errs[i])
+		}
+		if want := example1OptTc(v); math.Abs(tcs[i]-want) > 1e-6 {
+			t.Errorf("Δ41=%g: %g vs formula %g", v, tcs[i], want)
+		}
+	}
+}

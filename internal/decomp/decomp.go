@@ -111,6 +111,14 @@ type Result struct {
 	CompTc []float64
 	// Probes counts the global phase's Bellman–Ford probes.
 	Probes int
+	// ProbeRounds counts worklist relaxation rounds across every probe
+	// of the solve (component and coupling), ProbeParallelRounds the
+	// subset that actually fanned out across more than one worker, and
+	// WarmPotentialHits how many probes consumed persisted potentials
+	// (State warm starts) instead of relaxing from scratch.
+	ProbeRounds         int64
+	ProbeParallelRounds int64
+	WarmPotentialHits   int64
 }
 
 // compAnswer is one component subproblem's outcome: the subsystem
@@ -144,6 +152,15 @@ func Solve(ctx context.Context, ov core.DelayOverlay, opts core.Options, cfg Con
 		return nil, fmt.Errorf("decomp: objective %s is not supported (min-Tc only)", opts.Objective)
 	}
 	rec := obs.From(ctx)
+	if rec == nil {
+		// Result reports probe-round/warm-hit telemetry as counter
+		// deltas, so the solve always runs against a live recorder.
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
+	}
+	rounds0 := rec.Get(obs.ProbeRounds)
+	par0 := rec.Get(obs.ProbeParallelRounds)
+	warm0 := rec.Get(obs.WarmPotentialHits)
 	pt := cc.Partition()
 	nc := pt.NumComponents()
 	rec.Add(obs.ComponentsTotal, int64(nc))
@@ -179,11 +196,7 @@ func Solve(ctx context.Context, ov core.DelayOverlay, opts core.Options, cfg Con
 		CompTc:     compTc,
 	}
 	err = rec.Phase(ctx, "decomp.couple", func(ctx context.Context) error {
-		g, err := mcr.NewSolverOverlay(ov, opts)
-		if err != nil {
-			return err
-		}
-		gres, err := g.SolveFromCtx(ctx, cand)
+		gres, err := couplingSolve(ctx, ov, opts, cfg, st, cand)
 		if err != nil {
 			return err
 		}
@@ -207,7 +220,71 @@ func Solve(ctx context.Context, ov core.DelayOverlay, opts core.Options, cfg Con
 	if err != nil {
 		return nil, err
 	}
+	res.ProbeRounds = rec.Get(obs.ProbeRounds) - rounds0
+	res.ProbeParallelRounds = rec.Get(obs.ProbeParallelRounds) - par0
+	res.WarmPotentialHits = rec.Get(obs.WarmPotentialHits) - warm0
 	return res, nil
+}
+
+// couplingSolve runs the global coupling pass from the candidate lower
+// bound. With a shared State (and no pinned FixedTc, which State does
+// not key on) the pass reuses one persistent full-graph solver: the
+// constraint graph and its CSR scratch are compiled once per State and
+// reconciled against each overlay's edit set in O(edits), and every
+// pass warm-starts from the base overlay's converged potentials — the
+// full-graph analogue of the component caches' base-basis rule. Seeds
+// only ever come from that base fixpoint (a pure function of the
+// snapshot and options), never from whatever an arbitrary earlier
+// overlay left behind, so a solve's outcome does not depend on which
+// overlays the State served before it.
+func couplingSolve(ctx context.Context, ov core.DelayOverlay, opts core.Options, cfg Config, st *State, cand float64) (*mcr.Result, error) {
+	if st == nil || opts.FixedTc != 0 {
+		g, err := mcr.NewSolverOverlay(ov, opts)
+		if err != nil {
+			return nil, err
+		}
+		g.SetProbeWorkers(cfg.Workers)
+		return g.SolveFromCtx(ctx, cand)
+	}
+	st.coupMu.Lock()
+	defer st.coupMu.Unlock()
+	base := ov.Base().Overlay()
+	if st.coupler == nil {
+		g, err := mcr.NewSolverOverlay(base, opts)
+		if err != nil {
+			return nil, err
+		}
+		st.coupler = g
+	}
+	g := st.coupler
+	g.SetProbeWorkers(cfg.Workers)
+	// Reconcile the solver's constants with this overlay: paths edited
+	// by the previous pass return to base, then the overlay's own edits
+	// apply (with its already-composed MinDelay clamps, hence
+	// SetDelayMin rather than SetDelay).
+	for _, p := range st.couplerEdits {
+		g.SetDelayMin(int(p), base.Delay(int(p)), base.MinDelay(int(p)))
+	}
+	edits := ov.EditedPaths()
+	for _, p := range edits {
+		g.SetDelayMin(int(p), ov.Delay(int(p)), ov.MinDelay(int(p)))
+	}
+	st.couplerEdits = edits
+	if st.couplerPot == nil {
+		gres, err := g.SolveFromCtx(ctx, cand)
+		if err != nil {
+			return nil, err
+		}
+		if len(edits) == 0 {
+			// A base-overlay pass just converged cold: its extraction
+			// probe left the canonical least potentials, the anchor every
+			// later pass warm-starts from.
+			st.couplerPot = g.Potentials()
+		}
+		return gres, nil
+	}
+	g.SeedPotentials(st.couplerPot)
+	return g.SolveFromWarmCtx(ctx, cand)
 }
 
 // ratioMatches reports that a component witness ratio equals the final
@@ -341,7 +418,36 @@ func solveComponent(ctx context.Context, ov core.DelayOverlay, opts core.Options
 	if err != nil {
 		return ans, true, err
 	}
-	mres, err := s.MinTcFromCtx(ctx, 0)
+	baseDig := cc.Overlay().ComponentDigest(ci)
+	var mres *mcr.Result
+	if st != nil && dig != baseDig {
+		// Edited re-solve: warm-start from the component's BASE
+		// potentials, mirroring the LP path's base-basis rule (and
+		// computing them on demand the same way) so the answer for a
+		// digest stays a pure function of (snapshot, digest, options),
+		// whatever overlays the State served before.
+		pot := st.potentials(ci)
+		if pot == nil {
+			bs, berr := mcr.NewComponentSolver(cc.Overlay(), compOpts, pt.Members(ci))
+			if berr != nil {
+				return ans, true, berr
+			}
+			bres, berr := bs.MinTcFromCtx(ctx, 0)
+			if berr != nil {
+				return ans, true, berr
+			}
+			st.store(baseDig, compAnswer{tc: bres.Tc, ratio: bres.CriticalRatio, arcs: bres.CriticalArcs})
+			st.storePotentials(ci, bs.Potentials())
+			pot = st.potentials(ci)
+		}
+		s.SeedPotentials(pot)
+		mres, err = s.MinTcFromWarmCtx(ctx, 0)
+	} else {
+		mres, err = s.MinTcFromCtx(ctx, 0)
+		if err == nil && st != nil {
+			st.storePotentials(ci, s.Potentials())
+		}
+	}
 	if err != nil {
 		return ans, true, err
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"mintc/internal/lp"
+	"mintc/internal/mcr"
 )
 
 // State memoizes per-component answers across decomposed solves of
@@ -18,10 +19,17 @@ import (
 //   - base simplex bases, keyed by component: the optimal basis of
 //     the component LP over the snapshot's own delays, the fixed warm
 //     start every edited re-solve of that component uses.
+//   - base probe potentials, keyed by component (plus one full-graph
+//     set for the coupling pass): the node potentials of a probe solve
+//     over the snapshot's own delays — the SPFA analogue of the warm
+//     basis. Edited re-solves seed them (mcr.Solver.SeedPotentials)
+//     so the warm probe relaxes only the residual the edit perturbed.
 //
 // Because each stored value is a pure function of (snapshot, options,
 // digest) — LP re-solves always warm from the base basis, probe
-// solves always start cold — concurrent solves racing on the same key
+// re-solves always warm from the base potentials (computed on demand,
+// like the basis), never from whatever potentials an arbitrary earlier
+// overlay left behind — concurrent solves racing on the same key
 // compute identical values, so the cache never makes results depend
 // on solve order. The session layer relies on this for its
 // concurrent-equals-serial guarantee.
@@ -30,16 +38,32 @@ import (
 // do not cover either. The session layer keys its States the same way
 // it keys its result cache.
 type State struct {
-	mu    sync.Mutex
-	comps map[uint64]compAnswer
-	bases map[int]*lp.Basis
+	mu      sync.Mutex
+	comps   map[uint64]compAnswer
+	bases   map[int]*lp.Basis
+	compPot map[int][]float64
+
+	// The persistent coupling-pass solver: the full constraint graph is
+	// by far the most expensive thing a decomposed solve builds (CSR
+	// assembly is O(paths)), and its structure depends only on the
+	// snapshot, so one compiled instance serves every solve. coupMu
+	// serializes the coupling pass (component solves still fan out);
+	// couplerEdits tracks which paths the coupler's constants currently
+	// deviate on so the next solve can reconcile them against its
+	// overlay, and couplerPot holds the base-overlay fixpoint every
+	// coupling pass warm-starts from.
+	coupMu       sync.Mutex
+	coupler      *mcr.Solver
+	couplerEdits []int32
+	couplerPot   []float64
 }
 
 // NewState returns an empty per-(snapshot, options) component cache.
 func NewState() *State {
 	return &State{
-		comps: make(map[uint64]compAnswer),
-		bases: make(map[int]*lp.Basis),
+		comps:   make(map[uint64]compAnswer),
+		bases:   make(map[int]*lp.Basis),
+		compPot: make(map[int][]float64),
 	}
 }
 
@@ -83,5 +107,22 @@ func (st *State) storeBasis(ci int, b *lp.Basis) {
 	defer st.mu.Unlock()
 	if _, ok := st.bases[ci]; !ok {
 		st.bases[ci] = b
+	}
+}
+
+func (st *State) potentials(ci int) []float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.compPot[ci]
+}
+
+func (st *State) storePotentials(ci int, pot []float64) {
+	if pot == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.compPot[ci]; !ok {
+		st.compPot[ci] = pot
 	}
 }

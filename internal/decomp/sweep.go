@@ -30,6 +30,15 @@ func Sweep(cc *core.Compiled, opts core.Options, pathIndex int, values []float64
 // SweepCtx is Sweep with cancellation; any obs recorder carried by the
 // context receives the probe and component counters.
 func SweepCtx(ctx context.Context, cc *core.Compiled, opts core.Options, pathIndex int, values []float64, cfg Config) ([]float64, []error) {
+	return SweepStateCtx(ctx, cc, opts, pathIndex, values, cfg, nil)
+}
+
+// SweepStateCtx is SweepCtx priming its per-component answers through
+// a shared State (nil = a private one): a sweep over a path whose
+// component answers are already cached — or whose edit touches a
+// cross-component arc, which dirties no component at all — re-solves
+// nothing during priming, paying only the per-value coupling passes.
+func SweepStateCtx(ctx context.Context, cc *core.Compiled, opts core.Options, pathIndex int, values []float64, cfg Config, st *State) ([]float64, []error) {
 	tcs := make([]float64, len(values))
 	errs := make([]error, len(values))
 	fail := func(err error) ([]float64, []error) {
@@ -57,7 +66,10 @@ func SweepCtx(ctx context.Context, cc *core.Compiled, opts core.Options, pathInd
 	// solves drop FixedTc (Solve does the same); the coupling pass
 	// below keeps it, so pinned-Tc semantics match the monolithic
 	// sweep per value.
-	answers, resolved, fastPaths, err := solveAllComponents(ctx, base, opts, cfg, NewState())
+	if st == nil {
+		st = NewState()
+	}
+	answers, resolved, fastPaths, err := solveAllComponents(ctx, base, opts, cfg, st)
 	if err != nil {
 		return fail(err)
 	}
@@ -111,7 +123,20 @@ func SweepCtx(ctx context.Context, cc *core.Compiled, opts core.Options, pathInd
 			cand := maxOther
 			if sub != nil {
 				sub.SetDelay(pathIndex, v)
-				sres, err := sub.MinTcFromWarmCtx(ctx, 0)
+				// Witness-bound walk: re-price the previous value's
+				// binding cycle at the new delay. Edge endpoints are
+				// stable under SetDelay, so the recomputed ratio is a
+				// sound lower bound; while the same cycle stays critical
+				// — the straight segments between breakpoints of the
+				// piecewise-linear Tc(delay) curve — the first probe at
+				// the bound is feasible and the point costs one warm
+				// probe. At a breakpoint a different cycle binds and the
+				// Lawler jumps repair the walk automatically.
+				lower := 0.0
+				if wb, ok := sub.WitnessBound(); ok {
+					lower = wb
+				}
+				sres, err := sub.MinTcFromWarmCtx(ctx, lower)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -122,6 +147,9 @@ func SweepCtx(ctx context.Context, cc *core.Compiled, opts core.Options, pathInd
 				}
 			}
 			full.SetDelay(pathIndex, v)
+			if wb, ok := full.WitnessBound(); ok && wb > cand {
+				cand = wb
+			}
 			fres, err := full.MinTcFromWarmCtx(ctx, cand)
 			if err != nil {
 				errs[i] = err

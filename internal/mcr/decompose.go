@@ -49,6 +49,16 @@ func (s *Solver) SolveFromCtx(ctx context.Context, lower float64) (*Result, erro
 	return solveFrom(ctx, s.b, s.opts, lower, true, false)
 }
 
+// SolveFromWarmCtx is SolveFromCtx with the first probe warm-started
+// from the potentials left by the previous solve on this Solver (or
+// installed by SeedPotentials). The verdict and optimum are unchanged
+// — warm starts are sound feasibility oracles — and extraction still
+// finishes with a cold probe, so the returned schedule is the same
+// canonical least schedule SolveFromCtx produces.
+func (s *Solver) SolveFromWarmCtx(ctx context.Context, lower float64) (*Result, error) {
+	return solveFrom(ctx, s.b, s.opts, lower, true, true)
+}
+
 // MinTcFromCtx is SolveFromCtx without schedule extraction: the result
 // carries Tc (and the witness cycle when one binds) but nil Schedule
 // and D, skipping the cold re-probe entirely. Sweeps use it — they

@@ -85,6 +85,27 @@ type builder struct {
 	// system are shift-invariant, so one dominating the start exists
 	// whenever the system is feasible).
 	distValid bool
+	// seededPot marks that dist was installed from externally persisted
+	// potentials (Solver.SeedPotentials) rather than left by a probe on
+	// this builder; the first warm probe consuming it reports a
+	// WarmPotentialHits tick.
+	seededPot bool
+	// witIdx holds the edge indices of the most recent witness cycle
+	// any probe on this builder produced. Edge endpoints never change
+	// under SetDelay — only the affine constants move — so the stored
+	// cycle remains a real cycle of the graph, and its ratio recomputed
+	// against the current constants (Solver.WitnessBound) is always a
+	// sound cycle-time lower bound, however stale the constants that
+	// found it.
+	witIdx []int32
+	// Chunked-probe configuration and scratch (parallel.go). Zero
+	// values select the defaults; tests override the cutoff and chunk
+	// size to force tiny graphs through the chunked engine.
+	probeWorkers  int // relaxation worker bound (0 = GOMAXPROCS)
+	chunkCutoff   int // node count at which probes go chunked (0 = default)
+	chunkSizeOver int // sources per chunk (0 = default)
+	lanes         []*probeLane
+	chunkRefs     []chunkRef
 }
 
 // edge encodes the difference constraint x[to] >= x[from] + a + b*Tc.
@@ -369,9 +390,13 @@ func (b *builder) bumpEpoch() uint32 {
 // feasible probe are NOT the canonical least solution, so callers that
 // extract a schedule must finish with a cold probe.
 //
-// The context is polled every 1024 pops and during cycle extraction.
-// Edge relaxations are reported to the obs recorder carried by ctx
-// (ProbeRelaxations).
+// Past the chunked cutoff (parallel.go) the round drain runs on the
+// fixed-chunk engine — identical results for every worker count by
+// construction — and below it on the serial per-node worklist.
+//
+// The context is polled every round / every 1024 pops and during cycle
+// extraction. Edge relaxations and rounds are reported to the obs
+// recorder carried by ctx (ProbeRelaxations, ProbeRounds).
 func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []float64, witness []edge, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -389,14 +414,18 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 			b.dist[i] = math.Inf(-1)
 		}
 		b.dist[b.z] = 0
+		b.seededPot = false
+	}
+	rec := obs.From(ctx)
+	if warm && b.distValid && b.seededPot {
+		rec.Add(obs.WarmPotentialHits, 1)
+		b.seededPot = false
 	}
 	b.distValid = true
 	var relaxations int64
-	rec := obs.From(ctx)
 	defer func() { rec.Add(obs.ProbeRelaxations, relaxations) }()
 
-	cur, next := b.queue[:0], b.queue2[:0]
-	defer func() { b.queue, b.queue2 = cur[:0], next[:0] }()
+	cur := b.queue[:0]
 	// Seed sweep (round 1): one dense pass in edge-insertion order. The
 	// builder emits edges roughly topologically (clock rows, then
 	// per-sync rows, then path rows in path order), so this pass alone
@@ -418,42 +447,74 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 			}
 		}
 	}
-	// Round-synchronous drain: each swap of cur/next is one Bellman–Ford
-	// pass restricted to the nodes whose potential changed last round.
-	// Without a positive cycle every potential equals its best-walk value
-	// (≤ n−1 edges) within n rounds — the +1 absorbs the warm start,
-	// which acts as a virtual source edge into every node — so a worklist
-	// still active past round n+1 certifies a positive cycle.
-	//
-	// Detection policy: a cold probe waits for that saturation point
-	// (rather than tripping on the first short weak cycle), which leaves
-	// the predecessor graph dominated by the strongest growth paths, so
-	// bestWitness recovers a high-ratio cycle and the first Lawler jump
-	// lands as far as the dense probe's would. A warm probe instead
-	// scans the pred graph for an already-certified positive cycle from
-	// round 16 on (doubling the scan round each miss, so scans stay
-	// amortized): warm infeasible probes have a tiny active set, and
-	// making them wait n+1 rounds would cost more than the dense pass
-	// they replace. An early warm witness may be weaker — worst case one
-	// extra Lawler jump, paid for with another cheap warm probe.
-	checkRound := n + 1
-	if warm {
-		checkRound = 16
+	b.queue = cur
+	var witIdx []int32
+	if n >= b.chunkedCutoffVal() {
+		witIdx, err = b.drainChunked(ctx, tc, &relaxations, rec)
+	} else {
+		witIdx, err = b.drainSerial(ctx, tc, &relaxations, rec)
 	}
+	if err != nil {
+		if errors.Is(err, errDenseFallback) {
+			// Saturated yet nothing certifies (eps-tolerance corner):
+			// defer to the dense reference probe.
+			return b.probeDense(ctx, tc)
+		}
+		return nil, nil, err
+	}
+	if witIdx != nil {
+		b.witIdx = append(b.witIdx[:0], witIdx...)
+		return nil, b.edgesOf(witIdx), nil
+	}
+	return b.dist, nil, nil
+}
+
+// errDenseFallback is the drain engines' private signal that the
+// worklist saturated past round n+1 without a certifiable witness;
+// probe answers it with the dense reference probe.
+var errDenseFallback = errors.New("mcr: worklist saturated without witness")
+
+// scanStartRound is the first round at which a drain scans the pred
+// graph for an already-certified positive cycle, doubling after each
+// miss so scans stay amortized against relaxation work. The policy is
+// shared by cold and warm probes: on giant strongly connected graphs
+// the witness cycle is complete in the pred graph within a few rounds
+// of the seed sweep, and waiting for the round-n+1 saturation bound —
+// the policy before the scan existed — is what made a single cold
+// infeasible probe cost n dense rounds (the entire ring-2x100k solve
+// was one such probe). An early witness may be weaker than the
+// saturation one — worst case a few extra Lawler jumps, each paid with
+// a cheap warm probe; each O(n) scan is amortized by the doubling.
+const scanStartRound = 16
+
+// drainSerial is the per-node worklist drain used below the chunked
+// cutoff: each swap of cur/next is one Bellman–Ford pass restricted to
+// the nodes whose potential changed last round. Without a positive
+// cycle every potential equals its best-walk value (≤ n−1 edges)
+// within n rounds — the +1 absorbs the warm start, which acts as a
+// virtual source edge into every node — so a worklist still active
+// past round n+1 certifies a positive cycle even if no scan fired.
+// Returns the witness cycle's edge indices, nil when the worklist
+// drained (feasible), or errDenseFallback.
+func (b *builder) drainSerial(ctx context.Context, tc float64, relaxations *int64, rec *obs.Rec) ([]int32, error) {
+	n := b.n
+	cur, next := b.queue, b.queue2[:0]
+	defer func() { b.queue, b.queue2 = cur[:0], next[:0] }()
+	checkRound := scanStartRound
 	pops := 0
-	for rounds := 1; len(cur) > 0; rounds++ {
-		if rounds > checkRound {
+	rounds := int64(0)
+	defer func() { rec.Add(obs.ProbeRounds, rounds) }()
+	for ; len(cur) > 0; rounds++ {
+		if int(rounds)+1 > checkRound {
 			cyc, cerr := b.bestWitness(ctx, tc)
 			if cerr != nil {
-				return nil, nil, cerr
+				return nil, cerr
 			}
 			if cyc != nil {
-				return nil, cyc, nil
+				return cyc, nil
 			}
-			if rounds > n+1 {
-				// Saturated yet nothing certifies (eps-tolerance
-				// corner): defer to the dense reference probe.
-				return b.probeDense(ctx, tc)
+			if int(rounds)+1 > n+1 {
+				return nil, errDenseFallback
 			}
 			if checkRound *= 2; checkRound > n+1 {
 				checkRound = n + 1
@@ -464,7 +525,7 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 			// contiguous sweep of the edge array beats per-node CSR
 			// chasing and queue bookkeeping.
 			if err := ctx.Err(); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			for _, u := range cur {
 				b.clearInQueue(u)
@@ -477,7 +538,7 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 				if d := b.dist[e.from] + e.a + e.b*tc; d > b.dist[e.to]+eps {
 					b.dist[e.to] = d
 					b.pred[e.to] = int32(ei)
-					relaxations++
+					*relaxations++
 					if !b.inQueue(e.to) {
 						b.setInQueue(e.to)
 						next = append(next, int32(e.to))
@@ -489,7 +550,7 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 				b.clearInQueue(u)
 				if pops++; pops&1023 == 0 {
 					if err := ctx.Err(); err != nil {
-						return nil, nil, err
+						return nil, err
 					}
 				}
 				du := b.dist[u]
@@ -499,7 +560,7 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 					if d := du + e.a + e.b*tc; d > b.dist[e.to]+eps {
 						b.dist[e.to] = d
 						b.pred[e.to] = ei
-						relaxations++
+						*relaxations++
 						if !b.inQueue(e.to) {
 							b.setInQueue(e.to)
 							next = append(next, int32(e.to))
@@ -510,23 +571,33 @@ func (b *builder) probe(ctx context.Context, tc float64, warm bool) (dist []floa
 		}
 		cur, next = next, cur[:0]
 	}
-	return b.dist, nil, nil
+	return nil, nil
+}
+
+// edgesOf materializes witness edge indices as edge values (the form
+// solveFrom accumulates and setWitness renders).
+func (b *builder) edgesOf(idx []int32) []edge {
+	out := make([]edge, len(idx))
+	for i, ei := range idx {
+		out[i] = b.edges[ei]
+	}
+	return out
 }
 
 // bestWitness scans the whole predecessor graph for cycles and returns
-// the most binding one that certifies as strictly positive at tc: a
-// structural cycle (no Tc coefficient — infeasible at every cycle
-// time) if present, otherwise the maximum-ratio cycle. The worklist's
-// cnt-based detection fires on whichever node first accumulates n
-// relaxations — usually a short cycle, not the strongest — and a weak
+// the edge indices of the most binding one that certifies as strictly
+// positive at tc: a structural cycle (no Tc coefficient — infeasible
+// at every cycle time) if present, otherwise the maximum-ratio cycle.
+// A drain would otherwise fire on whichever cycle happens to be
+// noticed first — usually a short one, not the strongest — and a weak
 // witness would cost Lawler extra jumps; since each node has at most
 // one predecessor edge, the pred graph is functional and this full
 // scan is O(n). Returns nil when no cycle certifies (the caller falls
 // back to the dense probe).
-func (b *builder) bestWitness(ctx context.Context, tc float64) ([]edge, error) {
+func (b *builder) bestWitness(ctx context.Context, tc float64) ([]int32, error) {
 	ep := b.bumpEpoch()
 	gen, mark := b.wgen, b.wmark
-	var best []edge
+	var best []int32
 	bestScore := math.Inf(-1)
 	for s := 0; s < b.n; s++ {
 		if gen[s] == ep {
@@ -552,11 +623,12 @@ func (b *builder) bestWitness(ctx context.Context, tc float64) ([]edge, error) {
 		if v < 0 || mark[v] != int32(s) {
 			continue
 		}
-		var cyc []edge
+		var cyc []int32
 		var sumA, sumB float64
 		for cur := v; ; {
-			e := b.edges[b.pred[cur]]
-			cyc = append(cyc, e)
+			ei := b.pred[cur]
+			e := b.edges[ei]
+			cyc = append(cyc, ei)
 			sumA += e.a
 			sumB += e.b
 			if cur = e.from; cur == v {
@@ -632,7 +704,7 @@ func (b *builder) probeDense(ctx context.Context, tc float64) (dist []float64, w
 	}
 	ep := b.bumpEpoch()
 	gen, pos := b.wgen, b.wpos
-	var path []edge
+	var path []int32
 	cur := v
 	for {
 		if len(path)&1023 == 1023 {
@@ -642,17 +714,18 @@ func (b *builder) probeDense(ctx context.Context, tc float64) (dist []float64, w
 		}
 		if gen[cur] == ep {
 			// path[pos[cur]:] runs backwards along the cycle.
-			cyc := append([]edge(nil), path[pos[cur]:]...)
-			return nil, cyc, nil
+			cyc := path[pos[cur]:]
+			b.witIdx = append(b.witIdx[:0], cyc...)
+			return nil, b.edgesOf(cyc), nil
 		}
 		gen[cur] = ep
 		pos[cur] = int32(len(path))
 		ei := pred[cur]
 		if ei < 0 {
 			// Shouldn't happen: cycle nodes always have predecessors.
-			return nil, path, nil
+			return nil, b.edgesOf(path), nil
 		}
-		path = append(path, b.edges[ei])
+		path = append(path, ei)
 		cur = b.edges[ei].from
 	}
 }

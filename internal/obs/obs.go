@@ -102,6 +102,19 @@ const (
 	// DecompFastPaths counts single-synchronizer acyclic components
 	// answered by the closed-form bound, with no LP and no probe.
 	DecompFastPaths
+	// ProbeRounds counts synchronous relaxation rounds executed by MCR
+	// feasibility probes (the depth metric the early witness scan and
+	// the chunked engine both shrink; rounds-per-probe measures how fast
+	// a probe converges or certifies).
+	ProbeRounds
+	// ProbeParallelRounds counts probe rounds relaxed by the chunked
+	// engine across more than one worker — the parallelism the giant-SCC
+	// fast path actually achieved, as opposed to configured.
+	ProbeParallelRounds
+	// WarmPotentialHits counts probe solves that warm-started from
+	// potentials persisted outside the solver (a decomp.State fixpoint
+	// seeded into a fresh builder), the SPFA analogue of LPWarmStarts.
+	WarmPotentialHits
 
 	numCounters
 )
@@ -155,6 +168,12 @@ func (c Counter) String() string {
 		return "components_resolved"
 	case DecompFastPaths:
 		return "decomp_fastpaths"
+	case ProbeRounds:
+		return "probe_rounds"
+	case ProbeParallelRounds:
+		return "probe_parallel_rounds"
+	case WarmPotentialHits:
+		return "warm_potential_hits"
 	}
 	return fmt.Sprintf("counter_%d", int(c))
 }
