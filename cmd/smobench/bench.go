@@ -71,6 +71,14 @@ type benchRecord struct {
 	TimeoutS float64   `json:"timeout_s,omitempty"`
 	Error    string    `json:"error,omitempty"`
 	Stats    obs.Stats `json:"stats"`
+
+	// Serving-throughput fields, written by smoload (circuit
+	// "serve-mix", engine "serve-<engine>") instead of the solver
+	// telemetry above. Qps > 0 marks a record as a serving run.
+	Qps       float64 `json:"qps,omitempty"`
+	P50Ms     float64 `json:"p50_ms,omitempty"`
+	P99Ms     float64 `json:"p99_ms,omitempty"`
+	ShedCount int64   `json:"shed_count,omitempty"`
 }
 
 // parseEngines resolves a comma-separated -engines flag value against

@@ -39,6 +39,9 @@ func runCompare(oldPath, newPath string) (string, error) {
 	logSum, n := 0.0, 0
 	for _, k := range keys {
 		o, nw := oldRecs[k], newRecs[k]
+		if o.Qps > 0 || nw.Qps > 0 {
+			continue // serving records get their own table below
+		}
 		ocell, ncell := wallCell(o), wallCell(nw)
 		ratio := "n/a"
 		if o.TimeoutS == 0 && nw.TimeoutS == 0 && o.Error == "" && nw.Error == "" && nw.WallNs > 0 {
@@ -72,6 +75,30 @@ func runCompare(oldPath, newPath string) (string, error) {
 			counterCell(o.ProbeRelaxations, nw.ProbeRelaxations),
 			counterCell(o.ProbeParallelRounds, nw.ProbeParallelRounds),
 			counterCell(o.WarmPotentialHits, nw.WarmPotentialHits))
+	}
+	// Serving-throughput records (smoload runs): the ratio that matters
+	// is queries per second, with tail latency and shed volume alongside
+	// — a QPS "win" bought by shedding harder is not a win.
+	serveHeader := false
+	for _, k := range keys {
+		o, nw := oldRecs[k], newRecs[k]
+		if o.Qps == 0 && nw.Qps == 0 {
+			continue
+		}
+		if !serveHeader {
+			fmt.Fprintf(&b, "\n%-32s %10s %10s %9s %16s %16s %12s\n",
+				"serving throughput", "old qps", "new qps", "ratio", "p50 ms", "p99 ms", "shed")
+			serveHeader = true
+		}
+		ratio := "n/a"
+		if o.Qps > 0 && nw.Qps > 0 {
+			ratio = fmt.Sprintf("%8.2fx", nw.Qps/o.Qps)
+		}
+		fmt.Fprintf(&b, "%-32s %10.1f %10.1f %9s %16s %16s %12s\n", k,
+			o.Qps, nw.Qps, ratio,
+			fmt.Sprintf("%.2f→%.2f", o.P50Ms, nw.P50Ms),
+			fmt.Sprintf("%.2f→%.2f", o.P99Ms, nw.P99Ms),
+			counterCell(o.ShedCount, nw.ShedCount))
 	}
 	for k := range oldRecs {
 		if _, ok := newRecs[k]; !ok {

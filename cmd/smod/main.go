@@ -1,0 +1,92 @@
+// Command smod is the latch-timing daemon: the long-running network
+// front door over the session layer, serving MinTc / CheckTc /
+// Reoptimize / certified solves / delay sweeps / Monte-Carlo campaigns
+// for any number of tenants and circuits.
+//
+//	smod -addr :7070
+//	smod -addr :7070 -rate 500 -max-inflight 64 -drain-timeout 10s
+//
+// One listener speaks two protocols (sniffed per connection): HTTP/JSON
+// under /v1/..., and a length-prefixed binary framing for clients that
+// open with the 4-byte magic "SMO\x01". GET /metrics, /healthz and
+// /readyz expose telemetry and lifecycle.
+//
+// SIGTERM or SIGINT starts a graceful drain: readiness flips false,
+// new requests are refused with the typed drain error, in-flight work
+// gets -drain-timeout to finish, still-running streams then receive
+// the drain error in-band, and the final counter snapshot is flushed
+// to the log before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mintc/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7070", "listen address (both protocols)")
+		rate         = flag.Float64("rate", 0, "admission rate limit, requests/sec (0 = unlimited)")
+		burst        = flag.Int("burst", 0, "admission burst allowance (default max(1, rate))")
+		maxInflight  = flag.Int("max-inflight", 0, "queue-depth shed ceiling (0 = unlimited)")
+		maxSessions  = flag.Int("max-sessions", 64, "registry capacity (LRU-evicted beyond)")
+		tenantQuota  = flag.Int("tenant-quota", 0, "max distinct circuits per tenant (0 = unlimited)")
+		idleTTL      = flag.Duration("idle-ttl", 0, "evict sessions idle longer than this (0 = never)")
+		defDeadline  = flag.Duration("default-deadline", 30*time.Second, "deadline for requests naming none")
+		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget for in-flight work")
+		writeTimeout = flag.Duration("write-timeout", 15*time.Second, "per-chunk write deadline (slow-client guard)")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive decomp verify failures opening the breaker (-1 disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "breaker open duration before a half-open probe")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "smod ", log.LstdFlags|log.Lmsgprefix)
+	srv := serve.New(serve.Config{
+		MaxSessions:      *maxSessions,
+		TenantQuota:      *tenantQuota,
+		IdleTTL:          *idleTTL,
+		Rate:             *rate,
+		Burst:            *burst,
+		MaxInflight:      *maxInflight,
+		DefaultDeadline:  *defDeadline,
+		MaxDeadline:      *maxDeadline,
+		DrainTimeout:     *drainTimeout,
+		WriteTimeout:     *writeTimeout,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		Logger:           logger,
+	})
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	logger.Printf("listening on %s (HTTP/JSON + SMO binary)", *addr)
+
+	select {
+	case sig := <-sigCh:
+		logger.Printf("%s: draining (budget %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			logger.Printf("drain: %v", err)
+			os.Exit(1)
+		}
+		logger.Printf("drain complete")
+	case err := <-errCh:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smod: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

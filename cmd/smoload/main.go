@@ -1,0 +1,409 @@
+// Command smoload is the closed-loop load generator for smod: N
+// workers each keep exactly one request in flight against the daemon,
+// retrying shed (429) responses with backoff, and report sustained
+// QPS plus a latency histogram with p50/p95/p99.
+//
+//	smoload -addr localhost:7070 -duration 10s -workers 8
+//	smoload -addr localhost:7070 -binary          # SMO binary protocol
+//	smoload -addr localhost:7070 -out bench/serve # record BENCH_*.json
+//
+// Each request opens with a random what-if delay edit on a random path
+// of a random suite circuit, then asks for a CERTIFIED solve — so a
+// run's "uncertified: 0" line proves the daemon stayed on verified
+// answers under load. The summary always prints the "5xx:" and
+// "uncertified:" counts on one line for CI to grep.
+//
+// The optional -out record is written in the smobench benchRecord
+// shape (circuit "serve-mix", engine "serve-<engine>"), with the
+// serving fields qps / p50_ms / p99_ms / shed_count, so
+// `smobench -compare old new` tracks the serving trajectory exactly
+// like solver performance.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mintc/internal/gen"
+	"mintc/internal/parse"
+	"mintc/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7070", "smod address")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		workers  = flag.Int("workers", 8, "concurrent closed-loop workers")
+		engineN  = flag.String("engine", "mlp", "engine for the certified solves")
+		circs    = flag.String("circuits", "example1-80,example1-120,fig1", "comma-separated gen-suite circuit names")
+		deadline = flag.Duration("deadline", 15*time.Second, "per-request deadline")
+		binary   = flag.Bool("binary", false, "use the SMO binary protocol instead of HTTP")
+		outDir   = flag.String("out", "", "directory for the BENCH_*.json record (empty = don't record)")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+
+	targets, err := openSessions(*addr, *circs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smoload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("smoload: %d sessions open on %s, %d workers, %s, engine %s, protocol %s\n",
+		len(targets), *addr, *workers, *duration, *engineN, map[bool]string{true: "binary", false: "http"}[*binary])
+
+	stop := time.Now().Add(*duration)
+	stats := make([]workerStats, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &worker{
+				addr:     *addr,
+				engine:   *engineN,
+				targets:  targets,
+				deadline: *deadline,
+				binary:   *binary,
+				rng:      rand.New(rand.NewSource(*seed + int64(i))),
+				stats:    &stats[i],
+			}
+			w.run(stop)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerStats
+	for i := range stats {
+		total.merge(&stats[i])
+	}
+	sort.Float64s(total.latenciesMs)
+	qps := float64(total.ok) / elapsed.Seconds()
+	p50 := percentile(total.latenciesMs, 50)
+	p95 := percentile(total.latenciesMs, 95)
+	p99 := percentile(total.latenciesMs, 99)
+
+	fmt.Printf("smoload: ok: %d, shed(429): %d, 5xx: %d, 4xx: %d, uncertified: %d, net_errors: %d, give_ups: %d\n",
+		total.ok, total.shed, total.s5xx, total.s4xx, total.uncertified, total.netErrs, total.giveUps)
+	fmt.Printf("smoload: qps: %.1f, p50: %.2fms, p95: %.2fms, p99: %.2fms over %s\n", qps, p50, p95, p99, elapsed.Round(time.Millisecond))
+	printHistogram(total.latenciesMs)
+
+	if *outDir != "" {
+		rec := map[string]any{
+			"circuit":    "serve-mix",
+			"engine":     "serve-" + *engineN,
+			"certified":  total.uncertified == 0,
+			"wall_ns":    elapsed.Nanoseconds(),
+			"qps":        qps,
+			"p50_ms":     p50,
+			"p99_ms":     p99,
+			"shed_count": total.shed,
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "smoload: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("BENCH_serve-mix_serve-%s.json", *engineN))
+		blob, _ := json.MarshalIndent(rec, "", "  ")
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "smoload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("smoload: recorded %s\n", path)
+	}
+	if total.s5xx > 0 || total.uncertified > 0 {
+		os.Exit(1)
+	}
+}
+
+// target is one opened session the workers can hit.
+type target struct {
+	digest string
+	paths  int
+	delays []float64 // base worst-case delay per path, for realistic edits
+}
+
+// openSessions registers the named gen-suite circuits with the daemon.
+func openSessions(addr, names string) ([]target, error) {
+	suite := map[string]gen.Benchmark{}
+	for _, b := range gen.Suite() {
+		suite[b.Name] = b
+	}
+	var out []target
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := suite[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown suite circuit %q", name)
+		}
+		var smo strings.Builder
+		if err := parse.WriteCircuit(&smo, b.Circuit); err != nil {
+			return nil, err
+		}
+		body, _ := json.Marshal(map[string]any{"tenant": "smoload", "circuit": smo.String()})
+		resp, err := client.Post("http://"+addr+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("open %s: %w", name, err)
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("open %s: %s: %s", name, resp.Status, blob)
+		}
+		var opened struct {
+			Digest string `json:"digest"`
+			Paths  int    `json:"paths"`
+		}
+		if err := json.Unmarshal(blob, &opened); err != nil {
+			return nil, fmt.Errorf("open %s: %w", name, err)
+		}
+		t := target{digest: opened.Digest, paths: opened.Paths}
+		for _, p := range b.Circuit.Paths() {
+			t.delays = append(t.delays, p.Delay)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+type workerStats struct {
+	ok          int64
+	shed        int64
+	s5xx        int64
+	s4xx        int64
+	uncertified int64
+	netErrs     int64
+	giveUps     int64
+	latenciesMs []float64
+}
+
+func (a *workerStats) merge(b *workerStats) {
+	a.ok += b.ok
+	a.shed += b.shed
+	a.s5xx += b.s5xx
+	a.s4xx += b.s4xx
+	a.uncertified += b.uncertified
+	a.netErrs += b.netErrs
+	a.giveUps += b.giveUps
+	a.latenciesMs = append(a.latenciesMs, b.latenciesMs...)
+}
+
+type worker struct {
+	addr     string
+	engine   string
+	targets  []target
+	deadline time.Duration
+	binary   bool
+	rng      *rand.Rand
+	stats    *workerStats
+
+	httpClient *http.Client
+	binConn    net.Conn
+	binReader  *bufio.Reader
+	binID      int64
+}
+
+// run is the closed loop: one request in flight, retry-with-backoff on
+// shed, until the stop time.
+func (w *worker) run(stop time.Time) {
+	w.httpClient = &http.Client{Timeout: w.deadline + 5*time.Second}
+	defer w.closeBin()
+	for time.Now().Before(stop) {
+		w.doOnce(stop)
+	}
+}
+
+// doOnce issues one workload request, retrying sheds with exponential
+// backoff (respecting Retry-After) until it lands or the run ends.
+func (w *worker) doOnce(stop time.Time) {
+	t := w.targets[w.rng.Intn(len(w.targets))]
+	path := w.rng.Intn(t.paths)
+	// Perturb the path's real delay by ±20%: enough spread to exercise
+	// overlays, basis warm starts and the session cache's miss path.
+	delay := t.delays[path] * (0.8 + 0.4*w.rng.Float64())
+	req := map[string]any{
+		"digest":  t.digest,
+		"edits":   []map[string]any{{"path": path, "delay": delay}},
+		"engine":  w.engine,
+		"certify": true,
+	}
+
+	backoff := 25 * time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		if !time.Now().Before(stop) {
+			return
+		}
+		t0 := time.Now()
+		status, certified, retryAfter, err := w.send(req)
+		if err != nil {
+			w.stats.netErrs++
+			w.closeBin()
+			time.Sleep(backoff)
+			backoff *= 2
+			continue
+		}
+		switch {
+		case status == http.StatusOK:
+			w.stats.ok++
+			w.stats.latenciesMs = append(w.stats.latenciesMs, float64(time.Since(t0).Microseconds())/1000)
+			if !certified {
+				w.stats.uncertified++
+			}
+			return
+		case status == http.StatusTooManyRequests:
+			w.stats.shed++
+			sleep := backoff
+			if retryAfter > 0 && retryAfter < 2*time.Second {
+				sleep = retryAfter
+			}
+			time.Sleep(sleep)
+			backoff *= 2
+		case status >= 500:
+			w.stats.s5xx++
+			return
+		default:
+			w.stats.s4xx++
+			return
+		}
+	}
+	w.stats.giveUps++
+}
+
+// send issues one solve request over the configured protocol.
+func (w *worker) send(req map[string]any) (status int, certified bool, retryAfter time.Duration, err error) {
+	if w.binary {
+		return w.sendBinary(req)
+	}
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest("POST", "http://"+w.addr+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Deadline-Ms", strconv.FormatInt(w.deadline.Milliseconds(), 10))
+	resp, err := w.httpClient.Do(hreq)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	var solved struct {
+		Certified bool `json:"certified"`
+	}
+	_ = json.Unmarshal(blob, &solved)
+	return resp.StatusCode, solved.Certified, retryAfter, nil
+}
+
+// sendBinary issues the same request as one SMO binary frame over the
+// worker's persistent connection.
+func (w *worker) sendBinary(req map[string]any) (status int, certified bool, retryAfter time.Duration, err error) {
+	if w.binConn == nil {
+		c, err := net.DialTimeout("tcp", w.addr, 5*time.Second)
+		if err != nil {
+			return 0, false, 0, err
+		}
+		if err := serve.WriteBinaryMagic(c); err != nil {
+			c.Close()
+			return 0, false, 0, err
+		}
+		w.binConn = c
+		w.binReader = bufio.NewReader(c)
+	}
+	w.binID++
+	frame := map[string]any{"id": w.binID, "method": "solve", "body": req, "deadline_ms": w.deadline.Milliseconds()}
+	_ = w.binConn.SetDeadline(time.Now().Add(w.deadline + 5*time.Second))
+	if err := serve.EncodeFrame(w.binConn, frame); err != nil {
+		return 0, false, 0, err
+	}
+	var resp struct {
+		Status       int             `json:"status"`
+		Error        string          `json:"error"`
+		RetryAfterMs int64           `json:"retry_after_ms"`
+		Body         json.RawMessage `json:"body"`
+	}
+	if err := serve.DecodeFrame(w.binReader, &resp); err != nil {
+		return 0, false, 0, err
+	}
+	if resp.Error != "" {
+		if resp.Status == 0 {
+			resp.Status = http.StatusInternalServerError
+		}
+		return resp.Status, false, time.Duration(resp.RetryAfterMs) * time.Millisecond, nil
+	}
+	var solved struct {
+		Certified bool `json:"certified"`
+	}
+	_ = json.Unmarshal(resp.Body, &solved)
+	return http.StatusOK, solved.Certified, 0, nil
+}
+
+func (w *worker) closeBin() {
+	if w.binConn != nil {
+		w.binConn.Close()
+		w.binConn = nil
+		w.binReader = nil
+	}
+}
+
+// percentile reads the p-th percentile from an ascending-sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// printHistogram renders log2 latency buckets.
+func printHistogram(latMs []float64) {
+	if len(latMs) == 0 {
+		return
+	}
+	buckets := map[int]int{}
+	maxB := 0
+	for _, l := range latMs {
+		b := 0
+		for lim := 1.0; l >= lim && b < 20; lim *= 2 {
+			b++
+		}
+		buckets[b]++
+		if b > maxB {
+			maxB = b
+		}
+	}
+	fmt.Println("smoload: latency histogram:")
+	for b := 0; b <= maxB; b++ {
+		n := buckets[b]
+		lo, hi := 0.0, 1.0
+		if b > 0 {
+			lo = float64(int(1) << (b - 1))
+			hi = float64(int(1) << b)
+		}
+		bar := strings.Repeat("#", 60*n/len(latMs))
+		fmt.Printf("  %7.0f-%-7.0fms %6d %s\n", lo, hi, n, bar)
+	}
+}

@@ -37,6 +37,7 @@ var allowed = map[string][]string{
 	"circuits":    {"core"},
 	"engine":      {"core", "decomp", "ettf", "lp", "mcr", "nrip", "obs", "sim", "verify"},
 	"session":     {"core", "decomp", "engine", "lp", "obs"},
+	"serve":       {"core", "engine", "faultinject", "obs", "parse", "session", "sim"},
 	"experiments": {"agrawal", "circuits", "core", "ettf", "gen", "lp", "mcr", "nrip", "render"},
 }
 

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the server's front-door flow control: a token bucket
+// bounds the sustained request rate (with a burst allowance), and a
+// queue-depth ceiling sheds load outright once too many requests are
+// already executing. Both rejections surface as HTTP 429 with a
+// Retry-After hint, so well-behaved clients back off instead of
+// retry-storming; the shed counter is the overload telemetry the load
+// generator and /metrics report.
+//
+// The bucket is refilled lazily on each Admit under one mutex — at the
+// request rates a timing solve supports (each admitted request does
+// orders of magnitude more work than a bucket update), contention here
+// is irrelevant, and the lazy form needs no background goroutine.
+type admission struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables rate limiting
+	burst  float64 // bucket capacity (>= 1 when rate > 0)
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+
+	maxInflight int64 // queue-depth shed ceiling; <= 0 disables
+	inflight    atomic.Int64
+	shed        atomic.Int64
+}
+
+func newAdmission(rate float64, burst int, maxInflight int, now func() time.Time) *admission {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &admission{
+		rate:        rate,
+		burst:       b,
+		tokens:      b,
+		last:        now(),
+		now:         now,
+		maxInflight: int64(maxInflight),
+	}
+}
+
+// Admit decides one request: ok means a token was taken and the
+// in-flight count incremented (the caller must Release exactly once).
+// On rejection, retryAfter is the hint for the 429 Retry-After header:
+// the time until a token will exist, or one refill interval when the
+// queue itself is full.
+func (a *admission) Admit() (ok bool, retryAfter time.Duration) {
+	if a.maxInflight > 0 && a.inflight.Load() >= a.maxInflight {
+		a.shed.Add(1)
+		return false, a.tokenWait()
+	}
+	if a.rate > 0 {
+		a.mu.Lock()
+		now := a.now()
+		a.tokens += now.Sub(a.last).Seconds() * a.rate
+		if a.tokens > a.burst {
+			a.tokens = a.burst
+		}
+		a.last = now
+		if a.tokens < 1 {
+			need := (1 - a.tokens) / a.rate
+			a.mu.Unlock()
+			a.shed.Add(1)
+			return false, time.Duration(need * float64(time.Second))
+		}
+		a.tokens--
+		a.mu.Unlock()
+	}
+	a.inflight.Add(1)
+	return true, 0
+}
+
+// Release returns one admitted request's queue slot.
+func (a *admission) Release() { a.inflight.Add(-1) }
+
+// Inflight reports the number of admitted, still-executing requests.
+func (a *admission) Inflight() int64 { return a.inflight.Load() }
+
+// Shed reports the lifetime count of rejected requests.
+func (a *admission) Shed() int64 { return a.shed.Load() }
+
+// tokenWait estimates the time until the bucket next has a token,
+// without taking one — the Retry-After hint for queue-depth sheds.
+func (a *admission) tokenWait() time.Duration {
+	if a.rate <= 0 {
+		return time.Second
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tokens := a.tokens + a.now().Sub(a.last).Seconds()*a.rate
+	if tokens >= 1 {
+		return time.Second // queue-full shed with tokens available: pure backpressure
+	}
+	return time.Duration((1 - tokens) / a.rate * float64(time.Second))
+}

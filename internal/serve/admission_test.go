@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for admission/breaker/registry
+// tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	clk := newFakeClock()
+	a := newAdmission(10, 2, 0, clk.Now) // 10/s, burst 2
+
+	for i := 0; i < 2; i++ {
+		ok, _ := a.Admit()
+		if !ok {
+			t.Fatalf("burst admit %d refused", i)
+		}
+		a.Release()
+	}
+	ok, retry := a.Admit()
+	if ok {
+		t.Fatal("admit beyond burst succeeded")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry hint %v, want in (0, 100ms] at 10 tokens/s", retry)
+	}
+	if a.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", a.Shed())
+	}
+
+	// One refill interval restores exactly one token.
+	clk.Advance(100 * time.Millisecond)
+	if ok, _ := a.Admit(); !ok {
+		t.Fatal("admit after refill refused")
+	}
+	a.Release()
+	if ok, _ := a.Admit(); ok {
+		t.Fatal("second admit after one-token refill succeeded")
+	}
+
+	// Tokens cap at the burst no matter how long the idle.
+	clk.Advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		ok, _ := a.Admit()
+		if !ok {
+			t.Fatalf("post-idle admit %d refused", i)
+		}
+		a.Release()
+	}
+	if ok, _ := a.Admit(); ok {
+		t.Fatal("idle refill exceeded the burst cap")
+	}
+}
+
+func TestAdmissionQueueDepthShed(t *testing.T) {
+	a := newAdmission(0, 0, 2, nil) // no rate limit, 2 in flight max
+
+	if ok, _ := a.Admit(); !ok {
+		t.Fatal("first admit refused")
+	}
+	if ok, _ := a.Admit(); !ok {
+		t.Fatal("second admit refused")
+	}
+	ok, retry := a.Admit()
+	if ok {
+		t.Fatal("admit above the queue ceiling succeeded")
+	}
+	if retry <= 0 {
+		t.Fatalf("queue-full retry hint %v, want positive", retry)
+	}
+	a.Release()
+	if ok, _ := a.Admit(); !ok {
+		t.Fatal("admit after release refused")
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+}
+
+func TestAdmissionUnlimited(t *testing.T) {
+	a := newAdmission(0, 0, 0, nil)
+	for i := 0; i < 100; i++ {
+		if ok, _ := a.Admit(); !ok {
+			t.Fatalf("unlimited admission refused request %d", i)
+		}
+	}
+	if a.Shed() != 0 {
+		t.Fatalf("shed = %d, want 0", a.Shed())
+	}
+}

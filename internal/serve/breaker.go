@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the circuit breaker guarding the decomposed solver. The
+// decomp engine is the fastest primary at scale but also the most
+// intricate (per-component caches, coupling passes, warm potentials);
+// when its answers start getting rejected by the independent checker —
+// the supervisor's verify_failures — something is systematically wrong
+// (a corrupted cache, an injected fault, a numerically hostile tenant
+// workload), and every further primary attempt wastes a solve before
+// falling down the ladder anyway. After threshold consecutive
+// rejected-or-failed primaries the breaker opens: requests route
+// straight to the fallback ladder ("mcr" onward, certified as always)
+// for the cooldown, then a single half-open probe retries the primary
+// and either closes the breaker or re-opens it.
+//
+// The breaker only ever demotes to rungs that are themselves verified,
+// so it trades latency for nothing — answers stay certified on every
+// path through it.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures to open; <= 0 disables
+	cooldown  time.Duration // open duration before the half-open probe
+	now       func() time.Time
+
+	fails     int       // consecutive primary failures
+	openUntil time.Time // zero when closed
+	probing   bool      // half-open: one probe in flight
+	demotions int64     // requests served demoted (telemetry)
+	opens     int64     // times the breaker opened
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Demoted reports whether the next request should skip the primary
+// rung. While open it returns true except for the single half-open
+// probe admitted after the cooldown expires.
+func (b *breaker) Demoted() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return false
+	}
+	if b.now().Before(b.openUntil) {
+		b.demotions++
+		return true
+	}
+	// Cooldown over: let exactly one probe through; everyone else stays
+	// demoted until the probe reports.
+	if b.probing {
+		b.demotions++
+		return true
+	}
+	b.probing = true
+	return false
+}
+
+// Record reports one primary attempt's outcome. ok means the primary
+// rung produced a certified answer (no fallback, no verify rejection).
+func (b *breaker) Record(ok bool) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.fails = 0
+		b.openUntil = time.Time{}
+		b.probing = false
+		return
+	}
+	b.fails++
+	if b.probing || b.fails >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		b.probing = false
+		b.fails = 0
+		b.opens++
+	}
+}
+
+// Stats returns (demotions, opens, open?) for /metrics.
+func (b *breaker) Stats() (demotions, opens int64, open bool) {
+	if b == nil {
+		return 0, 0, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.demotions, b.opens, !b.openUntil.IsZero()
+}

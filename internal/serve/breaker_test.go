@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, 10*time.Second, clk.Now)
+
+	for i := 0; i < 2; i++ {
+		if b.Demoted() {
+			t.Fatalf("demoted after %d failures, threshold 3", i)
+		}
+		b.Record(false)
+	}
+	if b.Demoted() {
+		t.Fatal("demoted one failure early")
+	}
+	b.Record(false) // third consecutive: opens
+	if !b.Demoted() {
+		t.Fatal("not demoted after threshold failures")
+	}
+	if _, opens, open := b.Stats(); opens != 1 || !open {
+		t.Fatalf("stats after open: opens=%d open=%v, want 1 true", opens, open)
+	}
+
+	// A success between failures resets the streak.
+	clk.Advance(time.Minute)
+	if b.Demoted() {
+		// cooldown expired: this was the half-open probe admission
+	}
+	b.Record(true) // probe succeeds: closed
+	if b.Demoted() {
+		t.Fatal("still demoted after successful probe")
+	}
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.Demoted() {
+		t.Fatal("opened without threshold consecutive failures")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 10*time.Second, clk.Now)
+	b.Record(false) // opens immediately at threshold 1
+
+	if !b.Demoted() {
+		t.Fatal("not open after threshold")
+	}
+	clk.Advance(11 * time.Second)
+	// Cooldown over: exactly one caller gets the probe...
+	if b.Demoted() {
+		t.Fatal("probe caller demoted after cooldown")
+	}
+	// ...everyone else stays demoted until the probe reports.
+	if !b.Demoted() {
+		t.Fatal("second caller not demoted during probe")
+	}
+
+	// Probe fails: re-opens for another full cooldown.
+	b.Record(false)
+	if !b.Demoted() {
+		t.Fatal("not demoted after failed probe")
+	}
+	if _, opens, _ := b.Stats(); opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+
+	clk.Advance(11 * time.Second)
+	if b.Demoted() {
+		t.Fatal("second probe refused")
+	}
+	b.Record(true)
+	if b.Demoted() {
+		t.Fatal("demoted after successful probe")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Second, nil)
+	for i := 0; i < 10; i++ {
+		b.Record(false)
+	}
+	if b.Demoted() {
+		t.Fatal("disabled breaker demoted")
+	}
+	var nilB *breaker
+	if nilB.Demoted() {
+		t.Fatal("nil breaker demoted")
+	}
+	nilB.Record(false) // must not panic
+}

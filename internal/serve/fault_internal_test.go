@@ -1,0 +1,70 @@
+//go:build faultinject
+
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mintc/internal/circuits"
+	"mintc/internal/faultinject"
+)
+
+// TestFaultRegistryEvictRace drives the eviction race the sweep must
+// tolerate: a request re-acquires an idle entry in the window between
+// the sweep deciding to run and it taking the registry lock. The
+// referenced entry must survive; with the reference dropped the next
+// sweep reclaims it. Run under -race: the interleaving is forced
+// through the serve.registry.evict hook, which fires unlocked.
+func TestFaultRegistryEvictRace(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	clk := newFakeClock()
+	r := newRegistry(8, 0, time.Minute, clk.Now)
+
+	e, err := r.Open("t", smoText(t, circuits.Example1(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Put(e)
+	clk.Advance(2 * time.Minute) // now idle past the TTL: sweepable
+
+	// The hook runs after the sweep committed to running but before it
+	// locks: grab the entry right in that window, from another
+	// goroutine, like a request racing the janitor.
+	var (
+		got    *sessionEntry
+		getErr error
+		wg     sync.WaitGroup
+	)
+	faultinject.SetAfter("serve.registry.evict", 0, 1, func() error {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, getErr = r.Get(e.digest)
+		}()
+		wg.Wait()
+		return nil
+	})
+
+	if n := r.SweepIdle(); n != 0 {
+		t.Fatalf("sweep evicted %d entries out from under a live reference", n)
+	}
+	if getErr != nil {
+		t.Fatalf("racing Get failed: %v", getErr)
+	}
+	if got != e {
+		t.Fatal("racing Get returned a different entry")
+	}
+
+	// Reference dropped — but the racing Get also bumped lastUsed, so
+	// the entry is only reclaimed once it has idled past the TTL again.
+	r.Put(got)
+	if n := r.SweepIdle(); n != 0 {
+		t.Fatalf("sweep evicted %d recently-used entries", n)
+	}
+	clk.Advance(2 * time.Minute)
+	if n := r.SweepIdle(); n != 1 {
+		t.Fatalf("final sweep evicted %d, want 1", n)
+	}
+}

@@ -1,0 +1,625 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"mintc/internal/core"
+	"mintc/internal/engine"
+	"mintc/internal/sim"
+)
+
+// This file holds the method implementations shared verbatim by the
+// HTTP/JSON and binary-framed protocols: a method name plus a JSON
+// body in, a JSON-encodable result (or a stream of them) out. The
+// transport-specific pipelines in serve.go and proto.go handle
+// admission, deadlines and panic isolation before anything here runs.
+
+// dispatchUnary routes one request/response method.
+func (s *Server) dispatchUnary(ctx context.Context, method string, body []byte) (any, error) {
+	switch method {
+	case "open":
+		return s.methodOpen(body)
+	case "sessions":
+		return s.methodSessions()
+	case "mintc":
+		return s.methodMinTc(ctx, body)
+	case "checktc":
+		return s.methodCheckTc(ctx, body)
+	case "reoptimize":
+		return s.methodReoptimize(ctx, body)
+	case "solve":
+		return s.methodSolve(ctx, body)
+	default:
+		return nil, badRequest("serve: unknown method %q", method)
+	}
+}
+
+// dispatchStream routes one streaming method; emit delivers each
+// NDJSON record / binary frame.
+func (s *Server) dispatchStream(ctx context.Context, method string, body []byte, emit func(any) error) error {
+	switch method {
+	case "sweep":
+		return s.methodSweep(ctx, body, emit)
+	case "montecarlo":
+		return s.methodMonteCarlo(ctx, body, emit)
+	default:
+		return badRequest("serve: unknown stream method %q", method)
+	}
+}
+
+// streamTick is the cancellation point between stream items: the
+// request deadline or client disconnect wins first, then the drain
+// abort (closed when the drain deadline expires) surfaces the typed
+// drain error.
+func (s *Server) streamTick(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.abortCh:
+		return ErrDraining
+	default:
+		return nil
+	}
+}
+
+// ---- wire DTOs -------------------------------------------------------
+
+// optionsJSON mirrors the analysis knobs of core.Options on the wire.
+type optionsJSON struct {
+	MinPhaseWidth float64   `json:"min_phase_width,omitempty"`
+	MinSeparation float64   `json:"min_separation,omitempty"`
+	Skew          float64   `json:"skew,omitempty"`
+	PhaseSkew     []float64 `json:"phase_skew,omitempty"`
+	DesignForHold bool      `json:"design_for_hold,omitempty"`
+	FixedTc       float64   `json:"fixed_tc,omitempty"`
+}
+
+func (o optionsJSON) core() core.Options {
+	return core.Options{
+		MinPhaseWidth: o.MinPhaseWidth,
+		MinSeparation: o.MinSeparation,
+		Skew:          o.Skew,
+		PhaseSkew:     o.PhaseSkew,
+		DesignForHold: o.DesignForHold,
+		FixedTc:       o.FixedTc,
+	}
+}
+
+// scheduleJSON is a clock schedule on the wire.
+type scheduleJSON struct {
+	Tc float64   `json:"tc"`
+	S  []float64 `json:"s"`
+	T  []float64 `json:"t"`
+}
+
+func scheduleToJSON(sc *core.Schedule) *scheduleJSON {
+	if sc == nil {
+		return nil
+	}
+	return &scheduleJSON{Tc: sc.Tc, S: sc.S, T: sc.T}
+}
+
+func (sc *scheduleJSON) core(phases int) (*core.Schedule, error) {
+	if sc == nil {
+		return nil, badRequest("serve: missing schedule")
+	}
+	if len(sc.S) != phases || len(sc.T) != phases {
+		return nil, badRequest("serve: schedule has %d/%d phase entries, circuit has %d phases", len(sc.S), len(sc.T), phases)
+	}
+	return &core.Schedule{Tc: sc.Tc, S: sc.S, T: sc.T}, nil
+}
+
+// editJSON is one what-if delay edit.
+type editJSON struct {
+	Path  int     `json:"path"`
+	Delay float64 `json:"delay"`
+}
+
+// requestBase is the part every query shares: which session, which
+// edits, which analysis options.
+type requestBase struct {
+	Digest  string      `json:"digest"`
+	Edits   []editJSON  `json:"edits,omitempty"`
+	Options optionsJSON `json:"options"`
+}
+
+// resolve looks the session up and applies the edits as a
+// copy-on-write overlay. The returned entry is referenced — the caller
+// must r.Put it (via the returned release func) when the request ends,
+// which is what lets the registry evict without yanking live state.
+func (s *Server) resolve(base requestBase) (e *sessionEntry, ov core.DelayOverlay, release func(), err error) {
+	if base.Digest == "" {
+		return nil, core.DelayOverlay{}, nil, badRequest("serve: missing session digest")
+	}
+	e, err = s.reg.Get(base.Digest)
+	if err != nil {
+		return nil, core.DelayOverlay{}, nil, err
+	}
+	ov = e.sess.Overlay()
+	for _, ed := range base.Edits {
+		if ed.Path < 0 || ed.Path >= e.paths {
+			s.reg.Put(e)
+			return nil, core.DelayOverlay{}, nil, badRequest("serve: edit path %d out of range [0,%d)", ed.Path, e.paths)
+		}
+		if ed.Delay < 0 || math.IsNaN(ed.Delay) || math.IsInf(ed.Delay, 0) {
+			s.reg.Put(e)
+			return nil, core.DelayOverlay{}, nil, badRequest("serve: edit delay %g must be finite and nonnegative", ed.Delay)
+		}
+		ov = ov.With(ed.Path, ed.Delay)
+	}
+	e.queries.Add(1)
+	return e, ov, func() { s.reg.Put(e) }, nil
+}
+
+func decodeBody(body []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("serve: decode request: %v", err)
+	}
+	return nil
+}
+
+// ---- open / sessions -------------------------------------------------
+
+type openRequest struct {
+	Tenant  string `json:"tenant"`
+	Circuit string `json:"circuit"` // .smo text
+}
+
+type openResponse struct {
+	Digest  string `json:"digest"`
+	Latches int    `json:"latches"`
+	Phases  int    `json:"phases"`
+	Paths   int    `json:"paths"`
+}
+
+func (s *Server) methodOpen(body []byte) (any, error) {
+	var req openRequest
+	if err := decodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Circuit == "" {
+		return nil, badRequest("serve: missing circuit text")
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	e, err := s.reg.Open(req.Tenant, req.Circuit)
+	if err != nil {
+		if strings.Contains(err.Error(), "parse circuit") {
+			return nil, badRequest("%v", err)
+		}
+		return nil, err
+	}
+	defer s.reg.Put(e)
+	return openResponse{Digest: e.digest, Latches: e.latches, Phases: e.phases, Paths: e.paths}, nil
+}
+
+func (s *Server) methodSessions() (any, error) {
+	infos := s.reg.List()
+	return map[string]any{"sessions": infos, "count": len(infos)}, nil
+}
+
+// ---- mintc -----------------------------------------------------------
+
+type minTcResponse struct {
+	Tc               float64       `json:"tc"`
+	Schedule         *scheduleJSON `json:"schedule"`
+	UpdateIterations int           `json:"update_iterations"`
+	Pivots           int           `json:"pivots"`
+}
+
+func (s *Server) methodMinTc(ctx context.Context, body []byte) (any, error) {
+	var req requestBase
+	if err := decodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	e, ov, release, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	res, err := e.sess.MinTc(ctx, ov, req.Options.core())
+	if err != nil {
+		return nil, err
+	}
+	return minTcResponse{
+		Tc:               res.Schedule.Tc,
+		Schedule:         scheduleToJSON(res.Schedule),
+		UpdateIterations: res.UpdateIterations,
+		Pivots:           res.Pivots,
+	}, nil
+}
+
+// ---- checktc ---------------------------------------------------------
+
+type checkTcRequest struct {
+	requestBase
+	Schedule *scheduleJSON `json:"schedule"`
+}
+
+type violationJSON struct {
+	Kind   string  `json:"kind"`
+	Sync   int     `json:"sync"`
+	Detail string  `json:"detail"`
+	Amount float64 `json:"amount"`
+}
+
+type checkTcResponse struct {
+	Feasible        bool            `json:"feasible"`
+	WorstSetupSlack float64         `json:"worst_setup_slack"`
+	Violations      []violationJSON `json:"violations,omitempty"`
+	PositiveLoop    []int           `json:"positive_loop,omitempty"`
+}
+
+func (s *Server) methodCheckTc(ctx context.Context, body []byte) (any, error) {
+	var req checkTcRequest
+	if err := decodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	e, ov, release, err := s.resolve(req.requestBase)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sched, err := req.Schedule.core(e.phases)
+	if err != nil {
+		return nil, err
+	}
+	an, err := e.sess.CheckTc(ctx, ov, sched, req.Options.core())
+	if err != nil {
+		return nil, err
+	}
+	resp := checkTcResponse{
+		Feasible:        an.Feasible,
+		WorstSetupSlack: worstFinite(an.SetupSlack),
+		PositiveLoop:    an.PositiveLoop,
+	}
+	for _, v := range an.Violations {
+		resp.Violations = append(resp.Violations, violationJSON{Kind: v.Kind, Sync: v.Sync, Detail: v.Detail, Amount: jsonFinite(v.Amount)})
+	}
+	return resp, nil
+}
+
+// jsonFinite clamps a float for JSON encoding, which has no
+// Inf/NaN: an unstable loop's violation amount is +Inf, and one such
+// value would fail the whole response's marshal.
+func jsonFinite(x float64) float64 {
+	switch {
+	case math.IsNaN(x):
+		return 0
+	case math.IsInf(x, 1):
+		return math.MaxFloat64
+	case math.IsInf(x, -1):
+		return -math.MaxFloat64
+	default:
+		return x
+	}
+}
+
+// worstFinite returns the minimum finite entry (slacks can be +Inf for
+// unconstrained synchronizers and NaN for unchecked ones).
+func worstFinite(xs []float64) float64 {
+	worst := math.Inf(1)
+	for _, x := range xs {
+		if !math.IsNaN(x) && x < worst {
+			worst = x
+		}
+	}
+	if math.IsInf(worst, 0) {
+		return 0
+	}
+	return worst
+}
+
+// ---- reoptimize ------------------------------------------------------
+
+type reoptimizeRequest struct {
+	requestBase
+	Path  int     `json:"path"`
+	Delay float64 `json:"delay"`
+}
+
+type reoptimizeResponse struct {
+	Tc float64 `json:"tc"`
+	// Resolved reports whether the dual shortcut failed and a full
+	// (memoized) re-solve ran.
+	Resolved bool `json:"resolved"`
+}
+
+func (s *Server) methodReoptimize(ctx context.Context, body []byte) (any, error) {
+	var req reoptimizeRequest
+	if err := decodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	e, ov, release, err := s.resolve(req.requestBase)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if req.Path < 0 || req.Path >= e.paths {
+		return nil, badRequest("serve: path %d out of range [0,%d)", req.Path, e.paths)
+	}
+	if req.Delay < 0 || math.IsNaN(req.Delay) || math.IsInf(req.Delay, 0) {
+		return nil, badRequest("serve: delay %g must be finite and nonnegative", req.Delay)
+	}
+	tc, resolved, err := e.sess.Reoptimize(ctx, ov, req.Path, req.Delay, req.Options.core())
+	if err != nil {
+		return nil, err
+	}
+	return reoptimizeResponse{Tc: tc, Resolved: resolved}, nil
+}
+
+// ---- solve -----------------------------------------------------------
+
+type solveRequest struct {
+	requestBase
+	Engine     string `json:"engine,omitempty"`  // default "mlp"
+	Certify    bool   `json:"certify,omitempty"` // route through the supervisor
+	NoFallback bool   `json:"no_fallback,omitempty"`
+	Trials     int    `json:"trials,omitempty"`
+	SimCycles  int    `json:"sim_cycles,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+}
+
+type attemptJSON struct {
+	Rung      string `json:"rung"`
+	Engine    string `json:"engine"`
+	Certified bool   `json:"certified"`
+	Rejected  string `json:"rejected,omitempty"`
+	Err       string `json:"err,omitempty"`
+}
+
+type solveResponse struct {
+	Engine    string        `json:"engine"`
+	Tc        float64       `json:"tc"`
+	Schedule  *scheduleJSON `json:"schedule,omitempty"`
+	Certified bool          `json:"certified"`
+	// Demoted reports the circuit breaker rerouted this solve off the
+	// decomp primary onto its fallback ladder.
+	Demoted bool          `json:"demoted,omitempty"`
+	Trail   []attemptJSON `json:"trail,omitempty"`
+}
+
+func (s *Server) methodSolve(ctx context.Context, body []byte) (any, error) {
+	var req solveRequest
+	if err := decodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	name := req.Engine
+	if name == "" {
+		name = "mlp"
+	}
+	if _, ok := engine.Get(name); !ok {
+		return nil, badRequest("serve: unknown engine %q (have %v)", name, engine.Names())
+	}
+	if req.Trials < 0 || req.SimCycles < 0 {
+		return nil, badRequest("serve: trials and sim_cycles must be nonnegative")
+	}
+	e, ov, release, err := s.resolve(req.requestBase)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	eopts := engine.Options{
+		Core:      req.Options.core(),
+		Trials:    req.Trials,
+		SimCycles: req.SimCycles,
+		Seed:      req.Seed,
+	}
+
+	// Circuit-breaker demotion: while the decomp primary's answers are
+	// being rejected by the verifier, route straight to its (equally
+	// certified) fallback ladder instead of burning a doomed solve.
+	demoted := name == "decomp" && s.brk.Demoted()
+
+	if !req.Certify {
+		callName := name
+		if demoted {
+			callName = "mcr"
+		}
+		res, err := e.sess.Solve(ctx, callName, ov, eopts)
+		if err != nil {
+			return nil, err
+		}
+		return solveResponse{Engine: res.Engine, Tc: res.Tc, Schedule: scheduleToJSON(res.Schedule), Demoted: demoted}, nil
+	}
+
+	pol := engine.Policy{NoFallback: req.NoFallback}
+	if demoted {
+		pol.Rungs = []string{"mcr", "mlp", "dense"}
+	}
+	res, err := e.sess.SolveCertified(ctx, name, ov, eopts, pol)
+	if name == "decomp" && !demoted && ctx.Err() == nil && res != nil && len(res.Trail) > 0 {
+		// Feed the breaker the primary rung's outcome. A certified
+		// answer on rung 0 (feasible or proven-infeasible) is health;
+		// a rejected certificate or solve failure there is a strike.
+		s.brk.Record(res.Trail[0].Certified)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := solveResponse{
+		Engine:    res.Engine,
+		Tc:        res.Tc,
+		Schedule:  scheduleToJSON(res.Schedule),
+		Certified: res.Certificate != nil,
+		Demoted:   demoted,
+	}
+	for _, a := range res.Trail {
+		resp.Trail = append(resp.Trail, attemptJSON{Rung: a.Rung, Engine: a.Engine, Certified: a.Certified, Rejected: a.Rejected, Err: a.Err})
+	}
+	return resp, nil
+}
+
+// ---- sweep (streaming) -----------------------------------------------
+
+type sweepRequest struct {
+	requestBase
+	Path   int       `json:"path"`
+	Values []float64 `json:"values,omitempty"`
+	From   float64   `json:"from,omitempty"`
+	To     float64   `json:"to,omitempty"`
+	Steps  int       `json:"steps,omitempty"`
+}
+
+func (s *Server) methodSweep(ctx context.Context, body []byte, emit func(any) error) error {
+	var req sweepRequest
+	if err := decodeBody(body, &req); err != nil {
+		return err
+	}
+	e, ov, release, err := s.resolve(req.requestBase)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if req.Path < 0 || req.Path >= e.paths {
+		return badRequest("serve: sweep path %d out of range [0,%d)", req.Path, e.paths)
+	}
+	values := req.Values
+	if len(values) == 0 {
+		if req.Steps < 2 || req.To < req.From {
+			return badRequest("serve: sweep needs values, or from <= to with steps >= 2")
+		}
+		if req.Steps > 100000 {
+			return badRequest("serve: sweep steps %d exceeds 100000", req.Steps)
+		}
+		step := (req.To - req.From) / float64(req.Steps-1)
+		values = make([]float64, req.Steps)
+		for i := range values {
+			values[i] = req.From + float64(i)*step
+		}
+	}
+	opts := req.Options.core()
+	for _, v := range values {
+		if err := s.streamTick(ctx); err != nil {
+			return err
+		}
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			if err := emit(map[string]any{"value": v, "error": "invalid delay (must be finite and nonnegative)"}); err != nil {
+				return err
+			}
+			continue
+		}
+		// Each point is one memoized session query: revisited values hit
+		// the LRU, every point is independently cancellable, and
+		// mid-stream aborts lose nothing already emitted.
+		res, err := e.sess.MinTc(ctx, ov.With(req.Path, v), opts)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			if err := emit(map[string]any{"value": v, "error": err.Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := emit(map[string]any{"value": v, "tc": res.Schedule.Tc}); err != nil {
+			return err
+		}
+	}
+	return emit(map[string]any{"done": true, "points": len(values)})
+}
+
+// ---- montecarlo (streaming) ------------------------------------------
+
+type monteCarloRequest struct {
+	requestBase
+	Schedule    *scheduleJSON `json:"schedule,omitempty"` // nil = MinTc-optimal
+	Trials      int           `json:"trials,omitempty"`
+	Cycles      int           `json:"cycles,omitempty"`
+	ChunkTrials int           `json:"chunk_trials,omitempty"`
+	Seed        int64         `json:"seed,omitempty"`
+}
+
+func (s *Server) methodMonteCarlo(ctx context.Context, body []byte, emit func(any) error) error {
+	var req monteCarloRequest
+	if err := decodeBody(body, &req); err != nil {
+		return err
+	}
+	e, ov, release, err := s.resolve(req.requestBase)
+	if err != nil {
+		return err
+	}
+	defer release()
+	trials := req.Trials
+	if trials <= 0 {
+		trials = 200
+	}
+	if trials > 1000000 {
+		return badRequest("serve: trials %d exceeds 1000000", trials)
+	}
+	chunk := req.ChunkTrials
+	if chunk <= 0 {
+		chunk = 50
+	}
+	opts := req.Options.core()
+
+	var sched *core.Schedule
+	if req.Schedule != nil {
+		sched, err = req.Schedule.core(e.phases)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err := e.sess.MinTc(ctx, ov, opts)
+		if err != nil {
+			return err
+		}
+		sched = res.Schedule
+		if err := emit(map[string]any{"schedule": scheduleToJSON(sched)}); err != nil {
+			return err
+		}
+	}
+
+	agg := sim.MCResult{WorstSlack: math.Inf(1)}
+	for i := 0; agg.Trials < trials; i++ {
+		if err := s.streamTick(ctx); err != nil {
+			return err
+		}
+		n := chunk
+		if rem := trials - agg.Trials; n > rem {
+			n = rem
+		}
+		// Each chunk owns a deterministic sub-RNG, so the campaign is
+		// reproducible for a given seed regardless of chunking.
+		rng := rand.New(rand.NewSource(req.Seed + int64(i)))
+		cfg := sim.MCConfig{Cycles: req.Cycles, Trials: n}
+		res, err := sim.RunMonteCarloOverlayCtx(ctx, ov, sched, cfg, rng)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			return fmt.Errorf("serve: monte-carlo chunk %d: %w", i, err)
+		}
+		agg.Trials += res.Trials
+		agg.FailingTrials += res.FailingTrials
+		agg.TotalViolations += res.TotalViolations
+		if res.WorstSlack < agg.WorstSlack {
+			agg.WorstSlack = res.WorstSlack
+		}
+		if err := emit(map[string]any{
+			"chunk":          i,
+			"trials":         res.Trials,
+			"failing_trials": res.FailingTrials,
+			"violations":     res.TotalViolations,
+			"worst_slack":    jsonFinite(res.WorstSlack),
+		}); err != nil {
+			return err
+		}
+	}
+	return emit(map[string]any{
+		"done":           true,
+		"trials":         agg.Trials,
+		"failing_trials": agg.FailingTrials,
+		"violations":     agg.TotalViolations,
+		"worst_slack":    jsonFinite(agg.WorstSlack),
+	})
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"net/http"
+
+	"mintc/internal/obs"
+)
+
+// Metrics is the /metrics document: the serve-layer counters next to
+// the engine/session obs snapshot (session hits/misses, lp_*, probe_*,
+// fallbacks, verify_failures, panics_recovered, ...). One flat JSON
+// object per scrape — trivially diffable, no exposition format to
+// depend on.
+type Metrics struct {
+	UptimeS float64 `json:"uptime_s"`
+	State   string  `json:"state"` // "serving" | "draining" | "drained"
+	Ready   bool    `json:"ready"`
+
+	Sessions        int   `json:"sessions"`
+	SessionsOpened  int64 `json:"sessions_opened"`
+	SessionsEvicted int64 `json:"sessions_evicted"`
+
+	Requests       int64 `json:"requests"`
+	Inflight       int64 `json:"inflight"`
+	Shed           int64 `json:"shed"`
+	DrainRejects   int64 `json:"drain_rejects"`
+	Errors4xx      int64 `json:"errors_4xx"`
+	Errors5xx      int64 `json:"errors_5xx"`
+	PanicsIsolated int64 `json:"panics_isolated"`
+
+	StreamsStarted int64 `json:"streams_started"`
+	StreamsDrained int64 `json:"streams_drained"`
+	StreamsAborted int64 `json:"streams_aborted"`
+	BinConns       int64 `json:"bin_conns"`
+	BinFrames      int64 `json:"bin_frames"`
+
+	BreakerOpen      bool  `json:"breaker_open"`
+	BreakerOpens     int64 `json:"breaker_opens"`
+	BreakerDemotions int64 `json:"breaker_demotions"`
+
+	Obs obs.Stats `json:"obs"`
+}
+
+// Metrics snapshots the server's counters.
+func (s *Server) Metrics() Metrics {
+	state := "serving"
+	switch s.state.Load() {
+	case stateDraining:
+		state = "draining"
+	case stateDrained:
+		state = "drained"
+	}
+	demotions, opens, open := s.brk.Stats()
+	return Metrics{
+		UptimeS:          s.cfg.Now().Sub(s.start).Seconds(),
+		State:            state,
+		Ready:            state == "serving",
+		Sessions:         s.reg.Len(),
+		SessionsOpened:   s.reg.opened.Load(),
+		SessionsEvicted:  s.reg.evictions.Load(),
+		Requests:         s.counters.requests.Load(),
+		Inflight:         s.adm.Inflight(),
+		Shed:             s.adm.Shed(),
+		DrainRejects:     s.counters.drainRejects.Load(),
+		Errors4xx:        s.counters.errors4xx.Load(),
+		Errors5xx:        s.counters.errors5xx.Load(),
+		PanicsIsolated:   s.counters.panicsIsolated.Load(),
+		StreamsStarted:   s.counters.streamsStarted.Load(),
+		StreamsDrained:   s.counters.streamsDrained.Load(),
+		StreamsAborted:   s.counters.streamsAborted.Load(),
+		BinConns:         s.counters.binConns.Load(),
+		BinFrames:        s.counters.binFrames.Load(),
+		BreakerOpen:      open,
+		BreakerOpens:     opens,
+		BreakerDemotions: demotions,
+		Obs:              s.rec.Snapshot(),
+	}
+}
+
+// handleMetrics serves GET /metrics. Deliberately outside the
+// admission/drain gates: overload and shutdown are exactly when the
+// telemetry matters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleHealthz serves GET /healthz — liveness: the process answers.
+// True even while draining (a draining pod is alive, just not ready).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleReadyz serves GET /readyz — readiness for load balancers: 200
+// while serving, 503 the moment drain begins, so traffic falls away
+// before the listener stops accepting.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "state": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"ready": true, "state": "serving"})
+}

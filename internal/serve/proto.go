@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"mintc/internal/faultinject"
+)
+
+// The binary protocol: a client opens the connection with the 4-byte
+// magic "SMO\x01"; everything after is length-prefixed frames both
+// ways. One frame is
+//
+//	uint32 big-endian payload length | payload (JSON)
+//
+// A request payload is {"id": n, "method": "mintc", "body": {...},
+// "deadline_ms": m}; the method names and bodies are exactly the
+// HTTP/JSON ones (POST /v1/<method>). A unary method answers with one
+// frame {"id": n, "body": ...} or {"id": n, "error": ..., "status": s,
+// "retry_after_ms": r}; a streaming method answers with one
+// {"id": n, "body": <record>} frame per record and ends with
+// {"id": n, "done": true} (or an error frame — possibly mid-stream,
+// e.g. the typed drain error). Requests on one connection are handled
+// sequentially in arrival order; clients wanting concurrency open
+// connections (cheap: admission is per-request, not per-connection).
+//
+// The frame cap exists so one hostile length prefix cannot make the
+// server allocate gigabytes.
+
+// protoMagic is the sniffed preamble selecting the binary protocol. No
+// HTTP request can start with these bytes (methods are ASCII letters,
+// 0x01 is not).
+var protoMagic = [4]byte{'S', 'M', 'O', 0x01}
+
+const (
+	maxFrameBytes = 64 << 20
+	// sniffTimeout bounds how long a fresh connection may sit silent
+	// before it must reveal its protocol.
+	sniffTimeout = 10 * time.Second
+	// binIdleTimeout closes binary connections with no next request.
+	binIdleTimeout = 5 * time.Minute
+)
+
+// sniffConn is a net.Conn whose first bytes were peeked through a
+// bufio.Reader; reads go through the reader so nothing peeked is lost.
+type sniffConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (c *sniffConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// sniff peeks the protocol preamble off a fresh connection. isBinary
+// reports the SMO magic (already consumed from the stream when true).
+func sniff(c net.Conn) (wrapped net.Conn, isBinary bool, err error) {
+	br := bufio.NewReader(c)
+	_ = c.SetReadDeadline(time.Now().Add(sniffTimeout))
+	peek, err := br.Peek(len(protoMagic))
+	_ = c.SetReadDeadline(time.Time{})
+	if err != nil {
+		return nil, false, err
+	}
+	sc := &sniffConn{Conn: c, r: br}
+	if [4]byte(peek) == protoMagic {
+		_, _ = br.Discard(len(protoMagic))
+		return sc, true, nil
+	}
+	return sc, false, nil
+}
+
+// chanListener adapts the sniffing accept loop to http.Server: HTTP
+// connections are delivered into a channel the http.Server accepts
+// from.
+type chanListener struct {
+	addr   net.Addr
+	conns  chan net.Conn
+	closed chan struct{}
+}
+
+func newChanListener(addr net.Addr) *chanListener {
+	return &chanListener{addr: addr, conns: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+// Deliver hands one connection to the HTTP server; false means the
+// listener already closed and the caller keeps ownership.
+func (l *chanListener) Deliver(c net.Conn) bool {
+	select {
+	case l.conns <- c:
+		return true
+	case <-l.closed:
+		return false
+	}
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *chanListener) Close() error {
+	select {
+	case <-l.closed:
+	default:
+		close(l.closed)
+	}
+	return nil
+}
+
+func (l *chanListener) Addr() net.Addr { return l.addr }
+
+// binRequest is one binary-protocol request frame.
+type binRequest struct {
+	ID         int64           `json:"id"`
+	Method     string          `json:"method"`
+	Body       json.RawMessage `json:"body"`
+	DeadlineMs int64           `json:"deadline_ms,omitempty"`
+}
+
+// binResponse is one binary-protocol response frame.
+type binResponse struct {
+	ID           int64           `json:"id"`
+	Body         json.RawMessage `json:"body,omitempty"`
+	Done         bool            `json:"done,omitempty"`
+	Error        string          `json:"error,omitempty"`
+	Status       int             `json:"status,omitempty"`
+	RetryAfterMs int64           `json:"retry_after_ms,omitempty"`
+	Draining     bool            `json:"draining,omitempty"`
+}
+
+// serveBinary runs one sniffed binary connection to completion.
+func (s *Server) serveBinary(c net.Conn) {
+	defer c.Close()
+	w := bufio.NewWriter(c)
+	for {
+		// Between requests the connection is idle; drain closes it.
+		select {
+		case <-s.drainCh:
+			_ = s.writeFrame(c, w, binResponse{Error: ErrDraining.Error(), Status: http.StatusServiceUnavailable, Draining: true})
+			return
+		default:
+		}
+		req, err := readFrame(c)
+		if err != nil {
+			return // EOF, timeout, oversized or malformed frame: drop the conn
+		}
+		s.counters.binFrames.Add(1)
+		if !s.serveBinRequest(c, w, req) {
+			return
+		}
+	}
+}
+
+// serveBinRequest runs one frame through the same robustness pipeline
+// as an HTTP request; false means the connection is unusable.
+func (s *Server) serveBinRequest(c net.Conn, w *bufio.Writer, req binRequest) (alive bool) {
+	s.counters.requests.Add(1)
+	if !s.beginRequest() {
+		s.counters.drainRejects.Add(1)
+		_ = s.writeFrame(c, w, binResponse{ID: req.ID, Error: ErrDraining.Error(), Status: http.StatusServiceUnavailable, Draining: true})
+		return false
+	}
+	defer s.endRequest()
+	if ok, retry := s.adm.Admit(); !ok {
+		err := s.writeFrame(c, w, binResponse{
+			ID:           req.ID,
+			Error:        "serve: overloaded",
+			Status:       http.StatusTooManyRequests,
+			RetryAfterMs: retry.Milliseconds() + 1,
+		})
+		s.counters.errors4xx.Add(1)
+		return err == nil
+	}
+	defer s.adm.Release()
+	ctx, cancel := s.requestCtx(context.Background(), req.DeadlineMs)
+	defer cancel()
+
+	defer func() {
+		if p := recover(); p != nil {
+			s.counters.panicsIsolated.Add(1)
+			s.counters.errors5xx.Add(1)
+			s.cfg.Logger.Printf("serve: panic in binary %q isolated: %v", req.Method, p)
+			err := s.writeFrame(c, w, binResponse{ID: req.ID, Error: fmt.Sprintf("serve: internal error in %q", req.Method), Status: http.StatusInternalServerError})
+			alive = alive && err == nil
+		}
+	}()
+	alive = true
+
+	if err := faultinject.Fire("serve.handler"); err != nil {
+		s.counters.errors5xx.Add(1)
+		return s.writeFrame(c, w, binResponse{ID: req.ID, Error: err.Error(), Status: http.StatusInternalServerError}) == nil
+	}
+
+	if _, isStream := map[string]bool{"sweep": true, "montecarlo": true}[req.Method]; isStream {
+		s.counters.streamsStarted.Add(1)
+		emit := func(v any) error {
+			if err := faultinject.Fire("serve.stream.chunk"); err != nil {
+				return err
+			}
+			b, err := json.Marshal(v)
+			if err != nil {
+				return err
+			}
+			return s.writeFrame(c, w, binResponse{ID: req.ID, Body: b})
+		}
+		err := s.dispatchStream(ctx, req.Method, req.Body, emit)
+		switch {
+		case err == nil:
+			return s.writeFrame(c, w, binResponse{ID: req.ID, Done: true}) == nil
+		case errors.Is(err, ErrDraining):
+			s.counters.streamsDrained.Add(1)
+			_ = s.writeFrame(c, w, binResponse{ID: req.ID, Error: ErrDraining.Error(), Status: http.StatusServiceUnavailable, Draining: true})
+			return false
+		default:
+			s.counters.streamsAborted.Add(1)
+			status := httpStatus(err)
+			s.countStatus(status)
+			return s.writeFrame(c, w, binResponse{ID: req.ID, Error: err.Error(), Status: status}) == nil
+		}
+	}
+
+	res, err := s.dispatchUnary(ctx, req.Method, req.Body)
+	if err != nil {
+		status := httpStatus(err)
+		s.countStatus(status)
+		return s.writeFrame(c, w, binResponse{ID: req.ID, Error: err.Error(), Status: status, Draining: errors.Is(err, ErrDraining)}) == nil
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		s.counters.errors5xx.Add(1)
+		return s.writeFrame(c, w, binResponse{ID: req.ID, Error: "serve: encode response", Status: http.StatusInternalServerError}) == nil
+	}
+	return s.writeFrame(c, w, binResponse{ID: req.ID, Body: b}) == nil
+}
+
+func (s *Server) countStatus(status int) {
+	switch {
+	case status >= 500:
+		s.counters.errors5xx.Add(1)
+	case status >= 400:
+		s.counters.errors4xx.Add(1)
+	}
+}
+
+// readFrame reads one length-prefixed request frame.
+func readFrame(c net.Conn) (binRequest, error) {
+	var req binRequest
+	_ = c.SetReadDeadline(time.Now().Add(binIdleTimeout))
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return req, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return req, fmt.Errorf("serve: frame length %d out of range (0, %d]", n, maxFrameBytes)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return req, err
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	if err := json.Unmarshal(buf, &req); err != nil {
+		return req, fmt.Errorf("serve: malformed frame: %w", err)
+	}
+	return req, nil
+}
+
+// writeFrame writes one length-prefixed response frame under the
+// slow-client write deadline.
+func (s *Server) writeFrame(c net.Conn, w *bufio.Writer, resp binResponse) error {
+	if err := faultinject.Fire("serve.write"); err != nil {
+		return err
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	if len(b) > maxFrameBytes {
+		return fmt.Errorf("serve: response frame %d bytes exceeds cap", len(b))
+	}
+	_ = c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	defer c.SetWriteDeadline(time.Time{})
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteBinaryMagic writes the protocol preamble a binary client must
+// send first; exported for cmd/smoload and tests.
+func WriteBinaryMagic(w io.Writer) error {
+	_, err := w.Write(protoMagic[:])
+	return err
+}
+
+// EncodeFrame length-prefixes one payload — the client-side frame
+// encoder (cmd/smoload, tests).
+func EncodeFrame(w io.Writer, payload any) error {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// DecodeFrame reads one length-prefixed payload — the client-side
+// frame decoder.
+func DecodeFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return fmt.Errorf("serve: frame length %d out of range (0, %d]", n, maxFrameBytes)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}

@@ -1,0 +1,261 @@
+package serve_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"mintc/internal/circuits"
+	"mintc/internal/serve"
+)
+
+// startSniffing runs a Server on a real listener (both protocols).
+func startSniffing(t *testing.T, cfg serve.Config) (*serve.Server, string) {
+	t.Helper()
+	s := serve.New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(s.Close)
+	return s, l.Addr().String()
+}
+
+// binClient is a minimal binary-protocol client for tests.
+type binClient struct {
+	c  net.Conn
+	r  *bufio.Reader
+	id int64
+}
+
+func dialBin(t *testing.T, addr string) *binClient {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := serve.WriteBinaryMagic(c); err != nil {
+		t.Fatal(err)
+	}
+	return &binClient{c: c, r: bufio.NewReader(c)}
+}
+
+type binResp struct {
+	ID       int64           `json:"id"`
+	Body     json.RawMessage `json:"body"`
+	Done     bool            `json:"done"`
+	Error    string          `json:"error"`
+	Status   int             `json:"status"`
+	Draining bool            `json:"draining"`
+}
+
+func (b *binClient) call(t *testing.T, method string, body any) binResp {
+	t.Helper()
+	b.id++
+	if err := serve.EncodeFrame(b.c, map[string]any{"id": b.id, "method": method, "body": body}); err != nil {
+		t.Fatal(err)
+	}
+	var resp binResp
+	if err := serve.DecodeFrame(b.r, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestBinaryProtocolRoundtrip(t *testing.T) {
+	_, addr := startSniffing(t, serve.Config{})
+	bc := dialBin(t, addr)
+
+	resp := bc.call(t, "open", map[string]any{"tenant": "bin", "circuit": circuitText(t, circuits.Example1(80))})
+	if resp.Error != "" {
+		t.Fatalf("open: %s (status %d)", resp.Error, resp.Status)
+	}
+	var opened struct {
+		Digest string `json:"digest"`
+	}
+	if err := json.Unmarshal(resp.Body, &opened); err != nil {
+		t.Fatal(err)
+	}
+
+	resp = bc.call(t, "mintc", map[string]any{"digest": opened.Digest})
+	if resp.Error != "" {
+		t.Fatalf("mintc: %s", resp.Error)
+	}
+	var res struct {
+		Tc float64 `json:"tc"`
+	}
+	if err := json.Unmarshal(resp.Body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if want := circuits.Example1OptimalTc(80); math.Abs(res.Tc-want) > 1e-6 {
+		t.Fatalf("binary mintc Tc = %v, want %v", res.Tc, want)
+	}
+	if resp.ID != 2 {
+		t.Fatalf("response id = %d, want 2", resp.ID)
+	}
+
+	// Errors carry the mapped status in-frame.
+	resp = bc.call(t, "mintc", map[string]any{"digest": "nope"})
+	if resp.Error == "" || resp.Status != http.StatusNotFound {
+		t.Fatalf("unknown digest over binary: %+v", resp)
+	}
+	// The connection survives request errors.
+	resp = bc.call(t, "mintc", map[string]any{"digest": opened.Digest})
+	if resp.Error != "" {
+		t.Fatalf("post-error request failed: %s", resp.Error)
+	}
+}
+
+func TestBinaryStreamSweep(t *testing.T) {
+	_, addr := startSniffing(t, serve.Config{})
+	bc := dialBin(t, addr)
+	resp := bc.call(t, "open", map[string]any{"tenant": "bin", "circuit": circuitText(t, circuits.Example1(80))})
+	var opened struct {
+		Digest string `json:"digest"`
+	}
+	if err := json.Unmarshal(resp.Body, &opened); err != nil {
+		t.Fatal(err)
+	}
+
+	bc.id++
+	if err := serve.EncodeFrame(bc.c, map[string]any{
+		"id": bc.id, "method": "sweep",
+		"body": map[string]any{"digest": opened.Digest, "path": 3, "values": []float64{80, 95, 110}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var frames []binResp
+	for {
+		var f binResp
+		if err := serve.DecodeFrame(bc.r, &f); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+		if f.Done || f.Error != "" {
+			break
+		}
+	}
+	// 3 value records + 1 in-band done record + the done frame
+	if len(frames) != 5 {
+		t.Fatalf("got %d frames, want 5: %+v", len(frames), frames)
+	}
+	last := frames[len(frames)-1]
+	if !last.Done || last.Error != "" {
+		t.Fatalf("final frame: %+v", last)
+	}
+	for _, f := range frames[:3] {
+		var rec struct {
+			Tc float64 `json:"tc"`
+		}
+		if err := json.Unmarshal(f.Body, &rec); err != nil || rec.Tc <= 0 {
+			t.Fatalf("bad sweep frame %s: %v", f.Body, err)
+		}
+	}
+}
+
+func TestSniffingServesBothProtocols(t *testing.T) {
+	_, addr := startSniffing(t, serve.Config{})
+
+	// HTTP on the shared listener.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("http healthz over sniffed listener: %d", resp.StatusCode)
+	}
+
+	// Binary on the same listener, interleaved.
+	bc := dialBin(t, addr)
+	r := bc.call(t, "sessions", map[string]any{})
+	if r.Error != "" {
+		t.Fatalf("binary sessions: %s", r.Error)
+	}
+
+	// And HTTP again.
+	var opened struct {
+		Digest string `json:"digest"`
+	}
+	code := postJSON(t, "http://"+addr+"/v1/sessions", map[string]any{"tenant": "t", "circuit": circuitText(t, circuits.Example1(80))}, &opened)
+	if code != 200 {
+		t.Fatalf("http open over sniffed listener: %d", code)
+	}
+	// The binary side sees the session opened over HTTP: one registry.
+	r = bc.call(t, "mintc", map[string]any{"digest": opened.Digest})
+	if r.Error != "" {
+		t.Fatalf("binary mintc of http-opened session: %s", r.Error)
+	}
+}
+
+func TestBinaryRejectsOversizedFrame(t *testing.T) {
+	_, addr := startSniffing(t, serve.Config{})
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := serve.WriteBinaryMagic(c); err != nil {
+		t.Fatal(err)
+	}
+	// A hostile length prefix far beyond the cap: the server must drop
+	// the connection, not allocate.
+	if _, err := c.Write([]byte{0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("connection survived an oversized frame header")
+	}
+}
+
+func TestBinaryDeadlineInFrame(t *testing.T) {
+	_, addr := startSniffing(t, serve.Config{})
+	bc := dialBin(t, addr)
+	resp := bc.call(t, "open", map[string]any{"tenant": "bin", "circuit": circuitText(t, circuits.Example1(80))})
+	var opened struct {
+		Digest string `json:"digest"`
+	}
+	if err := json.Unmarshal(resp.Body, &opened); err != nil {
+		t.Fatal(err)
+	}
+
+	bc.id++
+	if err := serve.EncodeFrame(bc.c, map[string]any{
+		"id": bc.id, "method": "solve", "deadline_ms": 80,
+		"body": map[string]any{"digest": opened.Digest, "engine": "slowtest"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var f binResp
+	if err := serve.DecodeFrame(bc.r, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Status != http.StatusGatewayTimeout {
+		t.Fatalf("slow solve with 80ms frame deadline: %+v, want 504", f)
+	}
+}
+
+func TestMetricsCountBinaryTraffic(t *testing.T) {
+	s, addr := startSniffing(t, serve.Config{})
+	bc := dialBin(t, addr)
+	for i := 0; i < 3; i++ {
+		if r := bc.call(t, "sessions", map[string]any{}); r.Error != "" {
+			t.Fatalf("call %d: %s", i, r.Error)
+		}
+	}
+	m := s.Metrics()
+	if m.BinConns != 1 || m.BinFrames != 3 {
+		t.Fatalf("bin_conns=%d bin_frames=%d, want 1/3", m.BinConns, m.BinFrames)
+	}
+	if m.Requests < 3 {
+		t.Fatalf("requests=%d, want >= 3", m.Requests)
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mintc/internal/circuits"
+	"mintc/internal/core"
+	"mintc/internal/parse"
+)
+
+// smoText renders a circuit to canonical .smo source.
+func smoText(t testing.TB, c *core.Circuit) string {
+	t.Helper()
+	var b strings.Builder
+	if err := parse.WriteCircuit(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRegistryDigestIdempotent(t *testing.T) {
+	r := newRegistry(8, 0, 0, nil)
+	smo := smoText(t, circuits.Example1(8))
+
+	e1, err := r.Open("alice", smo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Put(e1)
+	// Same circuit with cosmetic whitespace differences must collapse to
+	// the same session (digest of the canonical rendering).
+	e2, err := r.Open("bob", "\n"+strings.ReplaceAll(smo, "\n", "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Put(e2)
+	if e1 != e2 {
+		t.Fatal("identical circuits produced distinct sessions")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("registry has %d entries, want 1", r.Len())
+	}
+	if len(e1.tenants) != 2 {
+		t.Fatalf("entry has %d tenants, want 2", len(e1.tenants))
+	}
+
+	got, err := r.Get(e1.digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Put(got)
+	if got != e1 {
+		t.Fatal("Get returned a different entry")
+	}
+	if _, err := r.Get("no-such-digest"); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("unknown digest: err = %v, want ErrUnknownSession", err)
+	}
+}
+
+func TestRegistryTenantQuota(t *testing.T) {
+	r := newRegistry(8, 2, 0, nil)
+	for i, n := range []float64{80, 120} {
+		e, err := r.Open("alice", smoText(t, circuits.Example1(n)))
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		r.Put(e)
+	}
+	if _, err := r.Open("alice", smoText(t, circuits.Example1(16))); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("third open: err = %v, want ErrTenantQuota", err)
+	}
+	// Another tenant has its own quota; an existing circuit re-attach
+	// for alice is also refused once she is at quota.
+	e, err := r.Open("bob", smoText(t, circuits.Example1(16)))
+	if err != nil {
+		t.Fatalf("bob's open: %v", err)
+	}
+	r.Put(e)
+	if _, err := r.Open("alice", smoText(t, circuits.Example1(16))); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("alice attaching to bob's circuit at quota: err = %v, want ErrTenantQuota", err)
+	}
+}
+
+func TestRegistryLRUOverflow(t *testing.T) {
+	r := newRegistry(2, 0, 0, nil)
+	var digests []string
+	for _, n := range []float64{80, 120, 160} {
+		e, err := r.Open("t", smoText(t, circuits.Example1(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, e.digest)
+		r.Put(e)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("registry has %d entries after overflow, want 2", r.Len())
+	}
+	// The least recently used (first opened) was evicted.
+	if _, err := r.Get(digests[0]); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("oldest entry survived overflow: %v", err)
+	}
+	if _, err := r.Get(digests[2]); err != nil {
+		t.Fatalf("newest entry evicted: %v", err)
+	}
+}
+
+func TestRegistryOverflowSkipsReferenced(t *testing.T) {
+	r := newRegistry(1, 0, 0, nil)
+	e1, err := r.Open("t", smoText(t, circuits.Example1(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e1 still referenced: opening a second circuit may overflow the cap
+	// but must not evict the in-use entry.
+	e2, err := r.Open("t", smoText(t, circuits.Example1(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(e1.digest); err != nil {
+		t.Fatalf("referenced entry was evicted: %v", err)
+	}
+	r.Put(e1)
+	r.Put(e1) // the Get above
+	r.Put(e2)
+}
+
+func TestRegistryIdleSweep(t *testing.T) {
+	clk := newFakeClock()
+	r := newRegistry(8, 0, time.Minute, clk.Now)
+	e1, err := r.Open("t", smoText(t, circuits.Example1(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Put(e1)
+	e2, err := r.Open("t", smoText(t, circuits.Example1(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e2 stays referenced (an in-flight request).
+
+	clk.Advance(2 * time.Minute)
+	if n := r.SweepIdle(); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1 (the unreferenced idle entry)", n)
+	}
+	if _, err := r.Get(e1.digest); !errors.Is(err, ErrUnknownSession) {
+		t.Fatal("idle unreferenced entry survived the sweep")
+	}
+	got, err := r.Get(e2.digest)
+	if err != nil {
+		t.Fatalf("referenced entry was swept: %v", err)
+	}
+	r.Put(got)
+	r.Put(e2)
+
+	// Recent use (the Get above bumped lastUsed) protects from the next
+	// sweep until the TTL passes again.
+	if n := r.SweepIdle(); n != 0 {
+		t.Fatalf("second sweep evicted %d, want 0", n)
+	}
+	clk.Advance(2 * time.Minute)
+	if n := r.SweepIdle(); n != 1 {
+		t.Fatalf("third sweep evicted %d, want 1", n)
+	}
+}

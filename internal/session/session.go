@@ -458,7 +458,13 @@ func (s *Session) do(ctx context.Context, key cacheKey, fn func(context.Context)
 	f.val, f.err = s.runFlight(ctx, rec, fn)
 	s.mu.Lock()
 	delete(s.flight, key)
-	if (f.err == nil || (s.cacheErrs && cachableError(f.err))) && s.maxSize > 0 {
+	// The error branch additionally requires the leader's own context
+	// to still be live: an engine interrupted by a client disconnect may
+	// surface the abort as a plain error that wraps neither sentinel, and
+	// negative-caching it would poison the query for every later caller.
+	// ctx.Err() is the ground truth for "this call was cut short".
+	cacheable := f.err == nil || (s.cacheErrs && ctx.Err() == nil && cachableError(f.err))
+	if cacheable && s.maxSize > 0 {
 		s.items[key] = s.lru.PushFront(&entry{key: key, val: f.val, err: f.err})
 		for s.lru.Len() > s.maxSize {
 			old := s.lru.Back()
