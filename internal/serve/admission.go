@@ -55,7 +55,11 @@ func newAdmission(rate float64, burst int, maxInflight int, now func() time.Time
 // the time until a token will exist, or one refill interval when the
 // queue itself is full.
 func (a *admission) Admit() (ok bool, retryAfter time.Duration) {
-	if a.maxInflight > 0 && a.inflight.Load() >= a.maxInflight {
+	// Reserve the queue slot atomically: the Add's return value is the
+	// authoritative depth, so N racing admits can never all pass a
+	// load-then-check and overshoot the ceiling.
+	if n := a.inflight.Add(1); a.maxInflight > 0 && n > a.maxInflight {
+		a.inflight.Add(-1)
 		a.shed.Add(1)
 		return false, a.tokenWait()
 	}
@@ -70,13 +74,13 @@ func (a *admission) Admit() (ok bool, retryAfter time.Duration) {
 		if a.tokens < 1 {
 			need := (1 - a.tokens) / a.rate
 			a.mu.Unlock()
+			a.inflight.Add(-1)
 			a.shed.Add(1)
 			return false, time.Duration(need * float64(time.Second))
 		}
 		a.tokens--
 		a.mu.Unlock()
 	}
-	a.inflight.Add(1)
 	return true, 0
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -107,5 +108,38 @@ func TestAdmissionUnlimited(t *testing.T) {
 	}
 	if a.Shed() != 0 {
 		t.Fatalf("shed = %d, want 0", a.Shed())
+	}
+}
+
+// TestAdmitInflightCeilingConcurrent races many admits against a small
+// queue-depth ceiling: the slot reservation is atomic, so exactly
+// ceiling requests may pass — a load-then-increment would let several
+// racers through.
+func TestAdmitInflightCeilingConcurrent(t *testing.T) {
+	const ceiling, workers = 4, 64
+	a := newAdmission(0, 0, ceiling, nil)
+	var admitted atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if ok, _ := a.Admit(); ok {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != ceiling {
+		t.Fatalf("admitted %d concurrent requests, want exactly the ceiling %d", got, ceiling)
+	}
+	if got := a.Inflight(); got != ceiling {
+		t.Fatalf("inflight = %d, want %d", got, ceiling)
+	}
+	if got := a.Shed(); got != workers-ceiling {
+		t.Fatalf("shed = %d, want %d", got, workers-ceiling)
 	}
 }

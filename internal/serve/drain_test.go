@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"runtime"
 	"strings"
@@ -292,5 +293,73 @@ func TestDrainIdempotentAndDeadline(t *testing.T) {
 	}
 	if errors.Is(s.Drain(context.Background()), serve.ErrDrainTimeout) {
 		t.Fatal("idle drain reported timeout")
+	}
+}
+
+// TestServeListenerDrainCompletesInflightStream is the real-listener
+// twin of TestDrainCompletesInflightStreams: when Drain closes the
+// listener, Serve must keep the underlying HTTP server alive until
+// drain completes — tearing it down at accept-loop exit would sever
+// every in-flight connection at drain start (the cmd/smod SIGTERM
+// path, which httptest-based tests never exercise).
+func TestServeListenerDrainCompletesInflightStream(t *testing.T) {
+	s := serve.New(serve.Config{DrainTimeout: 20 * time.Second})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	t.Cleanup(s.Close)
+	url := "http://" + l.Addr().String()
+
+	var opened struct {
+		Digest string `json:"digest"`
+	}
+	if code := postJSON(t, url+"/v1/sessions", map[string]any{
+		"tenant": "test", "circuit": circuitText(t, circuits.Example1(80)),
+	}, &opened); code != http.StatusOK {
+		t.Fatalf("open: status %d", code)
+	}
+
+	resp, sc := startStream(t, url+"/v1/sweep", map[string]any{
+		"digest": opened.Digest, "path": 3, "from": 60.0, "to": 120.0, "steps": 2000,
+	})
+	defer resp.Body.Close()
+	for i := 0; i < 3; i++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d lines: %v", i, sc.Err())
+		}
+	}
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(context.Background()) }()
+
+	// The generous drain budget lets the stream run to completion; a
+	// premature http.Server.Close shows up here as a read error or a
+	// missing done record.
+	var last map[string]any
+	for sc.Scan() {
+		last = nil
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+	}
+	if sc.Err() != nil {
+		t.Fatalf("stream severed during drain: %v", sc.Err())
+	}
+	if last == nil || last["done"] != true {
+		t.Fatalf("stream final record = %v, want done:true", last)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v after drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain completed")
 	}
 }

@@ -579,25 +579,30 @@ func (s *Server) methodMonteCarlo(ctx context.Context, body []byte, emit func(an
 		}
 	}
 
+	// The RNG partition is canonical: fixed-size internal batches, each
+	// seeded by the absolute trial offset. The campaign's numbers are a
+	// pure function of (seed, trials); the client's chunk_trials only
+	// sets the streaming granularity, never the results.
+	const mcBatchTrials = 64
 	agg := sim.MCResult{WorstSlack: math.Inf(1)}
-	for i := 0; agg.Trials < trials; i++ {
+	cur := sim.MCResult{WorstSlack: math.Inf(1)} // accumulates the next emitted chunk
+	chunkIdx := 0
+	for agg.Trials < trials {
 		if err := s.streamTick(ctx); err != nil {
 			return err
 		}
-		n := chunk
+		n := mcBatchTrials
 		if rem := trials - agg.Trials; n > rem {
 			n = rem
 		}
-		// Each chunk owns a deterministic sub-RNG, so the campaign is
-		// reproducible for a given seed regardless of chunking.
-		rng := rand.New(rand.NewSource(req.Seed + int64(i)))
+		rng := rand.New(rand.NewSource(req.Seed + int64(agg.Trials)))
 		cfg := sim.MCConfig{Cycles: req.Cycles, Trials: n}
 		res, err := sim.RunMonteCarloOverlayCtx(ctx, ov, sched, cfg, rng)
 		if err != nil {
 			if ctx.Err() != nil {
 				return err
 			}
-			return fmt.Errorf("serve: monte-carlo chunk %d: %w", i, err)
+			return fmt.Errorf("serve: monte-carlo trials %d-%d: %w", agg.Trials, agg.Trials+n, err)
 		}
 		agg.Trials += res.Trials
 		agg.FailingTrials += res.FailingTrials
@@ -605,14 +610,24 @@ func (s *Server) methodMonteCarlo(ctx context.Context, body []byte, emit func(an
 		if res.WorstSlack < agg.WorstSlack {
 			agg.WorstSlack = res.WorstSlack
 		}
-		if err := emit(map[string]any{
-			"chunk":          i,
-			"trials":         res.Trials,
-			"failing_trials": res.FailingTrials,
-			"violations":     res.TotalViolations,
-			"worst_slack":    jsonFinite(res.WorstSlack),
-		}); err != nil {
-			return err
+		cur.Trials += res.Trials
+		cur.FailingTrials += res.FailingTrials
+		cur.TotalViolations += res.TotalViolations
+		if res.WorstSlack < cur.WorstSlack {
+			cur.WorstSlack = res.WorstSlack
+		}
+		if cur.Trials >= chunk || agg.Trials >= trials {
+			if err := emit(map[string]any{
+				"chunk":          chunkIdx,
+				"trials":         cur.Trials,
+				"failing_trials": cur.FailingTrials,
+				"violations":     cur.TotalViolations,
+				"worst_slack":    jsonFinite(cur.WorstSlack),
+			}); err != nil {
+				return err
+			}
+			chunkIdx++
+			cur = sim.MCResult{WorstSlack: math.Inf(1)}
 		}
 	}
 	return emit(map[string]any{

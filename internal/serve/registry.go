@@ -170,9 +170,15 @@ func (r *registry) Open(tenant, smoText string) (*sessionEntry, error) {
 
 	r.mu.Lock()
 	if el, ok := r.items[digest]; ok {
-		// Lost the freeze race: adopt the winner.
+		// Lost the freeze race: adopt the winner. The tenant still pays
+		// its quota slot — the pre-freeze check ran outside this lock and
+		// may be stale.
 		won := el.Value.(*sessionEntry)
 		if _, attached := won.tenants[tenant]; !attached {
+			if err := r.checkQuotaLocked(tenant); err != nil {
+				r.mu.Unlock()
+				return nil, err
+			}
 			won.tenants[tenant] = now
 		}
 		r.lru.MoveToFront(el)
@@ -180,6 +186,12 @@ func (r *registry) Open(tenant, smoText string) (*sessionEntry, error) {
 		won.refs++
 		r.mu.Unlock()
 		return won, nil
+	}
+	// Recheck the quota now that the lock is held again: concurrent
+	// Opens may have consumed it while the freeze ran unlocked.
+	if err := r.checkQuotaLocked(tenant); err != nil {
+		r.mu.Unlock()
+		return nil, err
 	}
 	e.refs++
 	r.items[digest] = r.lru.PushFront(e)

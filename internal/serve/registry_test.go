@@ -3,6 +3,8 @@ package serve
 import (
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -163,5 +165,53 @@ func TestRegistryIdleSweep(t *testing.T) {
 	clk.Advance(2 * time.Minute)
 	if n := r.SweepIdle(); n != 1 {
 		t.Fatalf("third sweep evicted %d, want 1", n)
+	}
+}
+
+// TestRegistryTenantQuotaConcurrent hammers Open with distinct circuits
+// for one tenant: the quota check runs again under the lock after the
+// unlocked Freeze, so racing first-posts can never exceed the quota.
+func TestRegistryTenantQuotaConcurrent(t *testing.T) {
+	const quota, n = 2, 12
+	r := newRegistry(64, quota, 0, nil)
+	texts := make([]string, n)
+	for i := range texts {
+		texts[i] = smoText(t, circuits.Example1(float64(60+4*i)))
+	}
+	var ok, refused atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			e, err := r.Open("carol", texts[i])
+			switch {
+			case err == nil:
+				ok.Add(1)
+				r.Put(e)
+			case errors.Is(err, ErrTenantQuota):
+				refused.Add(1)
+			default:
+				t.Errorf("open %d: %v", i, err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := ok.Load(); got != quota {
+		t.Fatalf("%d opens succeeded, want exactly the quota %d (refused %d)", got, quota, refused.Load())
+	}
+	held := 0
+	for _, info := range r.List() {
+		for _, tenant := range info.Tenants {
+			if tenant == "carol" {
+				held++
+			}
+		}
+	}
+	if held != quota {
+		t.Fatalf("tenant holds %d sessions after the race, want %d", held, quota)
 	}
 }

@@ -177,6 +177,8 @@ type Server struct {
 	inflight sync.WaitGroup
 	drainCh  chan struct{} // closed when drain begins (stop accepting)
 	abortCh  chan struct{} // closed at the drain deadline (streams bail)
+	doneCh   chan struct{} // closed when drain completes (state drained)
+	doneOnce sync.Once
 
 	// listeners guards the raw listeners Serve is accepting on, so
 	// Drain/Close can stop them.
@@ -216,6 +218,7 @@ func New(cfg Config) *Server {
 		start:     cfg.Now(),
 		drainCh:   make(chan struct{}),
 		abortCh:   make(chan struct{}),
+		doneCh:    make(chan struct{}),
 		sweepStop: make(chan struct{}),
 	}
 	s.mux = s.buildMux()
@@ -324,6 +327,23 @@ func headerDeadline(r *http.Request) int64 {
 // exhaust memory).
 const maxBodyBytes = 64 << 20
 
+// readBody reads the bounded request body. On failure it writes the
+// error response — 413 for an over-limit upload (the MaxBytesReader
+// case), 400 for a malformed or truncated one — and returns ok=false.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, fmt.Errorf("serve: read body: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
 // unary wraps one request/response method in the full robustness
 // pipeline: drain gate, admission, deadline, panic isolation.
 func (s *Server) unary(method string) http.HandlerFunc {
@@ -349,9 +369,8 @@ func (s *Server) unary(method string) http.HandlerFunc {
 			s.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: read body: %w", err))
+		body, ok := s.readBody(w, r)
+		if !ok {
 			return
 		}
 		res, err := s.dispatchUnary(ctx, method, body)
@@ -390,9 +409,8 @@ func (s *Server) stream(method string) http.HandlerFunc {
 			s.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: read body: %w", err))
+		body, ok := s.readBody(w, r)
+		if !ok {
 			return
 		}
 
@@ -421,7 +439,7 @@ func (s *Server) stream(method string) http.HandlerFunc {
 			return rc.Flush()
 		}
 
-		err = s.dispatchStream(ctx, method, body, emit)
+		err := s.dispatchStream(ctx, method, body, emit)
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrDraining):
@@ -559,6 +577,13 @@ func (s *Server) Serve(l net.Listener) error {
 		c, err := l.Accept()
 		if err != nil {
 			if s.Draining() {
+				// Drain closed the listener. The deferred httpSrv.Close()
+				// would sever every in-flight connection (active requests
+				// and streams included), so hold it back until drain
+				// completes: by then in-flight work has either finished or
+				// been handed the typed drain error, and Drain's deadlines
+				// bound the wait.
+				<-s.doneCh
 				return nil
 			}
 			return err
@@ -613,6 +638,7 @@ func (s *Server) Drain(ctx context.Context) error {
 
 	drained := func() error {
 		s.state.Store(stateDrained)
+		s.drainComplete()
 		s.flushObs()
 		return nil
 	}
@@ -638,9 +664,16 @@ func (s *Server) Drain(ctx context.Context) error {
 		return drained()
 	case <-time.After(grace):
 		s.state.Store(stateDrained)
+		s.drainComplete()
 		s.flushObs()
 		return fmt.Errorf("%w (%d still running)", ErrDrainTimeout, s.adm.Inflight())
 	}
+}
+
+// drainComplete signals Serve loops that drain has finished and the
+// HTTP server may be torn down. Idempotent (Drain then Close is legal).
+func (s *Server) drainComplete() {
+	s.doneOnce.Do(func() { close(s.doneCh) })
 }
 
 // Close stops the server immediately (tests and error paths; prefer
@@ -652,6 +685,7 @@ func (s *Server) Close() {
 		close(s.drainCh)
 	}
 	s.drainMu.Unlock()
+	s.drainComplete()
 	s.sweepOnce.Do(func() { close(s.sweepStop) })
 	s.closeListeners()
 }

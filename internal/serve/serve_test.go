@@ -410,9 +410,9 @@ func TestServeMonteCarloStream(t *testing.T) {
 	digest := openCircuit(t, ts, circuits.Example1(80))
 
 	recs := streamLines(t, ts.URL+"/v1/montecarlo", map[string]any{
-		"digest": digest, "trials": 60, "chunk_trials": 25, "seed": 7,
+		"digest": digest, "trials": 160, "chunk_trials": 64, "seed": 7,
 	})
-	// schedule record + 3 chunks (25+25+10) + done
+	// schedule record + 3 chunks (64+64+32) + done
 	if len(recs) != 5 {
 		t.Fatalf("got %d records, want 5: %v", len(recs), recs)
 	}
@@ -423,8 +423,8 @@ func TestServeMonteCarloStream(t *testing.T) {
 	if done, _ := last["done"].(bool); !done {
 		t.Fatalf("final record not done: %v", last)
 	}
-	if trials, _ := last["trials"].(float64); trials != 60 {
-		t.Fatalf("aggregate trials = %v, want 60", last["trials"])
+	if trials, _ := last["trials"].(float64); trials != 160 {
+		t.Fatalf("aggregate trials = %v, want 160", last["trials"])
 	}
 	// The MinTc-optimal schedule is exactly critical; worst-case draws
 	// cannot violate it, so zero failing trials.
@@ -564,5 +564,54 @@ func TestServeConcurrentMix(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestServeMonteCarloChunkInvariant: the campaign's numbers are a pure
+// function of (seed, trials) — the RNG partition is canonical, so the
+// client's chunk_trials changes only the streaming granularity.
+func TestServeMonteCarloChunkInvariant(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	digest := openCircuit(t, ts, circuits.Example1(80))
+	final := func(chunkTrials int) map[string]any {
+		recs := streamLines(t, ts.URL+"/v1/montecarlo", map[string]any{
+			"digest": digest, "trials": 100, "chunk_trials": chunkTrials, "seed": 42,
+		})
+		last := recs[len(recs)-1]
+		if last["done"] != true {
+			t.Fatalf("chunk_trials=%d: final record %v", chunkTrials, last)
+		}
+		return last
+	}
+	a, b := final(7), final(100)
+	for _, k := range []string{"trials", "failing_trials", "violations", "worst_slack"} {
+		if a[k] != b[k] {
+			t.Fatalf("campaign not chunk-invariant: %s = %v (chunk 7) vs %v (chunk 100)", k, a[k], b[k])
+		}
+	}
+}
+
+func TestServeBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	// Just past the limit: the server rejects after reading 64 MB + 1,
+	// and the small unread remainder fits in socket buffers so the
+	// client's write completes and it sees the response.
+	body := bytes.NewReader(make([]byte, 64<<20+16))
+	resp, err := http.Post(ts.URL+"/v1/mintc", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBody.Error, "read body") {
+		t.Fatalf("413 error = %q, want a read-body error", errBody.Error)
 	}
 }
